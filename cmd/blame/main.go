@@ -1,0 +1,190 @@
+// Command blame is the data-centric profiler CLI — the reproduction of
+// the paper's tool. It compiles a MiniChapel program (or a built-in
+// benchmark), runs it under the monitoring process with PMU sampling,
+// performs post-mortem blame attribution, and prints the three views of
+// §IV.D: the flat data-centric view (default), the code-centric view
+// (pprof-style, Fig. 4), and the hybrid blame-points view.
+//
+// Usage:
+//
+//	blame [flags] prog.mchpl [--config=value ...]
+//	blame [flags] -bench lulesh
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/benchprog"
+	"repro/internal/blame"
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/hpctk"
+	"repro/internal/views"
+	"repro/internal/vm"
+)
+
+func main() {
+	var (
+		bench     = flag.String("bench", "", "profile a built-in benchmark")
+		threshold = flag.Uint64("threshold", 0, "PMU overflow threshold in cycles (0 = auto-scale)")
+		cores     = flag.Int("cores", 12, "simulated cores")
+		locales   = flag.Int("locales", 1, "simulated locales")
+		view      = flag.String("view", "data", "view: data | code | hybrid | all | baseline | comm")
+		limit     = flag.Int("limit", 20, "rows per view")
+		noImpl    = flag.Bool("no-implicit", false, "disable implicit (control-dependence) transfer")
+		noInter   = flag.Bool("no-interproc", false, "disable interprocedural transfer functions")
+		lineGran  = flag.Bool("lines", false, "line-granularity attribution")
+		skid      = flag.Int("skid", 0, "inject PMU interrupt skid (instructions)")
+		perLocale = flag.Bool("per-locale", false, "also print per-locale profiles")
+		jsonOut   = flag.String("json", "", "also write the profile as JSON to this file")
+	)
+	flag.Parse()
+
+	src, name, err := loadSource(*bench, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "blame:", err)
+		os.Exit(1)
+	}
+	res, err := compile.Source(name, src, compile.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "blame:", err)
+		os.Exit(1)
+	}
+
+	cfg := blame.DefaultConfig()
+	cfg.VM.NumCores = *cores
+	cfg.VM.NumLocales = *locales
+	cfg.VM.Stdout = io.Discard
+	cfg.VM.MaxCycles = 10_000_000_000
+	cfg.VM.Configs = parseConfigs(flag.Args())
+	cfg.Skid = *skid
+	cfg.PerLocale = *perLocale
+	cfg.Core = core.Options{
+		ImplicitTransfer: !*noImpl,
+		Interprocedural:  !*noInter,
+		LineGranularity:  *lineGran,
+		TrackPaths:       true,
+	}
+	if *threshold != 0 {
+		cfg.Threshold = *threshold
+	} else {
+		// Auto-scale: one calibration run, then target a few thousand
+		// samples (the paper's fixed large prime assumes multi-second
+		// wall times).
+		st, err := vm.New(res.Prog, cfg.VM).Run()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "blame:", err)
+			os.Exit(1)
+		}
+		th := st.TotalCycles / 4001
+		if th < 101 {
+			th = 101
+		}
+		cfg.Threshold = th | 1
+	}
+
+	r, err := blame.Profile(res.Prog, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "blame:", err)
+		os.Exit(1)
+	}
+	prof := r.Profile
+
+	switch *view {
+	case "data":
+		fmt.Print(views.DataCentric(prof, *limit))
+	case "code":
+		fmt.Print(views.CodeCentric(prof, *limit))
+	case "hybrid":
+		fmt.Print(views.Hybrid(prof, *limit))
+	case "baseline":
+		fmt.Print(views.Baseline(hpctk.Attribute(r.Sampler.Samples, r.Sampler.Allocs), *limit))
+	case "comm":
+		fmt.Print(views.CommCentric(r.CommBlame(), *limit))
+	case "all":
+		fmt.Print(views.DataCentric(prof, *limit))
+		fmt.Println()
+		fmt.Print(views.CodeCentric(prof, *limit))
+		fmt.Println()
+		fmt.Print(views.Hybrid(prof, *limit))
+		fmt.Println()
+		fmt.Print(views.Baseline(hpctk.Attribute(r.Sampler.Samples, r.Sampler.Allocs), *limit))
+		fmt.Println()
+		fmt.Print(views.Overhead(prof, r.Sampler.StackWalks, r.Sampler.DataSetBytes(), cfg.VM.ClockHz))
+	default:
+		fmt.Fprintf(os.Stderr, "blame: unknown view %q\n", *view)
+		os.Exit(1)
+	}
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "blame:", err)
+			os.Exit(1)
+		}
+		if err := prof.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, "blame:", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+	if *perLocale && prof.PerLocale != nil {
+		for loc, p := range prof.PerLocale {
+			fmt.Printf("\n--- locale %d ---\n", loc)
+			fmt.Print(views.DataCentric(p, *limit))
+		}
+	}
+}
+
+func loadSource(bench string, args []string) (string, string, error) {
+	if bench != "" {
+		switch bench {
+		case "minimd":
+			p := benchprog.MiniMD(false)
+			return p.Source, p.Name, nil
+		case "minimd_opt":
+			p := benchprog.MiniMD(true)
+			return p.Source, p.Name, nil
+		case "clomp":
+			p := benchprog.CLOMP(false)
+			return p.Source, p.Name, nil
+		case "clomp_opt":
+			p := benchprog.CLOMP(true)
+			return p.Source, p.Name, nil
+		case "lulesh":
+			p := benchprog.LULESH(benchprog.LuleshOriginal)
+			return p.Source, p.Name, nil
+		case "lulesh_best":
+			p := benchprog.LULESH(benchprog.LuleshBest)
+			return p.Source, p.Name, nil
+		case "fig1":
+			return benchprog.Fig1Example, "fig1", nil
+		}
+		return "", "", fmt.Errorf("unknown benchmark %q", bench)
+	}
+	if len(args) == 0 || strings.HasPrefix(args[0], "--") {
+		return "", "", fmt.Errorf("usage: blame [flags] prog.mchpl | -bench name")
+	}
+	b, err := os.ReadFile(args[0])
+	if err != nil {
+		return "", "", err
+	}
+	return string(b), args[0], nil
+}
+
+func parseConfigs(args []string) map[string]string {
+	out := make(map[string]string)
+	for _, a := range args {
+		if !strings.HasPrefix(a, "--") {
+			continue
+		}
+		kv := strings.SplitN(strings.TrimPrefix(a, "--"), "=", 2)
+		if len(kv) == 2 {
+			out[kv[0]] = kv[1]
+		}
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+// Command mchpl compiles and runs a MiniChapel program on the simulated
+// runtime — the equivalent of `chpl prog.chpl && ./prog` in the paper's
+// workflow.
+//
+// Usage:
+//
+//	mchpl [flags] prog.mchpl [--config name=value ...]
+//	mchpl [flags] -bench minimd|minimd_opt|clomp|clomp_opt|lulesh|lulesh_best
+//
+// Flags mirror the paper's compiler/runtime options: -fast (--fast),
+// -no-checks (--no-checks), -cores (the testbed's core count),
+// -locales (PGAS node count).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/benchprog"
+	"repro/internal/compile"
+	"repro/internal/vm"
+)
+
+func main() {
+	var (
+		fast     = flag.Bool("fast", false, "enable the --fast optimization pipeline")
+		noChecks = flag.Bool("no-checks", false, "elide bounds checks (--no-checks)")
+		cores    = flag.Int("cores", 12, "simulated cores per locale")
+		locales  = flag.Int("locales", 1, "simulated locales")
+		bench    = flag.String("bench", "", "run a built-in benchmark instead of a file")
+		stats    = flag.Bool("stats", false, "print run statistics")
+		dumpIR   = flag.Bool("dump-ir", false, "print the compiled IR and exit")
+		maxCyc   = flag.Uint64("max-cycles", 10_000_000_000, "cycle budget (0 = unlimited)")
+	)
+	flag.Parse()
+
+	src, name, err := loadSource(*bench, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mchpl:", err)
+		os.Exit(1)
+	}
+
+	res, err := compile.Source(name, src, compile.Options{Fast: *fast, NoChecks: *noChecks})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mchpl:", err)
+		os.Exit(1)
+	}
+	if *dumpIR {
+		fmt.Print(res.Prog.Dump())
+		return
+	}
+
+	cfg := vm.DefaultConfig()
+	cfg.NumCores = *cores
+	cfg.NumLocales = *locales
+	cfg.Stdout = os.Stdout
+	cfg.MaxCycles = *maxCyc
+	cfg.Configs = parseConfigs(flag.Args())
+
+	st, err := vm.New(res.Prog, cfg).Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mchpl:", err)
+		os.Exit(1)
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "elapsed (simulated): %.6f s  wall cycles: %d  total cycles: %d  spin: %.1f%%  tasks: %d  allocs: %d\n",
+			st.Seconds(cfg.ClockHz), st.WallCycles, st.TotalCycles,
+			100*float64(st.SpinCycles)/float64(max64(1, st.TotalCycles)), st.TasksSpawned, st.Allocations)
+	}
+}
+
+func loadSource(bench string, args []string) (src, name string, err error) {
+	if bench != "" {
+		p, err := benchByName(bench)
+		if err != nil {
+			return "", "", err
+		}
+		return p.Source, p.Name + ".mchpl", nil
+	}
+	if len(args) == 0 || strings.HasPrefix(args[0], "--") {
+		return "", "", fmt.Errorf("usage: mchpl [flags] prog.mchpl | -bench name")
+	}
+	b, err := os.ReadFile(args[0])
+	if err != nil {
+		return "", "", err
+	}
+	return string(b), args[0], nil
+}
+
+func benchByName(name string) (benchprog.Program, error) {
+	switch name {
+	case "minimd":
+		return benchprog.MiniMD(false), nil
+	case "minimd_opt":
+		return benchprog.MiniMD(true), nil
+	case "clomp":
+		return benchprog.CLOMP(false), nil
+	case "clomp_opt":
+		return benchprog.CLOMP(true), nil
+	case "lulesh":
+		return benchprog.LULESH(benchprog.LuleshOriginal), nil
+	case "lulesh_best":
+		return benchprog.LULESH(benchprog.LuleshBest), nil
+	case "fig1":
+		return benchprog.Program{Name: "fig1", Source: benchprog.Fig1Example}, nil
+	}
+	return benchprog.Program{}, fmt.Errorf("unknown benchmark %q", name)
+}
+
+// parseConfigs extracts --name=value pairs after the program argument
+// (Chapel-style config const overrides).
+func parseConfigs(args []string) map[string]string {
+	out := make(map[string]string)
+	for _, a := range args {
+		if !strings.HasPrefix(a, "--") {
+			continue
+		}
+		kv := strings.SplitN(strings.TrimPrefix(a, "--"), "=", 2)
+		if len(kv) == 2 {
+			out[kv[0]] = kv[1]
+		}
+	}
+	return out
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

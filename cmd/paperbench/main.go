@@ -1,0 +1,80 @@
+// Command paperbench regenerates every table and figure of the paper's
+// evaluation (§V) on the simulated substrate and prints them with the
+// paper's values side by side — the data behind EXPERIMENTS.md.
+//
+// Usage:
+//
+//	paperbench            # run everything
+//	paperbench t2 t9      # run selected experiments
+//
+// Experiment names: t1..t9 (tables), fig3, fig4, baseline, overhead.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	want := map[string]bool{}
+	for _, a := range os.Args[1:] {
+		want[a] = true
+	}
+	sel := func(name string) bool { return len(want) == 0 || want[name] }
+
+	type tableFn struct {
+		name string
+		fn   func() (*exp.Table, error)
+	}
+	tables := []tableFn{
+		{"t1", exp.Table1},
+		{"t2", exp.Table2},
+		{"t3", exp.Table3},
+		{"t4", exp.Table4},
+		{"t5", exp.Table5},
+		{"t6", exp.Table6},
+		{"t7", exp.Table7},
+		{"t8", exp.Table8},
+		{"t9", exp.Table9},
+		{"baseline", exp.UnknownData},
+		{"overhead", exp.Overhead},
+	}
+	failed := false
+	for _, tf := range tables {
+		if !sel(tf.name) {
+			continue
+		}
+		t, err := tf.fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", tf.name, err)
+			failed = true
+			continue
+		}
+		fmt.Println(t)
+	}
+	if sel("fig4") {
+		text, _, err := exp.Fig4()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fig4:", err)
+			failed = true
+		} else {
+			fmt.Println("Fig. 4 — LULESH code-centric profile (pprof format)")
+			fmt.Println(text)
+		}
+	}
+	if sel("fig3") {
+		text, err := exp.Fig3()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fig3:", err)
+			failed = true
+		} else {
+			fmt.Println("Fig. 3 — the three tool views for a MiniMD run")
+			fmt.Println(text)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,23 @@
+// Package repro is a Go reproduction of "Data Centric Performance
+// Measurement Techniques for Chapel Programs" (Zhang & Hollingsworth,
+// IPDPS Workshops 2017): a variable-blame data-centric profiler for PGAS
+// programs, together with every substrate it needs — the MiniChapel
+// language and compiler, a deterministic cycle-accurate parallel runtime
+// with a simulated PMU and monitoring process, post-mortem blame
+// attribution, presentation views, comparison baselines, and the MiniMD /
+// CLOMP / LULESH case studies that regenerate every table and figure of
+// the paper's evaluation.
+//
+// Start with README.md for usage, DESIGN.md for the system inventory and
+// substitution rationale, and EXPERIMENTS.md for the paper-vs-measured
+// comparison. The root-level benchmarks (bench_test.go) regenerate each
+// experiment under `go test -bench`.
+//
+// Layout:
+//
+//   - cmd/mchpl       — compile and run MiniChapel programs
+//   - cmd/blame       — the data-centric profiler CLI
+//   - cmd/paperbench  — regenerate the paper's evaluation
+//   - internal/...    — the compiler, runtime, profiler and harnesses
+//   - examples/...    — six runnable walkthroughs
+package repro

@@ -1,0 +1,65 @@
+// Iterators and reductions (paper §VI future work, implemented here):
+// user-defined serial iterators are inline-expanded at their loop sites —
+// so blame flows through yielded values exactly as through assignments —
+// and `op reduce iter()` folds an iterator stream.
+//
+//	go run ./examples/iterators
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/blame"
+	"repro/internal/compile"
+	"repro/internal/views"
+)
+
+const src = `
+config const n = 300;
+var D: domain(1) = {0..#n};
+var Field: [D] real;
+
+// A stencil iterator: yields smoothed values around each interior cell.
+iter smoothed(): real {
+  for i in D {
+    if i > 0 && i < n - 1 {
+      var s = (Field[i-1] + Field[i] + Field[i+1]) / 3.0;
+      yield s;
+    }
+  }
+}
+
+proc main() {
+  forall i in D { Field[i] = i * 0.25; }
+  var total = 0.0;
+  for rep in 1..30 {
+    // Consume the iterator stream.
+    for v in smoothed() {
+      total += v;
+    }
+    // Fold it directly with a reduction.
+    var m = max reduce smoothed();
+    Field[0] = m * 0.001 + total * 0.000001;
+  }
+  writeln("total positive: ", total > 0.0);
+}
+`
+
+func main() {
+	res, err := compile.Source("iters.mchpl", src, compile.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := blame.DefaultConfig()
+	cfg.Threshold = 1511
+	r, err := blame.Profile(res.Prog, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(views.DataCentric(r.Profile, 10))
+	fmt.Println()
+	fmt.Println("note: `s` is the iterator's local — inline expansion keeps its")
+	fmt.Println("identity, so blame lands on the variable the yields produce,")
+	fmt.Println("and Field carries the blame of the reads feeding it.")
+}

@@ -1,0 +1,718 @@
+// Package ast defines the abstract syntax tree for MiniChapel.
+//
+// The tree deliberately mirrors the Chapel constructs the paper's case
+// studies depend on: domains and arrays, array slices that alias, zippered
+// iteration, forall/coforall data- and task-parallel loops, records,
+// homogeneous tuples (k*T), param (compile-time) loops, select/when, and
+// config consts that can be set on the command line.
+package ast
+
+import (
+	"repro/internal/source"
+	"repro/internal/token"
+)
+
+// Node is implemented by every AST node.
+type Node interface {
+	Pos() source.Pos
+}
+
+// Expr is an expression node.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// Stmt is a statement node.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// Decl is a top-level declaration.
+type Decl interface {
+	Node
+	declNode()
+}
+
+// TypeExpr is a syntactic type.
+type TypeExpr interface {
+	Node
+	typeNode()
+}
+
+// ---------------------------------------------------------------- Program
+
+// Program is a parsed module: an ordered list of top-level declarations.
+// Top-level statements are collected into an implicit module initializer
+// that runs before main, matching Chapel's module-level code.
+type Program struct {
+	FileName string
+	Decls    []Decl
+	// TopStmts are module-level statements (global initialization order).
+	TopStmts []Stmt
+}
+
+// Pos returns the position of the first declaration or statement.
+func (p *Program) Pos() source.Pos {
+	if len(p.Decls) > 0 {
+		return p.Decls[0].Pos()
+	}
+	if len(p.TopStmts) > 0 {
+		return p.TopStmts[0].Pos()
+	}
+	return source.NoPos
+}
+
+// ------------------------------------------------------------ Expressions
+
+// Ident is a name reference.
+type Ident struct {
+	NamePos source.Pos
+	Name    string
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	LitPos source.Pos
+	Value  int64
+}
+
+// RealLit is a floating-point literal.
+type RealLit struct {
+	LitPos source.Pos
+	Value  float64
+}
+
+// BoolLit is true/false.
+type BoolLit struct {
+	LitPos source.Pos
+	Value  bool
+}
+
+// StringLit is a string literal.
+type StringLit struct {
+	LitPos source.Pos
+	Value  string
+}
+
+// BinaryExpr is a binary operation, including ".." range construction.
+type BinaryExpr struct {
+	X  Expr
+	Op token.Kind
+	Y  Expr
+}
+
+// UnaryExpr is -x or !x.
+type UnaryExpr struct {
+	OpPos source.Pos
+	Op    token.Kind
+	X     Expr
+}
+
+// CallExpr is f(args) — also used for tuple indexing t(i), disambiguated
+// during semantic analysis exactly as Chapel does.
+type CallExpr struct {
+	Fun    Expr
+	Lparen source.Pos
+	Args   []Expr
+}
+
+// IndexExpr is a[i], a[i,j], or a[dom] / a[lo..hi] (slice, which aliases).
+type IndexExpr struct {
+	X      Expr
+	Lbrack source.Pos
+	Index  []Expr
+}
+
+// FieldExpr is x.f — also domain/array/range pseudo-methods (.size, .expand
+// etc. become MethodCall after resolution).
+type FieldExpr struct {
+	X    Expr
+	Name *Ident
+}
+
+// TupleExpr is (a, b, c).
+type TupleExpr struct {
+	Lparen source.Pos
+	Elems  []Expr
+}
+
+// DomainLit is {r1, r2, ...} — a rectangular domain literal.
+type DomainLit struct {
+	Lbrace source.Pos
+	Dims   []Expr // each a range expression
+}
+
+// RangeExpr is lo..hi or lo..#count. (Also produced from BinaryExpr DOTDOT
+// during parsing for clarity.)
+type RangeExpr struct {
+	Lo       Expr
+	Hi       Expr // nil if counted
+	Count    Expr // non-nil for lo..#count
+	By       Expr // optional stride
+	RangePos source.Pos
+}
+
+// IfExpr is `if c then a else b`.
+type IfExpr struct {
+	IfPos source.Pos
+	Cond  Expr
+	Then  Expr
+	Else  Expr
+}
+
+// NewExpr is `new T(args)` — class allocation.
+type NewExpr struct {
+	NewPos source.Pos
+	Type   TypeExpr
+	Args   []Expr
+}
+
+// ReduceExpr is `op reduce expr`, e.g. `+ reduce A`.
+type ReduceExpr struct {
+	OpPos source.Pos
+	Op    token.Kind
+	X     Expr
+}
+
+// ZipExpr is zip(a, b, ...) used as a loop iterand.
+type ZipExpr struct {
+	ZipPos source.Pos
+	Args   []Expr
+}
+
+func (x *Ident) Pos() source.Pos      { return x.NamePos }
+func (x *IntLit) Pos() source.Pos     { return x.LitPos }
+func (x *RealLit) Pos() source.Pos    { return x.LitPos }
+func (x *BoolLit) Pos() source.Pos    { return x.LitPos }
+func (x *StringLit) Pos() source.Pos  { return x.LitPos }
+func (x *BinaryExpr) Pos() source.Pos { return x.X.Pos() }
+func (x *UnaryExpr) Pos() source.Pos  { return x.OpPos }
+func (x *CallExpr) Pos() source.Pos   { return x.Fun.Pos() }
+func (x *IndexExpr) Pos() source.Pos  { return x.X.Pos() }
+func (x *FieldExpr) Pos() source.Pos  { return x.X.Pos() }
+func (x *TupleExpr) Pos() source.Pos  { return x.Lparen }
+func (x *DomainLit) Pos() source.Pos  { return x.Lbrace }
+func (x *RangeExpr) Pos() source.Pos  { return x.RangePos }
+func (x *IfExpr) Pos() source.Pos     { return x.IfPos }
+func (x *NewExpr) Pos() source.Pos    { return x.NewPos }
+func (x *ReduceExpr) Pos() source.Pos { return x.OpPos }
+func (x *ZipExpr) Pos() source.Pos    { return x.ZipPos }
+
+func (*Ident) exprNode()      {}
+func (*IntLit) exprNode()     {}
+func (*RealLit) exprNode()    {}
+func (*BoolLit) exprNode()    {}
+func (*StringLit) exprNode()  {}
+func (*BinaryExpr) exprNode() {}
+func (*UnaryExpr) exprNode()  {}
+func (*CallExpr) exprNode()   {}
+func (*IndexExpr) exprNode()  {}
+func (*FieldExpr) exprNode()  {}
+func (*TupleExpr) exprNode()  {}
+func (*DomainLit) exprNode()  {}
+func (*RangeExpr) exprNode()  {}
+func (*IfExpr) exprNode()     {}
+func (*NewExpr) exprNode()    {}
+func (*ReduceExpr) exprNode() {}
+func (*ZipExpr) exprNode()    {}
+
+// ------------------------------------------------------------------ Types
+
+// NamedType references a builtin or declared type: int, real, bool, string,
+// or a record/class/type-alias name. int(32) style widths are accepted and
+// recorded for display fidelity with the paper's tables.
+type NamedType struct {
+	NamePos source.Pos
+	Name    string
+	Width   int // 0 = default; e.g. int(32) has Width 32
+}
+
+// TupleType is k*T — a homogeneous tuple like 8*real.
+type TupleType struct {
+	CountPos source.Pos
+	Count    Expr // must be param-evaluable
+	Elem     TypeExpr
+}
+
+// DomainType is domain(rank), optionally `dmapped Block` (distributed
+// block-wise across locales).
+type DomainType struct {
+	DomPos source.Pos
+	Rank   Expr // param-evaluable
+	// Dist is the distribution name ("Block") or empty.
+	Dist string
+}
+
+// ArrayType is [D] T or [lo..hi] T.
+type ArrayType struct {
+	Lbrack source.Pos
+	Dom    []Expr // domain expression(s): an identifier, domain literal, or ranges
+	Elem   TypeExpr
+}
+
+// RangeType is `range`.
+type RangeType struct {
+	RangePos source.Pos
+}
+
+// AtomicType is `atomic T`.
+type AtomicType struct {
+	AtomicPos source.Pos
+	Elem      TypeExpr
+}
+
+func (t *NamedType) Pos() source.Pos  { return t.NamePos }
+func (t *TupleType) Pos() source.Pos  { return t.CountPos }
+func (t *DomainType) Pos() source.Pos { return t.DomPos }
+func (t *ArrayType) Pos() source.Pos  { return t.Lbrack }
+func (t *RangeType) Pos() source.Pos  { return t.RangePos }
+func (t *AtomicType) Pos() source.Pos { return t.AtomicPos }
+
+func (*NamedType) typeNode()  {}
+func (*TupleType) typeNode()  {}
+func (*DomainType) typeNode() {}
+func (*ArrayType) typeNode()  {}
+func (*RangeType) typeNode()  {}
+func (*AtomicType) typeNode() {}
+
+// ------------------------------------------------------------- Statements
+
+// VarKind distinguishes var/const/param/config const declarations.
+type VarKind int
+
+// Variable declaration kinds.
+const (
+	VarVar VarKind = iota
+	VarConst
+	VarParam
+	VarConfigConst
+)
+
+func (k VarKind) String() string {
+	switch k {
+	case VarVar:
+		return "var"
+	case VarConst:
+		return "const"
+	case VarParam:
+		return "param"
+	case VarConfigConst:
+		return "config const"
+	}
+	return "?"
+}
+
+// VarDecl declares one or more variables: `var x, y: T = init;`.
+// A `ref` declaration (IsRef) creates an alias: `ref R = A[D];`.
+type VarDecl struct {
+	DeclPos source.Pos
+	Kind    VarKind
+	IsRef   bool
+	Names   []*Ident
+	Type    TypeExpr // may be nil (inferred)
+	Init    Expr     // may be nil (default value)
+}
+
+// AssignStmt is lhs op= rhs (op may be plain ASSIGN) or lhs <=> rhs.
+type AssignStmt struct {
+	Lhs Expr
+	Op  token.Kind
+	Rhs Expr
+}
+
+// ExprStmt is an expression evaluated for effect (a call).
+type ExprStmt struct {
+	X Expr
+}
+
+// BlockStmt is { ... }.
+type BlockStmt struct {
+	Lbrace source.Pos
+	Stmts  []Stmt
+}
+
+// IfStmt is if/then/else.
+type IfStmt struct {
+	IfPos source.Pos
+	Cond  Expr
+	Then  *BlockStmt
+	Else  Stmt // *BlockStmt or *IfStmt or nil
+}
+
+// WhileStmt is while cond { }.
+type WhileStmt struct {
+	WhilePos source.Pos
+	Cond     Expr
+	Body     *BlockStmt
+}
+
+// DoWhileStmt is do { } while cond;
+type DoWhileStmt struct {
+	DoPos source.Pos
+	Body  *BlockStmt
+	Cond  Expr
+}
+
+// LoopKind distinguishes serial, param-unrolled, forall and coforall loops.
+type LoopKind int
+
+// Loop kinds.
+const (
+	LoopFor LoopKind = iota
+	LoopParamFor
+	LoopForall
+	LoopCoforall
+)
+
+func (k LoopKind) String() string {
+	switch k {
+	case LoopFor:
+		return "for"
+	case LoopParamFor:
+		return "for param"
+	case LoopForall:
+		return "forall"
+	case LoopCoforall:
+		return "coforall"
+	}
+	return "?"
+}
+
+// ForStmt covers for/forall/coforall over an iterand, including zippered
+// iteration (`for (a,b) in zip(X,Y)`) and tuple-destructuring indices.
+type ForStmt struct {
+	ForPos source.Pos
+	Kind   LoopKind
+	Idx    []*Ident // one or more loop variables
+	Iter   Expr     // range, domain, array, or ZipExpr
+	Body   *BlockStmt
+}
+
+// SelectStmt is select/when/otherwise.
+type SelectStmt struct {
+	SelPos    source.Pos
+	Subject   Expr
+	Whens     []WhenClause
+	Otherwise *BlockStmt
+}
+
+// WhenClause is one `when v1, v2 { ... }` arm.
+type WhenClause struct {
+	WhenPos source.Pos
+	Values  []Expr
+	Body    *BlockStmt
+}
+
+// ReturnStmt is return [expr];
+type ReturnStmt struct {
+	RetPos source.Pos
+	X      Expr // may be nil
+}
+
+// YieldStmt is `yield expr;` inside an iterator.
+type YieldStmt struct {
+	YieldPos source.Pos
+	X        Expr
+}
+
+// BreakStmt breaks the innermost loop.
+type BreakStmt struct{ BrkPos source.Pos }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ ContPos source.Pos }
+
+// OnStmt is `on Locales[i] { ... }` — locale placement.
+type OnStmt struct {
+	OnPos  source.Pos
+	Target Expr
+	Body   *BlockStmt
+}
+
+// BeginStmt is `begin { ... }` — unstructured task spawn.
+type BeginStmt struct {
+	BeginPos source.Pos
+	Body     *BlockStmt
+}
+
+// CobeginStmt runs each child statement as a task and joins.
+type CobeginStmt struct {
+	CoPos source.Pos
+	Body  *BlockStmt
+}
+
+// SyncStmt waits for tasks spawned within its body.
+type SyncStmt struct {
+	SyncPos source.Pos
+	Body    *BlockStmt
+}
+
+// DeclStmt wraps a declaration appearing in statement position
+// (nested procs, local records/type aliases).
+type DeclStmt struct {
+	D Decl
+}
+
+func (s *VarDecl) Pos() source.Pos      { return s.DeclPos }
+func (s *AssignStmt) Pos() source.Pos   { return s.Lhs.Pos() }
+func (s *ExprStmt) Pos() source.Pos     { return s.X.Pos() }
+func (s *BlockStmt) Pos() source.Pos    { return s.Lbrace }
+func (s *IfStmt) Pos() source.Pos       { return s.IfPos }
+func (s *WhileStmt) Pos() source.Pos    { return s.WhilePos }
+func (s *DoWhileStmt) Pos() source.Pos  { return s.DoPos }
+func (s *ForStmt) Pos() source.Pos      { return s.ForPos }
+func (s *SelectStmt) Pos() source.Pos   { return s.SelPos }
+func (s *ReturnStmt) Pos() source.Pos   { return s.RetPos }
+func (s *YieldStmt) Pos() source.Pos    { return s.YieldPos }
+func (s *BreakStmt) Pos() source.Pos    { return s.BrkPos }
+func (s *ContinueStmt) Pos() source.Pos { return s.ContPos }
+func (s *OnStmt) Pos() source.Pos       { return s.OnPos }
+func (s *BeginStmt) Pos() source.Pos    { return s.BeginPos }
+func (s *CobeginStmt) Pos() source.Pos  { return s.CoPos }
+func (s *SyncStmt) Pos() source.Pos     { return s.SyncPos }
+func (s *DeclStmt) Pos() source.Pos     { return s.D.Pos() }
+
+func (*VarDecl) stmtNode()      {}
+func (*AssignStmt) stmtNode()   {}
+func (*ExprStmt) stmtNode()     {}
+func (*BlockStmt) stmtNode()    {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*DoWhileStmt) stmtNode()  {}
+func (*ForStmt) stmtNode()      {}
+func (*SelectStmt) stmtNode()   {}
+func (*ReturnStmt) stmtNode()   {}
+func (*YieldStmt) stmtNode()    {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*OnStmt) stmtNode()       {}
+func (*BeginStmt) stmtNode()    {}
+func (*CobeginStmt) stmtNode()  {}
+func (*SyncStmt) stmtNode()     {}
+func (*DeclStmt) stmtNode()     {}
+
+// ----------------------------------------------------------- Declarations
+
+// Intent is a formal parameter passing intent.
+type Intent int
+
+// Parameter intents.
+const (
+	IntentDefault Intent = iota // const-in for values, ref for arrays/records
+	IntentRef
+	IntentIn
+	IntentOut
+	IntentInout
+	IntentParam
+)
+
+func (i Intent) String() string {
+	switch i {
+	case IntentDefault:
+		return ""
+	case IntentRef:
+		return "ref"
+	case IntentIn:
+		return "in"
+	case IntentOut:
+		return "out"
+	case IntentInout:
+		return "inout"
+	case IntentParam:
+		return "param"
+	}
+	return "?"
+}
+
+// Param is one formal parameter.
+type Param struct {
+	ParamPos source.Pos
+	Intent   Intent
+	Name     *Ident
+	Type     TypeExpr // may be nil (generic)
+}
+
+// ProcDecl is a procedure or iterator declaration. Nested procedures are
+// kept in the enclosing body as DeclStmt and capture enclosing variables
+// by reference, which matters for blame transfer (the paper's CENN case).
+type ProcDecl struct {
+	ProcPos source.Pos
+	IsIter  bool
+	Name    *Ident
+	Params  []Param
+	RetType TypeExpr // may be nil
+	Body    *BlockStmt
+}
+
+// FieldDecl is one field in a record/class.
+type FieldDecl struct {
+	FieldPos source.Pos
+	Name     *Ident
+	Type     TypeExpr
+	Init     Expr // optional default
+}
+
+// RecordDecl declares a record or class type.
+type RecordDecl struct {
+	RecPos  source.Pos
+	IsClass bool
+	Name    *Ident
+	Fields  []FieldDecl
+	Methods []*ProcDecl
+}
+
+// TypeAliasDecl is `type v3 = 3*real;`.
+type TypeAliasDecl struct {
+	TypePos source.Pos
+	Name    *Ident
+	Target  TypeExpr
+}
+
+// GlobalVarDecl wraps a module-level VarDecl.
+type GlobalVarDecl struct {
+	V *VarDecl
+}
+
+func (d *ProcDecl) Pos() source.Pos      { return d.ProcPos }
+func (d *RecordDecl) Pos() source.Pos    { return d.RecPos }
+func (d *TypeAliasDecl) Pos() source.Pos { return d.TypePos }
+func (d *GlobalVarDecl) Pos() source.Pos { return d.V.DeclPos }
+
+func (*ProcDecl) declNode()      {}
+func (*RecordDecl) declNode()    {}
+func (*TypeAliasDecl) declNode() {}
+func (*GlobalVarDecl) declNode() {}
+
+// Walk traverses the AST in depth-first order, calling fn for every node.
+// If fn returns false for a node, its children are skipped.
+func Walk(n Node, fn func(Node) bool) {
+	if n == nil || !fn(n) {
+		return
+	}
+	switch x := n.(type) {
+	case *Program:
+		for _, d := range x.Decls {
+			Walk(d, fn)
+		}
+		for _, s := range x.TopStmts {
+			Walk(s, fn)
+		}
+	case *BinaryExpr:
+		Walk(x.X, fn)
+		Walk(x.Y, fn)
+	case *UnaryExpr:
+		Walk(x.X, fn)
+	case *CallExpr:
+		Walk(x.Fun, fn)
+		for _, a := range x.Args {
+			Walk(a, fn)
+		}
+	case *IndexExpr:
+		Walk(x.X, fn)
+		for _, i := range x.Index {
+			Walk(i, fn)
+		}
+	case *FieldExpr:
+		Walk(x.X, fn)
+	case *TupleExpr:
+		for _, e := range x.Elems {
+			Walk(e, fn)
+		}
+	case *DomainLit:
+		for _, d := range x.Dims {
+			Walk(d, fn)
+		}
+	case *RangeExpr:
+		Walk(x.Lo, fn)
+		if x.Hi != nil {
+			Walk(x.Hi, fn)
+		}
+		if x.Count != nil {
+			Walk(x.Count, fn)
+		}
+		if x.By != nil {
+			Walk(x.By, fn)
+		}
+	case *IfExpr:
+		Walk(x.Cond, fn)
+		Walk(x.Then, fn)
+		if x.Else != nil {
+			Walk(x.Else, fn)
+		}
+	case *NewExpr:
+		for _, a := range x.Args {
+			Walk(a, fn)
+		}
+	case *ReduceExpr:
+		Walk(x.X, fn)
+	case *ZipExpr:
+		for _, a := range x.Args {
+			Walk(a, fn)
+		}
+	case *VarDecl:
+		if x.Init != nil {
+			Walk(x.Init, fn)
+		}
+	case *AssignStmt:
+		Walk(x.Lhs, fn)
+		Walk(x.Rhs, fn)
+	case *ExprStmt:
+		Walk(x.X, fn)
+	case *BlockStmt:
+		for _, s := range x.Stmts {
+			Walk(s, fn)
+		}
+	case *IfStmt:
+		Walk(x.Cond, fn)
+		Walk(x.Then, fn)
+		if x.Else != nil {
+			Walk(x.Else, fn)
+		}
+	case *WhileStmt:
+		Walk(x.Cond, fn)
+		Walk(x.Body, fn)
+	case *DoWhileStmt:
+		Walk(x.Body, fn)
+		Walk(x.Cond, fn)
+	case *ForStmt:
+		Walk(x.Iter, fn)
+		Walk(x.Body, fn)
+	case *SelectStmt:
+		Walk(x.Subject, fn)
+		for _, w := range x.Whens {
+			for _, v := range w.Values {
+				Walk(v, fn)
+			}
+			Walk(w.Body, fn)
+		}
+		if x.Otherwise != nil {
+			Walk(x.Otherwise, fn)
+		}
+	case *ReturnStmt:
+		if x.X != nil {
+			Walk(x.X, fn)
+		}
+	case *YieldStmt:
+		Walk(x.X, fn)
+	case *OnStmt:
+		Walk(x.Target, fn)
+		Walk(x.Body, fn)
+	case *BeginStmt:
+		Walk(x.Body, fn)
+	case *CobeginStmt:
+		Walk(x.Body, fn)
+	case *SyncStmt:
+		Walk(x.Body, fn)
+	case *DeclStmt:
+		Walk(x.D, fn)
+	case *ProcDecl:
+		Walk(x.Body, fn)
+	case *RecordDecl:
+		for _, m := range x.Methods {
+			Walk(m, fn)
+		}
+	case *GlobalVarDecl:
+		Walk(x.V, fn)
+	}
+}

@@ -1,0 +1,100 @@
+// Package benchprog holds the MiniChapel ports of the paper's three case
+// studies — MiniMD, CLOMP and LULESH (§V) — in their original and
+// optimized forms, plus the small Fig. 1 worked example. Sources are
+// generated/embedded Go strings so the experiment harness and tests can
+// compile any variant deterministically.
+package benchprog
+
+import (
+	"repro/internal/compile"
+)
+
+// Fig1Example is the five-line example of paper Fig. 1 (lines 16-20 in
+// the paper; here the statements sit on lines 16-20 too, via padding).
+const Fig1Example = `proc main() {
+  var a = 0;
+  var b = 0;
+  var c = 0;
+  //
+  //
+  //
+  //
+  //
+  //
+  //
+  //
+  //
+  //
+  //
+  a = 2;
+  b = 3;
+  if a < b {
+    a = b + 1; }
+  c = a + b;
+  writeln(c);
+}
+`
+
+// Program identifies one compiled benchmark variant.
+type Program struct {
+	Name      string
+	Source    string
+	Optimized bool // benchmark-level optimization (not --fast)
+}
+
+// Compile builds the program with the given compiler options.
+func (p Program) Compile(opts compile.Options) (*compile.Result, error) {
+	return compile.Source(p.Name+".mchpl", p.Source, opts)
+}
+
+// MustCompile builds or panics (benchmark sources are compile-time
+// constants; failure is a bug).
+func (p Program) MustCompile(opts compile.Options) *compile.Result {
+	return compile.MustSource(p.Name+".mchpl", p.Source, opts)
+}
+
+// MiniMD returns the MiniMD program (original or optimized).
+func MiniMD(optimized bool) Program {
+	name := "minimd"
+	if optimized {
+		name = "minimd_opt"
+	}
+	return Program{Name: name, Source: MiniMDSource(optimized), Optimized: optimized}
+}
+
+// CLOMP returns the CLOMP program (original or flat-array optimized).
+func CLOMP(optimized bool) Program {
+	name := "clomp"
+	if optimized {
+		name = "clomp_opt"
+	}
+	return Program{Name: name, Source: CLOMPSource(optimized), Optimized: optimized}
+}
+
+// LULESH returns the LULESH program for a variant.
+func LULESH(v LuleshVariant) Program {
+	return Program{Name: "lulesh_" + sanitize(v.Tag()), Source: LULESHSource(v), Optimized: v != LuleshOriginal}
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// All returns every benchmark program (for smoke tests).
+func All() []Program {
+	return []Program{
+		MiniMD(false), MiniMD(true),
+		CLOMP(false), CLOMP(true),
+		LULESH(LuleshOriginal), LULESH(LuleshBest),
+		{Name: "fig1", Source: Fig1Example},
+	}
+}

@@ -1,0 +1,172 @@
+package benchprog_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/benchprog"
+	"repro/internal/compile"
+	"repro/internal/vm"
+)
+
+func runProgram(t *testing.T, p benchprog.Program, fast bool, cfgs map[string]string) (string, vm.Stats) {
+	t.Helper()
+	res, err := p.Compile(compile.Options{Fast: fast})
+	if err != nil {
+		t.Fatalf("%s: compile: %v", p.Name, err)
+	}
+	var out strings.Builder
+	cfg := vm.DefaultConfig()
+	cfg.Stdout = &out
+	cfg.Configs = cfgs
+	cfg.MaxCycles = 3_000_000_000
+	stats, err := vm.New(res.Prog, cfg).Run()
+	if err != nil {
+		t.Fatalf("%s: run: %v", p.Name, err)
+	}
+	return out.String(), stats
+}
+
+func TestAllProgramsCompileAndRun(t *testing.T) {
+	for _, p := range benchprog.All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			out, stats := runProgram(t, p, false, nil)
+			if stats.WallCycles == 0 {
+				t.Error("no cycles")
+			}
+			if p.Name != "fig1" && !strings.Contains(out, "ok") && !strings.Contains(out, "checksum") {
+				t.Errorf("unexpected output: %q", out)
+			}
+		})
+	}
+}
+
+func TestAllProgramsCompileAndRunFast(t *testing.T) {
+	for _, p := range benchprog.All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			out, _ := runProgram(t, p, true, nil)
+			_ = out
+		})
+	}
+}
+
+func TestFig1Output(t *testing.T) {
+	out, _ := runProgram(t, benchprog.Program{Name: "fig1", Source: benchprog.Fig1Example}, false, nil)
+	if out != "7\n" {
+		t.Errorf("fig1 output = %q, want 7", out)
+	}
+}
+
+func TestMiniMDVariantsAgree(t *testing.T) {
+	// Original and optimized must compute the same physics. The checksum
+	// line is identical; compare full output.
+	o1, _ := runProgram(t, benchprog.MiniMD(false), false, nil)
+	o2, _ := runProgram(t, benchprog.MiniMD(true), false, nil)
+	if o1 != o2 {
+		t.Errorf("MiniMD outputs differ:\n%q\n%q", o1, o2)
+	}
+}
+
+func TestCLOMPVariantsAgree(t *testing.T) {
+	o1, _ := runProgram(t, benchprog.CLOMP(false), false, nil)
+	o2, _ := runProgram(t, benchprog.CLOMP(true), false, nil)
+	if o1 != o2 {
+		t.Errorf("CLOMP outputs differ:\n%q\n%q", o1, o2)
+	}
+}
+
+func TestLULESHVariantsAgree(t *testing.T) {
+	base, _ := runProgram(t, benchprog.LULESH(benchprog.LuleshOriginal), false, nil)
+	for _, v := range []benchprog.LuleshVariant{
+		{},
+		{P1: true},
+		{P1: true, U2: true},
+		{P1: true, U2: true, U3: true},
+		benchprog.LuleshBest,
+	} {
+		out, _ := runProgram(t, benchprog.LULESH(v), false, nil)
+		if out != base {
+			t.Errorf("LULESH %s output differs:\n%q\n%q", v.Tag(), out, base)
+		}
+	}
+}
+
+func TestMiniMDOptimizedIsFaster(t *testing.T) {
+	_, s1 := runProgram(t, benchprog.MiniMD(false), false, nil)
+	_, s2 := runProgram(t, benchprog.MiniMD(true), false, nil)
+	speedup := float64(s1.WallCycles) / float64(s2.WallCycles)
+	t.Logf("MiniMD speedup: %.2f", speedup)
+	if speedup < 1.3 {
+		t.Errorf("MiniMD optimization speedup %.2f, want >= 1.3 (paper: 2.26)", speedup)
+	}
+}
+
+func TestCLOMPOptimizedIsFaster(t *testing.T) {
+	cfg := benchprog.CLOMPSizePoints[2] // 12 parts / many zones: best case
+	_, s1 := runProgram(t, benchprog.CLOMP(false), false, cfg.Configs())
+	_, s2 := runProgram(t, benchprog.CLOMP(true), false, cfg.Configs())
+	speedup := float64(s1.WallCycles) / float64(s2.WallCycles)
+	t.Logf("CLOMP speedup: %.2f", speedup)
+	if speedup < 1.3 {
+		t.Errorf("CLOMP flat-array speedup %.2f, want >= 1.3 (paper: 2.13)", speedup)
+	}
+}
+
+func TestLULESHBestIsFaster(t *testing.T) {
+	_, s1 := runProgram(t, benchprog.LULESH(benchprog.LuleshOriginal), false, nil)
+	_, s2 := runProgram(t, benchprog.LULESH(benchprog.LuleshBest), false, nil)
+	speedup := float64(s1.WallCycles) / float64(s2.WallCycles)
+	t.Logf("LULESH best-case speedup: %.2f", speedup)
+	if speedup < 1.15 {
+		t.Errorf("LULESH best speedup %.2f, want >= 1.15 (paper: 1.38)", speedup)
+	}
+}
+
+func TestLuleshVariantTags(t *testing.T) {
+	cases := map[string]benchprog.LuleshVariant{
+		"0 params":   {},
+		"P1":         {P1: true},
+		"P1+P2+P3":   benchprog.LuleshOriginal,
+		"P1+U2":      {P1: true, U2: true},
+		"P1+U2+U3":   {P1: true, U2: true, U3: true},
+		"P1+VG+CENN": benchprog.LuleshBest,
+	}
+	for want, v := range cases {
+		if got := v.Tag(); got != want {
+			t.Errorf("Tag(%+v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestLULESHSourceVariantsDiffer(t *testing.T) {
+	orig := benchprog.LULESHSource(benchprog.LuleshOriginal)
+	noParams := benchprog.LULESHSource(benchprog.LuleshVariant{})
+	if orig == noParams {
+		t.Error("param removal did not change the source")
+	}
+	// The Fig. 5 nest has 3 variant positions; all other param loops are
+	// fixed across variants.
+	if d := strings.Count(orig, "for param") - strings.Count(noParams, "for param"); d != 3 {
+		t.Errorf("param-loop count delta = %d, want 3", d)
+	}
+	u2 := benchprog.LULESHSource(benchprog.LuleshVariant{P1: true, U2: true})
+	if !strings.Contains(u2, "x8n0[e](8) * gamma[i, 8]") {
+		t.Error("U2 variant not manually unrolled")
+	}
+	vg := benchprog.LULESHSource(benchprog.LuleshVariant{P1: true, VG: true})
+	if !strings.Contains(vg, "// VG: hoisted locals") {
+		t.Error("VG variant missing hoisted globals")
+	}
+}
+
+func TestCLOMPScalesWithConfig(t *testing.T) {
+	small := benchprog.CLOMPConfig{NumParts: 4, ZonesPerPart: 8, FlopScale: 1, TimeScale: 1}
+	big := benchprog.CLOMPConfig{NumParts: 16, ZonesPerPart: 64, FlopScale: 1, TimeScale: 1}
+	_, s1 := runProgram(t, benchprog.CLOMP(false), false, small.Configs())
+	_, s2 := runProgram(t, benchprog.CLOMP(false), false, big.Configs())
+	if s2.WallCycles <= s1.WallCycles {
+		t.Errorf("bigger problem not slower: %d vs %d", s2.WallCycles, s1.WallCycles)
+	}
+}

@@ -1,0 +1,275 @@
+package benchprog
+
+import "fmt"
+
+// CLOMPConfig holds the benchmark's command-line parameters (paper §V.B:
+// "the number of parts and the number of zones per part are determined on
+// the command line").
+type CLOMPConfig struct {
+	NumParts     int
+	ZonesPerPart int
+	FlopScale    int
+	TimeScale    int // outer cycles through parallel_cycle
+}
+
+// Configs returns the VM config-const override map.
+func (c CLOMPConfig) Configs() map[string]string {
+	return map[string]string{
+		"CLOMP_numParts":     fmt.Sprint(c.NumParts),
+		"CLOMP_zonesPerPart": fmt.Sprint(c.ZonesPerPart),
+		"CLOMP_flopScale":    fmt.Sprint(c.FlopScale),
+		"CLOMP_timeScale":    fmt.Sprint(c.TimeScale),
+	}
+}
+
+// CLOMPSizePoints are the four problem sizes of paper Table V
+// (1024/64,000 · 65536/10 · 12/640,000 · 65536/6400), scaled by ~1/64 for
+// the simulated substrate while preserving each point's parts:zones
+// character (that ratio drives where the flat-array rewrite pays off).
+var CLOMPSizePoints = []CLOMPConfig{
+	{NumParts: 64, ZonesPerPart: 500, FlopScale: 1, TimeScale: 2},
+	{NumParts: 4096, ZonesPerPart: 2, FlopScale: 1, TimeScale: 2},
+	{NumParts: 12, ZonesPerPart: 3000, FlopScale: 1, TimeScale: 2},
+	{NumParts: 1024, ZonesPerPart: 60, FlopScale: 1, TimeScale: 2},
+}
+
+// CLOMPSizeLabels names the size points with the paper's original sizes.
+var CLOMPSizeLabels = []string{
+	"1024/64,000", "65536/10", "12/640,000", "65536/6400",
+}
+
+// CLOMPSource returns the MiniChapel port of CLOMP (the C version of the
+// Livermore OpenMP benchmark, ported to Chapel per paper §V.B).
+//
+// The original keeps the data in nested structures: a partArray of Part
+// class instances, each holding a zoneArray of Zone records. The
+// optimized version (Johnson & Hollingsworth) replaces the nested
+// structures with one flat 2-D array: "Accessing elements in one big
+// array is much faster than through nested structures."
+func CLOMPSource(optimized bool) string {
+	if optimized {
+		return clompOptimized
+	}
+	return clompOriginal
+}
+
+const clompHeader = `// CLOMP — Livermore OpenMP benchmark, MiniChapel port.
+config const CLOMP_numParts = 16;
+config const CLOMP_zonesPerPart = 64;
+config const CLOMP_flopScale = 1;
+config const CLOMP_timeScale = 4;
+
+var partSpace: domain(1) = {0..#CLOMP_numParts};
+var zoneSpace: domain(1) = {0..#CLOMP_zonesPerPart};
+`
+
+const clompOriginal = clompHeader + `
+record Zone {
+  var value: real;
+}
+
+class Part {
+  var zoneArray: [zoneSpace] Zone;
+  var residue: real;
+  var deposit: real;
+}
+
+var partArray: [partSpace] Part;
+
+proc update_part(pi: int, deposit0: real) {
+  var p = partArray[pi];
+  var remaining_deposit = deposit0;
+  for z in zoneSpace {
+    var deposit = remaining_deposit * 0.2 * CLOMP_flopScale;
+    p.zoneArray[z].value = p.zoneArray[z].value * 0.99 + deposit;
+    remaining_deposit = remaining_deposit - deposit;
+  }
+  p.residue = remaining_deposit;
+}
+
+proc calc_deposit(): real {
+  var residue_total = 0.0;
+  for i in partSpace {
+    residue_total += partArray[i].residue;
+  }
+  return residue_total * 0.5 / CLOMP_numParts + 1.0;
+}
+
+proc parallel_module1() {
+  var deposit0 = calc_deposit();
+  forall i in partSpace {
+    partArray[i].deposit = deposit0;
+    update_part(i, deposit0);
+  }
+}
+
+proc parallel_module2() {
+  for l in 1..2 {
+    var deposit0 = calc_deposit();
+    forall i in partSpace {
+      partArray[i].deposit = deposit0;
+      update_part(i, deposit0);
+    }
+  }
+}
+
+proc parallel_module3() {
+  for l in 1..3 {
+    var deposit0 = calc_deposit();
+    forall i in partSpace {
+      partArray[i].deposit = deposit0;
+      update_part(i, deposit0);
+    }
+  }
+}
+
+proc parallel_module4() {
+  for l in 1..4 {
+    var deposit0 = calc_deposit();
+    forall i in partSpace {
+      partArray[i].deposit = deposit0;
+      update_part(i, deposit0);
+    }
+  }
+}
+
+proc parallel_cycle() {
+  parallel_module1();
+  parallel_module2();
+  parallel_module3();
+  parallel_module4();
+}
+
+proc do_parallel_version() {
+  for cycle in 1..CLOMP_timeScale {
+    parallel_cycle();
+  }
+}
+
+proc reinitialize() {
+  forall i in partSpace {
+    for z in zoneSpace {
+      partArray[i].zoneArray[z].value = 0.0;
+    }
+    partArray[i].residue = 1.0;
+    partArray[i].deposit = 0.0;
+  }
+}
+
+proc main() {
+  for i in partSpace {
+    partArray[i] = new Part();
+  }
+  reinitialize();
+  do_parallel_version();
+  var check = calc_deposit();
+  writeln("CLOMP checksum ", check > 0.0);
+}
+`
+
+const clompOptimized = clompHeader + `
+// Optimized (Johnson & Hollingsworth): one large flat 2-D array holds the
+// zone values; the Part objects remain for per-part bookkeeping.
+record Zone {
+  var value: real;
+}
+
+class Part {
+  var residue: real;
+  var deposit: real;
+}
+
+var partArray: [partSpace] Part;
+var flatSpace: domain(2) = {0..#CLOMP_numParts, 0..#CLOMP_zonesPerPart};
+var zoneValues: [flatSpace] real;
+
+proc update_part(pi: int, deposit0: real) {
+  var p = partArray[pi];
+  var remaining_deposit = deposit0;
+  for z in zoneSpace {
+    var deposit = remaining_deposit * 0.2 * CLOMP_flopScale;
+    zoneValues[pi, z] = zoneValues[pi, z] * 0.99 + deposit;
+    remaining_deposit = remaining_deposit - deposit;
+  }
+  p.residue = remaining_deposit;
+}
+
+proc calc_deposit(): real {
+  var residue_total = 0.0;
+  for i in partSpace {
+    residue_total += partArray[i].residue;
+  }
+  return residue_total * 0.5 / CLOMP_numParts + 1.0;
+}
+
+proc parallel_module1() {
+  var deposit0 = calc_deposit();
+  forall i in partSpace {
+    partArray[i].deposit = deposit0;
+    update_part(i, deposit0);
+  }
+}
+
+proc parallel_module2() {
+  for l in 1..2 {
+    var deposit0 = calc_deposit();
+    forall i in partSpace {
+      partArray[i].deposit = deposit0;
+      update_part(i, deposit0);
+    }
+  }
+}
+
+proc parallel_module3() {
+  for l in 1..3 {
+    var deposit0 = calc_deposit();
+    forall i in partSpace {
+      partArray[i].deposit = deposit0;
+      update_part(i, deposit0);
+    }
+  }
+}
+
+proc parallel_module4() {
+  for l in 1..4 {
+    var deposit0 = calc_deposit();
+    forall i in partSpace {
+      partArray[i].deposit = deposit0;
+      update_part(i, deposit0);
+    }
+  }
+}
+
+proc parallel_cycle() {
+  parallel_module1();
+  parallel_module2();
+  parallel_module3();
+  parallel_module4();
+}
+
+proc do_parallel_version() {
+  for cycle in 1..CLOMP_timeScale {
+    parallel_cycle();
+  }
+}
+
+proc reinitialize() {
+  forall i in partSpace {
+    for z in zoneSpace {
+      zoneValues[i, z] = 0.0;
+    }
+    partArray[i].residue = 1.0;
+    partArray[i].deposit = 0.0;
+  }
+}
+
+proc main() {
+  for i in partSpace {
+    partArray[i] = new Part();
+  }
+  reinitialize();
+  do_parallel_version();
+  var check = calc_deposit();
+  writeln("CLOMP checksum ", check > 0.0);
+}
+`

@@ -1,0 +1,496 @@
+package benchprog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// LuleshVariant selects the optimization points of paper §V.C.
+type LuleshVariant struct {
+	// P1..P3 keep the `param` keyword at the three loop positions of the
+	// Fig. 5 hot loop in CalcFBHourglassForceForElems (compile-time
+	// unrolling). The paper's "Original" has all three.
+	P1, P2, P3 bool
+	// U2/U3 manually unroll loops 2/3 in the source (overrides P2/P3).
+	U2, U3 bool
+	// VG applies Variable Globalization: determ/sigxx/dvdx/x8n... move
+	// from per-call locals (heap-allocated every call) to module scope.
+	VG bool
+	// CENN rewrites CalcElemNodeNormals to assign intermediate results
+	// directly into the passed-in tuples instead of building and adding
+	// temporary tuples.
+	CENN bool
+}
+
+// LuleshOriginal is the benchmark as distributed (params at all three
+// positions, no manual optimizations).
+var LuleshOriginal = LuleshVariant{P1: true, P2: true, P3: true}
+
+// LuleshBest is the paper's best case: P1 + VG + CENN.
+var LuleshBest = LuleshVariant{P1: true, VG: true, CENN: true}
+
+// Tag renders the paper's variant tag ("P 1", "P1+U2", "VG", ...).
+func (v LuleshVariant) Tag() string {
+	var parts []string
+	if v.P1 {
+		parts = append(parts, "P1")
+	}
+	if v.U2 {
+		parts = append(parts, "U2")
+	} else if v.P2 {
+		parts = append(parts, "P2")
+	}
+	if v.U3 {
+		parts = append(parts, "U3")
+	} else if v.P3 {
+		parts = append(parts, "P3")
+	}
+	if v.VG {
+		parts = append(parts, "VG")
+	}
+	if v.CENN {
+		parts = append(parts, "CENN")
+	}
+	if len(parts) == 0 {
+		return "0 params"
+	}
+	return strings.Join(parts, "+")
+}
+
+// LuleshConfig is the scaled problem size (paper: 15 elements per edge;
+// we run a 1-D element space of comparable element count scaled down).
+type LuleshConfig struct {
+	NumElems int
+	NSteps   int
+}
+
+// DefaultLulesh is the scaled default.
+var DefaultLulesh = LuleshConfig{NumElems: 64, NSteps: 3}
+
+// Configs returns the config-const override map.
+func (c LuleshConfig) Configs() map[string]string {
+	return map[string]string{
+		"numElems": fmt.Sprint(c.NumElems),
+		"nSteps":   fmt.Sprint(c.NSteps),
+	}
+}
+
+// LULESHSource generates the MiniChapel LULESH port for a variant.
+func LULESHSource(v LuleshVariant) string {
+	var b strings.Builder
+	b.WriteString(luleshHeader)
+
+	// Variable Globalization: hoist the per-call local arrays.
+	if v.VG {
+		b.WriteString(`
+// VG: hoisted locals (no dynamic allocation per call).
+var determ: [Elems] real;
+var sigxx: [Elems] real;
+var dvdx: [Elems] 8*real;
+var dvdy: [Elems] 8*real;
+var dvdz: [Elems] 8*real;
+var x8n: [Elems] 8*real;
+var y8n: [Elems] 8*real;
+var z8n: [Elems] 8*real;
+
+proc CalcVolumeForceForElems() {
+`)
+	} else {
+		b.WriteString(`
+proc CalcVolumeForceForElems() {
+  // Local arrays with domains dynamically allocated on the heap every
+  // time the function is called (paper §V.C, the determ/dvdx rows).
+  var determ: [Elems] real;
+  var sigxx: [Elems] real;
+`)
+	}
+	b.WriteString(`  forall e in Elems {
+    sigxx[e] = 0.0 - pressure[e];
+    determ[e] = volo[e];
+  }
+  IntegrateStressForElems(sigxx, determ);
+  CalcHourglassControlForElems(determ);
+}
+`)
+
+	b.WriteString(`
+proc IntegrateStressForElems(sigxx: [Elems] real, determ: [Elems] real) {
+  forall e in Elems {
+    var b_x: 8*real;
+    var b_y: 8*real;
+    var b_z: 8*real;
+    CalcElemNodeNormals(b_x, b_y, b_z, e);
+    determ[e] = volo[e] * (1.0 + 0.01 * sigxx[e]);
+    SumElemStressesToNodeForces(b_x, b_y, b_z, e);
+  }
+}
+
+proc SumElemStressesToNodeForces(ref bx: 8*real, ref by2: 8*real, ref bz: 8*real, e: int) {
+  var fxe = 0.0;
+  var fye = 0.0;
+  var fze = 0.0;
+  for param k in 1..8 {
+    fxe += bx(k) * 0.125;
+    fye += by2(k) * 0.125;
+    fze += bz(k) * 0.125;
+  }
+  fx[e].add(fxe);
+  fy[e].add(fye);
+  fz[e].add(fze);
+}
+`)
+
+	// CalcElemNodeNormals: original vs CENN-rewritten.
+	if v.CENN {
+		b.WriteString(`
+// CENN: partial results assigned directly into the passed-in tuples —
+// no temporary tuple constructions/destructions in the hot loop.
+proc CalcElemNodeNormals(ref bx: 8*real, ref by2: 8*real, ref bz: 8*real, e: int) {
+  proc ElemFaceNormal(n1: int, n2: int, n3: int, n4: int, ref dest: 8*real) {
+    var ax = (x[e] + n1 * 0.03125) * 0.25;
+    var ay = (y[e] + n2 * 0.03125) * 0.25;
+    var az = (z[e] + n3 * 0.03125) * 0.25;
+    var bx2 = (x[e] - n2 * 0.015625) * 0.25;
+    var by3 = (y[e] - n4 * 0.015625) * 0.25;
+    var bz3 = (z[e] - n1 * 0.015625) * 0.25;
+    var cx = ay * bz3 - az * by3;
+    var cy = az * bx2 - ax * bz3;
+    var cz = ax * by3 - ay * bx2;
+    var area = cx * 0.5 + cy * 0.5 + cz * 0.5 + n4 * 0.002;
+    dest(n1) += area;
+    dest(n2) += area;
+    dest(n3) += area;
+    dest(n4) += area;
+  }
+  ElemFaceNormal(1, 2, 3, 4, bx);
+  ElemFaceNormal(5, 6, 7, 8, bx);
+  ElemFaceNormal(1, 2, 5, 6, bx);
+  ElemFaceNormal(3, 4, 7, 8, by2);
+  ElemFaceNormal(1, 4, 5, 8, by2);
+  ElemFaceNormal(2, 3, 6, 7, by2);
+  ElemFaceNormal(2, 4, 6, 8, bz);
+  ElemFaceNormal(1, 3, 5, 7, bz);
+  ElemFaceNormal(1, 2, 7, 8, bz);
+  ElemFaceNormal(3, 4, 5, 6, bz);
+  ElemFaceNormal(1, 4, 6, 7, bx);
+  ElemFaceNormal(2, 3, 5, 8, by2);
+}
+`)
+	} else {
+		b.WriteString(`
+proc CalcElemNodeNormals(ref bx: 8*real, ref by2: 8*real, ref bz: 8*real, e: int) {
+  // Partial results are computed into temporary tuples by the nested
+  // function, then added up through tuple addition — tuple
+  // constructions and destructions nested deep inside a big loop.
+  proc ElemFaceNormal(n1: int, n2: int, n3: int, n4: int): 8*real {
+    var partial: 8*real;
+    var ax = (x[e] + n1 * 0.03125) * 0.25;
+    var ay = (y[e] + n2 * 0.03125) * 0.25;
+    var az = (z[e] + n3 * 0.03125) * 0.25;
+    var bx2 = (x[e] - n2 * 0.015625) * 0.25;
+    var by3 = (y[e] - n4 * 0.015625) * 0.25;
+    var bz3 = (z[e] - n1 * 0.015625) * 0.25;
+    var cx = ay * bz3 - az * by3;
+    var cy = az * bx2 - ax * bz3;
+    var cz = ax * by3 - ay * bx2;
+    var area = cx * 0.5 + cy * 0.5 + cz * 0.5 + n4 * 0.002;
+    partial(n1) = area;
+    partial(n2) = area;
+    partial(n3) = area;
+    partial(n4) = area;
+    return partial;
+  }
+  bx = bx + ElemFaceNormal(1, 2, 3, 4);
+  bx = bx + ElemFaceNormal(5, 6, 7, 8);
+  bx = bx + ElemFaceNormal(1, 2, 5, 6);
+  by2 = by2 + ElemFaceNormal(3, 4, 7, 8);
+  by2 = by2 + ElemFaceNormal(1, 4, 5, 8);
+  by2 = by2 + ElemFaceNormal(2, 3, 6, 7);
+  bz = bz + ElemFaceNormal(2, 4, 6, 8);
+  bz = bz + ElemFaceNormal(1, 3, 5, 7);
+  bz = bz + ElemFaceNormal(1, 2, 7, 8);
+  bz = bz + ElemFaceNormal(3, 4, 5, 6);
+  bx = bx + ElemFaceNormal(1, 4, 6, 7);
+  by2 = by2 + ElemFaceNormal(2, 3, 5, 8);
+}
+`)
+	}
+
+	// CalcHourglassControlForElems.
+	if v.VG {
+		b.WriteString(`
+proc CalcHourglassControlForElems(determ0: [Elems] real) {
+`)
+	} else {
+		b.WriteString(`
+proc CalcHourglassControlForElems(determ0: [Elems] real) {
+  var dvdx: [Elems] 8*real;
+  var dvdy: [Elems] 8*real;
+  var dvdz: [Elems] 8*real;
+  var x8n: [Elems] 8*real;
+  var y8n: [Elems] 8*real;
+  var z8n: [Elems] 8*real;
+`)
+	}
+	b.WriteString(`  forall e in Elems {
+    for param k in 1..8 {
+      x8n[e](k) = x[e] * 0.1 + k * 0.01;
+      y8n[e](k) = y[e] * 0.1 + k * 0.02;
+      z8n[e](k) = z[e] * 0.1 + k * 0.03;
+      dvdx[e](k) = x8n[e](k) * 0.25 + 0.05;
+      dvdy[e](k) = y8n[e](k) * 0.25 + 0.05;
+      dvdz[e](k) = z8n[e](k) * 0.25 + 0.05;
+    }
+  }
+  CalcFBHourglassForceForElems(determ0, dvdx, dvdy, dvdz, x8n, y8n, z8n);
+}
+`)
+
+	// CalcFBHourglassForceForElems — the Fig. 5 hot loop with the three
+	// variant loop positions.
+	b.WriteString(`
+proc CalcFBHourglassForceForElems(determ0: [Elems] real,
+    dvdx0: [Elems] 8*real, dvdy0: [Elems] 8*real, dvdz0: [Elems] 8*real,
+    x8n0: [Elems] 8*real, y8n0: [Elems] 8*real, z8n0: [Elems] 8*real) {
+  forall e in Elems {
+    var hgfx: 8*real;
+    var hgfy: 8*real;
+    var hgfz: 8*real;
+    var hourgam: 8*(4*real);
+    var volinv = 1.0 / (determ0[e] + 0.5);
+`)
+	b.WriteString(fig5Loop(v))
+	b.WriteString(`    var coefficient = 0.01 * elemMass[e] * volinv;
+    CalcElemFBHourglassForce(hourgam, coefficient, e, hgfx, hgfy, hgfz);
+    fx[e].add(hgfx(1) + hgfx(5));
+    fy[e].add(hgfy(2) + hgfy(6));
+    fz[e].add(hgfz(3) + hgfz(7));
+  }
+}
+`)
+
+	b.WriteString(luleshTail)
+	return b.String()
+}
+
+// fig5Loop renders the paper's Fig. 5 loop nest with the requested
+// param/serial/manually-unrolled form at each position.
+func fig5Loop(v LuleshVariant) string {
+	var b strings.Builder
+	loop1 := "for i in 1..4 {"
+	if v.P1 {
+		loop1 = "for param i in 1..4 {"
+	}
+	fmt.Fprintf(&b, "    %s\n", loop1)
+	b.WriteString("      var hourmodx = 0.0;\n")
+	b.WriteString("      var hourmody = 0.0;\n")
+	b.WriteString("      var hourmodz = 0.0;\n")
+
+	body2 := func(j string) []string {
+		return []string{
+			fmt.Sprintf("hourmodx += x8n0[e](%s) * gamma[i, %s];", j, j),
+			fmt.Sprintf("hourmody += y8n0[e](%s) * gamma[i, %s];", j, j),
+			fmt.Sprintf("hourmodz += z8n0[e](%s) * gamma[i, %s];", j, j),
+		}
+	}
+	body3 := func(j string) []string {
+		return []string{
+			fmt.Sprintf("hourgam(%s)(i) = gamma[i, %s] - volinv * (dvdx0[e](%s) * hourmodx + dvdy0[e](%s) * hourmody + dvdz0[e](%s) * hourmodz);", j, j, j, j, j),
+		}
+	}
+	emitLoop := func(param, unroll bool, body func(string) []string) {
+		if unroll {
+			for j := 1; j <= 8; j++ {
+				for _, line := range body(fmt.Sprint(j)) {
+					fmt.Fprintf(&b, "      %s\n", line)
+				}
+			}
+			return
+		}
+		kw := "for j in 1..8 {"
+		if param {
+			kw = "for param j in 1..8 {"
+		}
+		fmt.Fprintf(&b, "      %s\n", kw)
+		for _, line := range body("j") {
+			fmt.Fprintf(&b, "        %s\n", line)
+		}
+		b.WriteString("      }\n")
+	}
+	emitLoop(v.P2, v.U2, body2)
+	emitLoop(v.P3, v.U3, body3)
+	b.WriteString("    }\n")
+	return b.String()
+}
+
+const luleshHeader = `// LULESH — shock hydrodynamics proxy app, MiniChapel port.
+config const numElems = 64;
+config const nSteps = 2;
+
+var Elems: domain(1) = {0..#numElems};
+var Nodes: domain(1) = {0..#(numElems + 1)};
+var gammaSpace: domain(2) = {1..4, 1..8};
+
+var x: [Nodes] real;
+var y: [Nodes] real;
+var z: [Nodes] real;
+var xd: [Nodes] real;
+var yd: [Nodes] real;
+var zd: [Nodes] real;
+var fx: [Nodes] atomic real;
+var fy: [Nodes] atomic real;
+var fz: [Nodes] atomic real;
+var nodalMass: [Nodes] real;
+
+var xdd: [Nodes] real;
+var ydd: [Nodes] real;
+var zdd: [Nodes] real;
+var volo: [Elems] real;
+var elemMass: [Elems] real;
+var pressure: [Elems] real;
+var q: [Elems] real;
+var gamma: [gammaSpace] real;
+`
+
+const luleshTail = `
+proc CalcElemFBHourglassForce(hourgam: 8*(4*real), coefficient: real, e: int,
+    ref hgfx: 8*real, ref hgfy: 8*real, ref hgfz: 8*real) {
+  var hx: 4*real;
+  var hy: 4*real;
+  var hz: 4*real;
+  for param i in 1..4 {
+    var sx = 0.0;
+    var sy = 0.0;
+    var sz = 0.0;
+    for param j in 1..8 {
+      sx += hourgam(j)(i) * xd[e] * (0.1 * j);
+      sy += hourgam(j)(i) * yd[e] * (0.1 * j);
+      sz += hourgam(j)(i) * zd[e] * (0.1 * j);
+    }
+    hx(i) = sx;
+    hy(i) = sy;
+    hz(i) = sz;
+  }
+  for param i in 1..8 {
+    var shx = coefficient * (hourgam(i)(1) * hx(1) + hourgam(i)(2) * hx(2) + hourgam(i)(3) * hx(3) + hourgam(i)(4) * hx(4));
+    var shy = coefficient * (hourgam(i)(1) * hy(1) + hourgam(i)(2) * hy(2) + hourgam(i)(3) * hy(3) + hourgam(i)(4) * hy(4));
+    var shz = coefficient * (hourgam(i)(1) * hz(1) + hourgam(i)(2) * hz(2) + hourgam(i)(3) * hz(3) + hourgam(i)(4) * hz(4));
+    hgfx(i) = shx;
+    hgfy(i) = shy;
+    hgfz(i) = shz;
+  }
+}
+
+proc CalcForceForNodes() {
+  forall n in Nodes {
+    fx[n].write(0.0);
+    fy[n].write(0.0);
+    fz[n].write(0.0);
+  }
+  CalcVolumeForceForElems();
+}
+
+proc CalcAccelerationForNodes() {
+  forall n in Nodes {
+    xdd[n] = fx[n].read() / nodalMass[n];
+    ydd[n] = fy[n].read() / nodalMass[n];
+    zdd[n] = fz[n].read() / nodalMass[n];
+  }
+}
+
+proc CalcVelocityForNodes() {
+  forall n in Nodes {
+    xd[n] = xd[n] + xdd[n] * 0.001;
+    yd[n] = yd[n] + ydd[n] * 0.001;
+    zd[n] = zd[n] + zdd[n] * 0.001;
+  }
+}
+
+proc CalcPositionForNodes() {
+  forall n in Nodes {
+    x[n] = x[n] + xd[n] * 0.01;
+    y[n] = y[n] + yd[n] * 0.01;
+    z[n] = z[n] + zd[n] * 0.01;
+  }
+}
+
+proc ApplyBoundaryConditions() {
+  forall n in Nodes {
+    if n == 0 {
+      xd[n] = 0.0;
+      yd[n] = 0.0;
+      zd[n] = 0.0;
+    }
+  }
+}
+
+proc LagrangeNodal() {
+  CalcForceForNodes();
+  CalcAccelerationForNodes();
+  ApplyBoundaryConditions();
+  CalcVelocityForNodes();
+  CalcPositionForNodes();
+}
+
+proc CalcLagrangeElements() {
+  forall e in Elems {
+    volo[e] = volo[e] * 0.999 + 0.001;
+  }
+}
+
+proc CalcQForElems() {
+  forall e in Elems {
+    q[e] = abs(volo[e] - 1.0) * 0.2;
+  }
+}
+
+proc ApplyMaterialPropertiesForElems() {
+  forall e in Elems {
+    var c = sqrt(abs(volo[e]) + 0.1);
+    pressure[e] = c * 0.05 + pressure[e] * 0.5 + q[e] * 0.1;
+  }
+}
+
+proc LagrangeElements() {
+  CalcLagrangeElements();
+  CalcQForElems();
+  ApplyMaterialPropertiesForElems();
+}
+
+proc LagrangeLeapFrog() {
+  LagrangeNodal();
+  LagrangeElements();
+}
+
+proc initMesh() {
+  forall e in Elems {
+    volo[e] = 1.0 + e * 0.001;
+    elemMass[e] = 1.0;
+    pressure[e] = 0.1;
+  }
+  forall n in Nodes {
+    x[n] = n * 0.01;
+    y[n] = n * 0.02;
+    z[n] = n * 0.015;
+    xd[n] = 0.1;
+    yd[n] = 0.1;
+    zd[n] = 0.1;
+    nodalMass[n] = 1.0;
+  }
+  for (i, j) in gammaSpace {
+    gamma[i, j] = (i * 2 - 5) * 0.125 * (j - 4.5) * 0.25;
+  }
+}
+
+proc main() {
+  initMesh();
+  for step in 1..nSteps {
+    LagrangeLeapFrog();
+  }
+  var tot = 0.0;
+  for n in Nodes {
+    tot += x[n];
+  }
+  writeln("LULESH checksum ok ", tot >= 0.0 || tot < 0.0);
+}
+`

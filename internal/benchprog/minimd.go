@@ -1,0 +1,270 @@
+package benchprog
+
+import "fmt"
+
+// MiniMDConfig holds the scaled problem size. The paper runs 16×16×16
+// unit cells (16,384 atoms); the simulated substrate runs a 1-D binning
+// of the same structure, scaled down (DESIGN.md documents the scaling).
+type MiniMDConfig struct {
+	NBins       int
+	AtomsPerBin int
+	NSteps      int
+}
+
+// DefaultMiniMD is the scaled default problem.
+var DefaultMiniMD = MiniMDConfig{NBins: 48, AtomsPerBin: 4, NSteps: 3}
+
+// Configs returns the config-const override map.
+func (c MiniMDConfig) Configs() map[string]string {
+	return map[string]string{
+		"nBins":       fmt.Sprint(c.NBins),
+		"atomsPerBin": fmt.Sprint(c.AtomsPerBin),
+		"nSteps":      fmt.Sprint(c.NSteps),
+	}
+}
+
+// MiniMDSource returns the MiniChapel port of Sandia's MiniMD proxy app
+// (paper §V.A).
+//
+// The original uses Chapel's succinct zippered iteration over remapped
+// slices (zip(Count[binSpace], Pos[binSpace], ...)) and re-slices
+// Pos[DistSpace] inside the nested force loop — the domain-remapping
+// overhead the paper's blame profile exposes through Pos/Bins. The
+// optimized version applies Johnson's transformations: direct indexed
+// loops and hoisted element references.
+func MiniMDSource(optimized bool) string {
+	if optimized {
+		return minimdOptimized
+	}
+	return minimdOriginal
+}
+
+const minimdHeader = `// MiniMD — molecular dynamics proxy app, MiniChapel port.
+config const nBins = 48;
+config const atomsPerBin = 4;
+config const nSteps = 3;
+const dt = 0.005;
+const dtforce = 0.0025;
+
+type v3 = 3*real;
+
+var binSpace: domain(1) = {0..#nBins};
+var DistSpace: domain(1) = binSpace.expand(1);
+var perBinSpace: domain(1) = {0..#atomsPerBin};
+
+record atom {
+  var v: v3;
+  var f: v3;
+  var neighCount: int(32);
+}
+
+var Pos: [DistSpace] [perBinSpace] v3;
+var Bins: [DistSpace] [perBinSpace] atom;
+var Count: [DistSpace] int(32);
+ref RealPos = Pos[binSpace];
+ref RealCount = Count[binSpace];
+
+proc setup() {
+  forall b in DistSpace {
+    Count[b] = atomsPerBin;
+    for i in perBinSpace {
+      Pos[b][i] = (b * 0.1 + i * 0.01, b * 0.05 + i * 0.02, i * 0.03 + 0.01);
+      Bins[b][i].v = (0.0, 0.0, 0.0);
+      Bins[b][i].f = (0.0, 0.0, 0.0);
+      Bins[b][i].neighCount = 0;
+    }
+  }
+}
+
+proc updateFluff() {
+  // Update ghost information of Pos and Bins (periodic images).
+  var lo = DistSpace.low;
+  var hi = DistSpace.high;
+  Pos[lo] = Pos[hi - 1];
+  Pos[hi] = Pos[lo + 1];
+  Bins[lo] = Bins[hi - 1];
+  Bins[hi] = Bins[lo + 1];
+  Count[lo] = Count[hi - 1];
+  Count[hi] = Count[lo + 1];
+}
+
+proc checksum(): real {
+  var tot = 0.0;
+  for b in binSpace {
+    for i in perBinSpace {
+      tot += RealPos[b][i](1) + RealPos[b][i](2);
+    }
+  }
+  return tot;
+}
+`
+
+const minimdOriginal = minimdHeader + `
+// --- original: zippered iteration over remapped slices ---
+
+proc buildNeighbors() {
+  // Put atoms into bins and rebuild neighbor lists: zippered iteration
+  // over remapped slices, with a fresh Pos[DistSpace] remap per atom.
+  forall (b, c, ps, bs) in zip(binSpace, RealCount, RealPos, Bins[binSpace]) {
+    c = atomsPerBin;
+    for (p, a) in zip(ps, bs) {
+      var ncount = 0;
+      for nb in b-1..b+1 {
+        ref npos = Pos[DistSpace];
+        for j in perBinSpace {
+          var dx = p(1) - npos[nb][j](1);
+          var dy = p(2) - npos[nb][j](2);
+          var dz = p(3) - npos[nb][j](3);
+          var rsq = dx*dx + dy*dy + dz*dz;
+          if rsq < 2.5 {
+            ncount += 1;
+          }
+        }
+      }
+      a.neighCount = ncount;
+      p(1) = p(1) * 0.995 + 0.001;
+      p(2) = p(2) * 0.995 + 0.002;
+      p(3) = p(3) * 0.995 + 0.003;
+    }
+  }
+}
+
+proc computeForce() {
+  forall (bp, b) in zip(Pos[binSpace], binSpace) {
+    for i in 0..#atomsPerBin {
+      var fsum: v3 = (0.0, 0.0, 0.0);
+      // The force write also goes through a remapped view.
+      ref nbins2 = Bins[DistSpace];
+      for nb in b-1..b+1 {
+        // Domain remapping inside the nested loop: fresh slice
+        // descriptors per neighbor-bin visit ("several domain remapping
+        // operations", paper §V.A).
+        ref npos = Pos[DistSpace];
+        ref nbins = Bins[DistSpace];
+        var ghostTouch = nbins[nb][0].neighCount;
+        for j in 0..#atomsPerBin {
+          var dx = npos[b][i](1) - npos[nb][j](1);
+          var dy = npos[b][i](2) - npos[nb][j](2);
+          var dz = npos[b][i](3) - npos[nb][j](3);
+          var rsq = dx*dx + dy*dy + dz*dz + 0.25;
+          var sr2 = 1.0 / rsq;
+          var sr6 = sr2 * sr2 * sr2;
+          var fpair = 48.0 * sr6 * (sr6 - 0.5) * sr2;
+          fsum(1) += dx * fpair;
+          fsum(2) += dy * fpair;
+          fsum(3) += dz * fpair;
+        }
+      }
+      nbins2[b][i].f = fsum;
+    }
+  }
+}
+
+proc integrate() {
+  forall (ps, bs) in zip(RealPos, Bins[binSpace]) {
+    for (p, a) in zip(ps, bs) {
+      a.v = a.v + a.f * dtforce;
+      p = p + a.v * dt;
+    }
+  }
+}
+
+proc run() {
+  for step in 1..nSteps {
+    buildNeighbors();
+    updateFluff();
+    computeForce();
+    integrate();
+  }
+}
+
+proc main() {
+  setup();
+  run();
+  var tot = checksum();
+  writeln("MiniMD checksum ok ", tot >= 0.0 || tot < 0.0);
+}
+`
+
+const minimdOptimized = minimdHeader + `
+// --- optimized (Johnson): direct indexed loops, hoisted element refs ---
+
+proc buildNeighbors() {
+  forall b in binSpace {
+    RealCount[b] = atomsPerBin;
+    ref ps = RealPos[b];
+    ref bs = Bins[b];
+    for i in perBinSpace {
+      var ncount = 0;
+      for nb in b-1..b+1 {
+        ref np = Pos[nb];
+        for j in perBinSpace {
+          var dx = ps[i](1) - np[j](1);
+          var dy = ps[i](2) - np[j](2);
+          var dz = ps[i](3) - np[j](3);
+          var rsq = dx*dx + dy*dy + dz*dz;
+          if rsq < 2.5 {
+            ncount += 1;
+          }
+        }
+      }
+      bs[i].neighCount = ncount;
+      ps[i](1) = ps[i](1) * 0.995 + 0.001;
+      ps[i](2) = ps[i](2) * 0.995 + 0.002;
+      ps[i](3) = ps[i](3) * 0.995 + 0.003;
+    }
+  }
+}
+
+proc computeForce() {
+  forall b in binSpace {
+    ref bp = Pos[b];
+    for i in 0..#atomsPerBin {
+      var fsum: v3 = (0.0, 0.0, 0.0);
+      for nb in b-1..b+1 {
+        ref np = Pos[nb];
+        for j in 0..#atomsPerBin {
+          var dx = bp[i](1) - np[j](1);
+          var dy = bp[i](2) - np[j](2);
+          var dz = bp[i](3) - np[j](3);
+          var rsq = dx*dx + dy*dy + dz*dz + 0.25;
+          var sr2 = 1.0 / rsq;
+          var sr6 = sr2 * sr2 * sr2;
+          var fpair = 48.0 * sr6 * (sr6 - 0.5) * sr2;
+          fsum(1) += dx * fpair;
+          fsum(2) += dy * fpair;
+          fsum(3) += dz * fpair;
+        }
+      }
+      Bins[b][i].f = fsum;
+    }
+  }
+}
+
+proc integrate() {
+  forall b in binSpace {
+    ref ps = RealPos[b];
+    ref bs = Bins[b];
+    for i in perBinSpace {
+      bs[i].v = bs[i].v + bs[i].f * dtforce;
+      ps[i] = ps[i] + bs[i].v * dt;
+    }
+  }
+}
+
+proc run() {
+  for step in 1..nSteps {
+    buildNeighbors();
+    updateFluff();
+    computeForce();
+    integrate();
+  }
+}
+
+proc main() {
+  setup();
+  run();
+  var tot = checksum();
+  writeln("MiniMD checksum ok ", tot >= 0.0 || tot < 0.0);
+}
+`

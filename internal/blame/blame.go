@@ -1,0 +1,103 @@
+// Package blame is the top-level profiler API — the reproduction of the
+// paper's tool (BForChapel). It wires the four pipeline steps together:
+//
+//  1. static analysis        (internal/core)
+//  2. execution w/ sampling  (internal/vm + internal/sampler)
+//  3. post-mortem processing (internal/postmortem)
+//  4. presentation           (internal/views)
+//
+// Typical use:
+//
+//	res, _ := compile.Source("prog.mchpl", src, compile.Options{})
+//	prof, _ := blame.Profile(res.Prog, blame.DefaultConfig())
+//	fmt.Print(views.DataCentric(prof, 10))
+package blame
+
+import (
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/postmortem"
+	"repro/internal/sampler"
+	"repro/internal/vm"
+)
+
+// Config parameterizes a profiling run.
+type Config struct {
+	// VM configures the runtime (cores, locales, config consts, stdout).
+	VM vm.Config
+	// Threshold is the PMU overflow threshold in cycles. The paper uses
+	// the large prime 608,888,809 on multi-second runs; scale it to the
+	// simulated workload so a run yields a few thousand samples.
+	Threshold uint64
+	// Core selects the analysis options (ablation knobs).
+	Core core.Options
+	// Skid injects PMU interrupt skid of n instructions (0 = precise).
+	Skid int
+	// PerLocale additionally builds per-locale profiles.
+	PerLocale bool
+}
+
+// DefaultConfig returns the paper-equivalent configuration with a
+// threshold scaled for simulated workloads.
+func DefaultConfig() Config {
+	return Config{
+		VM:        vm.DefaultConfig(),
+		Threshold: 6089,
+		Core:      core.DefaultOptions(),
+	}
+}
+
+// Result bundles everything a profiling run produces.
+type Result struct {
+	Profile  *postmortem.Profile
+	Analysis *core.Analysis
+	Sampler  *sampler.Sampler
+	Stats    vm.Stats
+}
+
+// CommBlame returns the communication-blame profile for multi-locale
+// runs (paper §VI: "blame communication cost back to key data
+// structures").
+func (r *Result) CommBlame() *postmortem.CommProfile {
+	return postmortem.CommBlame(r.Sampler.Comms)
+}
+
+// Profile runs the full pipeline on a compiled program.
+func Profile(prog *ir.Program, cfg Config) (*Result, error) {
+	if cfg.Threshold == 0 {
+		cfg.Threshold = 6089
+	}
+	// Step 1: static analysis (pre-run).
+	analysis := core.Analyze(prog, cfg.Core)
+
+	// Step 2: execution under the monitoring process.
+	var opts []sampler.Option
+	if cfg.Skid > 0 {
+		opts = append(opts, sampler.WithSkid(cfg.Skid))
+	}
+	smp := sampler.New(prog, cfg.Threshold, opts...)
+	vmCfg := cfg.VM
+	vmCfg.Listener = smp
+	machine := vm.New(prog, vmCfg)
+	stats, err := machine.Run()
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 3: post-mortem processing.
+	proc := postmortem.New(prog, analysis, smp.Spawns)
+	var prof *postmortem.Profile
+	if cfg.PerLocale {
+		prof = proc.ProcessPerLocale(smp.Samples, cfg.Threshold, stats)
+	} else {
+		prof = proc.Process(smp.Samples, cfg.Threshold, stats)
+	}
+	return &Result{Profile: prof, Analysis: analysis, Sampler: smp, Stats: stats}, nil
+}
+
+// Run executes the program without profiling and returns timing stats —
+// used for the paper's speedup tables, where runs are unmonitored.
+func Run(prog *ir.Program, vmCfg vm.Config) (vm.Stats, error) {
+	machine := vm.New(prog, vmCfg)
+	return machine.Run()
+}

@@ -1,0 +1,112 @@
+package blame_test
+
+import (
+	"testing"
+
+	"repro/internal/blame"
+)
+
+// TestIteratorBlameAttribution: iterator locals keep their identity and
+// context under inline expansion, and blame flows through yields (paper
+// §VI's iterator support, implemented as an extension).
+func TestIteratorBlameAttribution(t *testing.T) {
+	r := profileSrc(t, `
+config const n = 300;
+var D: domain(1) = {0..#n};
+var Field: [D] real;
+iter smoothed(): real {
+  for i in D {
+    if i > 0 && i < n - 1 {
+      var sm = (Field[i-1] + Field[i] + Field[i+1]) / 3.0;
+      yield sm;
+    }
+  }
+}
+proc main() {
+  forall i in D { Field[i] = i * 0.25; }
+  var total = 0.0;
+  for rep in 1..25 {
+    for v in smoothed() {
+      total += v;
+    }
+  }
+  writeln(total > 0.0);
+}
+`)
+	sm, ok := r.Profile.Row("sm")
+	if !ok {
+		t.Fatalf("iterator local sm not attributed: %+v", r.Profile.DataCentric)
+	}
+	if sm.Context != "smoothed" {
+		t.Errorf("sm context = %q, want smoothed (the iterator)", sm.Context)
+	}
+	if sm.Blame < 0.2 {
+		t.Errorf("sm blame = %.2f, want substantial", sm.Blame)
+	}
+	// The consumer's accumulator inherits the yielded values' blame.
+	total, ok := r.Profile.Row("total")
+	if !ok || total.Blame < sm.Blame/2 {
+		t.Errorf("total blame = %.2f vs sm %.2f", total.Blame, sm.Blame)
+	}
+	// Field is read throughout the iterator.
+	field, _ := r.Profile.Row("Field")
+	if field.Blame < 0.05 {
+		t.Errorf("Field blame = %.2f", field.Blame)
+	}
+}
+
+// TestAtomicBlameAttribution: atomic adds are writes — the target array
+// takes the blame of the values flowing into it.
+func TestAtomicBlameAttribution(t *testing.T) {
+	r := profileSrc(t, `
+config const n = 256;
+var F: [0..#n] atomic real;
+proc main() {
+	for rep in 1..30 {
+		forall i in 0..#n {
+			var contribution = sqrt(i * 1.0) * 0.5 + 1.0;
+			F[i].add(contribution);
+		}
+	}
+	writeln(F[0].read() > 0.0);
+}
+`)
+	f, ok := r.Profile.Row("F")
+	if !ok {
+		t.Fatalf("atomic array F not attributed: %+v", r.Profile.DataCentric)
+	}
+	if f.Blame < 0.5 {
+		t.Errorf("F blame = %.2f, want dominant (atomic adds are writes)", f.Blame)
+	}
+	c, _ := r.Profile.Row("contribution")
+	if c.Blame == 0 {
+		t.Error("contribution should carry blame")
+	}
+}
+
+// TestCommBlameEndToEnd exercises the §VI communication-blame extension
+// through the public API.
+func TestCommBlameEndToEnd(t *testing.T) {
+	r := profileSrc(t, `
+config const n = 64;
+var Grid: [0..#n] real;
+proc main() {
+  for l in 0..#2 {
+    on Locales[l] {
+      forall i in 0..#n { Grid[i] = Grid[i] + 1.0; }
+    }
+  }
+  writeln(Grid[0]);
+}
+`, func(c *blame.Config) { c.VM.NumLocales = 2 })
+	comm := r.CommBlame()
+	if comm.TotalMsgs == 0 {
+		t.Fatal("no communication recorded")
+	}
+	if len(comm.Rows) == 0 || comm.Rows[0].Name != "Grid" {
+		t.Errorf("comm rows: %+v", comm.Rows)
+	}
+	if comm.Matrix[0][1] == 0 {
+		t.Errorf("locale 0→1 traffic missing: %+v", comm.Matrix)
+	}
+}

@@ -1,0 +1,261 @@
+// Package cfg provides control-flow analyses over the IR: dominator and
+// post-dominator trees and control-dependence sets. The paper's implicit
+// blame transfer (§IV.A) is computed from control dependence: "all
+// variables within control dependent basic blocks have a relationship to
+// the implicit variables responsible for the control flow".
+package cfg
+
+import (
+	"repro/internal/ir"
+)
+
+// DomTree is a dominator (or post-dominator) tree over one function.
+type DomTree struct {
+	fn *ir.Func
+	// idom[b.ID] is the immediate dominator block ID (-1 for the root and
+	// unreachable blocks).
+	idom []int
+	// children[b.ID] lists dominated block IDs.
+	children [][]int
+	root     int
+}
+
+// Idom returns the immediate dominator of b, or nil.
+func (t *DomTree) Idom(b *ir.Block) *ir.Block {
+	if b.ID >= len(t.idom) || t.idom[b.ID] < 0 {
+		return nil
+	}
+	return t.fn.Blocks[t.idom[b.ID]]
+}
+
+// Dominates reports whether a dominates b (reflexive).
+func (t *DomTree) Dominates(a, b *ir.Block) bool {
+	for x := b.ID; x >= 0; {
+		if x == a.ID {
+			return true
+		}
+		if x >= len(t.idom) {
+			return false
+		}
+		x = t.idom[x]
+	}
+	return false
+}
+
+// Dominators computes the dominator tree using the iterative algorithm of
+// Cooper, Harvey & Kennedy over a reverse-postorder numbering.
+func Dominators(f *ir.Func) *DomTree {
+	return buildDomTree(f, false)
+}
+
+// PostDominators computes the post-dominator tree. Blocks that cannot
+// reach an exit (infinite loops) are handled by treating every Ret block
+// as a root merged into a virtual exit.
+func PostDominators(f *ir.Func) *DomTree {
+	return buildDomTree(f, true)
+}
+
+// buildDomTree computes (post-)dominators. For post-dominators we run on
+// the reverse CFG with a virtual exit joining all Ret blocks.
+func buildDomTree(f *ir.Func, post bool) *DomTree {
+	n := len(f.Blocks)
+	t := &DomTree{fn: f, idom: make([]int, n), children: make([][]int, n)}
+	for i := range t.idom {
+		t.idom[i] = -1
+	}
+	if n == 0 {
+		return t
+	}
+
+	// virtual root = -2 sentinel; real roots attach to it with idom -1.
+	succs := func(b *ir.Block) []*ir.Block {
+		if post {
+			return b.Preds
+		}
+		return b.Succs
+	}
+	preds := func(b *ir.Block) []*ir.Block {
+		if post {
+			return b.Succs
+		}
+		return b.Preds
+	}
+	var roots []*ir.Block
+	if post {
+		for _, b := range f.Blocks {
+			if term := b.Terminator(); term != nil && term.Op == ir.OpRet {
+				roots = append(roots, b)
+			}
+		}
+		if len(roots) == 0 {
+			// No returns (shouldn't happen after irgen); fall back to the
+			// last block.
+			roots = append(roots, f.Blocks[n-1])
+		}
+	} else {
+		roots = append(roots, f.Blocks[0])
+	}
+
+	// Reverse postorder from the roots.
+	order := make([]*ir.Block, 0, n)
+	visited := make([]bool, n)
+	var dfs func(b *ir.Block)
+	dfs = func(b *ir.Block) {
+		visited[b.ID] = true
+		for _, s := range succs(b) {
+			if !visited[s.ID] {
+				dfs(s)
+			}
+		}
+		order = append(order, b)
+	}
+	for _, r := range roots {
+		if !visited[r.ID] {
+			dfs(r)
+		}
+	}
+	// order is postorder; reverse it.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	rpoNum := make([]int, n)
+	for i := range rpoNum {
+		rpoNum[i] = -1
+	}
+	for i, b := range order {
+		rpoNum[b.ID] = i
+	}
+
+	idom := make([]int, n) // by block ID; -1 undefined
+	for i := range idom {
+		idom[i] = -1
+	}
+	isRoot := make([]bool, n)
+	for _, r := range roots {
+		isRoot[r.ID] = true
+		idom[r.ID] = r.ID // roots self-dominate during iteration
+	}
+
+	intersect := func(a, b int) int {
+		for a != b {
+			for rpoNum[a] > rpoNum[b] {
+				a = idom[a]
+			}
+			for rpoNum[b] > rpoNum[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range order {
+			if isRoot[b.ID] {
+				continue
+			}
+			newIdom := -1
+			for _, p := range preds(b) {
+				if rpoNum[p.ID] < 0 || idom[p.ID] < 0 {
+					continue
+				}
+				if newIdom < 0 {
+					newIdom = p.ID
+				} else {
+					newIdom = intersect(newIdom, p.ID)
+				}
+			}
+			if newIdom >= 0 && idom[b.ID] != newIdom {
+				idom[b.ID] = newIdom
+				changed = true
+			}
+		}
+	}
+
+	for i := range idom {
+		if isRoot[i] {
+			t.idom[i] = -1
+		} else {
+			t.idom[i] = idom[i]
+		}
+	}
+	for i, d := range t.idom {
+		if d >= 0 {
+			t.children[d] = append(t.children[d], i)
+		}
+	}
+	if len(roots) > 0 {
+		t.root = roots[0].ID
+	}
+	return t
+}
+
+// ControlDeps computes, for every block, the set of branch instructions it
+// is control-dependent on (classic Ferrante/Ottenstein/Warren via the
+// post-dominance frontier). The result maps block ID → branch instrs.
+func ControlDeps(f *ir.Func) map[int][]*ir.Instr {
+	pdom := PostDominators(f)
+	deps := make(map[int][]*ir.Instr)
+	// For each edge (a→b) where b does not post-dominate a, walk up the
+	// post-dominator tree from b to pdom(a), marking dependence on a's
+	// branch.
+	for _, a := range f.Blocks {
+		term := a.Terminator()
+		if term == nil || term.Op != ir.OpBr {
+			continue
+		}
+		for _, b := range a.Succs {
+			if pdom.Dominates(b, a) {
+				continue
+			}
+			// Walk b up to (exclusive) ipdom(a).
+			stop := -1
+			if ip := pdom.Idom(a); ip != nil {
+				stop = ip.ID
+			}
+			for x := b; x != nil && x.ID != stop; {
+				deps[x.ID] = appendUniqueInstr(deps[x.ID], term)
+				ip := pdom.Idom(x)
+				if ip == nil {
+					break
+				}
+				x = ip
+			}
+		}
+	}
+	return deps
+}
+
+func appendUniqueInstr(list []*ir.Instr, in *ir.Instr) []*ir.Instr {
+	for _, x := range list {
+		if x == in {
+			return list
+		}
+	}
+	return append(list, in)
+}
+
+// ReversePostorder returns the blocks of f in reverse postorder from entry.
+func ReversePostorder(f *ir.Func) []*ir.Block {
+	n := len(f.Blocks)
+	visited := make([]bool, n)
+	var order []*ir.Block
+	var dfs func(b *ir.Block)
+	dfs = func(b *ir.Block) {
+		visited[b.ID] = true
+		for _, s := range b.Succs {
+			if !visited[s.ID] {
+				dfs(s)
+			}
+		}
+		order = append(order, b)
+	}
+	if n > 0 {
+		dfs(f.Blocks[0])
+	}
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}

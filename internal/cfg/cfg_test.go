@@ -1,0 +1,180 @@
+package cfg_test
+
+import (
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/compile"
+	"repro/internal/ir"
+)
+
+func buildFn(t *testing.T, src, name string) *ir.Func {
+	t.Helper()
+	res, err := compile.Source("t.mchpl", src, compile.Options{})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	f := res.Prog.FuncByName(name)
+	if f == nil {
+		t.Fatalf("no function %s", name)
+	}
+	return f
+}
+
+func TestDominatorsStraightLine(t *testing.T) {
+	f := buildFn(t, `proc main() { var a = 1; var b = a + 2; }`, "main")
+	dom := cfg.Dominators(f)
+	entry := f.Entry()
+	for _, b := range f.Blocks {
+		if !dom.Dominates(entry, b) {
+			t.Errorf("entry must dominate b%d", b.ID)
+		}
+	}
+	if dom.Idom(entry) != nil {
+		t.Error("entry has no idom")
+	}
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	f := buildFn(t, `
+proc main() {
+  var a = 1;
+  var b = 0;
+  if a > 0 {
+    b = 1;
+  } else {
+    b = 2;
+  }
+  var c = b;
+}
+`, "main")
+	dom := cfg.Dominators(f)
+	// The branch block dominates both arms and the join.
+	var brBlock *ir.Block
+	for _, b := range f.Blocks {
+		if tm := b.Terminator(); tm != nil && tm.Op == ir.OpBr {
+			brBlock = b
+			break
+		}
+	}
+	if brBlock == nil {
+		t.Fatal("no branch block")
+	}
+	for _, s := range brBlock.Succs {
+		if !dom.Dominates(brBlock, s) {
+			t.Errorf("branch must dominate arm b%d", s.ID)
+		}
+		if dom.Idom(s) != brBlock {
+			t.Errorf("arm b%d idom = %v, want branch block", s.ID, dom.Idom(s))
+		}
+	}
+	// Neither arm dominates the other.
+	if len(brBlock.Succs) == 2 {
+		a, b := brBlock.Succs[0], brBlock.Succs[1]
+		if dom.Dominates(a, b) || dom.Dominates(b, a) {
+			t.Error("arms must not dominate each other")
+		}
+	}
+}
+
+func TestPostDominatorsAndControlDeps(t *testing.T) {
+	f := buildFn(t, `
+proc main() {
+  var a = 1;
+  var b = 0;
+  if a > 0 {
+    b = 1;
+  }
+  var c = b;
+}
+`, "main")
+	deps := cfg.ControlDeps(f)
+	// Exactly the then-arm depends on the branch.
+	var brInstr *ir.Instr
+	for _, b := range f.Blocks {
+		if tm := b.Terminator(); tm != nil && tm.Op == ir.OpBr {
+			brInstr = tm
+		}
+	}
+	if brInstr == nil {
+		t.Fatal("no branch")
+	}
+	depBlocks := 0
+	for _, list := range deps {
+		for _, in := range list {
+			if in == brInstr {
+				depBlocks++
+			}
+		}
+	}
+	if depBlocks == 0 {
+		t.Error("no block is control-dependent on the if")
+	}
+}
+
+func TestLoopControlDeps(t *testing.T) {
+	f := buildFn(t, `
+proc main() {
+  var s = 0;
+  for i in 1..10 {
+    s += i;
+  }
+}
+`, "main")
+	deps := cfg.ControlDeps(f)
+	// The loop body must be control-dependent on the loop condition, and
+	// the condition on itself (it re-executes).
+	found := false
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpBin && in.BinOp.String() == "+" {
+				if len(deps[b.ID]) > 0 {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("loop body not control-dependent on loop branch")
+	}
+}
+
+func TestReversePostorderStartsAtEntry(t *testing.T) {
+	f := buildFn(t, `
+proc main() {
+  var s = 0;
+  for i in 1..3 { s += i; }
+  if s > 2 { s = 0; }
+}
+`, "main")
+	order := cfg.ReversePostorder(f)
+	if len(order) == 0 || order[0] != f.Entry() {
+		t.Fatal("RPO must start at entry")
+	}
+	seen := map[int]bool{}
+	for _, b := range order {
+		seen[b.ID] = true
+	}
+	// All blocks reachable from entry appear exactly once.
+	if len(seen) != len(order) {
+		t.Error("duplicate blocks in RPO")
+	}
+}
+
+func TestWhileTrueNoReturnPostdom(t *testing.T) {
+	// Infinite loops must not crash post-dominance construction.
+	res, err := compile.Source("t.mchpl", `
+proc spin() {
+  while true {
+    var x = 1;
+  }
+}
+proc main() { }
+`, compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.Prog.FuncByName("spin")
+	_ = cfg.PostDominators(f)
+	_ = cfg.ControlDeps(f)
+}

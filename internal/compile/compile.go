@@ -1,0 +1,68 @@
+// Package compile is the driver that runs the full MiniChapel pipeline:
+// parse → semantic analysis → IR generation → (optionally) the --fast
+// optimization pipeline. It corresponds to invoking the Chapel compiler
+// with "--llvm [--fast] -g" in the paper's experiments.
+package compile
+
+import (
+	"repro/internal/ast"
+	"repro/internal/ir"
+	"repro/internal/irgen"
+	"repro/internal/parser"
+	"repro/internal/sem"
+	"repro/internal/source"
+)
+
+// Options controls compilation.
+type Options struct {
+	// Fast enables the optimization pipeline (constant folding, dead-code
+	// elimination, bounds-check elision, small-function inlining). Like
+	// Chapel's --fast, it also degrades the variable debug fidelity the
+	// blame analysis depends on (paper §V): optimized-out temporaries
+	// lose their source mapping.
+	Fast bool
+	// NoChecks elides bounds checks without the rest of --fast
+	// (the paper compiles with "--no-checks -g").
+	NoChecks bool
+}
+
+// Result bundles the compilation products.
+type Result struct {
+	FileSet *source.FileSet
+	AST     *ast.Program
+	Info    *sem.Info
+	Prog    *ir.Program
+	Opts    Options
+}
+
+// Source compiles MiniChapel source text.
+func Source(name, src string, opts Options) (*Result, error) {
+	fset := source.NewFileSet()
+	prog, err := parser.ParseFile(fset, name, src)
+	if err != nil {
+		return nil, err
+	}
+	info, err := sem.Check(fset, prog)
+	if err != nil {
+		return nil, err
+	}
+	irProg, err := irgen.Generate(info, prog)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{FileSet: fset, AST: prog, Info: info, Prog: irProg, Opts: opts}
+	if opts.Fast {
+		optimize(res)
+	}
+	return res, nil
+}
+
+// MustSource compiles or panics; for tests and embedded benchmarks whose
+// sources are compiled-in constants.
+func MustSource(name, src string, opts Options) *Result {
+	r, err := Source(name, src, opts)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

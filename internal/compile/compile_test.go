@@ -1,0 +1,239 @@
+package compile_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/ir"
+	"repro/internal/vm"
+)
+
+func TestSourceReportsParseErrors(t *testing.T) {
+	_, err := compile.Source("bad.mchpl", "proc main() { var = ; }", compile.Options{})
+	if err == nil || !strings.Contains(err.Error(), "syntax error") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSourceReportsSemErrors(t *testing.T) {
+	_, err := compile.Source("bad.mchpl", "proc main() { x = 1; }", compile.Options{})
+	if err == nil || !strings.Contains(err.Error(), "undefined") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMustSourcePanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustSource should panic on bad source")
+		}
+	}()
+	compile.MustSource("bad", "proc main() { x = ; }", compile.Options{})
+}
+
+func TestFastMarksProgram(t *testing.T) {
+	res, err := compile.Source("t", "proc main() { }", compile.Options{Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Prog.Optimized || !res.Prog.NoChecks {
+		t.Error("fast program not flagged")
+	}
+	res2, _ := compile.Source("t", "proc main() { }", compile.Options{})
+	if res2.Prog.Optimized {
+		t.Error("default build must not be optimized")
+	}
+}
+
+func countOp(p *ir.Program, op ir.Op) int {
+	n := 0
+	for _, in := range p.Instrs {
+		if in.Op == op {
+			n++
+		}
+	}
+	return n
+}
+
+func TestConstantFoldingCollapsesChains(t *testing.T) {
+	src := `
+proc main() {
+  var x = 1 + 2 * 3 - 4;
+  writeln(x);
+}
+`
+	slow, _ := compile.Source("t", src, compile.Options{})
+	fast, _ := compile.Source("t", src, compile.Options{Fast: true})
+	if countOp(fast.Prog, ir.OpBin) >= countOp(slow.Prog, ir.OpBin) {
+		t.Errorf("folding did not remove bin ops: %d vs %d",
+			countOp(fast.Prog, ir.OpBin), countOp(slow.Prog, ir.OpBin))
+	}
+}
+
+func TestDCEKeepsObservableBehavior(t *testing.T) {
+	src := `
+proc main() {
+  var unused1 = 3 * 7;
+  var unused2 = unused1 + 1;
+  var live = 2;
+  writeln(live);
+}
+`
+	fast, err := compile.Source("t", src, compile.Options{Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The writeln argument chain must survive.
+	found := false
+	for _, in := range fast.Prog.Instrs {
+		if in.Op == ir.OpBuiltin && in.Method == "writeln" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("writeln eliminated")
+	}
+	if err := fast.Prog.Validate(); err != nil {
+		t.Errorf("fast program invalid: %v", err)
+	}
+}
+
+func TestDCENeverRemovesStores(t *testing.T) {
+	src := `
+config const n = 4;
+var D: domain(1) = {0..#n};
+var A: [D] real;
+proc main() {
+  A[0] = 1.0;
+}
+`
+	fast, err := compile.Source("t", src, compile.Options{Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if countOp(fast.Prog, ir.OpIndexStore) != 1 {
+		t.Error("store eliminated by DCE")
+	}
+}
+
+func TestFastKeepsUserVariables(t *testing.T) {
+	// --fast degrades temp debug info but named variables survive.
+	src := `
+proc main() {
+  var named = 2 + 3;
+  writeln(named);
+}
+`
+	fast, err := compile.Source("t", src, compile.Options{Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range fast.Prog.Funcs {
+		for _, v := range f.AllVars() {
+			if v.Name == "named" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("named variable removed by --fast")
+	}
+}
+
+func TestFastInlinesSmallLeafFunctions(t *testing.T) {
+	src := `
+proc sq(x: real): real { return x * x; }
+proc main() {
+  var total = 0.0;
+  for i in 1..50 {
+    total += sq(i * 1.0);
+  }
+  writeln(total > 0.0);
+}
+`
+	fast, err := compile.Source("t", src, compile.Options{Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sq is inlined and then dropped ("functions removed by --fast").
+	if fast.Prog.FuncByName("sq") != nil {
+		t.Error("sq should be removed after inlining")
+	}
+	if countOp(fast.Prog, ir.OpCall) != 0 {
+		t.Errorf("calls remain: %d", countOp(fast.Prog, ir.OpCall))
+	}
+	slow, _ := compile.Source("t", src, compile.Options{})
+	if slow.Prog.FuncByName("sq") == nil {
+		t.Error("sq must exist without --fast")
+	}
+}
+
+func TestFastInlinePreservesSemantics(t *testing.T) {
+	src := `
+proc clampAdd(ref acc: real, v: real): real {
+  var c = v;
+  if c > 10.0 {
+    c = 10.0;
+  }
+  acc += c;
+  return c;
+}
+proc main() {
+  var acc = 0.0;
+  var last = 0.0;
+  for i in 1..20 {
+    last = clampAdd(acc, i * 1.0);
+  }
+  writeln(acc, " ", last);
+}
+`
+	runOut := func(fast bool) string {
+		res, err := compile.Source("t", src, compile.Options{Fast: fast})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out strings.Builder
+		cfg := vm.DefaultConfig()
+		cfg.Stdout = &out
+		if _, err := vm.New(res.Prog, cfg).Run(); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	slow := runOut(false)
+	fastOut := runOut(true)
+	if slow != fastOut {
+		t.Errorf("inlining changed semantics: %q vs %q", slow, fastOut)
+	}
+	if slow != "155.0 10.0\n" {
+		t.Errorf("unexpected result: %q", slow)
+	}
+}
+
+func TestFastInlineSkipsRecursionAndBigFunctions(t *testing.T) {
+	src := `
+proc fib(n: int): int {
+  if n < 2 { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+proc main() { writeln(fib(10)); }
+`
+	fast, err := compile.Source("t", src, compile.Options{Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Prog.FuncByName("fib") == nil {
+		t.Error("recursive fib must survive")
+	}
+	var out strings.Builder
+	cfg := vm.DefaultConfig()
+	cfg.Stdout = &out
+	if _, err := vm.New(fast.Prog, cfg).Run(); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "55\n" {
+		t.Errorf("fib(10) = %q", out.String())
+	}
+}

@@ -1,0 +1,227 @@
+package compile
+
+import (
+	"repro/internal/ir"
+	"repro/internal/token"
+	"repro/internal/types"
+)
+
+// optimize runs the --fast pipeline: local constant folding and dead-code
+// elimination over temporaries. Real --fast (LLVM -O3) also reorders and
+// inlines aggressively; we model the remaining codegen-quality gap in the
+// VM cost model (vm.CostModel.FastFactor), which DESIGN.md documents as a
+// substitution. The paper notes --fast makes IR→source variable mapping
+// "nearly impossible"; correspondingly the temps deleted here disappear
+// from the debug tables.
+func optimize(res *Result) {
+	p := res.Prog
+	p.Optimized = true
+	p.NoChecks = true
+	for _, f := range p.Funcs {
+		foldConstants(f)
+	}
+	for _, f := range p.Funcs {
+		for eliminateDead(f) {
+		}
+	}
+	inlineSmallFuncs(p)
+	for _, f := range p.Funcs {
+		for eliminateDead(f) {
+		}
+	}
+	p.Finalize()
+}
+
+// foldConstants performs per-block constant propagation/folding over
+// temporaries.
+func foldConstants(f *ir.Func) {
+	for _, b := range f.Blocks {
+		consts := make(map[*ir.Var]*ir.Lit)
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case ir.OpConst:
+				if in.Dst.IsTemp {
+					consts[in.Dst] = in.Lit
+				}
+			case ir.OpBin:
+				la, aok := consts[in.A]
+				lb, bok := consts[in.B]
+				if aok && bok && in.Dst != nil && in.Dst.IsTemp {
+					if lit := foldBin(in.BinOp, la, lb); lit != nil {
+						in.Op = ir.OpConst
+						in.Lit = lit
+						in.A, in.B = nil, nil
+						in.BinOp = 0
+						consts[in.Dst] = lit
+						continue
+					}
+				}
+				delete(consts, in.Dst)
+			case ir.OpUn:
+				if la, ok := consts[in.A]; ok && in.Dst != nil && in.Dst.IsTemp {
+					if lit := foldUn(in.BinOp, la); lit != nil {
+						in.Op = ir.OpConst
+						in.Lit = lit
+						in.A = nil
+						in.BinOp = 0
+						consts[in.Dst] = lit
+						continue
+					}
+				}
+				delete(consts, in.Dst)
+			default:
+				if d := in.Def(); d != nil {
+					delete(consts, d)
+				}
+			}
+		}
+	}
+}
+
+func isInt(l *ir.Lit) bool  { return l.T != nil && l.T.Kind() == types.Int }
+func isReal(l *ir.Lit) bool { return l.T != nil && l.T.Kind() == types.Real }
+func asF(l *ir.Lit) float64 {
+	if isReal(l) {
+		return l.F
+	}
+	return float64(l.I)
+}
+
+func foldBin(op token.Kind, a, b *ir.Lit) *ir.Lit {
+	if !(isInt(a) || isReal(a)) || !(isInt(b) || isReal(b)) {
+		return nil
+	}
+	if isInt(a) && isInt(b) {
+		switch op {
+		case token.PLUS:
+			return &ir.Lit{T: types.IntType, I: a.I + b.I}
+		case token.MINUS:
+			return &ir.Lit{T: types.IntType, I: a.I - b.I}
+		case token.STAR:
+			return &ir.Lit{T: types.IntType, I: a.I * b.I}
+		case token.SLASH:
+			if b.I == 0 {
+				return nil
+			}
+			return &ir.Lit{T: types.IntType, I: a.I / b.I}
+		case token.PERCENT:
+			if b.I == 0 {
+				return nil
+			}
+			return &ir.Lit{T: types.IntType, I: a.I % b.I}
+		case token.LE:
+			return &ir.Lit{T: types.BoolType, B: a.I <= b.I}
+		case token.LT:
+			return &ir.Lit{T: types.BoolType, B: a.I < b.I}
+		case token.GE:
+			return &ir.Lit{T: types.BoolType, B: a.I >= b.I}
+		case token.GT:
+			return &ir.Lit{T: types.BoolType, B: a.I > b.I}
+		case token.EQ:
+			return &ir.Lit{T: types.BoolType, B: a.I == b.I}
+		case token.NEQ:
+			return &ir.Lit{T: types.BoolType, B: a.I != b.I}
+		}
+		return nil
+	}
+	x, y := asF(a), asF(b)
+	switch op {
+	case token.PLUS:
+		return &ir.Lit{T: types.RealType, F: x + y}
+	case token.MINUS:
+		return &ir.Lit{T: types.RealType, F: x - y}
+	case token.STAR:
+		return &ir.Lit{T: types.RealType, F: x * y}
+	case token.SLASH:
+		if y == 0 {
+			return nil
+		}
+		return &ir.Lit{T: types.RealType, F: x / y}
+	}
+	return nil
+}
+
+func foldUn(op token.Kind, a *ir.Lit) *ir.Lit {
+	switch op {
+	case token.MINUS:
+		if isInt(a) {
+			return &ir.Lit{T: types.IntType, I: -a.I}
+		}
+		if isReal(a) {
+			return &ir.Lit{T: types.RealType, F: -a.F}
+		}
+	case token.NOT:
+		if a.T != nil && a.T.Kind() == types.Bool {
+			return &ir.Lit{T: types.BoolType, B: !a.B}
+		}
+	}
+	return nil
+}
+
+// eliminateDead removes pure instructions whose temp destinations are never
+// read; returns true if anything was removed (callers iterate to fixpoint).
+func eliminateDead(f *ir.Func) bool {
+	used := make(map[*ir.Var]bool)
+	mark := func(v *ir.Var) {
+		if v != nil {
+			used[v] = true
+		}
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for _, u := range in.Uses() {
+				mark(u)
+			}
+			// Store-through and alias targets stay live.
+			if in.IsStoreThrough() || in.IsAliasDef() {
+				mark(in.Dst)
+			}
+			switch in.Op {
+			case ir.OpRet:
+				mark(in.A)
+			case ir.OpBr:
+				mark(in.A)
+			case ir.OpCall, ir.OpSpawn, ir.OpBuiltin:
+				for _, a := range in.Args {
+					mark(a)
+				}
+			}
+		}
+	}
+	removed := false
+	for _, b := range f.Blocks {
+		kept := b.Instrs[:0]
+		for _, in := range b.Instrs {
+			if isPure(in.Op) && in.Dst != nil && in.Dst.IsTemp && !used[in.Dst] {
+				removed = true
+				continue
+			}
+			kept = append(kept, in)
+		}
+		b.Instrs = kept
+	}
+	if removed {
+		// Keep blocks structurally valid.
+		for _, b := range f.Blocks {
+			if len(b.Instrs) == 0 {
+				b.Instrs = append(b.Instrs, &ir.Instr{Op: ir.OpNop})
+			}
+			last := b.Instrs[len(b.Instrs)-1]
+			switch last.Op {
+			case ir.OpRet, ir.OpJmp, ir.OpBr:
+			default:
+				b.Instrs = append(b.Instrs, &ir.Instr{Op: ir.OpRet, A: f.RetVar})
+			}
+		}
+	}
+	return removed
+}
+
+func isPure(op ir.Op) bool {
+	switch op {
+	case ir.OpConst, ir.OpBin, ir.OpUn, ir.OpMove, ir.OpMakeTuple,
+		ir.OpTupleGet, ir.OpField, ir.OpQuery, ir.OpMakeRange:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,64 @@
+package core
+
+import "math/bits"
+
+// bitset is a fixed-capacity bit set over per-function instruction
+// indices.
+type bitset struct {
+	words []uint64
+}
+
+func newBitset(n int) *bitset {
+	return &bitset{words: make([]uint64, (n+63)/64)}
+}
+
+func (b *bitset) set(i int) {
+	b.words[i>>6] |= 1 << (uint(i) & 63)
+}
+
+func (b *bitset) has(i int) bool {
+	w := i >> 6
+	if w >= len(b.words) {
+		return false
+	}
+	return b.words[w]&(1<<(uint(i)&63)) != 0
+}
+
+// union merges o into b, reporting whether b changed.
+func (b *bitset) union(o *bitset) bool {
+	changed := false
+	for i, w := range o.words {
+		if b.words[i]|w != b.words[i] {
+			b.words[i] |= w
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (b *bitset) clone() *bitset {
+	out := &bitset{words: make([]uint64, len(b.words))}
+	copy(out.words, b.words)
+	return out
+}
+
+func (b *bitset) count() int {
+	n := 0
+	for _, w := range b.words {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// each calls fn for every set index.
+func (b *bitset) each(fn func(int)) {
+	for wi, w := range b.words {
+		for w != 0 {
+			idx := wi<<6 + bits.TrailingZeros64(w)
+			fn(idx)
+			w &= w - 1
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"repro/internal/ir"
+)
+
+// writeInfo computes, per function, which variables (by local alias class)
+// are actually written — directly or transitively through callees' ref
+// formals. It distinguishes a callee that *writes* a ref formal from one
+// that only reads it, so call sites blame only arguments the call can
+// mutate (plus global-classed descriptors, handled separately).
+type writeInfo struct {
+	// localRep is a per-function union-find over that function's own
+	// alias instructions (refs bind to their bases within one frame).
+	localRep map[*ir.Func]map[*ir.Var]*ir.Var
+	// written[f] holds the local reps f writes.
+	written map[*ir.Func]map[*ir.Var]bool
+}
+
+func newWriteInfo(prog *ir.Program) *writeInfo {
+	w := &writeInfo{
+		localRep: make(map[*ir.Func]map[*ir.Var]*ir.Var),
+		written:  make(map[*ir.Func]map[*ir.Var]bool),
+	}
+	for _, f := range prog.Funcs {
+		w.localRep[f] = make(map[*ir.Var]*ir.Var)
+		w.written[f] = make(map[*ir.Var]bool)
+	}
+	// Local alias classes.
+	for _, f := range prog.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.IsAliasDef() && in.Dst != nil && in.A != nil {
+					w.union(f, in.Dst, in.A)
+				}
+				if in.Op == ir.OpMove && in.Dst != nil && in.Dst.IsRef && in.A != nil {
+					w.union(f, in.Dst, in.A)
+				}
+				if isClassVar(in.Dst) && in.A != nil {
+					switch in.Op {
+					case ir.OpMove, ir.OpIndex, ir.OpField, ir.OpTupleGet:
+						w.union(f, in.Dst, in.A)
+					}
+				}
+			}
+		}
+	}
+	// Direct writes.
+	for _, f := range prog.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if v := directWriteTarget(in); v != nil {
+					w.written[f][w.find(f, v)] = true
+				}
+			}
+		}
+	}
+	// Transitive writes through callee ref formals (fixpoint over the
+	// call graph).
+	for changed := true; changed; {
+		changed = false
+		for _, f := range prog.Funcs {
+			for _, b := range f.Blocks {
+				for _, in := range b.Instrs {
+					if in.Op != ir.OpCall && in.Op != ir.OpSpawn {
+						continue
+					}
+					for k, arg := range callRefArgs(in) {
+						_ = k
+						if arg.param == nil || arg.arg == nil {
+							continue
+						}
+						if !arg.param.IsRef {
+							continue
+						}
+						if !w.written[in.Callee][w.find(in.Callee, arg.param)] {
+							continue
+						}
+						rep := w.find(f, arg.arg)
+						if !w.written[f][rep] {
+							w.written[f][rep] = true
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return w
+}
+
+// directWriteTarget returns the variable a non-call instruction truly
+// writes (ref bindings and zip markers are not writes).
+func directWriteTarget(in *ir.Instr) *ir.Var {
+	switch in.Op {
+	case ir.OpBuiltin:
+		if isAtomicWrite(in.Method) {
+			return in.A
+		}
+		return nil
+	case ir.OpRefElem, ir.OpRefField, ir.OpSlice,
+		ir.OpZipSetup, ir.OpZipAdvance,
+		ir.OpCall, ir.OpSpawn,
+		ir.OpRet, ir.OpJmp, ir.OpBr, ir.OpNop, ir.OpYield:
+		return nil
+	}
+	if in.IsStoreThrough() {
+		return in.Dst
+	}
+	return in.Dst
+}
+
+// argPair couples a callee formal with the caller's actual.
+type argPair struct {
+	param, arg *ir.Var
+}
+
+// callRefArgs aligns a call/spawn's args with the callee's params
+// (spawn bodies take index params first).
+func callRefArgs(in *ir.Instr) []argPair {
+	if in.Callee == nil {
+		return nil
+	}
+	skip := 0
+	if in.Op == ir.OpSpawn && in.Spawn != nil {
+		skip = in.Spawn.NumIdx
+	}
+	var out []argPair
+	for k, p := range in.Callee.Params {
+		if k < skip {
+			continue
+		}
+		if k-skip < len(in.Args) {
+			out = append(out, argPair{param: p, arg: in.Args[k-skip]})
+		}
+	}
+	return out
+}
+
+// WritesParam reports whether fn writes (directly or transitively) the
+// given formal.
+func (w *writeInfo) WritesParam(fn *ir.Func, p *ir.Var) bool {
+	return w.written[fn][w.find(fn, p)]
+}
+
+func (w *writeInfo) find(f *ir.Func, v *ir.Var) *ir.Var {
+	m := w.localRep[f]
+	p, ok := m[v]
+	if !ok || p == v {
+		return v
+	}
+	r := w.find(f, p)
+	m[v] = r
+	return r
+}
+
+func (w *writeInfo) union(f *ir.Func, x, y *ir.Var) {
+	rx, ry := w.find(f, x), w.find(f, y)
+	if rx != ry {
+		w.localRep[f][rx] = ry
+	}
+}

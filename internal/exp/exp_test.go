@@ -1,0 +1,264 @@
+package exp_test
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/exp"
+)
+
+// pct parses a "12.3%" cell.
+func pct(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "%"), 64)
+	if err != nil {
+		t.Fatalf("bad pct cell %q", cell)
+	}
+	return v
+}
+
+func ratio(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		t.Fatalf("bad ratio cell %q", cell)
+	}
+	return v
+}
+
+func TestTable1MatchesPaperLines(t *testing.T) {
+	tab, err := exp.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := tab.Cell("b", 1)
+	if b != "17" {
+		t.Errorf("b lines = %q, want 17", b)
+	}
+	c, _ := tab.Cell("c", 1)
+	if c != "16,17,18,19,20" {
+		t.Errorf("c lines = %q", c)
+	}
+	a, _ := tab.Cell("a", 1)
+	// Formula result: paper's set plus line 17 (documented deviation).
+	if a != "16,17,18,19" {
+		t.Errorf("a lines = %q", a)
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	tab, err := exp.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(name string) float64 {
+		c, ok := tab.Cell(name, 2)
+		if !ok {
+			t.Fatalf("row %s missing", name)
+		}
+		return pct(t, c)
+	}
+	pos, bins, count, binSpace := get("Pos"), get("Bins"), get("Count"), get("binSpace")
+	if pos < 85 || bins < 75 {
+		t.Errorf("Pos/Bins must be dominant: %.1f / %.1f", pos, bins)
+	}
+	if count < 25 || count > 75 {
+		t.Errorf("Count should be mid-tier: %.1f", count)
+	}
+	if binSpace >= pos {
+		t.Errorf("binSpace (%.1f) must rank below Pos (%.1f)", binSpace, pos)
+	}
+}
+
+func TestTable3MiniMDSpeedups(t *testing.T) {
+	tab, err := exp.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		s := ratio(t, row[3])
+		if s < 1.2 {
+			t.Errorf("%s: speedup %.2f < 1.2 (paper: >= 2.26)", row[0], s)
+		}
+	}
+}
+
+func TestTable4CLOMPShape(t *testing.T) {
+	tab, err := exp.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, ok := tab.Cell("partArray", 2)
+	if !ok {
+		t.Fatal("partArray row missing")
+	}
+	if pct(t, pa) < 90 {
+		t.Errorf("partArray = %s, want > 90%%", pa)
+	}
+	rd, ok := tab.Cell("remaining_deposit", 2)
+	if !ok || pct(t, rd) > 30 {
+		t.Errorf("remaining_deposit = %s, want minor", rd)
+	}
+	val, ok := tab.Cell("partArray[pi].zoneArray[z].value", 2)
+	if !ok || pct(t, val) < 30 {
+		t.Errorf("value path = %s, want major", val)
+	}
+	res, _ := tab.Cell("partArray[pi].residue", 2)
+	if pct(t, res) >= pct(t, val) {
+		t.Errorf("residue (%s) must rank below value (%s)", res, val)
+	}
+}
+
+func TestTable5CrossoverShape(t *testing.T) {
+	tab, err := exp.Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The parts-dominated point (65536/10) gains least; the
+	// zones-dominated points gain most (paper's crossover shape).
+	var s [4]float64
+	for i := 0; i < 4; i++ {
+		s[i] = ratio(t, tab.Rows[i][3])
+	}
+	if !(s[1] < s[0] && s[1] < s[2]) {
+		t.Errorf("65536/10 (%.2f) must gain least among %v", s[1], s)
+	}
+	if s[2] < 1.4 {
+		t.Errorf("12/640,000 should gain strongly: %.2f", s[2])
+	}
+}
+
+func TestTable6LULESHShape(t *testing.T) {
+	tab, err := exp.Table6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(name string) float64 {
+		c, ok := tab.Cell(name, 2)
+		if !ok {
+			t.Fatalf("row %s missing", name)
+		}
+		return pct(t, c)
+	}
+	hgfx, hourgam, determ := get("hgfx"), get("hourgam"), get("determ")
+	bx, dvdx, hourmodx := get("b_x"), get("dvdx"), get("hourmodx")
+	if hgfx < 15 {
+		t.Errorf("hgfx = %.1f, want top-tier", hgfx)
+	}
+	if hourgam < 15 {
+		t.Errorf("hourgam = %.1f, want top-tier", hourgam)
+	}
+	if !(determ > bx && bx > hourmodx) {
+		t.Errorf("ordering determ(%.1f) > b_x(%.1f) > hourmodx(%.1f) broken", determ, bx, hourmodx)
+	}
+	if dvdx > determ {
+		t.Errorf("dvdx (%.1f) must rank below determ (%.1f)", dvdx, determ)
+	}
+}
+
+func TestTable7UnrollingShape(t *testing.T) {
+	tab, err := exp.Table7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(name string) float64 {
+		c, ok := tab.Cell(name, 2)
+		if !ok {
+			t.Fatalf("row %q missing", name)
+		}
+		return ratio(t, c)
+	}
+	if get("Original") != 1.0 {
+		t.Error("original must normalize to 1.0")
+	}
+	p1 := get("P 1")
+	if p1 < 1.02 {
+		t.Errorf("P 1 should beat original: %.2f (paper 1.07)", p1)
+	}
+	full := get("P1+U2+U3")
+	if full >= p1 {
+		t.Errorf("full manual unroll (%.2f) must be counterproductive vs P1 (%.2f)", full, p1)
+	}
+}
+
+func TestTable9OptimizationStack(t *testing.T) {
+	tab, err := exp.Table9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(name string, col int) float64 {
+		c, ok := tab.Cell(name, col)
+		if !ok {
+			t.Fatalf("row %q missing", name)
+		}
+		return ratio(t, c)
+	}
+	best := get("Best Case", 2)
+	vg := get("VG", 2)
+	p1 := get("P 1", 2)
+	if best < 1.2 {
+		t.Errorf("best case %.2f, want >= 1.2 (paper 1.38)", best)
+	}
+	if !(best > vg && vg > p1) {
+		t.Errorf("ordering Best(%.2f) > VG(%.2f) > P1(%.2f) broken", best, vg, p1)
+	}
+	if orig := get("Original", 2); orig != 1.0 {
+		t.Error("original must normalize to 1.0")
+	}
+}
+
+func TestFig4RuntimeDominates(t *testing.T) {
+	_, tab, err := exp.Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("empty Fig4")
+	}
+	if tab.Rows[0][0] != "__sched_yield" {
+		t.Errorf("top code-centric entry = %s, want __sched_yield (paper: 79%%)", tab.Rows[0][0])
+	}
+	top := pct(t, tab.Rows[0][1])
+	if top < 25 {
+		t.Errorf("sched_yield share %.1f too low", top)
+	}
+}
+
+func TestUnknownDataBaseline(t *testing.T) {
+	tab, err := exp.UnknownData()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		u := pct(t, row[1])
+		if u < 85 {
+			t.Errorf("%s: baseline unknown share %.1f, want ~all unknown (paper 95-97%%)", row[0], u)
+		}
+		top := pct(t, row[4])
+		if top < 50 {
+			t.Errorf("%s: blame top variable only %.1f%%", row[0], top)
+		}
+	}
+}
+
+func TestOverheadTable(t *testing.T) {
+	tab, err := exp.Overhead()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 4 {
+		t.Fatalf("overhead rows: %d", len(tab.Rows))
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab, err := exp.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tab.String()
+	if !strings.Contains(out, "Table I") || !strings.Contains(out, "Variable") {
+		t.Errorf("rendering broken:\n%s", out)
+	}
+}

@@ -1,0 +1,113 @@
+// Package hpctk reimplements the comparison baseline of paper §II.B: an
+// HPCToolkit-style data-centric profiler. It attributes samples to data
+// via memory addresses only: it tracks the allocation and deallocation of
+// static variables and heap blocks of at least 4 KiB, and attributes each
+// address-carrying sample to the enclosing tracked block. Local variables
+// are omitted entirely, and allocations the Chapel compiler makes on
+// behalf of translated globals are not mapped back to source names —
+// which is why most samples land in "unknown data" (the paper measures
+// 96.88% unknown for CLOMP and 95.1% for LULESH).
+package hpctk
+
+import (
+	"sort"
+
+	"repro/internal/sampler"
+)
+
+// MinTrackedBytes is HPCToolkit-data's allocation tracking floor.
+const MinTrackedBytes = 4096
+
+// UnknownData is the bucket for unattributable samples.
+const UnknownData = "unknown data"
+
+// Row is one entry of the baseline's data view.
+type Row struct {
+	Name    string
+	Samples int
+	Share   float64
+}
+
+// Profile is the baseline's output.
+type Profile struct {
+	Rows         []Row
+	TotalSamples int
+	// UnknownShare is the fraction in the "unknown data" bucket.
+	UnknownShare float64
+}
+
+// Attribute runs the baseline attribution over raw samples.
+//
+// A sample is attributed to a named block only when (a) the sampled
+// instruction touched memory, (b) the touched allocation is at least
+// MinTrackedBytes, and (c) the allocation maps to a source variable name
+// that survived compilation (Chapel's translation of module-level
+// variables hides most of them — modeled by nameSurvives).
+func Attribute(samples []sampler.RawSample, allocs []sampler.AllocRecord) *Profile {
+	type block struct {
+		lo, hi uint64
+		name   string
+		size   int64
+	}
+	var blocks []block
+	for _, a := range allocs {
+		if a.Size < MinTrackedBytes {
+			continue
+		}
+		name := a.VarName
+		if !nameSurvives(a) {
+			name = ""
+		}
+		blocks = append(blocks, block{lo: a.Addr, hi: a.Addr + uint64(a.Size), name: name, size: a.Size})
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i].lo < blocks[j].lo })
+
+	counts := make(map[string]int)
+	p := &Profile{}
+	for _, s := range samples {
+		p.TotalSamples++
+		name := UnknownData
+		if s.DataAddr != 0 {
+			// Binary search for the covering block.
+			i := sort.Search(len(blocks), func(i int) bool { return blocks[i].hi > s.DataAddr })
+			if i < len(blocks) && blocks[i].lo <= s.DataAddr && blocks[i].name != "" {
+				name = blocks[i].name
+			}
+		}
+		counts[name]++
+	}
+	total := p.TotalSamples
+	if total == 0 {
+		total = 1
+	}
+	for name, n := range counts {
+		p.Rows = append(p.Rows, Row{Name: name, Samples: n, Share: float64(n) / float64(total)})
+	}
+	sort.Slice(p.Rows, func(i, j int) bool {
+		if p.Rows[i].Samples != p.Rows[j].Samples {
+			return p.Rows[i].Samples > p.Rows[j].Samples
+		}
+		return p.Rows[i].Name < p.Rows[j].Name
+	})
+	p.UnknownShare = float64(counts[UnknownData]) / float64(total)
+	return p
+}
+
+// nameSurvives models §II.B's observation that "after the Chapel
+// compiler's translation, the global variables in Chapel source code
+// aren't properly treated": the compiler wraps module-level variables in
+// generated module-init allocation wrappers, so the allocation call sites
+// HPCToolkit intercepts carry generated names, not source names. Only
+// allocations made directly inside user procedures keep a usable name.
+func nameSurvives(a sampler.AllocRecord) bool {
+	if a.VarName == "" || a.Var == nil {
+		return false
+	}
+	// Module-level (translated) variables lose their identity, and
+	// compiler temporaries never had one; only named locals allocated
+	// directly in user procedures keep a usable name.
+	if a.Var.IsGlobal || a.Var.IsTemp || a.Var.Sym == nil {
+		return false
+	}
+	return true
+}

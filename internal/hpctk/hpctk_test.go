@@ -1,0 +1,112 @@
+package hpctk_test
+
+import (
+	"testing"
+
+	"repro/internal/blame"
+	"repro/internal/compile"
+	"repro/internal/hpctk"
+	"repro/internal/ir"
+	"repro/internal/sampler"
+)
+
+func TestSmallAllocationsNotTracked(t *testing.T) {
+	allocs := []sampler.AllocRecord{
+		{Addr: 0x1000, Size: 128, VarName: "small", Var: &ir.Var{Name: "small"}},
+	}
+	samples := []sampler.RawSample{{Addr: 1, DataAddr: 0x1040, DataSize: 128}}
+	p := hpctk.Attribute(samples, allocs)
+	if p.UnknownShare != 1.0 {
+		t.Errorf("sub-4K block must be unknown, got %.2f unknown", p.UnknownShare)
+	}
+}
+
+func TestNamedLocalBlockAttributed(t *testing.T) {
+	v := &ir.Var{Name: "determ", Sym: nil}
+	// Named non-global, non-temp var with a symbol survives; fake one
+	// via benchmark compile below instead for realism.
+	_ = v
+	res, err := compile.Source("t.mchpl", `
+config const n = 1024;
+var D: domain(1) = {0..#n};
+proc work() {
+  var big: [D] real;
+  for rep in 1..40 {
+    forall i in D { big[i] = big[i] + i * 1.0; }
+  }
+}
+proc main() { work(); }
+`, compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := blame.DefaultConfig()
+	cfg.Threshold = 509
+	r, err := blame.Profile(res.Prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := hpctk.Attribute(r.Sampler.Samples, r.Sampler.Allocs)
+	var bigShare float64
+	for _, row := range p.Rows {
+		if row.Name == "big" {
+			bigShare = row.Share
+		}
+	}
+	if bigShare == 0 {
+		t.Fatalf("local 'big' (8KB) should be attributed: %+v", p.Rows)
+	}
+	if p.UnknownShare+bigShare < 0.99 {
+		t.Errorf("shares should cover all samples: unknown=%.2f big=%.2f", p.UnknownShare, bigShare)
+	}
+}
+
+func TestGlobalsBecomeUnknown(t *testing.T) {
+	// The §II.B finding: Chapel's translation hides module-level
+	// variables from allocation-site tracking.
+	res, err := compile.Source("t.mchpl", `
+config const n = 1024;
+var D: domain(1) = {0..#n};
+var G: [D] real;
+proc main() {
+  for rep in 1..40 {
+    forall i in D { G[i] = G[i] + i * 1.0; }
+  }
+}
+`, compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := blame.DefaultConfig()
+	cfg.Threshold = 509
+	r, err := blame.Profile(res.Prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := hpctk.Attribute(r.Sampler.Samples, r.Sampler.Allocs)
+	if p.UnknownShare < 0.95 {
+		t.Errorf("global-array program should be ~all unknown, got %.2f", p.UnknownShare)
+	}
+	// Meanwhile blame names the variable.
+	if row, ok := r.Profile.Row("G"); !ok || row.Blame < 0.5 {
+		t.Errorf("blame should attribute G strongly; got %+v", row)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	p := hpctk.Attribute(nil, nil)
+	if p.TotalSamples != 0 || len(p.Rows) != 0 {
+		t.Errorf("empty attribution: %+v", p)
+	}
+}
+
+func TestRowsSortedDescending(t *testing.T) {
+	allocs := []sampler.AllocRecord{}
+	samples := []sampler.RawSample{
+		{DataAddr: 0}, {DataAddr: 0}, {DataAddr: 0},
+	}
+	p := hpctk.Attribute(samples, allocs)
+	if len(p.Rows) != 1 || p.Rows[0].Name != hpctk.UnknownData || p.Rows[0].Samples != 3 {
+		t.Errorf("rows: %+v", p.Rows)
+	}
+}

@@ -1,0 +1,192 @@
+package ir_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/ir"
+)
+
+func build(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	res, err := compile.Source("t.mchpl", src, compile.Options{})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return res.Prog
+}
+
+func TestFinalizeIdempotent(t *testing.T) {
+	p := build(t, `
+proc f(): int { return 42; }
+proc main() { var x = f(); }
+`)
+	n1 := len(p.Instrs)
+	p.Finalize()
+	if len(p.Instrs) != n1 {
+		t.Errorf("finalize changed instr count: %d vs %d", len(p.Instrs), n1)
+	}
+	// Addresses stay dense and CFG edges are not duplicated.
+	for i, in := range p.Instrs {
+		if int(in.Addr) != i {
+			t.Fatalf("addr %d at index %d", in.Addr, i)
+		}
+	}
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			seen := map[int]int{}
+			for _, s := range b.Succs {
+				seen[s.ID]++
+			}
+			for id, n := range seen {
+				// Two edges to the same block are only legal for a
+				// branch with equal targets, which irgen never emits.
+				if n > 1 {
+					t.Errorf("%s b%d has %d edges to b%d", f.Name, b.ID, n, id)
+				}
+			}
+		}
+	}
+}
+
+func TestUsesAndDefs(t *testing.T) {
+	p := build(t, `
+config const n = 4;
+var D: domain(1) = {0..#n};
+var A: [D] real;
+proc main() {
+  var x = 1.0;
+  A[0] = x + 2.0;
+}
+`)
+	f := p.FuncByName("main")
+	var store *ir.Instr
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpIndexStore {
+				store = in
+			}
+		}
+	}
+	if store == nil {
+		t.Fatal("no index store")
+	}
+	if store.Def() == nil || store.Def().Name != "A" {
+		t.Errorf("store def = %v, want A", store.Def())
+	}
+	if !store.IsStoreThrough() {
+		t.Error("index store is a store-through")
+	}
+	// Uses include the stored value, the index and the base.
+	foundBase := false
+	for _, u := range store.Uses() {
+		if u.Name == "A" {
+			foundBase = true
+		}
+	}
+	if !foundBase {
+		t.Error("store uses must include the base")
+	}
+}
+
+func TestDumpRendersProgram(t *testing.T) {
+	p := build(t, `
+proc sq(x: real): real { return x * x; }
+proc main() { var y = sq(2.0); }
+`)
+	out := p.Dump()
+	for _, want := range []string{"func sq", "func main", "call", "@sq", "ret"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q", want)
+		}
+	}
+}
+
+func TestVarDisplay(t *testing.T) {
+	p := build(t, `proc main() { var user = 1 + 2; }`)
+	f := p.FuncByName("main")
+	var userVar, tempVar *ir.Var
+	for _, v := range f.AllVars() {
+		if v.Name == "user" {
+			userVar = v
+		}
+		if v.IsTemp && tempVar == nil {
+			tempVar = v
+		}
+	}
+	if userVar == nil || !userVar.Display() {
+		t.Error("user var must display")
+	}
+	if tempVar == nil || tempVar.Display() {
+		t.Error("temps must not display")
+	}
+}
+
+func TestWritesRefArgsAlignment(t *testing.T) {
+	p := build(t, `
+config const n = 8;
+var D: domain(1) = {0..#n};
+proc main() {
+  var A: [D] real;
+  var B: [D] real;
+  forall i in D {
+    A[i] = B[i] + 1.0;
+  }
+}
+`)
+	f := p.FuncByName("main")
+	var spawn *ir.Instr
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpSpawn {
+				spawn = in
+			}
+		}
+	}
+	if spawn == nil {
+		t.Fatal("no spawn")
+	}
+	names := map[string]bool{}
+	for _, v := range spawn.WritesRefArgs() {
+		names[v.Name] = true
+	}
+	if !names["A"] {
+		t.Errorf("A must be a written ref arg: %v", names)
+	}
+}
+
+func TestValidateRejectsDanglingBr(t *testing.T) {
+	p := build(t, `proc main() { var x = 1; }`)
+	f := p.FuncByName("main")
+	last := f.Blocks[len(f.Blocks)-1]
+	last.Instrs = append(last.Instrs[:len(last.Instrs)-1],
+		&ir.Instr{Op: ir.OpBr})
+	if err := p.Validate(); err == nil {
+		t.Error("Validate must reject br without cond/targets")
+	}
+}
+
+func TestInstrStringStable(t *testing.T) {
+	p := build(t, `proc main() { var a = 1; var b = a + 2; }`)
+	for _, in := range p.Instrs {
+		if in.String() == "" {
+			t.Fatalf("empty instr string for %v", in.Op)
+		}
+	}
+}
+
+func TestSpawnKindStrings(t *testing.T) {
+	cases := map[ir.SpawnKind]string{
+		ir.SpawnForall:   "forall",
+		ir.SpawnCoforall: "coforall",
+		ir.SpawnBegin:    "begin",
+		ir.SpawnCobegin:  "cobegin",
+		ir.SpawnOn:       "on",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%v.String() = %q", k, k.String())
+		}
+	}
+}

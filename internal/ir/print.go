@@ -1,0 +1,118 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Dump renders the whole program as text (for tests and debugging).
+func (p *Program) Dump() string {
+	var b strings.Builder
+	for _, f := range p.Funcs {
+		b.WriteString(f.Dump())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Dump renders one function.
+func (f *Func) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "func %s(", f.Name)
+	for i, q := range f.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if q.IsRef {
+			b.WriteString("ref ")
+		}
+		fmt.Fprintf(&b, "%s: %s", q.Name, q.Type)
+	}
+	b.WriteString(")")
+	if f.RetVar != nil {
+		fmt.Fprintf(&b, ": %s", f.RetVar.Type)
+	}
+	var attrs []string
+	if f.Outlined {
+		attrs = append(attrs, "outlined")
+	}
+	if f.IsRuntime {
+		attrs = append(attrs, "runtime")
+	}
+	if len(attrs) > 0 {
+		fmt.Fprintf(&b, " [%s]", strings.Join(attrs, ","))
+	}
+	b.WriteString(" {\n")
+	for _, blk := range f.Blocks {
+		fmt.Fprintf(&b, "b%d:", blk.ID)
+		if len(blk.Preds) > 0 {
+			ids := make([]int, len(blk.Preds))
+			for i, p := range blk.Preds {
+				ids[i] = p.ID
+			}
+			sort.Ints(ids)
+			fmt.Fprintf(&b, " ; preds %v", ids)
+		}
+		b.WriteByte('\n')
+		for _, ins := range blk.Instrs {
+			fmt.Fprintf(&b, "  %s", ins)
+			if ins.Pos.IsValid() {
+				fmt.Fprintf(&b, "  ; line %d", ins.Pos.Line)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Validate checks structural invariants; it returns the first problem
+// found, or nil. Used by tests and the compiler driver.
+func (p *Program) Validate() error {
+	for _, f := range p.Funcs {
+		if len(f.Blocks) == 0 {
+			if f.IsRuntime {
+				continue
+			}
+			return fmt.Errorf("func %s has no blocks", f.Name)
+		}
+		for _, blk := range f.Blocks {
+			if blk.Func != f {
+				return fmt.Errorf("func %s block b%d has wrong owner", f.Name, blk.ID)
+			}
+			n := len(blk.Instrs)
+			if n == 0 {
+				return fmt.Errorf("func %s block b%d is empty", f.Name, blk.ID)
+			}
+			for k, ins := range blk.Instrs {
+				isTerm := ins.Op == OpRet || ins.Op == OpJmp || ins.Op == OpBr
+				if k == n-1 && !isTerm {
+					return fmt.Errorf("func %s block b%d does not end in a terminator (%s)", f.Name, blk.ID, ins)
+				}
+				if k < n-1 && isTerm {
+					return fmt.Errorf("func %s block b%d has terminator %s mid-block", f.Name, blk.ID, ins)
+				}
+				switch ins.Op {
+				case OpBr:
+					if ins.A == nil || ins.Targets[0] == nil || ins.Targets[1] == nil {
+						return fmt.Errorf("func %s: malformed br", f.Name)
+					}
+				case OpJmp:
+					if ins.Targets[0] == nil {
+						return fmt.Errorf("func %s: malformed jmp", f.Name)
+					}
+				case OpCall, OpSpawn:
+					if ins.Callee == nil {
+						return fmt.Errorf("func %s: %s without callee", f.Name, ins.Op)
+					}
+				case OpConst:
+					if ins.Lit == nil || ins.Dst == nil {
+						return fmt.Errorf("func %s: malformed const", f.Name)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,620 @@
+package irgen
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/ir"
+	"repro/internal/sem"
+	"repro/internal/source"
+	"repro/internal/token"
+	"repro/internal/types"
+)
+
+// fnGen lowers one function body.
+type fnGen struct {
+	g   *generator
+	f   *ir.Func
+	sym *sem.Symbol
+
+	cur  *ir.Block
+	vars map[*sem.Symbol]*ir.Var
+	// thisVar is the receiver for methods.
+	thisVar *ir.Var
+	// captureParams lists the semantic symbols lifted into trailing ref
+	// params (nested procs and outlined bodies).
+	captureParams []*sem.Symbol
+	// parent is the enclosing fnGen for outlined loop bodies; symbol
+	// resolution falls back to it, adding capture params on demand.
+	parent *fnGen
+	// captureSrc maps each capture param (by order) to the parent's var
+	// to pass at the spawn site.
+	captureSrc []*ir.Var
+
+	tempCount int
+	loops     []loopCtx
+	// pendingTuplePack carries a multi-D tuple index binding down to the
+	// innermost generated loop.
+	pendingTuplePack *tuplePack
+	// iterCtx is active while an iterator body is being inline-expanded
+	// at a for-loop site (yield → bind loop var + run the consumer body).
+	iterCtx *iterInlineCtx
+	// iterStack guards against recursive iterator inlining.
+	iterStack []*sem.Symbol
+}
+
+// iterInlineCtx carries the state of one iterator inline expansion.
+type iterInlineCtx struct {
+	loopVar *ir.Var
+	body    *ast.BlockStmt
+	// emit, when non-nil, replaces body with generator-side consumer
+	// code (reduce-over-iterator).
+	emit func()
+	exit *ir.Block
+	// outer restores iterator composition: yields in the consumer body
+	// belong to the enclosing expansion.
+	outer *iterInlineCtx
+}
+
+type loopCtx struct {
+	brk, cont *ir.Block
+}
+
+func newFnGen(g *generator, f *ir.Func, sym *sem.Symbol) *fnGen {
+	fg := &fnGen{g: g, f: f, sym: sym, vars: make(map[*sem.Symbol]*ir.Var)}
+	fg.cur = f.NewBlock()
+	return fg
+}
+
+// emit appends an instruction to the current block.
+func (fg *fnGen) emit(in *ir.Instr) *ir.Instr {
+	if fg.cur == nil {
+		// Unreachable code after a terminator: keep it in a detached block
+		// so downstream passes still see it.
+		fg.cur = fg.f.NewBlock()
+	}
+	fg.cur.Instrs = append(fg.cur.Instrs, in)
+	if in.Op == ir.OpRet || in.Op == ir.OpJmp || in.Op == ir.OpBr {
+		fg.cur = nil
+	}
+	return in
+}
+
+func (fg *fnGen) startBlock(b *ir.Block) {
+	if fg.cur != nil {
+		fg.emit(&ir.Instr{Op: ir.OpJmp, Targets: [2]*ir.Block{b}})
+	}
+	fg.cur = b
+}
+
+func (fg *fnGen) temp(t types.Type) *ir.Var {
+	fg.tempCount++
+	v := &ir.Var{Name: fmt.Sprintf("tmp%d", fg.tempCount), Type: t, IsTemp: true, Func: fg.f}
+	fg.f.Locals = append(fg.f.Locals, v)
+	return v
+}
+
+// finish seals the function: terminate the trailing block and drop empty
+// blocks, then renumber.
+func (fg *fnGen) finish() {
+	if fg.cur != nil {
+		fg.emit(&ir.Instr{Op: ir.OpRet, A: fg.f.RetVar})
+	}
+	// Terminate any stray unterminated blocks (e.g. detached ones).
+	for _, b := range fg.f.Blocks {
+		if len(b.Instrs) == 0 {
+			b.Instrs = append(b.Instrs, &ir.Instr{Op: ir.OpNop})
+		}
+		last := b.Instrs[len(b.Instrs)-1]
+		switch last.Op {
+		case ir.OpRet, ir.OpJmp, ir.OpBr:
+		default:
+			b.Instrs = append(b.Instrs, &ir.Instr{Op: ir.OpRet, A: fg.f.RetVar})
+		}
+	}
+	for i, b := range fg.f.Blocks {
+		b.ID = i
+	}
+	fg.g.assignSlots(fg.f)
+}
+
+// resolveVar maps a semantic symbol to an IR var, lifting captures for
+// outlined bodies.
+func (fg *fnGen) resolveVar(sym *sem.Symbol, pos source.Pos) *ir.Var {
+	if v, ok := fg.vars[sym]; ok {
+		return v
+	}
+	if v, ok := fg.g.globalOf[sym]; ok {
+		// Outlined loop bodies receive every referenced variable through
+		// the Chapel argument bundle — including module-level globals.
+		// This makes the spawn site a write-site of the captured arrays,
+		// which is how runtime-only samples resolved to the spawn
+		// statement blame the loop's data (paper §IV.C).
+		if fg.parent != nil && sym.Pos.IsValid() {
+			cap := &ir.Var{Name: sym.Name, Sym: sym, Type: sym.Type, IsParam: true, IsRef: bundleByRef(sym.Type), Func: fg.f}
+			fg.f.Params = append(fg.f.Params, cap)
+			fg.vars[sym] = cap
+			fg.captureParams = append(fg.captureParams, sym)
+			fg.captureSrc = append(fg.captureSrc, v)
+			return cap
+		}
+		return v
+	}
+	// Predeclared universe values (Locales, here, numLocales, nil) become
+	// synthetic globals the VM initializes by name.
+	if sym.Owner == nil && sym.Storage == sem.StorageGlobal || sym.Name == "nil" {
+		v := &ir.Var{Name: sym.Name, Sym: sym, Type: sym.Type, IsGlobal: true, Slot: len(fg.g.prog.Globals)}
+		fg.g.prog.Globals = append(fg.g.prog.Globals, v)
+		fg.g.globalOf[sym] = v
+		return v
+	}
+	if fg.parent != nil {
+		src := fg.parent.resolveVar(sym, pos)
+		if src != nil {
+			v := &ir.Var{Name: sym.Name, Sym: sym, Type: sym.Type, IsParam: true, IsRef: true, Func: fg.f}
+			fg.f.Params = append(fg.f.Params, v)
+			fg.vars[sym] = v
+			fg.captureParams = append(fg.captureParams, sym)
+			fg.captureSrc = append(fg.captureSrc, src)
+			return v
+		}
+	}
+	fg.g.errorf(pos, "internal: no IR var for %s", sym.Name)
+	return fg.temp(types.IntType)
+}
+
+// bundleByRef reports whether a bundled global of this type is passed by
+// reference (memory regions) or by value (scalars) — by-value bundle
+// entries are not write-sites of the spawn, so read-only config consts do
+// not pick up spawn blame.
+func bundleByRef(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Kind() {
+	case types.Array, types.Domain, types.Record, types.Class:
+		return true
+	}
+	return false
+}
+
+// declareLocal creates the IR var for a declared local symbol.
+func (fg *fnGen) declareLocal(sym *sem.Symbol) *ir.Var {
+	v := &ir.Var{Name: sym.Name, Sym: sym, Type: sym.Type, Func: fg.f, IsRef: sym.IsRefAlias}
+	fg.f.Locals = append(fg.f.Locals, v)
+	fg.vars[sym] = v
+	return v
+}
+
+// constInt emits an int literal into a temp.
+func (fg *fnGen) constInt(v int64, pos source.Pos) *ir.Var {
+	t := fg.temp(types.IntType)
+	fg.emit(&ir.Instr{Op: ir.OpConst, Dst: t, Lit: &ir.Lit{T: types.IntType, I: v}, Pos: pos})
+	return t
+}
+
+// ---------------------------------------------------------------- decls
+
+// globalInit lowers one global declaration's initialization into the
+// module-init function.
+func (fg *fnGen) globalInit(d *ast.VarDecl) {
+	for _, name := range d.Names {
+		sym := fg.g.info.Defs[name]
+		if sym == nil {
+			continue
+		}
+		v := fg.g.globalOf[sym]
+		if v == nil {
+			continue
+		}
+		fg.initVar(v, d, name.NamePos)
+	}
+}
+
+// initVar emits initialization code for v according to its declaration.
+func (fg *fnGen) initVar(v *ir.Var, d *ast.VarDecl, pos source.Pos) {
+	// ref aliases: `ref R = A[D]` / `ref r = A[i]` / `ref r = x.f`.
+	if d.IsRef {
+		if d.Init == nil {
+			return
+		}
+		fg.genRefInto(v, d.Init)
+		return
+	}
+	// Config consts: default expression, overridable from the command line.
+	if d.Kind == ast.VarConfigConst {
+		var def *ir.Var
+		if d.Init != nil {
+			def = fg.genExpr(d.Init)
+		} else {
+			def = fg.constInt(0, pos)
+		}
+		fg.emit(&ir.Instr{Op: ir.OpBuiltin, Dst: v, Method: "config:" + v.Name, Args: []*ir.Var{def}, Pos: pos})
+		return
+	}
+	// Arrays declared over a domain must be allocated. Inferred-type
+	// array declarations (`var B = A;`) clone from the initializer via
+	// Move semantics instead.
+	if at, ok := v.Type.(*types.ArrayType); ok {
+		astAT, _ := d.Type.(*ast.ArrayType)
+		if astAT != nil {
+			fg.allocArray(v, at, astAT, pos)
+		}
+		if d.Init != nil {
+			iv := fg.genExpr(d.Init)
+			fg.emit(&ir.Instr{Op: ir.OpMove, Dst: v, A: iv, Pos: d.Init.Pos()})
+		} else if astAT == nil {
+			fg.g.errorf(pos, "array %s needs a domain or initializer", v.Name)
+		}
+		return
+	}
+	if d.Init != nil {
+		fg.genExprInto(v, d.Init)
+		// Declared-distributed domains mark their value (arrays allocated
+		// over them become block-distributed across locales).
+		if dt, ok := v.Type.(*types.DomainType); ok && dt.Dist == "Block" {
+			fg.emit(&ir.Instr{Op: ir.OpBuiltin, Dst: v, A: v, Method: "distribute:block", Pos: pos})
+		}
+		return
+	}
+	// Records without initializers are default-constructed here so
+	// array-typed fields allocate over the domains' *current* values
+	// (scalars/tuples are zeroed by frame/global setup).
+	if rt, ok := v.Type.(*types.RecordType); ok && !rt.IsClass {
+		fg.emit(&ir.Instr{Op: ir.OpBuiltin, Dst: v, Method: "definit", Pos: pos})
+	}
+}
+
+// allocArray emits the allocation of an array var over its declared domain.
+func (fg *fnGen) allocArray(v *ir.Var, at *types.ArrayType, astAT *ast.ArrayType, pos source.Pos) {
+	var domVar *ir.Var
+	if astAT != nil {
+		domVar = fg.domainOperand(astAT.Dom, pos)
+	} else {
+		fg.g.errorf(pos, "array %s needs an explicit domain", v.Name)
+		return
+	}
+	in := &ir.Instr{Op: ir.OpAllocArray, Dst: v, A: domVar, Pos: pos}
+	// Nested arrays ([D1] [D2] T): pass the inner domain so the VM can
+	// allocate per-element inner arrays.
+	if inner, ok := astAT.Elem.(*ast.ArrayType); ok {
+		in.B = fg.domainOperand(inner.Dom, pos)
+	}
+	fg.emit(in)
+	_ = at
+}
+
+// domainOperand evaluates an array-type domain spec (an identifier,
+// domain-valued expression, or list of ranges) into a domain var.
+func (fg *fnGen) domainOperand(dims []ast.Expr, pos source.Pos) *ir.Var {
+	if len(dims) == 1 {
+		t := fg.g.info.TypeOf(dims[0])
+		if t != nil && t.Kind() == types.Domain {
+			return fg.genExpr(dims[0])
+		}
+	}
+	// Ranges: build a domain literal.
+	var rangeVars []*ir.Var
+	for _, dim := range dims {
+		rangeVars = append(rangeVars, fg.genExpr(dim))
+	}
+	dv := fg.temp(&types.DomainType{Rank: len(dims)})
+	fg.emit(&ir.Instr{Op: ir.OpMakeDomain, Dst: dv, Args: rangeVars, Pos: pos})
+	return dv
+}
+
+// genRefInto lowers a `ref` alias initializer.
+func (fg *fnGen) genRefInto(dst *ir.Var, init ast.Expr) {
+	switch x := init.(type) {
+	case *ast.IndexExpr:
+		base := fg.genRefBase(x.X)
+		if len(x.Index) == 1 {
+			it := fg.g.info.TypeOf(x.Index[0])
+			if it != nil && (it.Kind() == types.Domain || it.Kind() == types.Range) {
+				iv := fg.genExpr(x.Index[0])
+				fg.emit(&ir.Instr{Op: ir.OpSlice, Dst: dst, A: base, B: iv, Pos: x.Pos()})
+				return
+			}
+		}
+		idx := fg.genIndexList(x.Index)
+		fg.emit(&ir.Instr{Op: ir.OpRefElem, Dst: dst, A: base, Args: idx, Pos: x.Pos()})
+	case *ast.FieldExpr:
+		base := fg.genRefBase(x.X)
+		ix := fg.fieldIndexOf(x)
+		fg.emit(&ir.Instr{Op: ir.OpRefField, Dst: dst, A: base, FieldIx: ix, Pos: x.Pos()})
+	case *ast.Ident:
+		src := fg.genExpr(x)
+		fg.emit(&ir.Instr{Op: ir.OpMove, Dst: dst, A: src, Pos: x.Pos()})
+	default:
+		// General expression: alias of a temp (degenerates to a copy).
+		src := fg.genExpr(init)
+		fg.emit(&ir.Instr{Op: ir.OpMove, Dst: dst, A: src, Pos: init.Pos()})
+	}
+}
+
+// ---------------------------------------------------------------- stmts
+
+func (fg *fnGen) blockStmt(b *ast.BlockStmt) {
+	for _, s := range b.Stmts {
+		fg.stmt(s)
+	}
+}
+
+func (fg *fnGen) stmt(s ast.Stmt) {
+	switch ss := s.(type) {
+	case *ast.VarDecl:
+		for _, name := range ss.Names {
+			sym := fg.g.info.Defs[name]
+			if sym == nil {
+				continue
+			}
+			v := fg.declareLocal(sym)
+			var astType ast.TypeExpr = ss.Type
+			_ = astType
+			fg.initVar(v, ss, name.NamePos)
+		}
+	case *ast.DeclStmt:
+		if pd, ok := ss.D.(*ast.ProcDecl); ok {
+			fg.g.lowerProc(pd, nil)
+		}
+	case *ast.AssignStmt:
+		fg.assign(ss)
+	case *ast.ExprStmt:
+		fg.genExpr(ss.X)
+	case *ast.BlockStmt:
+		fg.blockStmt(ss)
+	case *ast.IfStmt:
+		fg.ifStmt(ss)
+	case *ast.WhileStmt:
+		fg.whileStmt(ss)
+	case *ast.DoWhileStmt:
+		fg.doWhileStmt(ss)
+	case *ast.ForStmt:
+		fg.forStmt(ss)
+	case *ast.SelectStmt:
+		fg.selectStmt(ss)
+	case *ast.ReturnStmt:
+		if fg.iterCtx != nil {
+			// `return;` inside an inlined iterator ends the iteration.
+			fg.emit(&ir.Instr{Op: ir.OpJmp, Targets: [2]*ir.Block{fg.iterCtx.exit}, Pos: ss.RetPos})
+			return
+		}
+		if ss.X != nil && fg.f.RetVar != nil {
+			fg.genExprInto(fg.f.RetVar, ss.X)
+		}
+		fg.emit(&ir.Instr{Op: ir.OpRet, A: fg.f.RetVar, Pos: ss.RetPos})
+	case *ast.YieldStmt:
+		fg.yieldStmt(ss)
+	case *ast.BreakStmt:
+		if n := len(fg.loops); n > 0 {
+			fg.emit(&ir.Instr{Op: ir.OpJmp, Targets: [2]*ir.Block{fg.loops[n-1].brk}, Pos: ss.BrkPos})
+		}
+	case *ast.ContinueStmt:
+		if n := len(fg.loops); n > 0 {
+			fg.emit(&ir.Instr{Op: ir.OpJmp, Targets: [2]*ir.Block{fg.loops[n-1].cont}, Pos: ss.ContPos})
+		}
+	case *ast.OnStmt:
+		fg.spawnBlock(ir.SpawnOn, ss.Body, ss.Target, ss.OnPos)
+	case *ast.BeginStmt:
+		fg.spawnBlock(ir.SpawnBegin, ss.Body, nil, ss.BeginPos)
+	case *ast.CobeginStmt:
+		fg.cobegin(ss)
+	case *ast.SyncStmt:
+		fg.emit(&ir.Instr{Op: ir.OpBuiltin, Method: "sync_begin", Pos: ss.SyncPos})
+		fg.blockStmt(ss.Body)
+		fg.emit(&ir.Instr{Op: ir.OpBuiltin, Method: "sync_end", Pos: ss.SyncPos})
+	}
+}
+
+func (fg *fnGen) ifStmt(s *ast.IfStmt) {
+	cond := fg.genExpr(s.Cond)
+	thenB := fg.f.NewBlock()
+	exitB := fg.f.NewBlock()
+	elseB := exitB
+	if s.Else != nil {
+		elseB = fg.f.NewBlock()
+	}
+	fg.emit(&ir.Instr{Op: ir.OpBr, A: cond, Targets: [2]*ir.Block{thenB, elseB}, Pos: s.Cond.Pos()})
+	fg.cur = thenB
+	fg.blockStmt(s.Then)
+	fg.startBlock(exitB)
+	if s.Else != nil {
+		fg.cur = elseB
+		fg.stmt(s.Else)
+		fg.startBlock(exitB)
+	}
+	fg.cur = exitB
+}
+
+func (fg *fnGen) whileStmt(s *ast.WhileStmt) {
+	head := fg.f.NewBlock()
+	body := fg.f.NewBlock()
+	exit := fg.f.NewBlock()
+	fg.startBlock(head)
+	cond := fg.genExpr(s.Cond)
+	fg.emit(&ir.Instr{Op: ir.OpBr, A: cond, Targets: [2]*ir.Block{body, exit}, Pos: s.Cond.Pos()})
+	fg.cur = body
+	fg.loops = append(fg.loops, loopCtx{brk: exit, cont: head})
+	fg.blockStmt(s.Body)
+	fg.loops = fg.loops[:len(fg.loops)-1]
+	fg.startBlock(head)
+	fg.cur = exit
+}
+
+func (fg *fnGen) doWhileStmt(s *ast.DoWhileStmt) {
+	body := fg.f.NewBlock()
+	check := fg.f.NewBlock()
+	exit := fg.f.NewBlock()
+	fg.startBlock(body)
+	fg.loops = append(fg.loops, loopCtx{brk: exit, cont: check})
+	fg.blockStmt(s.Body)
+	fg.loops = fg.loops[:len(fg.loops)-1]
+	fg.startBlock(check)
+	cond := fg.genExpr(s.Cond)
+	fg.emit(&ir.Instr{Op: ir.OpBr, A: cond, Targets: [2]*ir.Block{body, exit}, Pos: s.Cond.Pos()})
+	fg.cur = exit
+}
+
+func (fg *fnGen) selectStmt(s *ast.SelectStmt) {
+	subj := fg.genExpr(s.Subject)
+	exit := fg.f.NewBlock()
+	for _, w := range s.Whens {
+		bodyB := fg.f.NewBlock()
+		nextB := fg.f.NewBlock()
+		// subj == v1 || subj == v2 ...
+		var matched *ir.Var
+		for _, val := range w.Values {
+			vv := fg.genExpr(val)
+			eq := fg.temp(types.BoolType)
+			fg.emit(&ir.Instr{Op: ir.OpBin, Dst: eq, BinOp: token.EQ, A: subj, B: vv, Pos: val.Pos()})
+			if matched == nil {
+				matched = eq
+			} else {
+				or := fg.temp(types.BoolType)
+				fg.emit(&ir.Instr{Op: ir.OpBin, Dst: or, BinOp: token.OR, A: matched, B: eq, Pos: val.Pos()})
+				matched = or
+			}
+		}
+		fg.emit(&ir.Instr{Op: ir.OpBr, A: matched, Targets: [2]*ir.Block{bodyB, nextB}, Pos: w.WhenPos})
+		fg.cur = bodyB
+		fg.blockStmt(w.Body)
+		fg.startBlock(exit)
+		fg.cur = nextB
+	}
+	if s.Otherwise != nil {
+		fg.blockStmt(s.Otherwise)
+	}
+	fg.startBlock(exit)
+	fg.cur = exit
+}
+
+// ----------------------------------------------------------- assignment
+
+func (fg *fnGen) assign(s *ast.AssignStmt) {
+	if s.Op == token.SWAP {
+		fg.swap(s)
+		return
+	}
+	var rhs *ir.Var
+	if s.Op == token.ASSIGN {
+		rhs = fg.genExpr(s.Rhs)
+	} else {
+		// Compound: load, combine, store.
+		cur := fg.genExpr(s.Lhs)
+		rv := fg.genExpr(s.Rhs)
+		var op token.Kind
+		switch s.Op {
+		case token.PLUS_ASSIGN:
+			op = token.PLUS
+		case token.MINUS_ASSIGN:
+			op = token.MINUS
+		case token.STAR_ASSIGN:
+			op = token.STAR
+		case token.SLASH_ASSIGN:
+			op = token.SLASH
+		}
+		t := fg.temp(fg.typeOf(s.Lhs))
+		fg.emit(&ir.Instr{Op: ir.OpBin, Dst: t, BinOp: op, A: cur, B: rv, Pos: s.Lhs.Pos()})
+		rhs = t
+	}
+	fg.store(s.Lhs, rhs)
+}
+
+func (fg *fnGen) swap(s *ast.AssignStmt) {
+	a := fg.genExpr(s.Lhs)
+	b := fg.genExpr(s.Rhs)
+	t := fg.temp(fg.typeOf(s.Lhs))
+	fg.emit(&ir.Instr{Op: ir.OpMove, Dst: t, A: a, Pos: s.Lhs.Pos()})
+	fg.store(s.Lhs, b)
+	fg.store(s.Rhs, t)
+}
+
+// store writes value into the location denoted by lhs.
+func (fg *fnGen) store(lhs ast.Expr, val *ir.Var) {
+	switch x := lhs.(type) {
+	case *ast.Ident:
+		dst := fg.identPlaceVar(x)
+		if dst == nil {
+			return
+		}
+		if fld, base := fg.fieldOfThis(x); fld >= 0 {
+			fg.emit(&ir.Instr{Op: ir.OpFieldStore, Dst: base, FieldIx: fld, A: val, Pos: x.Pos()})
+			return
+		}
+		fg.emit(&ir.Instr{Op: ir.OpMove, Dst: dst, A: val, Pos: x.Pos()})
+	case *ast.IndexExpr:
+		// Slice assignment A[D] = v writes through a view.
+		if len(x.Index) == 1 {
+			it := fg.g.info.TypeOf(x.Index[0])
+			if it != nil && (it.Kind() == types.Domain || it.Kind() == types.Range) {
+				view := fg.genExpr(x) // OpSlice
+				fg.emit(&ir.Instr{Op: ir.OpMove, Dst: view, A: val, Pos: x.Pos()})
+				return
+			}
+		}
+		base := fg.genRefBase(x.X)
+		idx := fg.genIndexList(x.Index)
+		fg.emit(&ir.Instr{Op: ir.OpIndexStore, Dst: base, Args: idx, A: val, Pos: x.Pos()})
+	case *ast.FieldExpr:
+		base := fg.genRefBase(x.X)
+		ix := fg.fieldIndexOf(x)
+		fg.emit(&ir.Instr{Op: ir.OpFieldStore, Dst: base, FieldIx: ix, A: val, Pos: x.Pos()})
+	case *ast.CallExpr:
+		// Tuple element store t(i) = v.
+		if ci := fg.g.info.Calls[x]; ci != nil && ci.TupleIndex {
+			base := fg.genRefBase(x.Fun)
+			iv := fg.genExpr(x.Args[0])
+			fg.emit(&ir.Instr{Op: ir.OpTupleSet, Dst: base, B: iv, FieldIx: -1, A: val, Pos: x.Pos()})
+			return
+		}
+		if ci := fg.g.info.Calls[x]; ci != nil && ci.TypeMethod == "index" {
+			base := fg.genRefBase(x.Fun)
+			idx := fg.genIndexList(x.Args)
+			fg.emit(&ir.Instr{Op: ir.OpIndexStore, Dst: base, Args: idx, A: val, Pos: x.Pos()})
+			return
+		}
+		fg.g.errorf(x.Pos(), "cannot assign to this expression")
+	default:
+		fg.g.errorf(lhs.Pos(), "cannot assign to this expression")
+	}
+}
+
+// identPlaceVar resolves an identifier lvalue to its var.
+func (fg *fnGen) identPlaceVar(x *ast.Ident) *ir.Var {
+	sym := fg.g.info.SymOf(x)
+	if sym == nil {
+		return nil
+	}
+	if sym.Storage == sem.StorageField {
+		// handled by fieldOfThis in store
+		return fg.thisVar
+	}
+	return fg.resolveVar(sym, x.NamePos)
+}
+
+// fieldOfThis reports whether ident x is an implicit this.field access in
+// a method, returning the field index and the receiver var.
+func (fg *fnGen) fieldOfThis(x *ast.Ident) (int, *ir.Var) {
+	sym := fg.g.info.SymOf(x)
+	if sym == nil || sym.Storage != sem.StorageField || fg.thisVar == nil {
+		return -1, nil
+	}
+	rt, ok := fg.thisVar.Type.(*types.RecordType)
+	if !ok {
+		return -1, nil
+	}
+	if ix := rt.FieldIndex(sym.Name); ix >= 0 {
+		return ix, fg.thisVar
+	}
+	return -1, nil
+}
+
+// fieldIndexOf resolves the field index of a FieldExpr against its base's
+// record type. Returns -1 for pseudo-fields (handled as queries).
+func (fg *fnGen) fieldIndexOf(x *ast.FieldExpr) int {
+	bt := fg.g.info.TypeOf(x.X)
+	if rt, ok := bt.(*types.RecordType); ok {
+		return rt.FieldIndex(x.Name.Name)
+	}
+	return -1
+}

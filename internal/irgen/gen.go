@@ -1,0 +1,269 @@
+// Package irgen lowers the type-checked MiniChapel AST to IR.
+//
+// The lowering mirrors the Chapel compiler behaviors the paper depends on:
+//
+//   - forall/coforall/begin bodies are outlined into synthetic functions
+//     (named like Chapel's coforall_fn_chplNN), so worker-thread samples
+//     need spawn-tag stack gluing to recover their full calling context;
+//   - zippered iteration lowers to per-iterand iterator setup and
+//     per-iteration follower advances (OpZipSetup/OpZipAdvance) — the
+//     overhead the MiniMD optimization removes;
+//   - array slices (A[D]) lower to OpSlice view construction, allocated
+//     descriptors whose repeated construction inside loops is the "domain
+//     remapping" cost of §V.A;
+//   - `for param` loops are unrolled at compile time (Table VII);
+//   - compiler temporaries are real IR variables flagged IsTemp, tracked
+//     through blame analysis but hidden from user views (§IV.A).
+package irgen
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/ir"
+	"repro/internal/sem"
+	"repro/internal/source"
+	"repro/internal/types"
+)
+
+// generator holds program-wide lowering state.
+type generator struct {
+	info *sem.Info
+	prog *ir.Program
+
+	// varOf maps semantic symbols to IR vars (globals and, per-function,
+	// locals — function-local entries are scoped by fnGen).
+	globalOf map[*sem.Symbol]*ir.Var
+	// funcOf maps proc symbols to IR functions.
+	funcOf map[*sem.Symbol]*ir.Func
+
+	outlineCount int
+	errs         []error
+}
+
+// Generate lowers a checked program to IR. The returned program is
+// finalized (addresses assigned, CFG edges computed) and validated.
+func Generate(info *sem.Info, prog *ast.Program) (*ir.Program, error) {
+	g := &generator{
+		info:     info,
+		prog:     ir.NewProgram(info.FileSet, prog.FileName),
+		globalOf: make(map[*sem.Symbol]*ir.Var),
+		funcOf:   make(map[*sem.Symbol]*ir.Func),
+	}
+
+	g.declareGlobals()
+	g.declareFuncs(prog)
+	g.emitRuntimeFuncs()
+	g.lowerModuleInit(prog)
+	g.lowerBodies(prog)
+
+	if len(g.errs) > 0 {
+		return nil, g.errs[0]
+	}
+	g.prog.Finalize()
+	if err := g.prog.Validate(); err != nil {
+		return nil, err
+	}
+	return g.prog, nil
+}
+
+func (g *generator) errorf(pos source.Pos, format string, args ...any) {
+	g.errs = append(g.errs, fmt.Errorf("irgen: line %d: %s", pos.Line, fmt.Sprintf(format, args...)))
+}
+
+func (g *generator) declareGlobals() {
+	for _, s := range g.info.Globals {
+		v := &ir.Var{
+			Name:     s.Name,
+			Sym:      s,
+			Type:     s.Type,
+			IsGlobal: true,
+			IsRef:    s.IsRefAlias,
+			Slot:     len(g.prog.Globals),
+		}
+		g.prog.Globals = append(g.prog.Globals, v)
+		g.globalOf[s] = v
+		if s.VarKind == ast.VarConfigConst {
+			g.prog.ConfigConsts[s.Name] = v
+		}
+	}
+}
+
+func (g *generator) declareFuncs(prog *ast.Program) {
+	for _, p := range g.info.Procs {
+		if p == g.info.ModuleInit {
+			continue
+		}
+		// Iterators never exist as standalone functions: they are
+		// inline-expanded at each loop site.
+		if p.Proc != nil && p.Proc.IsIter {
+			continue
+		}
+		f := g.prog.NewFunc(p.Name, p, p.Pos)
+		g.funcOf[p] = f
+	}
+	mi := g.prog.NewFunc("__module_init__", g.info.ModuleInit, source.NoPos)
+	g.funcOf[g.info.ModuleInit] = mi
+	g.prog.ModuleInit = mi
+	if g.info.Main != nil {
+		g.prog.Main = g.funcOf[g.info.Main]
+	}
+	// Record the field → domain mapping for array-typed record fields so
+	// the VM can default-initialize instances (CLOMP's zoneArray).
+	for _, d := range prog.Decls {
+		rd, ok := d.(*ast.RecordDecl)
+		if !ok {
+			continue
+		}
+		rt := g.info.Records[rd.Name.Name]
+		for i, fd := range rd.Fields {
+			at, ok := fd.Type.(*ast.ArrayType)
+			if !ok || len(at.Dom) != 1 {
+				continue
+			}
+			id, ok := at.Dom[0].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			sym := g.info.SymOf(id)
+			if sym == nil {
+				continue
+			}
+			gv := g.globalOf[sym]
+			if gv == nil {
+				continue
+			}
+			if g.prog.FieldDomains[rt] == nil {
+				g.prog.FieldDomains[rt] = make(map[int]*ir.Var)
+			}
+			g.prog.FieldDomains[rt][i] = gv
+		}
+	}
+}
+
+// emitRuntimeFuncs creates the synthetic Chapel-runtime functions visible
+// to the code-centric baseline (paper Fig. 4). Their bodies are markers;
+// the VM attributes idle-spin cycles to them.
+func (g *generator) emitRuntimeFuncs() {
+	for _, name := range []string{
+		"__sched_yield", "chpl_thread_yield", "__pthread_setcancelstate",
+		"atomic_fetch_add_explicit__real64", "_init",
+		"chpl_task_spawn", "chpl_task_callTaskFunction", "chpl_task_barrier",
+	} {
+		f := g.prog.NewFunc(name, nil, source.NoPos)
+		f.IsRuntime = true
+		b := f.NewBlock()
+		b.Instrs = append(b.Instrs,
+			&ir.Instr{Op: ir.OpYield},
+			&ir.Instr{Op: ir.OpRet})
+	}
+}
+
+// lowerModuleInit emits global initializers (in declaration order) and the
+// module-level statements into __module_init__.
+func (g *generator) lowerModuleInit(prog *ast.Program) {
+	fg := newFnGen(g, g.prog.ModuleInit, nil)
+	for _, d := range prog.Decls {
+		gd, ok := d.(*ast.GlobalVarDecl)
+		if !ok {
+			continue
+		}
+		fg.globalInit(gd.V)
+	}
+	for _, s := range prog.TopStmts {
+		fg.stmt(s)
+	}
+	fg.finish()
+}
+
+func (g *generator) lowerBodies(prog *ast.Program) {
+	for _, d := range prog.Decls {
+		switch dd := d.(type) {
+		case *ast.ProcDecl:
+			g.lowerProc(dd, nil)
+		case *ast.RecordDecl:
+			rt := g.info.Records[dd.Name.Name]
+			for _, m := range dd.Methods {
+				g.lowerProc(m, rt)
+			}
+		}
+	}
+}
+
+// lowerProc lowers one procedure (or method, with receiver rt).
+func (g *generator) lowerProc(d *ast.ProcDecl, rt *types.RecordType) {
+	if d.IsIter {
+		return // inline-expanded at loop sites
+	}
+	sym := g.info.Defs[d.Name]
+	f := g.funcOf[sym]
+	if f == nil {
+		return
+	}
+	fg := newFnGen(g, f, sym)
+
+	// Implicit receiver.
+	if rt != nil {
+		thisVar := &ir.Var{Name: "this", Type: rt, IsParam: true, IsRef: true, Func: f}
+		f.Params = append(f.Params, thisVar)
+		fg.thisVar = thisVar
+		// Bind the "this" semantic symbol if present.
+		for _, s := range g.info.AllSyms {
+			if s.Name == "this" && s.Owner == sym {
+				fg.vars[s] = thisVar
+			}
+		}
+	}
+	pt := sym.Type.(*types.ProcType)
+	for i, q := range d.Params {
+		psym := g.info.Defs[q.Name]
+		v := &ir.Var{
+			Name:    q.Name.Name,
+			Sym:     psym,
+			Type:    pt.Params[i].Type,
+			IsParam: true,
+			IsRef:   pt.Params[i].IsRef,
+			Func:    f,
+		}
+		f.Params = append(f.Params, v)
+		fg.vars[psym] = v
+	}
+	// Capture params for nested procedures (lambda lifting: captured
+	// enclosing locals become trailing ref params).
+	for _, capSym := range g.info.Captures[sym] {
+		v := &ir.Var{
+			Name:    capSym.Name,
+			Sym:     capSym,
+			Type:    capSym.Type,
+			IsParam: true,
+			IsRef:   true,
+			Func:    f,
+		}
+		f.Params = append(f.Params, v)
+		fg.vars[capSym] = v
+		fg.captureParams = append(fg.captureParams, capSym)
+	}
+	if pt.Ret != nil && pt.Ret.Kind() != types.Void {
+		f.RetVar = &ir.Var{Name: "__ret__", Type: pt.Ret, Func: f, IsTemp: true}
+	}
+	fg.blockStmt(d.Body)
+	fg.finish()
+	g.assignSlots(f)
+}
+
+// assignSlots numbers params and locals into frame slots.
+func (g *generator) assignSlots(f *ir.Func) {
+	slot := 0
+	for _, v := range f.Params {
+		v.Slot = slot
+		slot++
+	}
+	if f.RetVar != nil {
+		f.RetVar.Slot = slot
+		slot++
+	}
+	for _, v := range f.Locals {
+		v.Slot = slot
+		slot++
+	}
+}

@@ -1,0 +1,386 @@
+package irgen
+
+import (
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/ir"
+	"repro/internal/sem"
+	"repro/internal/source"
+	"repro/internal/types"
+)
+
+func (fg *fnGen) typeOf(e ast.Expr) types.Type {
+	t := fg.g.info.TypeOf(e)
+	if t == nil {
+		return types.IntType
+	}
+	return t
+}
+
+// genExpr evaluates e into a var (existing var for simple idents, a fresh
+// temp otherwise).
+func (fg *fnGen) genExpr(e ast.Expr) *ir.Var {
+	switch x := e.(type) {
+	case *ast.Ident:
+		sym := fg.g.info.SymOf(x)
+		if sym == nil {
+			return fg.constInt(0, x.NamePos)
+		}
+		if sym.Storage == sem.StorageField && fg.thisVar != nil {
+			if ix, base := fg.fieldOfThis(x); ix >= 0 {
+				t := fg.temp(sym.Type)
+				fg.emit(&ir.Instr{Op: ir.OpField, Dst: t, A: base, FieldIx: ix, Pos: x.NamePos})
+				return t
+			}
+		}
+		return fg.resolveVar(sym, x.NamePos)
+	case *ast.IntLit:
+		t := fg.temp(types.IntType)
+		fg.emit(&ir.Instr{Op: ir.OpConst, Dst: t, Lit: &ir.Lit{T: types.IntType, I: x.Value}, Pos: x.LitPos})
+		return t
+	case *ast.RealLit:
+		t := fg.temp(types.RealType)
+		fg.emit(&ir.Instr{Op: ir.OpConst, Dst: t, Lit: &ir.Lit{T: types.RealType, F: x.Value}, Pos: x.LitPos})
+		return t
+	case *ast.BoolLit:
+		t := fg.temp(types.BoolType)
+		fg.emit(&ir.Instr{Op: ir.OpConst, Dst: t, Lit: &ir.Lit{T: types.BoolType, B: x.Value}, Pos: x.LitPos})
+		return t
+	case *ast.StringLit:
+		t := fg.temp(types.StringType)
+		fg.emit(&ir.Instr{Op: ir.OpConst, Dst: t, Lit: &ir.Lit{T: types.StringType, S: x.Value}, Pos: x.LitPos})
+		return t
+	case *ast.BinaryExpr:
+		a := fg.genExpr(x.X)
+		b := fg.genExpr(x.Y)
+		t := fg.temp(fg.typeOf(x))
+		fg.emit(&ir.Instr{Op: ir.OpBin, Dst: t, BinOp: x.Op, A: a, B: b, Pos: x.Pos()})
+		return t
+	case *ast.UnaryExpr:
+		a := fg.genExpr(x.X)
+		t := fg.temp(fg.typeOf(x))
+		fg.emit(&ir.Instr{Op: ir.OpUn, Dst: t, BinOp: x.Op, A: a, Pos: x.OpPos})
+		return t
+	case *ast.RangeExpr:
+		return fg.genRange(x)
+	case *ast.DomainLit:
+		var rs []*ir.Var
+		for _, d := range x.Dims {
+			rs = append(rs, fg.genExpr(d))
+		}
+		t := fg.temp(fg.typeOf(x))
+		fg.emit(&ir.Instr{Op: ir.OpMakeDomain, Dst: t, Args: rs, Pos: x.Lbrace})
+		return t
+	case *ast.TupleExpr:
+		var elems []*ir.Var
+		for _, el := range x.Elems {
+			elems = append(elems, fg.genExpr(el))
+		}
+		t := fg.temp(fg.typeOf(x))
+		fg.emit(&ir.Instr{Op: ir.OpMakeTuple, Dst: t, Args: elems, Pos: x.Lparen})
+		return t
+	case *ast.IndexExpr:
+		return fg.genIndex(x)
+	case *ast.FieldExpr:
+		return fg.genField(x)
+	case *ast.CallExpr:
+		return fg.genCall(x)
+	case *ast.IfExpr:
+		return fg.genIfExpr(x)
+	case *ast.NewExpr:
+		t := fg.temp(fg.typeOf(x))
+		fg.emit(&ir.Instr{Op: ir.OpAllocRec, Dst: t, Pos: x.NewPos})
+		return t
+	case *ast.ReduceExpr:
+		if call, ok := x.X.(*ast.CallExpr); ok {
+			if ci := fg.g.info.Calls[call]; ci != nil && ci.Iterator {
+				return fg.inlineIterReduce(x, call, ci.Target)
+			}
+		}
+		a := fg.genExpr(x.X)
+		t := fg.temp(fg.typeOf(x))
+		fg.emit(&ir.Instr{Op: ir.OpBuiltin, Dst: t, Method: "reduce:" + x.Op.String(), Args: []*ir.Var{a}, Pos: x.OpPos})
+		return t
+	}
+	fg.g.errorf(e.Pos(), "cannot lower expression %T", e)
+	return fg.constInt(0, e.Pos())
+}
+
+// genExprInto evaluates e directly into dst (used for declarations with
+// initializers and returns, so the write blames the declared variable).
+func (fg *fnGen) genExprInto(dst *ir.Var, e ast.Expr) {
+	v := fg.genExpr(e)
+	fg.emit(&ir.Instr{Op: ir.OpMove, Dst: dst, A: v, Pos: e.Pos()})
+}
+
+func (fg *fnGen) genRange(x *ast.RangeExpr) *ir.Var {
+	lo := fg.genExpr(x.Lo)
+	var hi *ir.Var
+	counted := false
+	if x.Hi != nil {
+		hi = fg.genExpr(x.Hi)
+	} else if x.Count != nil {
+		hi = fg.genExpr(x.Count)
+		counted = true
+	} else {
+		hi = lo
+	}
+	t := fg.temp(types.RangeVal)
+	in := &ir.Instr{Op: ir.OpMakeRange, Dst: t, A: lo, B: hi, Pos: x.RangePos}
+	if counted {
+		in.Method = "counted"
+	}
+	if x.By != nil {
+		in.Args = []*ir.Var{fg.genExpr(x.By)}
+	}
+	fg.emit(in)
+	return t
+}
+
+func (fg *fnGen) genIndexList(idx []ast.Expr) []*ir.Var {
+	var out []*ir.Var
+	for _, i := range idx {
+		out = append(out, fg.genExpr(i))
+	}
+	return out
+}
+
+// genRefBase evaluates an access-chain base into a var that can be stored
+// through: plain vars are returned directly, intermediate element/field
+// accesses become ref temps (alias defs the blame analysis follows).
+func (fg *fnGen) genRefBase(e ast.Expr) *ir.Var {
+	switch x := e.(type) {
+	case *ast.Ident:
+		sym := fg.g.info.SymOf(x)
+		if sym == nil {
+			return fg.constInt(0, x.NamePos)
+		}
+		if sym.Storage == sem.StorageField && fg.thisVar != nil {
+			if ix, base := fg.fieldOfThis(x); ix >= 0 {
+				rt := fg.temp(sym.Type)
+				rt.IsRef = true
+				fg.emit(&ir.Instr{Op: ir.OpRefField, Dst: rt, A: base, FieldIx: ix, Pos: x.NamePos})
+				return rt
+			}
+		}
+		return fg.resolveVar(sym, x.NamePos)
+	case *ast.IndexExpr:
+		base := fg.genRefBase(x.X)
+		// Slice base: materialize the view, then continue through it.
+		if len(x.Index) == 1 {
+			it := fg.g.info.TypeOf(x.Index[0])
+			if it != nil && (it.Kind() == types.Domain || it.Kind() == types.Range) {
+				iv := fg.genExpr(x.Index[0])
+				t := fg.temp(fg.typeOf(x))
+				t.IsRef = true
+				fg.emit(&ir.Instr{Op: ir.OpSlice, Dst: t, A: base, B: iv, Pos: x.Pos()})
+				return t
+			}
+		}
+		idx := fg.genIndexList(x.Index)
+		t := fg.temp(fg.typeOf(x))
+		t.IsRef = true
+		fg.emit(&ir.Instr{Op: ir.OpRefElem, Dst: t, A: base, Args: idx, Pos: x.Pos()})
+		return t
+	case *ast.FieldExpr:
+		base := fg.genRefBase(x.X)
+		ix := fg.fieldIndexOf(x)
+		t := fg.temp(fg.typeOf(x))
+		t.IsRef = true
+		fg.emit(&ir.Instr{Op: ir.OpRefField, Dst: t, A: base, FieldIx: ix, Pos: x.Pos()})
+		return t
+	case *ast.CallExpr:
+		// Tuple element ref t(i) or array call-indexing a(i).
+		if ci := fg.g.info.Calls[x]; ci != nil && ci.TupleIndex {
+			base := fg.genRefBase(x.Fun)
+			iv := fg.genExpr(x.Args[0])
+			t := fg.temp(fg.typeOf(x))
+			t.IsRef = true
+			fg.emit(&ir.Instr{Op: ir.OpRefField, Dst: t, A: base, B: iv, FieldIx: -1, Pos: x.Pos()})
+			return t
+		}
+		if ci := fg.g.info.Calls[x]; ci != nil && ci.TypeMethod == "index" {
+			base := fg.genRefBase(x.Fun)
+			idx := fg.genIndexList(x.Args)
+			t := fg.temp(fg.typeOf(x))
+			t.IsRef = true
+			fg.emit(&ir.Instr{Op: ir.OpRefElem, Dst: t, A: base, Args: idx, Pos: x.Pos()})
+			return t
+		}
+	}
+	return fg.genExpr(e)
+}
+
+func (fg *fnGen) genIndex(x *ast.IndexExpr) *ir.Var {
+	base := fg.genRefBase(x.X)
+	bt := fg.g.info.TypeOf(x.X)
+	// Tuple indexing with [].
+	if bt != nil && bt.Kind() == types.Tuple {
+		iv := fg.genExpr(x.Index[0])
+		t := fg.temp(fg.typeOf(x))
+		fg.emit(&ir.Instr{Op: ir.OpTupleGet, Dst: t, A: base, B: iv, FieldIx: -1, Pos: x.Pos()})
+		return t
+	}
+	// Slice: A[D] or A[lo..hi] — builds an aliasing view (costed: this is
+	// the "domain remapping" overhead of §V.A).
+	if len(x.Index) == 1 {
+		it := fg.g.info.TypeOf(x.Index[0])
+		if it != nil && (it.Kind() == types.Domain || it.Kind() == types.Range) {
+			iv := fg.genExpr(x.Index[0])
+			t := fg.temp(fg.typeOf(x))
+			t.IsRef = true
+			fg.emit(&ir.Instr{Op: ir.OpSlice, Dst: t, A: base, B: iv, Pos: x.Pos()})
+			return t
+		}
+	}
+	idx := fg.genIndexList(x.Index)
+	t := fg.temp(fg.typeOf(x))
+	fg.emit(&ir.Instr{Op: ir.OpIndex, Dst: t, A: base, Args: idx, Pos: x.Pos()})
+	return t
+}
+
+func (fg *fnGen) genField(x *ast.FieldExpr) *ir.Var {
+	bt := fg.g.info.TypeOf(x.X)
+	name := x.Name.Name
+	// Record field access.
+	if rt, ok := bt.(*types.RecordType); ok {
+		base := fg.genRefBase(x.X)
+		ix := rt.FieldIndex(name)
+		t := fg.temp(fg.typeOf(x))
+		fg.emit(&ir.Instr{Op: ir.OpField, Dst: t, A: base, FieldIx: ix, Pos: x.Pos()})
+		return t
+	}
+	// Built-in queries: size/low/high/domain/...
+	base := fg.genExpr(x.X)
+	t := fg.temp(fg.typeOf(x))
+	fg.emit(&ir.Instr{Op: ir.OpQuery, Dst: t, A: base, Method: name, Pos: x.Pos()})
+	return t
+}
+
+func (fg *fnGen) genIfExpr(x *ast.IfExpr) *ir.Var {
+	cond := fg.genExpr(x.Cond)
+	t := fg.temp(fg.typeOf(x))
+	thenB := fg.f.NewBlock()
+	elseB := fg.f.NewBlock()
+	exitB := fg.f.NewBlock()
+	fg.emit(&ir.Instr{Op: ir.OpBr, A: cond, Targets: [2]*ir.Block{thenB, elseB}, Pos: x.IfPos})
+	fg.cur = thenB
+	av := fg.genExpr(x.Then)
+	fg.emit(&ir.Instr{Op: ir.OpMove, Dst: t, A: av, Pos: x.Then.Pos()})
+	fg.startBlock(exitB)
+	fg.cur = elseB
+	bv := fg.genExpr(x.Else)
+	fg.emit(&ir.Instr{Op: ir.OpMove, Dst: t, A: bv, Pos: x.Else.Pos()})
+	fg.startBlock(exitB)
+	fg.cur = exitB
+	return t
+}
+
+// ------------------------------------------------------------------ calls
+
+func (fg *fnGen) genCall(x *ast.CallExpr) *ir.Var {
+	ci := fg.g.info.Calls[x]
+	if ci == nil {
+		fg.g.errorf(x.Pos(), "unresolved call")
+		return fg.constInt(0, x.Pos())
+	}
+	switch {
+	case ci.TupleIndex:
+		base := fg.genRefBase(x.Fun)
+		iv := fg.genExpr(x.Args[0])
+		t := fg.temp(fg.typeOf(x))
+		fg.emit(&ir.Instr{Op: ir.OpTupleGet, Dst: t, A: base, B: iv, FieldIx: -1, Pos: x.Pos()})
+		return t
+	case ci.TypeMethod == "index":
+		base := fg.genRefBase(x.Fun)
+		idx := fg.genIndexList(x.Args)
+		t := fg.temp(fg.typeOf(x))
+		fg.emit(&ir.Instr{Op: ir.OpIndex, Dst: t, A: base, Args: idx, Pos: x.Pos()})
+		return t
+	case strings.HasPrefix(ci.TypeMethod, "atomic:"):
+		// Atomic ops mutate through the receiver: take its cell.
+		fe := x.Fun.(*ast.FieldExpr)
+		base := fg.genRefBase(fe.X)
+		args := fg.genIndexList(x.Args)
+		var dst *ir.Var
+		if rt := fg.typeOf(x); rt != nil && rt.Kind() != types.Void {
+			dst = fg.temp(rt)
+		}
+		fg.emit(&ir.Instr{Op: ir.OpBuiltin, Dst: dst, A: base, Args: args, Method: ci.TypeMethod, Pos: x.Pos()})
+		if dst == nil {
+			dst = fg.constInt(0, x.Pos())
+		}
+		return dst
+	case ci.TypeMethod != "":
+		// Domain/array/range methods: expand, dim, size, reindex...
+		fe := x.Fun.(*ast.FieldExpr)
+		base := fg.genExpr(fe.X)
+		args := fg.genIndexList(x.Args)
+		t := fg.temp(fg.typeOf(x))
+		fg.emit(&ir.Instr{Op: ir.OpDomMethod, Dst: t, A: base, Args: args, Method: ci.TypeMethod, Pos: x.Pos()})
+		return t
+	case ci.Builtin != "":
+		args := fg.genIndexList(x.Args)
+		var dst *ir.Var
+		rt := fg.typeOf(x)
+		if rt != nil && rt.Kind() != types.Void {
+			dst = fg.temp(rt)
+		}
+		fg.emit(&ir.Instr{Op: ir.OpBuiltin, Dst: dst, Method: ci.Builtin, Args: args, Pos: x.Pos()})
+		if dst == nil {
+			dst = fg.constInt(0, x.Pos())
+		}
+		return dst
+	case ci.Method:
+		fe := x.Fun.(*ast.FieldExpr)
+		recv := fg.genRefBase(fe.X)
+		return fg.emitCall(ci.Target, append([]*ir.Var{recv}, fg.callArgs(ci.Target, x.Args, 1)...), x.Pos(), fg.typeOf(x))
+	case ci.Target != nil:
+		return fg.emitCall(ci.Target, fg.callArgs(ci.Target, x.Args, 0), x.Pos(), fg.typeOf(x))
+	}
+	fg.g.errorf(x.Pos(), "cannot lower call")
+	return fg.constInt(0, x.Pos())
+}
+
+// callArgs lowers call arguments; args passed to ref formals are lowered
+// as places (ref temps for elements/fields) so the callee writes through.
+func (fg *fnGen) callArgs(target *sem.Symbol, args []ast.Expr, skip int) []*ir.Var {
+	pt, _ := target.Type.(*types.ProcType)
+	var out []*ir.Var
+	for i, a := range args {
+		isRef := false
+		if pt != nil && i+skip < len(pt.Params) {
+			isRef = pt.Params[i+skip].IsRef
+		}
+		if isRef {
+			out = append(out, fg.genRefBase(a))
+		} else {
+			out = append(out, fg.genExpr(a))
+		}
+	}
+	return out
+}
+
+// emitCall emits the OpCall, appending capture args for nested procs.
+func (fg *fnGen) emitCall(target *sem.Symbol, args []*ir.Var, pos source.Pos, retT types.Type) *ir.Var {
+	callee := fg.g.funcOf[target]
+	if callee == nil {
+		fg.g.errorf(pos, "no IR function for %s", target.Name)
+		return fg.constInt(0, pos)
+	}
+	// Nested procedures take their captured enclosing locals as trailing
+	// ref params; the caller supplies them from its own frame.
+	for _, capSym := range fg.g.info.Captures[target] {
+		args = append(args, fg.resolveVar(capSym, pos))
+	}
+	var dst *ir.Var
+	if retT != nil && retT.Kind() != types.Void {
+		dst = fg.temp(retT)
+	}
+	fg.emit(&ir.Instr{Op: ir.OpCall, Dst: dst, Callee: callee, Args: args, Pos: pos})
+	if dst == nil {
+		dst = fg.constInt(0, pos)
+	}
+	return dst
+}

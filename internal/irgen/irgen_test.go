@@ -1,0 +1,739 @@
+package irgen_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/ir"
+)
+
+func build(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	res, err := compile.Source("t.mchpl", src, compile.Options{})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return res.Prog
+}
+
+func fn(t *testing.T, p *ir.Program, name string) *ir.Func {
+	t.Helper()
+	f := p.FuncByName(name)
+	if f == nil {
+		t.Fatalf("function %s not found; have:\n%s", name, p.Dump())
+	}
+	return f
+}
+
+func countOps(f *ir.Func, op ir.Op) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == op {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestSimpleAssignLowering(t *testing.T) {
+	p := build(t, `
+proc main() {
+  var a = 2;
+  var b = 3;
+  var c = 0;
+  if a < b {
+    a = b + 1;
+  }
+  c = a + b;
+}
+`)
+	f := fn(t, p, "main")
+	if countOps(f, ir.OpBr) != 1 {
+		t.Errorf("expected 1 branch, got %d\n%s", countOps(f, ir.OpBr), f.Dump())
+	}
+	if countOps(f, ir.OpBin) < 3 {
+		t.Errorf("expected at least 3 bin ops")
+	}
+	// Blocks must all be terminated and finalized with addresses.
+	for _, b := range f.Blocks {
+		if b.Terminator() == nil {
+			t.Errorf("block b%d unterminated", b.ID)
+		}
+	}
+	if len(p.Instrs) == 0 {
+		t.Error("no instruction addresses assigned")
+	}
+}
+
+func TestInstrAddressesAreDense(t *testing.T) {
+	p := build(t, `
+proc f(a: int): int { return a * 2; }
+proc main() { var x = f(21); }
+`)
+	for i, in := range p.Instrs {
+		if int(in.Addr) != i {
+			t.Fatalf("instr %d has addr %d", i, in.Addr)
+		}
+		if p.InstrAt(in.Addr) != in {
+			t.Fatalf("InstrAt roundtrip failed at %d", i)
+		}
+	}
+	if p.InstrAt(uint64(len(p.Instrs))) != nil {
+		t.Error("InstrAt out of range should be nil")
+	}
+}
+
+func TestDebugLineInfo(t *testing.T) {
+	p := build(t, `proc main() {
+  var a = 2;
+  var b = 3;
+}
+`)
+	f := fn(t, p, "main")
+	lines := map[int32]bool{}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Pos.IsValid() {
+				lines[in.Pos.Line] = true
+			}
+		}
+	}
+	if !lines[2] || !lines[3] {
+		t.Errorf("line info missing: %v", lines)
+	}
+}
+
+func TestGlobalsAndModuleInit(t *testing.T) {
+	p := build(t, `
+var g = 1.5;
+config const n = 8;
+proc main() { }
+`)
+	if len(p.Globals) != 2 {
+		t.Fatalf("globals = %d", len(p.Globals))
+	}
+	mi := p.ModuleInit
+	if mi == nil {
+		t.Fatal("no module init")
+	}
+	// config const lowering uses the config builtin.
+	found := false
+	for _, b := range mi.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpBuiltin && strings.HasPrefix(in.Method, "config:") {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("config const not lowered via config builtin")
+	}
+	if p.ConfigConsts["n"] == nil {
+		t.Error("config const var not registered")
+	}
+}
+
+func TestArrayAllocationLowering(t *testing.T) {
+	p := build(t, `
+config const n = 4;
+var D: domain(1) = {0..#n};
+var A: [D] real;
+proc main() { A[0] = 1.0; }
+`)
+	mi := p.ModuleInit
+	if countOps(mi, ir.OpAllocArray) != 1 {
+		t.Errorf("expected 1 array allocation in module init\n%s", mi.Dump())
+	}
+	f := fn(t, p, "main")
+	if countOps(f, ir.OpIndexStore) != 1 {
+		t.Errorf("expected 1 index store\n%s", f.Dump())
+	}
+}
+
+func TestNestedArrayAllocation(t *testing.T) {
+	p := build(t, `
+config const n = 2;
+var DistSpace: domain(1) = {0..#n};
+var perBinSpace: domain(1) = {0..#8};
+type v3 = 3*real;
+var Pos: [DistSpace] [perBinSpace] v3;
+proc main() { }
+`)
+	mi := p.ModuleInit
+	var alloc *ir.Instr
+	for _, b := range mi.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpAllocArray && in.Dst.Name == "Pos" {
+				alloc = in
+			}
+		}
+	}
+	if alloc == nil {
+		t.Fatalf("Pos allocation missing\n%s", mi.Dump())
+	}
+	if alloc.B == nil {
+		t.Error("nested allocation must carry the inner domain")
+	}
+}
+
+func TestSliceLoweringAndRefAlias(t *testing.T) {
+	p := build(t, `
+config const n = 8;
+var D: domain(1) = {0..#n};
+var inner: domain(1) = {1..6};
+var A: [D] real;
+ref R = A[inner];
+proc main() { R[2] = 1.0; }
+`)
+	mi := p.ModuleInit
+	var slice *ir.Instr
+	for _, b := range mi.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpSlice {
+				slice = in
+			}
+		}
+	}
+	if slice == nil {
+		t.Fatalf("no slice op\n%s", mi.Dump())
+	}
+	if slice.Dst.Name != "R" || slice.A.Name != "A" {
+		t.Errorf("slice %s should alias R = A[...]", slice)
+	}
+	if !slice.IsAliasDef() {
+		t.Error("slice must be an alias def")
+	}
+}
+
+func TestFieldChainStore(t *testing.T) {
+	p := build(t, `
+config const nz = 4;
+var zoneSpace: domain(1) = {0..#nz};
+record Zone { var value: real; }
+class Part {
+  var zoneArray: [zoneSpace] Zone;
+  var residue: real;
+}
+config const np = 2;
+var partSpace: domain(1) = {0..#np};
+var partArray: [partSpace] Part;
+proc main() {
+  partArray[0] = new Part();
+  partArray[0].zoneArray[1].value = 3.5;
+  partArray[0].residue = 0.25;
+}
+`)
+	f := fn(t, p, "main")
+	if countOps(f, ir.OpFieldStore) != 2 {
+		t.Errorf("expected 2 field stores\n%s", f.Dump())
+	}
+	if countOps(f, ir.OpRefElem) < 2 {
+		t.Errorf("expected ref-elem chain\n%s", f.Dump())
+	}
+	if countOps(f, ir.OpAllocRec) != 1 {
+		t.Errorf("expected 1 class allocation")
+	}
+	// FieldDomains must record zoneArray's domain for default init.
+	found := false
+	for _, m := range p.FieldDomains {
+		for _, v := range m {
+			if v.Name == "zoneSpace" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("FieldDomains missing zoneSpace mapping")
+	}
+}
+
+func TestSerialLoopCFG(t *testing.T) {
+	p := build(t, `
+proc main() {
+  var s = 0;
+  for i in 1..10 {
+    s += i;
+  }
+}
+`)
+	f := fn(t, p, "main")
+	// header, body, incr, exit blocks at minimum.
+	if len(f.Blocks) < 4 {
+		t.Errorf("expected loop CFG, got %d blocks\n%s", len(f.Blocks), f.Dump())
+	}
+	hasBackedge := false
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs {
+			if s.ID < b.ID {
+				hasBackedge = true
+			}
+		}
+	}
+	if !hasBackedge {
+		t.Error("no back edge in loop CFG")
+	}
+}
+
+func TestParamForUnrolled(t *testing.T) {
+	p := build(t, `
+proc main() {
+  var s = 0;
+  for param i in 1..4 {
+    s += i;
+  }
+}
+`)
+	f := fn(t, p, "main")
+	// Unrolled: no branches, 4 copies of the body add.
+	if countOps(f, ir.OpBr) != 0 {
+		t.Errorf("param for must unroll (no branches)\n%s", f.Dump())
+	}
+	adds := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpBin && in.BinOp.String() == "+" {
+				adds++
+			}
+		}
+	}
+	if adds != 4 {
+		t.Errorf("expected 4 unrolled adds, got %d", adds)
+	}
+}
+
+func TestForallOutlining(t *testing.T) {
+	p := build(t, `
+config const n = 8;
+var D: domain(1) = {0..#n};
+proc main() {
+  var A: [D] real;
+  forall i in D {
+    A[i] = i * 2.0;
+  }
+}
+`)
+	f := fn(t, p, "main")
+	if countOps(f, ir.OpSpawn) != 1 {
+		t.Fatalf("expected 1 spawn\n%s", f.Dump())
+	}
+	var spawn *ir.Instr
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpSpawn {
+				spawn = in
+			}
+		}
+	}
+	body := spawn.Callee
+	if !body.Outlined || body.OutlinedFrom != f {
+		t.Error("body not marked outlined from main")
+	}
+	if !strings.HasPrefix(body.Name, "forall_fn_chpl") {
+		t.Errorf("outlined name = %q", body.Name)
+	}
+	if spawn.Spawn.Kind != ir.SpawnForall || spawn.Spawn.NumIdx != 1 {
+		t.Errorf("spawn info: %+v", spawn.Spawn)
+	}
+	// A must be captured as a trailing ref param.
+	if len(body.Params) < 2 {
+		t.Fatalf("body params: %v", body.Params)
+	}
+	foundA := false
+	for _, q := range body.Params[1:] {
+		if q.Name == "A" && q.IsRef {
+			foundA = true
+		}
+	}
+	if !foundA {
+		t.Errorf("A not captured by the outlined body\n%s", body.Dump())
+	}
+	// The spawn must pass A for that capture.
+	if len(spawn.Args) != len(body.Params)-spawn.Spawn.NumIdx {
+		t.Errorf("spawn args %d vs body captures %d", len(spawn.Args), len(body.Params)-1)
+	}
+}
+
+func TestCoforallOutlining(t *testing.T) {
+	p := build(t, `
+config const nTasks = 4;
+proc main() {
+  var total = 0;
+  coforall tid in 0..#nTasks {
+    total += tid;
+  }
+}
+`)
+	f := fn(t, p, "main")
+	var spawn *ir.Instr
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpSpawn {
+				spawn = in
+			}
+		}
+	}
+	if spawn == nil || spawn.Spawn.Kind != ir.SpawnCoforall {
+		t.Fatalf("missing coforall spawn")
+	}
+	if !strings.HasPrefix(spawn.Callee.Name, "coforall_fn_chpl") {
+		t.Errorf("name = %q", spawn.Callee.Name)
+	}
+}
+
+func TestZipForallLowering(t *testing.T) {
+	p := build(t, `
+config const n = 8;
+var D: domain(1) = {0..#n};
+var Bins: [D] real;
+var Pos: [D] real;
+proc main() {
+  forall (b, q) in zip(Bins, Pos) {
+    b = q * 2.0;
+  }
+}
+`)
+	f := fn(t, p, "main")
+	var spawn *ir.Instr
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpSpawn {
+				spawn = in
+			}
+		}
+	}
+	if spawn == nil {
+		t.Fatal("no spawn")
+	}
+	if len(spawn.Spawn.Followers) != 1 {
+		t.Fatalf("followers = %d", len(spawn.Spawn.Followers))
+	}
+	body := spawn.Callee
+	if countOps(body, ir.OpZipAdvance) != 1 {
+		t.Errorf("follower must pay zip advance\n%s", body.Dump())
+	}
+	if countOps(body, ir.OpRefElem) != 2 {
+		t.Errorf("both zip vars must bind via refelem\n%s", body.Dump())
+	}
+}
+
+func TestSerialZipLowering(t *testing.T) {
+	p := build(t, `
+config const n = 8;
+var D: domain(1) = {0..#n};
+var A: [D] real;
+var B: [D] real;
+proc main() {
+  for (a, b) in zip(A, B) {
+    a = b + 1.0;
+  }
+}
+`)
+	f := fn(t, p, "main")
+	if countOps(f, ir.OpZipSetup) != 2 {
+		t.Errorf("expected 2 zip setups\n%s", f.Dump())
+	}
+	if countOps(f, ir.OpZipAdvance) != 1 {
+		t.Errorf("expected 1 zip advance per iteration")
+	}
+}
+
+func TestNestedProcCapturesLifted(t *testing.T) {
+	p := build(t, `
+proc outer(ref bx: 8*real) {
+  var partial = 0.0;
+  proc inner(k: int) {
+    partial += k * 1.0;
+    bx(1) = partial;
+  }
+  inner(1);
+  inner(2);
+}
+proc main() {
+  var b: 8*real;
+  outer(b);
+}
+`)
+	inner := fn(t, p, "inner")
+	// inner's params: k + captures (partial, bx).
+	if len(inner.Params) != 3 {
+		t.Fatalf("inner params = %d, want 3 (k + 2 captures)\n%s", len(inner.Params), inner.Dump())
+	}
+	outer := fn(t, p, "outer")
+	var call *ir.Instr
+	for _, b := range outer.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpCall && in.Callee == inner {
+				call = in
+			}
+		}
+	}
+	if call == nil {
+		t.Fatal("call to inner missing")
+	}
+	if len(call.Args) != 3 {
+		t.Errorf("call args = %d, want 3", len(call.Args))
+	}
+}
+
+func TestMethodLowering(t *testing.T) {
+	p := build(t, `
+record counter {
+  var n: int;
+  proc bump() { n += 1; }
+}
+var c: counter;
+proc main() { c.bump(); }
+`)
+	bump := fn(t, p, "bump")
+	if len(bump.Params) == 0 || bump.Params[0].Name != "this" {
+		t.Fatalf("method must take this:\n%s", bump.Dump())
+	}
+	if countOps(bump, ir.OpFieldStore) != 1 {
+		t.Errorf("field store through this missing\n%s", bump.Dump())
+	}
+}
+
+func TestSelectLowering(t *testing.T) {
+	p := build(t, `
+proc main() {
+  var x = 2;
+  var y = 0;
+  select x {
+    when 1 { y = 1; }
+    when 2, 3 { y = 2; }
+    otherwise { y = 9; }
+  }
+}
+`)
+	f := fn(t, p, "main")
+	if countOps(f, ir.OpBr) != 2 {
+		t.Errorf("select should lower to 2 branches, got %d\n%s", countOps(f, ir.OpBr), f.Dump())
+	}
+}
+
+func TestTupleOps(t *testing.T) {
+	p := build(t, `
+type v3 = 3*real;
+proc main() {
+  var p: v3 = (1.0, 2.0, 3.0);
+  p(1) = 5.0;
+  var x = p(1) + p(2);
+}
+`)
+	f := fn(t, p, "main")
+	if countOps(f, ir.OpMakeTuple) != 1 {
+		t.Errorf("tuple construction missing")
+	}
+	if countOps(f, ir.OpTupleSet) != 1 {
+		t.Errorf("tuple set missing\n%s", f.Dump())
+	}
+	if countOps(f, ir.OpTupleGet) != 2 {
+		t.Errorf("tuple gets = %d", countOps(f, ir.OpTupleGet))
+	}
+}
+
+func TestRuntimeFuncsPresent(t *testing.T) {
+	p := build(t, `proc main() { }`)
+	for _, name := range []string{"__sched_yield", "chpl_thread_yield"} {
+		f := p.FuncByName(name)
+		if f == nil || !f.IsRuntime {
+			t.Errorf("runtime func %s missing", name)
+		}
+	}
+}
+
+func TestReturnThroughRetVar(t *testing.T) {
+	p := build(t, `
+proc sq(x: real): real { return x * x; }
+proc main() { var y = sq(3.0); }
+`)
+	sq := fn(t, p, "sq")
+	if sq.RetVar == nil {
+		t.Fatal("no ret var")
+	}
+	// The return value must be moved into RetVar before ret.
+	found := false
+	for _, b := range sq.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpMove && in.Dst == sq.RetVar {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("return value not staged through RetVar\n%s", sq.Dump())
+	}
+}
+
+func TestValidateCatchesMalformed(t *testing.T) {
+	p := build(t, `proc main() { var x = 1; }`)
+	f := fn(t, p, "main")
+	// Break the function and confirm Validate notices.
+	f.Blocks[len(f.Blocks)-1].Instrs = f.Blocks[len(f.Blocks)-1].Instrs[:0]
+	f.Blocks[len(f.Blocks)-1].Instrs = append(f.Blocks[len(f.Blocks)-1].Instrs, &ir.Instr{Op: ir.OpNop})
+	if err := p.Validate(); err == nil {
+		t.Error("Validate should reject unterminated block")
+	}
+}
+
+func TestFastPipelineFoldsAndPrunes(t *testing.T) {
+	src := `
+proc main() {
+  var x = 2 * 3 + 1;
+  var unused = 4 * 5;
+  writeln(x);
+}
+`
+	slow, err := compile.Source("t", src, compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := compile.Source("t", src, compile.Options{Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fast.Prog.Optimized {
+		t.Error("fast program not marked optimized")
+	}
+	nSlow := len(slow.Prog.Instrs)
+	nFast := len(fast.Prog.Instrs)
+	if nFast >= nSlow {
+		t.Errorf("--fast should shrink the program: %d vs %d", nFast, nSlow)
+	}
+}
+
+func TestWhileAndBreakContinue(t *testing.T) {
+	p := build(t, `
+proc main() {
+  var i = 0;
+  while true {
+    i += 1;
+    if i > 10 { break; }
+    if i % 2 == 0 { continue; }
+  }
+}
+`)
+	f := fn(t, p, "main")
+	if err := p.Validate(); err != nil {
+		t.Fatalf("invalid IR: %v\n%s", err, f.Dump())
+	}
+}
+
+func TestOnBeginLowering(t *testing.T) {
+	p := build(t, `
+proc main() {
+  sync {
+    begin { var x = 1; }
+  }
+  on Locales[0] { var y = 2; }
+}
+`)
+	f := fn(t, p, "main")
+	if countOps(f, ir.OpSpawn) != 2 {
+		t.Errorf("expected 2 spawns (begin + on)\n%s", f.Dump())
+	}
+}
+
+func TestIteratorInlineExpansion(t *testing.T) {
+	p := build(t, `
+iter pair(): int {
+  yield 1;
+  yield 2;
+}
+proc main() {
+  var s = 0;
+  for x in pair() { s += x; }
+}
+`)
+	// The iterator never exists as a standalone function.
+	if p.FuncByName("pair") != nil {
+		t.Error("iterator lowered as a standalone function")
+	}
+	// main contains two inlined consumer bodies (two adds).
+	f := fn(t, p, "main")
+	adds := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpBin && in.BinOp.String() == "+" {
+				adds++
+			}
+		}
+	}
+	if adds != 2 {
+		t.Errorf("adds = %d, want 2 (one per yield)", adds)
+	}
+	if countOps(f, ir.OpCall) != 0 {
+		t.Error("iterator loop must not emit calls")
+	}
+}
+
+func TestAtomicLowering(t *testing.T) {
+	p := build(t, `
+var c: atomic int;
+proc main() {
+  c.add(2);
+  var v = c.read();
+  writeln(v);
+}
+`)
+	f := fn(t, p, "main")
+	ops := map[string]int{}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpBuiltin {
+				ops[in.Method]++
+			}
+		}
+	}
+	if ops["atomic:add"] != 1 || ops["atomic:read"] != 1 {
+		t.Errorf("atomic ops = %v", ops)
+	}
+}
+
+func TestDmappedDomainLowering(t *testing.T) {
+	p := build(t, `
+config const n = 8;
+var D: domain(1) dmapped Block = {0..#n};
+var A: [D] real;
+proc main() { A[0] = 1.0; }
+`)
+	mi := p.ModuleInit
+	found := false
+	for _, b := range mi.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpBuiltin && in.Method == "distribute:block" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("distribute:block marker missing\n%s", mi.Dump())
+	}
+}
+
+func TestIteratorReduceLowering(t *testing.T) {
+	p := build(t, `
+iter ones(n: int): int {
+  for i in 1..n { yield 1; }
+}
+proc main() {
+  var s = + reduce ones(5);
+  writeln(s);
+}
+`)
+	f := fn(t, p, "main")
+	// No reduce builtin: the fold is expanded inline.
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpBuiltin && in.Method == "reduce:+" {
+				t.Error("iterator reduce must expand inline, not call the array builtin")
+			}
+		}
+	}
+	if countOps(f, ir.OpCall) != 0 {
+		t.Error("no calls expected")
+	}
+}

@@ -1,0 +1,728 @@
+package irgen
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/ir"
+	"repro/internal/sem"
+	"repro/internal/source"
+	"repro/internal/token"
+	"repro/internal/types"
+)
+
+// forStmt dispatches loop lowering.
+func (fg *fnGen) forStmt(s *ast.ForStmt) {
+	switch s.Kind {
+	case ast.LoopParamFor:
+		fg.paramFor(s)
+	case ast.LoopFor:
+		fg.serialFor(s)
+	case ast.LoopForall, ast.LoopCoforall:
+		fg.parallelFor(s)
+	}
+}
+
+// paramFor unrolls a `for param` loop at compile time (paper Table VII).
+func (fg *fnGen) paramFor(s *ast.ForStmt) {
+	r, ok := s.Iter.(*ast.RangeExpr)
+	if !ok {
+		fg.g.errorf(s.ForPos, "param for requires a range")
+		return
+	}
+	lo := fg.g.info.ConstOf(r.Lo)
+	count := fg.g.info.ConstOf(r)
+	if lo == nil || count == nil {
+		fg.g.errorf(s.ForPos, "param for bounds not constant")
+		return
+	}
+	sym := fg.g.info.Defs[s.Idx[0]]
+	v := fg.declareLocal(sym)
+	for i := int64(0); i < count.Int(); i++ {
+		fg.emit(&ir.Instr{Op: ir.OpConst, Dst: v, Lit: &ir.Lit{T: types.IntType, I: lo.Int() + i}, Pos: s.ForPos})
+		fg.blockStmt(s.Body)
+	}
+}
+
+// loopBounds computes (lo, hi, step) vars for a range expression,
+// handling the counted (lo..#n) form.
+func (fg *fnGen) rangeBounds(r *ast.RangeExpr) (lo, hi, step *ir.Var) {
+	lo = fg.genExpr(r.Lo)
+	if r.Hi != nil {
+		hi = fg.genExpr(r.Hi)
+	} else if r.Count != nil {
+		n := fg.genExpr(r.Count)
+		t1 := fg.temp(types.IntType)
+		fg.emit(&ir.Instr{Op: ir.OpBin, Dst: t1, BinOp: token.PLUS, A: lo, B: n, Pos: r.RangePos})
+		one := fg.constInt(1, r.RangePos)
+		hi = fg.temp(types.IntType)
+		fg.emit(&ir.Instr{Op: ir.OpBin, Dst: hi, BinOp: token.MINUS, A: t1, B: one, Pos: r.RangePos})
+	} else {
+		hi = lo
+	}
+	if r.By != nil {
+		step = fg.genExpr(r.By)
+		// Positive-stride guard (negative/zero strides are rejected at
+		// runtime, matching OpMakeRange's check).
+		fg.emit(&ir.Instr{Op: ir.OpBuiltin, Method: "stride_check", Args: []*ir.Var{step}, Pos: r.RangePos})
+	}
+	return lo, hi, step
+}
+
+// iterBounds returns per-dimension (lo, hi) bounds of an iterand that is a
+// range expr, range var, or domain var.
+func (fg *fnGen) iterBounds(iter ast.Expr, rank int) (los, his []*ir.Var, step *ir.Var) {
+	if r, ok := iter.(*ast.RangeExpr); ok {
+		lo, hi, st := fg.rangeBounds(r)
+		return []*ir.Var{lo}, []*ir.Var{hi}, st
+	}
+	v := fg.genExpr(iter)
+	t := fg.typeOf(iter)
+	switch t.Kind() {
+	case types.Range:
+		lo := fg.temp(types.IntType)
+		fg.emit(&ir.Instr{Op: ir.OpQuery, Dst: lo, A: v, Method: "low", Pos: iter.Pos()})
+		hi := fg.temp(types.IntType)
+		fg.emit(&ir.Instr{Op: ir.OpQuery, Dst: hi, A: v, Method: "high", Pos: iter.Pos()})
+		return []*ir.Var{lo}, []*ir.Var{hi}, nil
+	case types.Domain:
+		for d := 0; d < rank; d++ {
+			lo := fg.temp(types.IntType)
+			fg.emit(&ir.Instr{Op: ir.OpQuery, Dst: lo, A: v, Method: "dimlow", FieldIx: d, Pos: iter.Pos()})
+			hi := fg.temp(types.IntType)
+			fg.emit(&ir.Instr{Op: ir.OpQuery, Dst: hi, A: v, Method: "dimhigh", FieldIx: d, Pos: iter.Pos()})
+			los = append(los, lo)
+			his = append(his, hi)
+		}
+		return los, his, nil
+	}
+	fg.g.errorf(iter.Pos(), "cannot compute loop bounds for %s", t)
+	z := fg.constInt(0, iter.Pos())
+	return []*ir.Var{z}, []*ir.Var{z}, nil
+}
+
+// rankOf returns the iteration rank of an iterand type.
+func rankOf(t types.Type) int {
+	switch tt := t.(type) {
+	case *types.DomainType:
+		return tt.Rank
+	case *types.ArrayType:
+		return tt.Rank
+	}
+	return 1
+}
+
+// serialFor lowers for-loops over ranges, domains, arrays, zips and
+// user-defined iterators.
+func (fg *fnGen) serialFor(s *ast.ForStmt) {
+	if z, ok := s.Iter.(*ast.ZipExpr); ok {
+		fg.serialZip(s, z)
+		return
+	}
+	if call, ok := s.Iter.(*ast.CallExpr); ok {
+		if ci := fg.g.info.Calls[call]; ci != nil && ci.Iterator {
+			fg.inlineIterLoop(s, call, ci.Target)
+			return
+		}
+	}
+	t := fg.typeOf(s.Iter)
+	switch t.Kind() {
+	case types.Array:
+		fg.serialOverArray(s)
+	case types.Domain:
+		rank := rankOf(t)
+		los, his, _ := fg.iterBounds(s.Iter, rank)
+		idxVars := fg.bindIndexVars(s, rank)
+		fg.nestedCountedLoops(los, his, nil, idxVars, func() { fg.blockStmt(s.Body) }, s.ForPos)
+	default: // range
+		los, his, step := fg.iterBounds(s.Iter, 1)
+		idxVars := fg.bindIndexVars(s, 1)
+		fg.nestedCountedLoops(los, his, step, idxVars, func() { fg.blockStmt(s.Body) }, s.ForPos)
+	}
+}
+
+// bindIndexVars declares the loop index variables (one per dimension).
+func (fg *fnGen) bindIndexVars(s *ast.ForStmt, rank int) []*ir.Var {
+	var out []*ir.Var
+	if len(s.Idx) == rank {
+		for _, id := range s.Idx {
+			sym := fg.g.info.Defs[id]
+			out = append(out, fg.declareLocal(sym))
+		}
+		return out
+	}
+	// Single tuple-valued index over a multi-D domain: bind a tuple var
+	// and fill it per-iteration from hidden per-dim ints.
+	sym := fg.g.info.Defs[s.Idx[0]]
+	v := fg.declareLocal(sym)
+	if rank == 1 {
+		return []*ir.Var{v}
+	}
+	// Hidden scalars per dim, packed into the tuple at loop body entry.
+	var hidden []*ir.Var
+	for d := 0; d < rank; d++ {
+		hidden = append(hidden, fg.temp(types.IntType))
+	}
+	fg.pendingTuplePack = &tuplePack{tuple: v, elems: hidden}
+	return hidden
+}
+
+// tuplePack describes a multi-D index packed into a user tuple var.
+type tuplePack struct {
+	tuple *ir.Var
+	elems []*ir.Var
+}
+
+// nestedCountedLoops emits rank nested counted loops with the given
+// per-dimension bounds, invoking body() in the innermost.
+func (fg *fnGen) nestedCountedLoops(los, his []*ir.Var, step *ir.Var, idxVars []*ir.Var, body func(), pos source.Pos) {
+	if len(los) == 0 {
+		body()
+		return
+	}
+	lo, hi := los[0], his[0]
+	iv := idxVars[0]
+	fg.emit(&ir.Instr{Op: ir.OpMove, Dst: iv, A: lo, Pos: pos})
+	head := fg.f.NewBlock()
+	bodyB := fg.f.NewBlock()
+	incr := fg.f.NewBlock()
+	exit := fg.f.NewBlock()
+	fg.startBlock(head)
+	cond := fg.temp(types.BoolType)
+	fg.emit(&ir.Instr{Op: ir.OpBin, Dst: cond, BinOp: token.LE, A: iv, B: hi, Pos: pos})
+	fg.emit(&ir.Instr{Op: ir.OpBr, A: cond, Targets: [2]*ir.Block{bodyB, exit}, Pos: pos})
+	fg.cur = bodyB
+	fg.loops = append(fg.loops, loopCtx{brk: exit, cont: incr})
+	if len(los) == 1 {
+		// Innermost: pack tuple index if needed, then the body.
+		if tp := fg.pendingTuplePack; tp != nil {
+			fg.pendingTuplePack = nil
+			fg.emit(&ir.Instr{Op: ir.OpMakeTuple, Dst: tp.tuple, Args: tp.elems, Pos: pos})
+			body()
+			fg.pendingTuplePack = tp
+		} else {
+			body()
+		}
+	} else {
+		fg.nestedCountedLoops(los[1:], his[1:], nil, idxVars[1:], body, pos)
+	}
+	fg.loops = fg.loops[:len(fg.loops)-1]
+	fg.startBlock(incr)
+	var stepVar *ir.Var
+	if step != nil && len(los) == 1 {
+		stepVar = step
+	} else {
+		stepVar = fg.constInt(1, pos)
+	}
+	next := fg.temp(types.IntType)
+	fg.emit(&ir.Instr{Op: ir.OpBin, Dst: next, BinOp: token.PLUS, A: iv, B: stepVar, Pos: pos})
+	fg.emit(&ir.Instr{Op: ir.OpMove, Dst: iv, A: next, Pos: pos})
+	fg.emit(&ir.Instr{Op: ir.OpJmp, Targets: [2]*ir.Block{head}, Pos: pos})
+	fg.cur = exit
+	if fg.pendingTuplePack != nil && len(los) == len(idxVars) {
+		fg.pendingTuplePack = nil
+	}
+}
+
+// serialOverArray lowers `for a in A` — the loop var is a ref alias to
+// each element.
+func (fg *fnGen) serialOverArray(s *ast.ForStmt) {
+	arr := fg.genRefBase(s.Iter)
+	at := fg.typeOf(s.Iter).(*types.ArrayType)
+	dom := fg.temp(&types.DomainType{Rank: at.Rank})
+	fg.emit(&ir.Instr{Op: ir.OpQuery, Dst: dom, A: arr, Method: "domain", Pos: s.Iter.Pos()})
+	var los, his []*ir.Var
+	for d := 0; d < at.Rank; d++ {
+		lo := fg.temp(types.IntType)
+		fg.emit(&ir.Instr{Op: ir.OpQuery, Dst: lo, A: dom, Method: "dimlow", FieldIx: d, Pos: s.Iter.Pos()})
+		hi := fg.temp(types.IntType)
+		fg.emit(&ir.Instr{Op: ir.OpQuery, Dst: hi, A: dom, Method: "dimhigh", FieldIx: d, Pos: s.Iter.Pos()})
+		los = append(los, lo)
+		his = append(his, hi)
+	}
+	var hidden []*ir.Var
+	for d := 0; d < at.Rank; d++ {
+		hidden = append(hidden, fg.temp(types.IntType))
+	}
+	sym := fg.g.info.Defs[s.Idx[0]]
+	elemVar := fg.declareLocal(sym)
+	elemVar.IsRef = true
+	fg.nestedCountedLoops(los, his, nil, hidden, func() {
+		fg.emit(&ir.Instr{Op: ir.OpRefElem, Dst: elemVar, A: arr, Args: hidden, Pos: s.ForPos})
+		fg.blockStmt(s.Body)
+	}, s.ForPos)
+}
+
+// inlineIterLoop expands a user-defined iterator at its loop site: the
+// iterator body is inlined with each `yield e` becoming "bind the loop
+// variable to e, then run the consumer body" — the same inline expansion
+// the Chapel compiler performs for serial iterators (paper §VI lists
+// iterator support as future work).
+func (fg *fnGen) inlineIterLoop(s *ast.ForStmt, call *ast.CallExpr, iterSym *sem.Symbol) {
+	for _, onStack := range fg.iterStack {
+		if onStack == iterSym {
+			fg.g.errorf(s.ForPos, "recursive iterator %s cannot be inline-expanded", iterSym.Name)
+			return
+		}
+	}
+	d := iterSym.Proc
+	// Bind the iterator's formals as locals initialized from the
+	// arguments (value intents only; sem enforces that).
+	for i, q := range d.Params {
+		psym := fg.g.info.Defs[q.Name]
+		if psym == nil {
+			continue
+		}
+		v := fg.declareLocal(psym)
+		if i < len(call.Args) {
+			fg.genExprInto(v, call.Args[i])
+		}
+	}
+	lvSym := fg.g.info.Defs[s.Idx[0]]
+	lv := fg.declareLocal(lvSym)
+
+	exit := fg.f.NewBlock()
+	ctx := &iterInlineCtx{loopVar: lv, body: s.Body, exit: exit, outer: fg.iterCtx}
+	fg.iterCtx = ctx
+	fg.iterStack = append(fg.iterStack, iterSym)
+	fg.blockStmt(d.Body)
+	fg.iterStack = fg.iterStack[:len(fg.iterStack)-1]
+	fg.iterCtx = ctx.outer
+	fg.startBlock(exit)
+	fg.cur = exit
+}
+
+// yieldStmt lowers one yield inside an inlined iterator body.
+func (fg *fnGen) yieldStmt(s *ast.YieldStmt) {
+	ctx := fg.iterCtx
+	if ctx == nil {
+		fg.g.errorf(s.YieldPos, "yield outside an inlined iterator")
+		return
+	}
+	fg.genExprInto(ctx.loopVar, s.X)
+	contB := fg.f.NewBlock()
+	// break in the consumer body exits the whole loop; continue skips to
+	// the next yield.
+	fg.loops = append(fg.loops, loopCtx{brk: ctx.exit, cont: contB})
+	fg.iterCtx = ctx.outer
+	if ctx.emit != nil {
+		ctx.emit()
+	} else {
+		fg.blockStmt(ctx.body)
+	}
+	fg.iterCtx = ctx
+	fg.loops = fg.loops[:len(fg.loops)-1]
+	fg.startBlock(contB)
+	fg.cur = contB
+}
+
+// inlineIterReduce expands `op reduce iter()` — the iterator stream is
+// folded into an accumulator.
+func (fg *fnGen) inlineIterReduce(x *ast.ReduceExpr, call *ast.CallExpr, iterSym *sem.Symbol) *ir.Var {
+	for _, onStack := range fg.iterStack {
+		if onStack == iterSym {
+			fg.g.errorf(x.OpPos, "recursive iterator %s cannot be inline-expanded", iterSym.Name)
+			return fg.constInt(0, x.OpPos)
+		}
+	}
+	d := iterSym.Proc
+	for i, q := range d.Params {
+		psym := fg.g.info.Defs[q.Name]
+		if psym == nil {
+			continue
+		}
+		v := fg.declareLocal(psym)
+		if i < len(call.Args) {
+			fg.genExprInto(v, call.Args[i])
+		}
+	}
+	elemT := fg.typeOf(x)
+	acc := fg.temp(elemT)
+	cur := fg.temp(elemT)
+	first := fg.temp(types.BoolType)
+	// acc starts at the operator identity (min/max seed from the first
+	// element via the `first` flag).
+	var init ir.Lit
+	switch x.Op {
+	case token.STAR:
+		init = ir.Lit{T: elemT, I: 1, F: 1}
+	default:
+		init = ir.Lit{T: elemT, I: 0, F: 0}
+	}
+	if elemT.Kind() == types.Real {
+		init.T = types.RealType
+	} else {
+		init.T = types.IntType
+	}
+	fg.emit(&ir.Instr{Op: ir.OpConst, Dst: acc, Lit: &init, Pos: x.OpPos})
+	fg.emit(&ir.Instr{Op: ir.OpConst, Dst: first, Lit: &ir.Lit{T: types.BoolType, B: true}, Pos: x.OpPos})
+
+	exit := fg.f.NewBlock()
+	ctx := &iterInlineCtx{loopVar: cur, exit: exit, outer: fg.iterCtx}
+	ctx.emit = func() {
+		switch x.Op {
+		case token.PLUS, token.STAR:
+			op := token.PLUS
+			if x.Op == token.STAR {
+				op = token.STAR
+			}
+			t := fg.temp(elemT)
+			fg.emit(&ir.Instr{Op: ir.OpBin, Dst: t, BinOp: op, A: acc, B: cur, Pos: x.OpPos})
+			fg.emit(&ir.Instr{Op: ir.OpMove, Dst: acc, A: t, Pos: x.OpPos})
+		case token.LT, token.GT: // min reduce / max reduce
+			cmp := fg.temp(types.BoolType)
+			fg.emit(&ir.Instr{Op: ir.OpBin, Dst: cmp, BinOp: x.Op, A: cur, B: acc, Pos: x.OpPos})
+			better := fg.temp(types.BoolType)
+			fg.emit(&ir.Instr{Op: ir.OpBin, Dst: better, BinOp: token.OR, A: cmp, B: first, Pos: x.OpPos})
+			takeB := fg.f.NewBlock()
+			skipB := fg.f.NewBlock()
+			fg.emit(&ir.Instr{Op: ir.OpBr, A: better, Targets: [2]*ir.Block{takeB, skipB}, Pos: x.OpPos})
+			fg.cur = takeB
+			fg.emit(&ir.Instr{Op: ir.OpMove, Dst: acc, A: cur, Pos: x.OpPos})
+			fg.startBlock(skipB)
+			fg.cur = skipB
+		}
+		f := fg.temp(types.BoolType)
+		fg.emit(&ir.Instr{Op: ir.OpConst, Dst: f, Lit: &ir.Lit{T: types.BoolType, B: false}, Pos: x.OpPos})
+		fg.emit(&ir.Instr{Op: ir.OpMove, Dst: first, A: f, Pos: x.OpPos})
+	}
+	fg.iterCtx = ctx
+	fg.iterStack = append(fg.iterStack, iterSym)
+	fg.blockStmt(d.Body)
+	fg.iterStack = fg.iterStack[:len(fg.iterStack)-1]
+	fg.iterCtx = ctx.outer
+	fg.startBlock(exit)
+	fg.cur = exit
+	return acc
+}
+
+// serialZip lowers zippered serial iteration: the leader drives a
+// position loop; every follower pays a per-iteration advance
+// (OpZipAdvance) plus its element binding — the cost §V.A attributes to
+// zippered iteration.
+func (fg *fnGen) serialZip(s *ast.ForStmt, z *ast.ZipExpr) {
+	fg.zipLoop(s, z, func(bindings func()) {
+		bindings()
+		fg.blockStmt(s.Body)
+	})
+}
+
+// zipLoop factors the common zip lowering; runBody is called in the
+// innermost loop with a callback that emits the per-iteration bindings.
+func (fg *fnGen) zipLoop(s *ast.ForStmt, z *ast.ZipExpr, runBody func(bindings func())) {
+	type iterand struct {
+		expr  ast.Expr
+		t     types.Type
+		arr   *ir.Var // array var (nil for ranges/domains)
+		lo    *ir.Var // first index
+		v     *ir.Var // user loop var
+		isArr bool
+	}
+	var iters []iterand
+	for k, arg := range z.Args {
+		it := iterand{expr: arg, t: fg.typeOf(arg)}
+		switch it.t.Kind() {
+		case types.Array:
+			it.isArr = true
+			it.arr = fg.genRefBase(arg)
+			d := fg.temp(&types.DomainType{Rank: 1})
+			fg.emit(&ir.Instr{Op: ir.OpQuery, Dst: d, A: it.arr, Method: "domain", Pos: arg.Pos()})
+			it.lo = fg.temp(types.IntType)
+			fg.emit(&ir.Instr{Op: ir.OpQuery, Dst: it.lo, A: d, Method: "dimlow", FieldIx: 0, Pos: arg.Pos()})
+		case types.Domain, types.Range:
+			los, _, _ := fg.iterBounds(arg, 1)
+			it.lo = los[0]
+		default:
+			fg.g.errorf(arg.Pos(), "cannot zip over %s", it.t)
+			it.lo = fg.constInt(0, arg.Pos())
+		}
+		if k < len(s.Idx) {
+			sym := fg.g.info.Defs[s.Idx[k]]
+			it.v = fg.declareLocal(sym)
+			if it.isArr {
+				it.v.IsRef = true
+			}
+		}
+		// Iterator construction cost, charged once per loop entry (per
+		// task for parallel loops).
+		setup := &ir.Instr{Op: ir.OpZipSetup, Pos: arg.Pos()}
+		if it.isArr {
+			setup.A = it.arr
+			setup.Dst = it.v
+		} else {
+			setup.A = it.lo
+		}
+		fg.emit(setup)
+		iters = append(iters, it)
+	}
+
+	// Leader bounds define the trip count.
+	leader := iters[0]
+	var size *ir.Var
+	switch leader.t.Kind() {
+	case types.Array:
+		size = fg.temp(types.IntType)
+		fg.emit(&ir.Instr{Op: ir.OpQuery, Dst: size, A: leader.arr, Method: "size", Pos: z.ZipPos})
+	default:
+		_, his, _ := fg.iterBounds(leader.expr, 1)
+		t1 := fg.temp(types.IntType)
+		fg.emit(&ir.Instr{Op: ir.OpBin, Dst: t1, BinOp: token.MINUS, A: his[0], B: leader.lo, Pos: z.ZipPos})
+		one := fg.constInt(1, z.ZipPos)
+		size = fg.temp(types.IntType)
+		fg.emit(&ir.Instr{Op: ir.OpBin, Dst: size, BinOp: token.PLUS, A: t1, B: one, Pos: z.ZipPos})
+	}
+
+	p := fg.temp(types.IntType) // position 0..size-1
+	zero := fg.constInt(0, z.ZipPos)
+	one := fg.constInt(1, z.ZipPos)
+	last := fg.temp(types.IntType)
+	fg.emit(&ir.Instr{Op: ir.OpBin, Dst: last, BinOp: token.MINUS, A: size, B: one, Pos: z.ZipPos})
+
+	fg.nestedCountedLoops([]*ir.Var{zero}, []*ir.Var{last}, nil, []*ir.Var{p}, func() {
+		runBody(func() {
+			for k := range iters {
+				it := &iters[k]
+				if it.v == nil {
+					continue
+				}
+				if k > 0 {
+					// Follower advance overhead, blamed through the
+					// follower binding to its array.
+					adv := &ir.Instr{Op: ir.OpZipAdvance, Pos: it.expr.Pos()}
+					if it.isArr {
+						adv.Dst = it.v
+						adv.A = it.arr
+					} else {
+						adv.A = it.lo
+					}
+					fg.emit(adv)
+				}
+				idx := fg.temp(types.IntType)
+				fg.emit(&ir.Instr{Op: ir.OpBin, Dst: idx, BinOp: token.PLUS, A: p, B: it.lo, Pos: it.expr.Pos()})
+				if it.isArr {
+					fg.emit(&ir.Instr{Op: ir.OpRefElem, Dst: it.v, A: it.arr, Args: []*ir.Var{idx}, Pos: it.expr.Pos()})
+				} else {
+					fg.emit(&ir.Instr{Op: ir.OpMove, Dst: it.v, A: idx, Pos: it.expr.Pos()})
+				}
+			}
+		})
+	}, s.ForPos)
+}
+
+// ------------------------------------------------------------- parallel
+
+// parallelFor outlines a forall/coforall body (as the Chapel compiler
+// outlines coforall_fn_chplNN functions) and emits an OpSpawn.
+func (fg *fnGen) parallelFor(s *ast.ForStmt) {
+	kind := ir.SpawnForall
+	prefix := "forall_fn_chpl"
+	if s.Kind == ast.LoopCoforall {
+		kind = ir.SpawnCoforall
+		prefix = "coforall_fn_chpl"
+	}
+	fg.g.outlineCount++
+	name := fmt.Sprintf("%s%d", prefix, fg.g.outlineCount)
+
+	// Iteration source (evaluated in the caller).
+	var iterVar *ir.Var
+	var followers []*ir.Var
+	rank := 1
+	var zipArgs []ast.Expr
+	overArray := false
+	if z, ok := s.Iter.(*ast.ZipExpr); ok {
+		zipArgs = z.Args
+		lt := fg.typeOf(z.Args[0])
+		overArray = lt.Kind() == types.Array
+		iterVar = fg.iterSource(z.Args[0])
+		for _, a := range z.Args[1:] {
+			followers = append(followers, fg.iterSource(a))
+		}
+	} else {
+		t := fg.typeOf(s.Iter)
+		rank = rankOf(t)
+		overArray = t.Kind() == types.Array
+		iterVar = fg.iterSource(s.Iter)
+	}
+
+	// Outline the body.
+	bodyFn := fg.g.prog.NewFunc(name, nil, s.ForPos)
+	bodyFn.Outlined = true
+	bodyFn.OutlinedFrom = fg.f
+	bfg := newFnGen(fg.g, bodyFn, fg.sym)
+	bfg.parent = fg
+	bfg.thisVar = fg.thisVar
+
+	// Index parameters.
+	var idxParams []*ir.Var
+	for d := 0; d < rank; d++ {
+		p := &ir.Var{Name: fmt.Sprintf("__idx%d", d), Type: types.IntType, IsParam: true, IsTemp: true, Func: bodyFn}
+		bodyFn.Params = append(bodyFn.Params, p)
+		idxParams = append(idxParams, p)
+	}
+
+	// Bind user loop variables in the body prologue.
+	if zipArgs != nil {
+		for k, arg := range zipArgs {
+			if k >= len(s.Idx) {
+				break
+			}
+			sym := fg.g.info.Defs[s.Idx[k]]
+			v := bfg.declareLocal(sym)
+			at := fg.g.info.TypeOf(arg)
+			isArr := at != nil && at.Kind() == types.Array
+			if isArr {
+				v.IsRef = true
+			}
+			// The iterand reaches the body as a capture param.
+			src := iterVar
+			if k > 0 {
+				src = followers[k-1]
+			}
+			// Array iterands are written through their bindings (ref);
+			// range/domain iterands are read-only position sources.
+			cap := &ir.Var{Name: fmt.Sprintf("__zip%d", k), Type: fg.typeOf(arg), IsParam: true, IsRef: isArr, IsTemp: true, Func: bodyFn}
+			bodyFn.Params = append(bodyFn.Params, cap)
+			bfg.captureSrc = append(bfg.captureSrc, src)
+			if k > 0 {
+				adv := &ir.Instr{Op: ir.OpZipAdvance, Pos: arg.Pos()}
+				if isArr {
+					adv.Dst = v
+					adv.A = cap
+				} else {
+					adv.A = cap
+				}
+				bfg.emit(adv)
+			}
+			if isArr {
+				bfg.emit(&ir.Instr{Op: ir.OpRefElem, Dst: v, A: cap, Args: idxParams, Pos: arg.Pos()})
+			} else {
+				// Range/domain value: translate position to index space.
+				loT := bfg.temp(types.IntType)
+				bfg.emit(&ir.Instr{Op: ir.OpQuery, Dst: loT, A: cap, Method: "ziplow", Pos: arg.Pos()})
+				bfg.emit(&ir.Instr{Op: ir.OpBin, Dst: v, BinOp: token.PLUS, A: idxParams[0], B: loT, Pos: arg.Pos()})
+			}
+		}
+	} else if overArray {
+		sym := fg.g.info.Defs[s.Idx[0]]
+		v := bfg.declareLocal(sym)
+		v.IsRef = true
+		cap := &ir.Var{Name: "__arr", Type: fg.typeOf(s.Iter), IsParam: true, IsRef: true, IsTemp: true, Func: bodyFn}
+		bodyFn.Params = append(bodyFn.Params, cap)
+		bfg.captureSrc = append(bfg.captureSrc, iterVar)
+		bfg.emit(&ir.Instr{Op: ir.OpRefElem, Dst: v, A: cap, Args: idxParams, Pos: s.ForPos})
+	} else {
+		// Range/domain: loop vars are the index params themselves.
+		if len(s.Idx) == rank {
+			for d, id := range s.Idx {
+				sym := fg.g.info.Defs[id]
+				idxParams[d].Name = id.Name
+				idxParams[d].Sym = sym
+				idxParams[d].IsTemp = false
+				bfg.vars[sym] = idxParams[d]
+			}
+		} else if len(s.Idx) == 1 {
+			// Tuple-valued index.
+			sym := fg.g.info.Defs[s.Idx[0]]
+			v := bfg.declareLocal(sym)
+			bfg.emit(&ir.Instr{Op: ir.OpMakeTuple, Dst: v, Args: idxParams, Pos: s.ForPos})
+		}
+	}
+
+	bfg.blockStmt(s.Body)
+	bfg.finish()
+
+	// Zip iterator setup cost is charged per task by the VM via the
+	// spawn's follower count.
+	fg.emit(&ir.Instr{
+		Op:     ir.OpSpawn,
+		Callee: bodyFn,
+		Args:   bfg.captureSrc,
+		Spawn: &ir.SpawnInfo{
+			Kind:      kind,
+			Iter:      iterVar,
+			NumIdx:    rank,
+			Followers: followers,
+		},
+		Pos: s.ForPos,
+	})
+}
+
+// iterSource evaluates a loop iterand to a var usable as a spawn
+// iteration source (range/domain/array value).
+func (fg *fnGen) iterSource(e ast.Expr) *ir.Var {
+	t := fg.typeOf(e)
+	if t.Kind() == types.Array {
+		return fg.genRefBase(e)
+	}
+	return fg.genExpr(e)
+}
+
+// spawnBlock outlines begin/on bodies.
+func (fg *fnGen) spawnBlock(kind ir.SpawnKind, body *ast.BlockStmt, target ast.Expr, pos source.Pos) {
+	fg.g.outlineCount++
+	var name string
+	switch kind {
+	case ir.SpawnBegin:
+		name = fmt.Sprintf("begin_fn_chpl%d", fg.g.outlineCount)
+	case ir.SpawnOn:
+		name = fmt.Sprintf("on_fn_chpl%d", fg.g.outlineCount)
+	default:
+		name = fmt.Sprintf("task_fn_chpl%d", fg.g.outlineCount)
+	}
+	var iterVar *ir.Var
+	if target != nil {
+		iterVar = fg.genExpr(target)
+	}
+	bodyFn := fg.g.prog.NewFunc(name, nil, pos)
+	bodyFn.Outlined = true
+	bodyFn.OutlinedFrom = fg.f
+	bfg := newFnGen(fg.g, bodyFn, fg.sym)
+	bfg.parent = fg
+	bfg.thisVar = fg.thisVar
+	bfg.blockStmt(body)
+	bfg.finish()
+	fg.emit(&ir.Instr{
+		Op:     ir.OpSpawn,
+		Callee: bodyFn,
+		Args:   bfg.captureSrc,
+		Spawn:  &ir.SpawnInfo{Kind: kind, Iter: iterVar},
+		Pos:    pos,
+	})
+}
+
+// cobegin outlines each child statement as its own task.
+func (fg *fnGen) cobegin(s *ast.CobeginStmt) {
+	var first *ir.Func
+	var extra []*ir.Func
+	var args []*ir.Var
+	var extraArgs [][]*ir.Var
+	for i, child := range s.Body.Stmts {
+		fg.g.outlineCount++
+		name := fmt.Sprintf("cobegin_fn_chpl%d", fg.g.outlineCount)
+		bodyFn := fg.g.prog.NewFunc(name, nil, s.CoPos)
+		bodyFn.Outlined = true
+		bodyFn.OutlinedFrom = fg.f
+		bfg := newFnGen(fg.g, bodyFn, fg.sym)
+		bfg.parent = fg
+		bfg.thisVar = fg.thisVar
+		bfg.stmt(child)
+		bfg.finish()
+		if i == 0 {
+			first = bodyFn
+			args = bfg.captureSrc
+		} else {
+			extra = append(extra, bodyFn)
+			extraArgs = append(extraArgs, bfg.captureSrc)
+		}
+	}
+	if first == nil {
+		return
+	}
+	fg.emit(&ir.Instr{
+		Op:     ir.OpSpawn,
+		Callee: first,
+		Args:   args,
+		Spawn:  &ir.SpawnInfo{Kind: ir.SpawnCobegin, Extra: extra, ExtraArgs: extraArgs},
+		Pos:    s.CoPos,
+	})
+}

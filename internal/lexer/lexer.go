@@ -1,0 +1,315 @@
+// Package lexer implements the MiniChapel scanner.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/source"
+	"repro/internal/token"
+)
+
+// Token is a scanned token with its position and literal text.
+type Token struct {
+	Kind token.Kind
+	Lit  string
+	Pos  source.Pos
+}
+
+func (t Token) String() string {
+	if t.Kind.IsLiteral() {
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Lit)
+	}
+	return t.Kind.String()
+}
+
+// Error is a lexical error with a position.
+type Error struct {
+	Pos source.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("lex error at line %d: %s", e.Pos.Line, e.Msg) }
+
+// Lexer scans one file.
+type Lexer struct {
+	file *source.File
+	src  string
+	off  int
+
+	errs []*Error
+}
+
+// New returns a Lexer over f.
+func New(f *source.File) *Lexer {
+	return &Lexer{file: f, src: f.Src}
+}
+
+// Errors returns the lexical errors found so far.
+func (l *Lexer) Errors() []*Error { return l.errs }
+
+func (l *Lexer) errorf(off int, format string, args ...any) {
+	l.errs = append(l.errs, &Error{Pos: l.file.PosFor(off), Msg: fmt.Sprintf(format, args...)})
+}
+
+func (l *Lexer) peek() byte {
+	if l.off < len(l.src) {
+		return l.src[l.off]
+	}
+	return 0
+}
+
+func (l *Lexer) peekAt(k int) byte {
+	if l.off+k < len(l.src) {
+		return l.src[l.off+k]
+	}
+	return 0
+}
+
+// skipSpace advances past whitespace and comments.
+func (l *Lexer) skipSpace() {
+	for l.off < len(l.src) {
+		c := l.src[l.off]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.off++
+		case c == '/' && l.peekAt(1) == '/':
+			for l.off < len(l.src) && l.src[l.off] != '\n' {
+				l.off++
+			}
+		case c == '/' && l.peekAt(1) == '*':
+			start := l.off
+			l.off += 2
+			depth := 1
+			for l.off < len(l.src) && depth > 0 {
+				if l.src[l.off] == '/' && l.peekAt(1) == '*' {
+					depth++
+					l.off += 2
+				} else if l.src[l.off] == '*' && l.peekAt(1) == '/' {
+					depth--
+					l.off += 2
+				} else {
+					l.off++
+				}
+			}
+			if depth > 0 {
+				l.errorf(start, "unterminated block comment")
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isLetter(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }
+
+// Next scans and returns the next token.
+func (l *Lexer) Next() Token {
+	l.skipSpace()
+	start := l.off
+	pos := l.file.PosFor(start)
+	if l.off >= len(l.src) {
+		return Token{Kind: token.EOF, Pos: pos}
+	}
+	c := l.src[l.off]
+
+	switch {
+	case isLetter(c):
+		for l.off < len(l.src) && (isLetter(l.src[l.off]) || isDigit(l.src[l.off])) {
+			l.off++
+		}
+		lit := l.src[start:l.off]
+		return Token{Kind: token.Lookup(lit), Lit: lit, Pos: pos}
+
+	case isDigit(c):
+		return l.scanNumber(pos)
+
+	case c == '"':
+		return l.scanString(pos)
+	}
+
+	l.off++
+	two := func(k token.Kind) Token { l.off++; return Token{Kind: k, Lit: l.src[start:l.off], Pos: pos} }
+
+	switch c {
+	case '+':
+		if l.peek() == '=' {
+			return two(token.PLUS_ASSIGN)
+		}
+		return Token{Kind: token.PLUS, Lit: "+", Pos: pos}
+	case '-':
+		if l.peek() == '=' {
+			return two(token.MINUS_ASSIGN)
+		}
+		return Token{Kind: token.MINUS, Lit: "-", Pos: pos}
+	case '*':
+		if l.peek() == '*' {
+			return two(token.POW)
+		}
+		if l.peek() == '=' {
+			return two(token.STAR_ASSIGN)
+		}
+		return Token{Kind: token.STAR, Lit: "*", Pos: pos}
+	case '/':
+		if l.peek() == '=' {
+			return two(token.SLASH_ASSIGN)
+		}
+		return Token{Kind: token.SLASH, Lit: "/", Pos: pos}
+	case '%':
+		return Token{Kind: token.PERCENT, Lit: "%", Pos: pos}
+	case '=':
+		if l.peek() == '=' {
+			return two(token.EQ)
+		}
+		if l.peek() == '>' {
+			return two(token.ARROW)
+		}
+		return Token{Kind: token.ASSIGN, Lit: "=", Pos: pos}
+	case '!':
+		if l.peek() == '=' {
+			return two(token.NEQ)
+		}
+		return Token{Kind: token.NOT, Lit: "!", Pos: pos}
+	case '<':
+		if l.peek() == '=' && l.peekAt(1) == '>' {
+			l.off += 2
+			return Token{Kind: token.SWAP, Lit: "<=>", Pos: pos}
+		}
+		if l.peek() == '=' {
+			return two(token.LE)
+		}
+		return Token{Kind: token.LT, Lit: "<", Pos: pos}
+	case '>':
+		if l.peek() == '=' {
+			return two(token.GE)
+		}
+		return Token{Kind: token.GT, Lit: ">", Pos: pos}
+	case '&':
+		if l.peek() == '&' {
+			return two(token.AND)
+		}
+	case '|':
+		if l.peek() == '|' {
+			return two(token.OR)
+		}
+	case '(':
+		return Token{Kind: token.LPAREN, Lit: "(", Pos: pos}
+	case ')':
+		return Token{Kind: token.RPAREN, Lit: ")", Pos: pos}
+	case '[':
+		return Token{Kind: token.LBRACK, Lit: "[", Pos: pos}
+	case ']':
+		return Token{Kind: token.RBRACK, Lit: "]", Pos: pos}
+	case '{':
+		return Token{Kind: token.LBRACE, Lit: "{", Pos: pos}
+	case '}':
+		return Token{Kind: token.RBRACE, Lit: "}", Pos: pos}
+	case ',':
+		return Token{Kind: token.COMMA, Lit: ",", Pos: pos}
+	case ';':
+		return Token{Kind: token.SEMI, Lit: ";", Pos: pos}
+	case ':':
+		return Token{Kind: token.COLON, Lit: ":", Pos: pos}
+	case '#':
+		return Token{Kind: token.HASH, Lit: "#", Pos: pos}
+	case '.':
+		if l.peek() == '.' {
+			return two(token.DOTDOT)
+		}
+		return Token{Kind: token.DOT, Lit: ".", Pos: pos}
+	}
+	l.errorf(start, "illegal character %q", string(c))
+	return Token{Kind: token.ILLEGAL, Lit: string(c), Pos: pos}
+}
+
+// scanNumber scans an INT or REAL literal.
+func (l *Lexer) scanNumber(pos source.Pos) Token {
+	start := l.off
+	for l.off < len(l.src) && (isDigit(l.src[l.off]) || l.src[l.off] == '_') {
+		l.off++
+	}
+	isReal := false
+	// A '.' followed by a digit is a fraction; ".." is a range operator.
+	if l.peek() == '.' && isDigit(l.peekAt(1)) {
+		isReal = true
+		l.off++
+		for l.off < len(l.src) && isDigit(l.src[l.off]) {
+			l.off++
+		}
+	}
+	if c := l.peek(); c == 'e' || c == 'E' {
+		next := l.peekAt(1)
+		if isDigit(next) || ((next == '+' || next == '-') && isDigit(l.peekAt(2))) {
+			isReal = true
+			l.off++
+			if l.peek() == '+' || l.peek() == '-' {
+				l.off++
+			}
+			for l.off < len(l.src) && isDigit(l.src[l.off]) {
+				l.off++
+			}
+		}
+	}
+	lit := strings.ReplaceAll(l.src[start:l.off], "_", "")
+	k := token.INT
+	if isReal {
+		k = token.REAL
+	}
+	return Token{Kind: k, Lit: lit, Pos: pos}
+}
+
+// scanString scans a double-quoted string with simple escapes.
+func (l *Lexer) scanString(pos source.Pos) Token {
+	start := l.off
+	l.off++ // opening quote
+	var b strings.Builder
+	for l.off < len(l.src) {
+		c := l.src[l.off]
+		if c == '"' {
+			l.off++
+			return Token{Kind: token.STRING, Lit: b.String(), Pos: pos}
+		}
+		if c == '\n' {
+			break
+		}
+		if c == '\\' {
+			l.off++
+			switch l.peek() {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			default:
+				l.errorf(l.off, "unknown escape \\%c", l.peek())
+			}
+			l.off++
+			continue
+		}
+		b.WriteByte(c)
+		l.off++
+	}
+	l.errorf(start, "unterminated string literal")
+	return Token{Kind: token.ILLEGAL, Lit: b.String(), Pos: pos}
+}
+
+// ScanAll tokenizes the whole file (excluding EOF).
+func ScanAll(f *source.File) ([]Token, []*Error) {
+	l := New(f)
+	var toks []Token
+	for {
+		t := l.Next()
+		if t.Kind == token.EOF {
+			break
+		}
+		toks = append(toks, t)
+	}
+	return toks, l.Errors()
+}

@@ -1,0 +1,177 @@
+package lexer
+
+import (
+	"testing"
+
+	"repro/internal/source"
+	"repro/internal/token"
+)
+
+func scan(t *testing.T, src string) []Token {
+	t.Helper()
+	fs := source.NewFileSet()
+	f := fs.Add("t.mchpl", src)
+	toks, errs := ScanAll(f)
+	if len(errs) > 0 {
+		t.Fatalf("lex errors: %v", errs[0])
+	}
+	return toks
+}
+
+func kinds(toks []Token) []token.Kind {
+	out := make([]token.Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func expectKinds(t *testing.T, src string, want ...token.Kind) {
+	t.Helper()
+	got := kinds(scan(t, src))
+	if len(got) != len(want) {
+		t.Fatalf("%q: got %v, want %v", src, got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%q: token %d = %s, want %s", src, i, got[i], want[i])
+		}
+	}
+}
+
+func TestOperators(t *testing.T) {
+	expectKinds(t, "+ - * / % **",
+		token.PLUS, token.MINUS, token.STAR, token.SLASH, token.PERCENT, token.POW)
+	expectKinds(t, "= += -= *= /= <=>",
+		token.ASSIGN, token.PLUS_ASSIGN, token.MINUS_ASSIGN, token.STAR_ASSIGN, token.SLASH_ASSIGN, token.SWAP)
+	expectKinds(t, "== != < <= > >=",
+		token.EQ, token.NEQ, token.LT, token.LE, token.GT, token.GE)
+	expectKinds(t, "&& || !", token.AND, token.OR, token.NOT)
+	expectKinds(t, "( ) [ ] { } , ; : . .. # =>",
+		token.LPAREN, token.RPAREN, token.LBRACK, token.RBRACK, token.LBRACE,
+		token.RBRACE, token.COMMA, token.SEMI, token.COLON, token.DOT,
+		token.DOTDOT, token.HASH, token.ARROW)
+}
+
+func TestKeywordsVsIdents(t *testing.T) {
+	toks := scan(t, "var forall foo coforall zip param")
+	want := []token.Kind{token.VAR, token.FORALL, token.IDENT, token.COFORALL, token.ZIP, token.PARAM}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %s, want %s", i, toks[i].Kind, k)
+		}
+	}
+	if toks[2].Lit != "foo" {
+		t.Errorf("ident lit = %q", toks[2].Lit)
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	toks := scan(t, "42 3.14 1e9 2.5e-3 1_000_000 7.")
+	if toks[0].Kind != token.INT || toks[0].Lit != "42" {
+		t.Errorf("int: %v", toks[0])
+	}
+	if toks[1].Kind != token.REAL || toks[1].Lit != "3.14" {
+		t.Errorf("real: %v", toks[1])
+	}
+	if toks[2].Kind != token.REAL || toks[2].Lit != "1e9" {
+		t.Errorf("exp: %v", toks[2])
+	}
+	if toks[3].Kind != token.REAL || toks[3].Lit != "2.5e-3" {
+		t.Errorf("negexp: %v", toks[3])
+	}
+	if toks[4].Kind != token.INT || toks[4].Lit != "1000000" {
+		t.Errorf("underscores: %v", toks[4])
+	}
+	// "7." followed by nothing: 7 then DOT (since '.' not followed by digit).
+	if toks[5].Kind != token.INT || toks[6].Kind != token.DOT {
+		t.Errorf("trailing dot: %v %v", toks[5], toks[6])
+	}
+}
+
+func TestRangeVsFraction(t *testing.T) {
+	// "0..9" must lex as INT DOTDOT INT, not REAL.
+	expectKinds(t, "0..9", token.INT, token.DOTDOT, token.INT)
+	expectKinds(t, "0..#n", token.INT, token.DOTDOT, token.HASH, token.IDENT)
+	expectKinds(t, "1.5..2.5", token.REAL, token.DOTDOT, token.REAL)
+}
+
+func TestStrings(t *testing.T) {
+	toks := scan(t, `"hello" "a\nb" "q\"q"`)
+	if toks[0].Lit != "hello" {
+		t.Errorf("lit 0 = %q", toks[0].Lit)
+	}
+	if toks[1].Lit != "a\nb" {
+		t.Errorf("lit 1 = %q", toks[1].Lit)
+	}
+	if toks[2].Lit != `q"q` {
+		t.Errorf("lit 2 = %q", toks[2].Lit)
+	}
+}
+
+func TestComments(t *testing.T) {
+	expectKinds(t, "a // line comment\nb", token.IDENT, token.IDENT)
+	expectKinds(t, "a /* block */ b", token.IDENT, token.IDENT)
+	expectKinds(t, "a /* nested /* inner */ still */ b", token.IDENT, token.IDENT)
+}
+
+func TestPositions(t *testing.T) {
+	toks := scan(t, "a = 2;\nb = 3;")
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("a at %v", toks[0].Pos)
+	}
+	if toks[4].Pos.Line != 2 || toks[4].Pos.Col != 1 {
+		t.Errorf("b at %v", toks[4].Pos)
+	}
+	if toks[6].Pos.Line != 2 || toks[6].Pos.Col != 5 {
+		t.Errorf("3 at %v", toks[6].Pos)
+	}
+}
+
+func TestUnterminatedString(t *testing.T) {
+	fs := source.NewFileSet()
+	f := fs.Add("t", `"abc`)
+	_, errs := ScanAll(f)
+	if len(errs) == 0 {
+		t.Fatal("expected error for unterminated string")
+	}
+}
+
+func TestUnterminatedBlockComment(t *testing.T) {
+	fs := source.NewFileSet()
+	f := fs.Add("t", "/* never closed")
+	_, errs := ScanAll(f)
+	if len(errs) == 0 {
+		t.Fatal("expected error for unterminated comment")
+	}
+}
+
+func TestIllegalChar(t *testing.T) {
+	fs := source.NewFileSet()
+	f := fs.Add("t", "a @ b")
+	toks, errs := ScanAll(f)
+	if len(errs) == 0 {
+		t.Fatal("expected error for illegal char")
+	}
+	if len(toks) != 3 || toks[1].Kind != token.ILLEGAL {
+		t.Fatalf("tokens: %v", toks)
+	}
+}
+
+func TestSwapVsLessEqual(t *testing.T) {
+	expectKinds(t, "a <=> b", token.IDENT, token.SWAP, token.IDENT)
+	expectKinds(t, "a <= b", token.IDENT, token.LE, token.IDENT)
+	expectKinds(t, "a < = b", token.IDENT, token.LT, token.ASSIGN, token.IDENT)
+}
+
+func TestEOFStable(t *testing.T) {
+	fs := source.NewFileSet()
+	f := fs.Add("t", "x")
+	l := New(f)
+	l.Next() // x
+	for i := 0; i < 3; i++ {
+		if tok := l.Next(); tok.Kind != token.EOF {
+			t.Fatalf("Next after end = %v, want EOF", tok)
+		}
+	}
+}

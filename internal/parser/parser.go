@@ -1,0 +1,811 @@
+// Package parser implements a recursive-descent parser for MiniChapel.
+package parser
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/lexer"
+	"repro/internal/source"
+	"repro/internal/token"
+)
+
+// Error is a syntax error with position.
+type Error struct {
+	Pos source.Pos
+	Msg string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("syntax error at line %d:%d: %s", e.Pos.Line, e.Pos.Col, e.Msg)
+}
+
+// ErrorList is a collection of parse errors.
+type ErrorList []*Error
+
+func (l ErrorList) Error() string {
+	if len(l) == 0 {
+		return "no errors"
+	}
+	if len(l) == 1 {
+		return l[0].Error()
+	}
+	return fmt.Sprintf("%s (and %d more errors)", l[0].Error(), len(l)-1)
+}
+
+// Parser parses one file.
+type Parser struct {
+	lex  *lexer.Lexer
+	tok  lexer.Token // current token
+	next lexer.Token // one-token lookahead
+	errs ErrorList
+
+	fileName string
+}
+
+// New returns a parser over the given registered file.
+func New(f *source.File) *Parser {
+	p := &Parser{lex: lexer.New(f), fileName: f.Name}
+	p.tok = p.lex.Next()
+	p.next = p.lex.Next()
+	return p
+}
+
+// ParseFile registers src under name in fset and parses it.
+func ParseFile(fset *source.FileSet, name, src string) (*ast.Program, error) {
+	f := fset.Add(name, src)
+	p := New(f)
+	prog := p.Program()
+	for _, e := range p.lex.Errors() {
+		p.errs = append(p.errs, &Error{Pos: e.Pos, Msg: e.Msg})
+	}
+	if len(p.errs) > 0 {
+		return prog, p.errs
+	}
+	return prog, nil
+}
+
+func (p *Parser) advance() {
+	p.tok = p.next
+	p.next = p.lex.Next()
+}
+
+func (p *Parser) errorf(pos source.Pos, format string, args ...any) {
+	if len(p.errs) < 50 {
+		p.errs = append(p.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+	}
+}
+
+func (p *Parser) expect(k token.Kind) lexer.Token {
+	t := p.tok
+	if t.Kind != k {
+		p.errorf(t.Pos, "expected %s, found %s", k, t)
+		// Do not consume: let the caller's loop structure recover.
+		if t.Kind == token.EOF {
+			return t
+		}
+	}
+	p.advance()
+	return t
+}
+
+func (p *Parser) got(k token.Kind) bool {
+	if p.tok.Kind == k {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+// Program parses the whole file.
+func (p *Parser) Program() *ast.Program {
+	prog := &ast.Program{FileName: p.fileName}
+	for p.tok.Kind != token.EOF {
+		before := p.tok
+		switch p.tok.Kind {
+		case token.PROC, token.ITER:
+			prog.Decls = append(prog.Decls, p.procDecl())
+		case token.RECORD, token.CLASS:
+			prog.Decls = append(prog.Decls, p.recordDecl())
+		case token.TYPE:
+			prog.Decls = append(prog.Decls, p.typeAliasDecl())
+		case token.USE:
+			// `use X;` is accepted and ignored (single-module programs).
+			p.advance()
+			p.expect(token.IDENT)
+			p.expect(token.SEMI)
+		case token.VAR, token.CONST, token.PARAM, token.CONFIG, token.REF:
+			prog.Decls = append(prog.Decls, &ast.GlobalVarDecl{V: p.varDecl()})
+		default:
+			prog.TopStmts = append(prog.TopStmts, p.stmt())
+		}
+		if p.tok == before && p.tok.Kind != token.EOF {
+			// No progress: skip a token to avoid an infinite loop.
+			p.errorf(p.tok.Pos, "unexpected %s", p.tok)
+			p.advance()
+		}
+	}
+	return prog
+}
+
+// ------------------------------------------------------------ declarations
+
+func (p *Parser) procDecl() *ast.ProcDecl {
+	d := &ast.ProcDecl{ProcPos: p.tok.Pos, IsIter: p.tok.Kind == token.ITER}
+	p.advance()
+	d.Name = p.ident()
+	p.expect(token.LPAREN)
+	for p.tok.Kind != token.RPAREN && p.tok.Kind != token.EOF {
+		d.Params = append(d.Params, p.param())
+		if !p.got(token.COMMA) {
+			break
+		}
+	}
+	p.expect(token.RPAREN)
+	if p.got(token.COLON) {
+		d.RetType = p.typeExpr()
+	}
+	d.Body = p.block()
+	return d
+}
+
+func (p *Parser) param() ast.Param {
+	q := ast.Param{ParamPos: p.tok.Pos}
+	switch p.tok.Kind {
+	case token.REF:
+		q.Intent = ast.IntentRef
+		p.advance()
+	case token.IN:
+		q.Intent = ast.IntentIn
+		p.advance()
+	case token.OUT:
+		q.Intent = ast.IntentOut
+		p.advance()
+	case token.INOUT:
+		q.Intent = ast.IntentInout
+		p.advance()
+	case token.PARAM:
+		q.Intent = ast.IntentParam
+		p.advance()
+	case token.CONST:
+		q.Intent = ast.IntentIn
+		p.advance()
+	}
+	q.Name = p.ident()
+	if p.got(token.COLON) {
+		q.Type = p.typeExpr()
+	}
+	return q
+}
+
+func (p *Parser) recordDecl() *ast.RecordDecl {
+	d := &ast.RecordDecl{RecPos: p.tok.Pos, IsClass: p.tok.Kind == token.CLASS}
+	p.advance()
+	d.Name = p.ident()
+	p.expect(token.LBRACE)
+	for p.tok.Kind != token.RBRACE && p.tok.Kind != token.EOF {
+		switch p.tok.Kind {
+		case token.VAR, token.CONST:
+			pos := p.tok.Pos
+			p.advance()
+			// One or more comma-separated names sharing a type.
+			names := []*ast.Ident{p.ident()}
+			for p.got(token.COMMA) {
+				names = append(names, p.ident())
+			}
+			var ty ast.TypeExpr
+			if p.got(token.COLON) {
+				ty = p.typeExpr()
+			}
+			var init ast.Expr
+			if p.got(token.ASSIGN) {
+				init = p.expr()
+			}
+			p.expect(token.SEMI)
+			for _, n := range names {
+				d.Fields = append(d.Fields, ast.FieldDecl{FieldPos: pos, Name: n, Type: ty, Init: init})
+			}
+		case token.PROC, token.ITER:
+			d.Methods = append(d.Methods, p.procDecl())
+		default:
+			p.errorf(p.tok.Pos, "expected field or method in %s body, found %s", d.Name.Name, p.tok)
+			p.advance()
+		}
+	}
+	p.expect(token.RBRACE)
+	return d
+}
+
+func (p *Parser) typeAliasDecl() *ast.TypeAliasDecl {
+	d := &ast.TypeAliasDecl{TypePos: p.tok.Pos}
+	p.expect(token.TYPE)
+	d.Name = p.ident()
+	p.expect(token.ASSIGN)
+	d.Target = p.typeExpr()
+	p.expect(token.SEMI)
+	return d
+}
+
+// varDecl parses `[config] (var|const|param) names [: type] [= init];`
+// and `ref name = expr;` alias declarations.
+func (p *Parser) varDecl() *ast.VarDecl {
+	d := &ast.VarDecl{DeclPos: p.tok.Pos}
+	if p.tok.Kind == token.REF {
+		d.IsRef = true
+		d.Kind = ast.VarVar
+		p.advance()
+	} else {
+		if p.got(token.CONFIG) {
+			if p.tok.Kind == token.CONST || p.tok.Kind == token.VAR || p.tok.Kind == token.PARAM {
+				p.advance()
+			}
+			d.Kind = ast.VarConfigConst
+		} else {
+			switch p.tok.Kind {
+			case token.VAR:
+				d.Kind = ast.VarVar
+			case token.CONST:
+				d.Kind = ast.VarConst
+			case token.PARAM:
+				d.Kind = ast.VarParam
+			}
+			p.advance()
+		}
+	}
+	d.Names = append(d.Names, p.ident())
+	for p.got(token.COMMA) {
+		d.Names = append(d.Names, p.ident())
+	}
+	if p.got(token.COLON) {
+		d.Type = p.typeExpr()
+	}
+	if p.got(token.ASSIGN) {
+		d.Init = p.expr()
+	}
+	p.expect(token.SEMI)
+	return d
+}
+
+func (p *Parser) ident() *ast.Ident {
+	t := p.tok
+	if t.Kind != token.IDENT {
+		// Allow a few keywords as identifiers in field position (e.g. a
+		// record field named "value" is fine since those aren't keywords,
+		// but "in" etc. are not allowed).
+		p.errorf(t.Pos, "expected identifier, found %s", t)
+		return &ast.Ident{NamePos: t.Pos, Name: "_error_"}
+	}
+	p.advance()
+	return &ast.Ident{NamePos: t.Pos, Name: t.Lit}
+}
+
+// ------------------------------------------------------------------- types
+
+func (p *Parser) typeExpr() ast.TypeExpr {
+	switch p.tok.Kind {
+	case token.LPAREN:
+		// Parenthesized type: 8*(4*real).
+		p.advance()
+		t := p.typeExpr()
+		p.expect(token.RPAREN)
+		return t
+	case token.LBRACK:
+		// [D] T or [0..n, 0..m] T
+		lb := p.tok.Pos
+		p.advance()
+		var dims []ast.Expr
+		for p.tok.Kind != token.RBRACK && p.tok.Kind != token.EOF {
+			dims = append(dims, p.expr())
+			if !p.got(token.COMMA) {
+				break
+			}
+		}
+		p.expect(token.RBRACK)
+		return &ast.ArrayType{Lbrack: lb, Dom: dims, Elem: p.typeExpr()}
+	case token.DOMAIN:
+		pos := p.tok.Pos
+		p.advance()
+		p.expect(token.LPAREN)
+		rank := p.expr()
+		p.expect(token.RPAREN)
+		dt := &ast.DomainType{DomPos: pos, Rank: rank}
+		// `domain(1) dmapped Block` — block distribution across locales.
+		if p.tok.Kind == token.IDENT && p.tok.Lit == "dmapped" {
+			p.advance()
+			dist := p.ident()
+			dt.Dist = dist.Name
+		}
+		return dt
+	case token.RANGE:
+		pos := p.tok.Pos
+		p.advance()
+		return &ast.RangeType{RangePos: pos}
+	case token.INT:
+		// Tuple type: 3*real.
+		pos := p.tok.Pos
+		cnt := &ast.IntLit{LitPos: pos, Value: parseInt(p.tok.Lit)}
+		p.advance()
+		p.expect(token.STAR)
+		return &ast.TupleType{CountPos: pos, Count: cnt, Elem: p.typeExpr()}
+	case token.IDENT:
+		pos := p.tok.Pos
+		name := p.tok.Lit
+		if name == "atomic" {
+			p.advance()
+			return &ast.AtomicType{AtomicPos: pos, Elem: p.typeExpr()}
+		}
+		// `k*T` with a param count.
+		if p.next.Kind == token.STAR {
+			cnt := &ast.Ident{NamePos: pos, Name: name}
+			p.advance()
+			p.advance()
+			return &ast.TupleType{CountPos: pos, Count: cnt, Elem: p.typeExpr()}
+		}
+		p.advance()
+		nt := &ast.NamedType{NamePos: pos, Name: name}
+		// int(32), real(64) style widths.
+		if (name == "int" || name == "real" || name == "uint") && p.tok.Kind == token.LPAREN {
+			p.advance()
+			w := p.expect(token.INT)
+			nt.Width = int(parseInt(w.Lit))
+			p.expect(token.RPAREN)
+		}
+		return nt
+	case token.LOCALE:
+		pos := p.tok.Pos
+		p.advance()
+		return &ast.NamedType{NamePos: pos, Name: "locale"}
+	}
+	p.errorf(p.tok.Pos, "expected type, found %s", p.tok)
+	pos := p.tok.Pos
+	p.advance()
+	return &ast.NamedType{NamePos: pos, Name: "_error_"}
+}
+
+func parseInt(lit string) int64 {
+	var v int64
+	for i := 0; i < len(lit); i++ {
+		v = v*10 + int64(lit[i]-'0')
+	}
+	return v
+}
+
+// -------------------------------------------------------------- statements
+
+func (p *Parser) block() *ast.BlockStmt {
+	b := &ast.BlockStmt{Lbrace: p.tok.Pos}
+	p.expect(token.LBRACE)
+	for p.tok.Kind != token.RBRACE && p.tok.Kind != token.EOF {
+		before := p.tok
+		b.Stmts = append(b.Stmts, p.stmt())
+		if p.tok == before {
+			p.advance()
+		}
+	}
+	p.expect(token.RBRACE)
+	return b
+}
+
+// blockOrDo parses either `{ ... }` or `do stmt;` bodies.
+func (p *Parser) blockOrDo() *ast.BlockStmt {
+	if p.tok.Kind == token.DO {
+		pos := p.tok.Pos
+		p.advance()
+		return &ast.BlockStmt{Lbrace: pos, Stmts: []ast.Stmt{p.stmt()}}
+	}
+	return p.block()
+}
+
+func (p *Parser) stmt() ast.Stmt {
+	switch p.tok.Kind {
+	case token.VAR, token.CONST, token.PARAM, token.CONFIG, token.REF:
+		return p.varDecl()
+	case token.PROC, token.ITER:
+		return &ast.DeclStmt{D: p.procDecl()}
+	case token.RECORD, token.CLASS:
+		return &ast.DeclStmt{D: p.recordDecl()}
+	case token.TYPE:
+		return &ast.DeclStmt{D: p.typeAliasDecl()}
+	case token.LBRACE:
+		return p.block()
+	case token.IF:
+		return p.ifStmt()
+	case token.WHILE:
+		pos := p.tok.Pos
+		p.advance()
+		cond := p.expr()
+		body := p.blockOrDo()
+		return &ast.WhileStmt{WhilePos: pos, Cond: cond, Body: body}
+	case token.DO:
+		pos := p.tok.Pos
+		p.advance()
+		body := p.block()
+		p.expect(token.WHILE)
+		cond := p.expr()
+		p.expect(token.SEMI)
+		return &ast.DoWhileStmt{DoPos: pos, Body: body, Cond: cond}
+	case token.FOR:
+		return p.forStmt(ast.LoopFor)
+	case token.FORALL:
+		return p.forStmt(ast.LoopForall)
+	case token.COFORALL:
+		return p.forStmt(ast.LoopCoforall)
+	case token.SELECT:
+		return p.selectStmt()
+	case token.RETURN:
+		pos := p.tok.Pos
+		p.advance()
+		var x ast.Expr
+		if p.tok.Kind != token.SEMI {
+			x = p.expr()
+		}
+		p.expect(token.SEMI)
+		return &ast.ReturnStmt{RetPos: pos, X: x}
+	case token.YIELD:
+		pos := p.tok.Pos
+		p.advance()
+		x := p.expr()
+		p.expect(token.SEMI)
+		return &ast.YieldStmt{YieldPos: pos, X: x}
+	case token.BREAK:
+		pos := p.tok.Pos
+		p.advance()
+		p.expect(token.SEMI)
+		return &ast.BreakStmt{BrkPos: pos}
+	case token.CONTINUE:
+		pos := p.tok.Pos
+		p.advance()
+		p.expect(token.SEMI)
+		return &ast.ContinueStmt{ContPos: pos}
+	case token.ON:
+		pos := p.tok.Pos
+		p.advance()
+		target := p.expr()
+		body := p.blockOrDo()
+		return &ast.OnStmt{OnPos: pos, Target: target, Body: body}
+	case token.BEGIN:
+		pos := p.tok.Pos
+		p.advance()
+		return &ast.BeginStmt{BeginPos: pos, Body: p.blockOrDo()}
+	case token.COBEGIN:
+		pos := p.tok.Pos
+		p.advance()
+		return &ast.CobeginStmt{CoPos: pos, Body: p.block()}
+	case token.SYNC:
+		pos := p.tok.Pos
+		p.advance()
+		return &ast.SyncStmt{SyncPos: pos, Body: p.blockOrDo()}
+	}
+	// Expression or assignment statement.
+	lhs := p.expr()
+	if p.tok.Kind.IsAssignOp() {
+		op := p.tok.Kind
+		p.advance()
+		rhs := p.expr()
+		p.expect(token.SEMI)
+		return &ast.AssignStmt{Lhs: lhs, Op: op, Rhs: rhs}
+	}
+	p.expect(token.SEMI)
+	return &ast.ExprStmt{X: lhs}
+}
+
+func (p *Parser) ifStmt() ast.Stmt {
+	pos := p.tok.Pos
+	p.expect(token.IF)
+	cond := p.expr()
+	var then *ast.BlockStmt
+	if p.got(token.THEN) {
+		then = &ast.BlockStmt{Lbrace: p.tok.Pos, Stmts: []ast.Stmt{p.stmt()}}
+	} else {
+		then = p.block()
+	}
+	var els ast.Stmt
+	if p.got(token.ELSE) {
+		switch p.tok.Kind {
+		case token.IF:
+			els = p.ifStmt()
+		case token.LBRACE:
+			els = p.block()
+		default:
+			els = &ast.BlockStmt{Lbrace: p.tok.Pos, Stmts: []ast.Stmt{p.stmt()}}
+		}
+	}
+	return &ast.IfStmt{IfPos: pos, Cond: cond, Then: then, Else: els}
+}
+
+func (p *Parser) forStmt(kind ast.LoopKind) ast.Stmt {
+	pos := p.tok.Pos
+	p.advance()
+	if kind == ast.LoopFor && p.got(token.PARAM) {
+		kind = ast.LoopParamFor
+	}
+	s := &ast.ForStmt{ForPos: pos, Kind: kind}
+	// Index variables: `i` or `(a, b)`.
+	if p.got(token.LPAREN) {
+		s.Idx = append(s.Idx, p.ident())
+		for p.got(token.COMMA) {
+			s.Idx = append(s.Idx, p.ident())
+		}
+		p.expect(token.RPAREN)
+	} else {
+		s.Idx = append(s.Idx, p.ident())
+	}
+	p.expect(token.IN)
+	if p.tok.Kind == token.ZIP {
+		zp := p.tok.Pos
+		p.advance()
+		p.expect(token.LPAREN)
+		z := &ast.ZipExpr{ZipPos: zp}
+		for p.tok.Kind != token.RPAREN && p.tok.Kind != token.EOF {
+			z.Args = append(z.Args, p.expr())
+			if !p.got(token.COMMA) {
+				break
+			}
+		}
+		p.expect(token.RPAREN)
+		s.Iter = z
+	} else {
+		s.Iter = p.expr()
+	}
+	s.Body = p.blockOrDo()
+	return s
+}
+
+func (p *Parser) selectStmt() ast.Stmt {
+	pos := p.tok.Pos
+	p.expect(token.SELECT)
+	subj := p.expr()
+	p.expect(token.LBRACE)
+	s := &ast.SelectStmt{SelPos: pos, Subject: subj}
+	for p.tok.Kind != token.RBRACE && p.tok.Kind != token.EOF {
+		switch p.tok.Kind {
+		case token.WHEN:
+			w := ast.WhenClause{WhenPos: p.tok.Pos}
+			p.advance()
+			w.Values = append(w.Values, p.expr())
+			for p.got(token.COMMA) {
+				w.Values = append(w.Values, p.expr())
+			}
+			w.Body = p.blockOrDo()
+			s.Whens = append(s.Whens, w)
+		case token.OTHERWISE:
+			p.advance()
+			s.Otherwise = p.blockOrDo()
+		default:
+			p.errorf(p.tok.Pos, "expected when/otherwise, found %s", p.tok)
+			p.advance()
+		}
+	}
+	p.expect(token.RBRACE)
+	return s
+}
+
+// ------------------------------------------------------------- expressions
+
+func (p *Parser) expr() ast.Expr {
+	if p.tok.Kind == token.IF {
+		pos := p.tok.Pos
+		p.advance()
+		cond := p.expr()
+		p.expect(token.THEN)
+		a := p.expr()
+		p.expect(token.ELSE)
+		b := p.expr()
+		return &ast.IfExpr{IfPos: pos, Cond: cond, Then: a, Else: b}
+	}
+	return p.binaryExpr(1)
+}
+
+func (p *Parser) binaryExpr(minPrec int) ast.Expr {
+	x := p.unaryExpr()
+	for {
+		op := p.tok.Kind
+		prec := op.Precedence()
+		if prec < minPrec {
+			// `by` binds to a completed range: `0..n by 2`.
+			if op == token.BY {
+				if r, ok := x.(*ast.RangeExpr); ok {
+					p.advance()
+					r.By = p.binaryExpr(5)
+					continue
+				}
+			}
+			return x
+		}
+		pos := p.tok.Pos
+		p.advance()
+		if op == token.DOTDOT {
+			r := &ast.RangeExpr{Lo: x, RangePos: pos}
+			if p.got(token.HASH) {
+				r.Count = p.binaryExpr(prec + 1)
+			} else {
+				r.Hi = p.binaryExpr(prec + 1)
+			}
+			x = r
+			continue
+		}
+		y := p.binaryExpr(prec + 1)
+		x = &ast.BinaryExpr{X: x, Op: op, Y: y}
+	}
+}
+
+func (p *Parser) unaryExpr() ast.Expr {
+	switch p.tok.Kind {
+	case token.MINUS, token.NOT:
+		pos := p.tok.Pos
+		op := p.tok.Kind
+		// `+ reduce A` / `* reduce A` style reductions.
+		p.advance()
+		return &ast.UnaryExpr{OpPos: pos, Op: op, X: p.unaryExpr()}
+	case token.PLUS, token.STAR:
+		if p.next.Kind == token.REDUCE {
+			pos := p.tok.Pos
+			op := p.tok.Kind
+			p.advance()
+			p.advance()
+			return &ast.ReduceExpr{OpPos: pos, Op: op, X: p.unaryExpr()}
+		}
+	}
+	// `max reduce A` / `min reduce A`.
+	if p.tok.Kind == token.IDENT && (p.tok.Lit == "max" || p.tok.Lit == "min") && p.next.Kind == token.REDUCE {
+		pos := p.tok.Pos
+		op := token.GT
+		if p.tok.Lit == "min" {
+			op = token.LT
+		}
+		p.advance()
+		p.advance()
+		return &ast.ReduceExpr{OpPos: pos, Op: op, X: p.unaryExpr()}
+	}
+	return p.postfixExpr()
+}
+
+func (p *Parser) postfixExpr() ast.Expr {
+	x := p.primaryExpr()
+	for {
+		switch p.tok.Kind {
+		case token.LPAREN:
+			lp := p.tok.Pos
+			p.advance()
+			call := &ast.CallExpr{Fun: x, Lparen: lp}
+			for p.tok.Kind != token.RPAREN && p.tok.Kind != token.EOF {
+				call.Args = append(call.Args, p.expr())
+				if !p.got(token.COMMA) {
+					break
+				}
+			}
+			p.expect(token.RPAREN)
+			x = call
+		case token.LBRACK:
+			lb := p.tok.Pos
+			p.advance()
+			idx := &ast.IndexExpr{X: x, Lbrack: lb}
+			for p.tok.Kind != token.RBRACK && p.tok.Kind != token.EOF {
+				idx.Index = append(idx.Index, p.expr())
+				if !p.got(token.COMMA) {
+					break
+				}
+			}
+			p.expect(token.RBRACK)
+			x = idx
+		case token.DOT:
+			p.advance()
+			name := p.fieldName()
+			x = &ast.FieldExpr{X: x, Name: name}
+		default:
+			return x
+		}
+	}
+}
+
+// fieldName accepts identifiers plus keywords that double as method names
+// (e.g. `.domain`, `.locale`).
+func (p *Parser) fieldName() *ast.Ident {
+	t := p.tok
+	switch t.Kind {
+	case token.IDENT:
+		p.advance()
+		return &ast.Ident{NamePos: t.Pos, Name: t.Lit}
+	case token.DOMAIN, token.LOCALE, token.RANGE, token.TYPE:
+		p.advance()
+		return &ast.Ident{NamePos: t.Pos, Name: t.Kind.String()}
+	}
+	p.errorf(t.Pos, "expected field name, found %s", t)
+	return &ast.Ident{NamePos: t.Pos, Name: "_error_"}
+}
+
+func (p *Parser) primaryExpr() ast.Expr {
+	t := p.tok
+	switch t.Kind {
+	case token.IDENT:
+		p.advance()
+		return &ast.Ident{NamePos: t.Pos, Name: t.Lit}
+	case token.HERE:
+		p.advance()
+		return &ast.Ident{NamePos: t.Pos, Name: "here"}
+	case token.INT:
+		p.advance()
+		return &ast.IntLit{LitPos: t.Pos, Value: parseInt(t.Lit)}
+	case token.REAL:
+		p.advance()
+		return &ast.RealLit{LitPos: t.Pos, Value: parseFloat(t.Lit)}
+	case token.STRING:
+		p.advance()
+		return &ast.StringLit{LitPos: t.Pos, Value: t.Lit}
+	case token.TRUE:
+		p.advance()
+		return &ast.BoolLit{LitPos: t.Pos, Value: true}
+	case token.FALSE:
+		p.advance()
+		return &ast.BoolLit{LitPos: t.Pos, Value: false}
+	case token.NIL:
+		p.advance()
+		return &ast.Ident{NamePos: t.Pos, Name: "nil"}
+	case token.NEW:
+		p.advance()
+		ty := p.typeExpr()
+		ne := &ast.NewExpr{NewPos: t.Pos, Type: ty}
+		if p.got(token.LPAREN) {
+			for p.tok.Kind != token.RPAREN && p.tok.Kind != token.EOF {
+				ne.Args = append(ne.Args, p.expr())
+				if !p.got(token.COMMA) {
+					break
+				}
+			}
+			p.expect(token.RPAREN)
+		}
+		return ne
+	case token.LPAREN:
+		p.advance()
+		first := p.expr()
+		if p.got(token.COMMA) {
+			tup := &ast.TupleExpr{Lparen: t.Pos, Elems: []ast.Expr{first}}
+			for p.tok.Kind != token.RPAREN && p.tok.Kind != token.EOF {
+				tup.Elems = append(tup.Elems, p.expr())
+				if !p.got(token.COMMA) {
+					break
+				}
+			}
+			p.expect(token.RPAREN)
+			return tup
+		}
+		p.expect(token.RPAREN)
+		return first
+	case token.LBRACE:
+		p.advance()
+		dl := &ast.DomainLit{Lbrace: t.Pos}
+		for p.tok.Kind != token.RBRACE && p.tok.Kind != token.EOF {
+			dl.Dims = append(dl.Dims, p.expr())
+			if !p.got(token.COMMA) {
+				break
+			}
+		}
+		p.expect(token.RBRACE)
+		return dl
+	case token.ZIP:
+		p.advance()
+		p.expect(token.LPAREN)
+		z := &ast.ZipExpr{ZipPos: t.Pos}
+		for p.tok.Kind != token.RPAREN && p.tok.Kind != token.EOF {
+			z.Args = append(z.Args, p.expr())
+			if !p.got(token.COMMA) {
+				break
+			}
+		}
+		p.expect(token.RPAREN)
+		return z
+	}
+	p.errorf(t.Pos, "expected expression, found %s", t)
+	p.advance()
+	return &ast.IntLit{LitPos: t.Pos, Value: 0}
+}
+
+func parseFloat(lit string) float64 {
+	var v float64
+	var err error
+	_, err = fmt.Sscanf(lit, "%g", &v)
+	if err != nil {
+		return 0
+	}
+	return v
+}

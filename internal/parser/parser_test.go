@@ -1,0 +1,478 @@
+package parser
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/source"
+	"repro/internal/token"
+)
+
+func parse(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	fset := source.NewFileSet()
+	prog, err := ParseFile(fset, "t.mchpl", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return prog
+}
+
+func parseStmt(t *testing.T, src string) ast.Stmt {
+	t.Helper()
+	prog := parse(t, src)
+	if len(prog.TopStmts) == 0 {
+		t.Fatalf("no top statements in %q", src)
+	}
+	return prog.TopStmts[0]
+}
+
+func TestVarDeclForms(t *testing.T) {
+	prog := parse(t, `
+var x: int;
+var y = 1.5;
+const z: real = 2.0;
+param k = 4;
+config const n = 10;
+var a, b: int;
+ref R = A[D];
+`)
+	if len(prog.Decls) != 7 {
+		t.Fatalf("got %d decls", len(prog.Decls))
+	}
+	v0 := prog.Decls[0].(*ast.GlobalVarDecl).V
+	if v0.Kind != ast.VarVar || v0.Names[0].Name != "x" || v0.Type == nil || v0.Init != nil {
+		t.Errorf("decl 0 wrong: %+v", v0)
+	}
+	v1 := prog.Decls[1].(*ast.GlobalVarDecl).V
+	if v1.Type != nil || v1.Init == nil {
+		t.Errorf("decl 1 should be inferred with init")
+	}
+	v3 := prog.Decls[3].(*ast.GlobalVarDecl).V
+	if v3.Kind != ast.VarParam {
+		t.Errorf("decl 3 should be param")
+	}
+	v4 := prog.Decls[4].(*ast.GlobalVarDecl).V
+	if v4.Kind != ast.VarConfigConst {
+		t.Errorf("decl 4 should be config const")
+	}
+	v5 := prog.Decls[5].(*ast.GlobalVarDecl).V
+	if len(v5.Names) != 2 {
+		t.Errorf("decl 5 should declare 2 names")
+	}
+	v6 := prog.Decls[6].(*ast.GlobalVarDecl).V
+	if !v6.IsRef {
+		t.Errorf("decl 6 should be a ref alias")
+	}
+}
+
+func TestProcDecl(t *testing.T) {
+	prog := parse(t, `
+proc foo(a: int, ref b: real, param k: int): real {
+  return a + b;
+}
+`)
+	d := prog.Decls[0].(*ast.ProcDecl)
+	if d.Name.Name != "foo" || len(d.Params) != 3 {
+		t.Fatalf("bad proc: %+v", d)
+	}
+	if d.Params[0].Intent != ast.IntentDefault {
+		t.Errorf("param a intent")
+	}
+	if d.Params[1].Intent != ast.IntentRef {
+		t.Errorf("param b intent")
+	}
+	if d.Params[2].Intent != ast.IntentParam {
+		t.Errorf("param k intent")
+	}
+	if d.RetType == nil {
+		t.Errorf("missing return type")
+	}
+	if len(d.Body.Stmts) != 1 {
+		t.Errorf("body stmts = %d", len(d.Body.Stmts))
+	}
+}
+
+func TestRecordDecl(t *testing.T) {
+	prog := parse(t, `
+record atom {
+  var v: v3;
+  var f: v3;
+  var nCount: int(32);
+  proc reset() { nCount = 0; }
+}
+`)
+	d := prog.Decls[0].(*ast.RecordDecl)
+	if d.IsClass {
+		t.Error("should be record, not class")
+	}
+	if len(d.Fields) != 3 || len(d.Methods) != 1 {
+		t.Fatalf("fields=%d methods=%d", len(d.Fields), len(d.Methods))
+	}
+	if nt, ok := d.Fields[2].Type.(*ast.NamedType); !ok || nt.Width != 32 {
+		t.Errorf("int(32) width not parsed: %+v", d.Fields[2].Type)
+	}
+}
+
+func TestTypeAlias(t *testing.T) {
+	prog := parse(t, `type v3 = 3*real;`)
+	d := prog.Decls[0].(*ast.TypeAliasDecl)
+	tt, ok := d.Target.(*ast.TupleType)
+	if !ok {
+		t.Fatalf("target = %T", d.Target)
+	}
+	if c, ok := tt.Count.(*ast.IntLit); !ok || c.Value != 3 {
+		t.Errorf("count: %+v", tt.Count)
+	}
+}
+
+func TestArrayAndDomainTypes(t *testing.T) {
+	prog := parse(t, `
+var D: domain(2);
+var A: [D] real;
+var B: [0..9] int;
+var C: [DistSpace] [perBinSpace] v3;
+`)
+	a := prog.Decls[1].(*ast.GlobalVarDecl).V
+	at, ok := a.Type.(*ast.ArrayType)
+	if !ok || len(at.Dom) != 1 {
+		t.Fatalf("A type: %+v", a.Type)
+	}
+	c := prog.Decls[3].(*ast.GlobalVarDecl).V
+	outer := c.Type.(*ast.ArrayType)
+	if _, ok := outer.Elem.(*ast.ArrayType); !ok {
+		t.Errorf("nested array type not parsed: %T", outer.Elem)
+	}
+}
+
+func TestForallAndZip(t *testing.T) {
+	s := parseStmt(t, `forall (b, p) in zip(Bins, Pos) { b = p; }`)
+	f := s.(*ast.ForStmt)
+	if f.Kind != ast.LoopForall {
+		t.Errorf("kind = %v", f.Kind)
+	}
+	if len(f.Idx) != 2 {
+		t.Errorf("idx count = %d", len(f.Idx))
+	}
+	z, ok := f.Iter.(*ast.ZipExpr)
+	if !ok || len(z.Args) != 2 {
+		t.Fatalf("iterand: %+v", f.Iter)
+	}
+}
+
+func TestForParamLoop(t *testing.T) {
+	s := parseStmt(t, `for param i in 1..4 { x += i; }`)
+	f := s.(*ast.ForStmt)
+	if f.Kind != ast.LoopParamFor {
+		t.Errorf("kind = %v, want param for", f.Kind)
+	}
+	r, ok := f.Iter.(*ast.RangeExpr)
+	if !ok || r.Hi == nil {
+		t.Fatalf("iter: %+v", f.Iter)
+	}
+}
+
+func TestCountedRangeAndBy(t *testing.T) {
+	s := parseStmt(t, `for i in 0..#n by 2 { }`)
+	f := s.(*ast.ForStmt)
+	r := f.Iter.(*ast.RangeExpr)
+	if r.Count == nil || r.Hi != nil {
+		t.Errorf("want counted range, got %+v", r)
+	}
+	if r.By == nil {
+		t.Errorf("missing stride")
+	}
+}
+
+func TestCoforall(t *testing.T) {
+	s := parseStmt(t, `coforall t in 0..#nTasks { work(t); }`)
+	f := s.(*ast.ForStmt)
+	if f.Kind != ast.LoopCoforall {
+		t.Errorf("kind = %v", f.Kind)
+	}
+}
+
+func TestIfForms(t *testing.T) {
+	s := parseStmt(t, `if a < b { x = 1; } else if a > b { x = 2; } else { x = 3; }`)
+	f := s.(*ast.IfStmt)
+	if f.Else == nil {
+		t.Fatal("missing else")
+	}
+	if _, ok := f.Else.(*ast.IfStmt); !ok {
+		t.Errorf("else-if chain: %T", f.Else)
+	}
+	// then-form
+	s2 := parseStmt(t, `if a < b then x = 1; else x = 2;`)
+	f2 := s2.(*ast.IfStmt)
+	if len(f2.Then.Stmts) != 1 || f2.Else == nil {
+		t.Errorf("then form broken")
+	}
+}
+
+func TestIfExpr(t *testing.T) {
+	s := parseStmt(t, `x = if c then 1 else 2;`)
+	a := s.(*ast.AssignStmt)
+	if _, ok := a.Rhs.(*ast.IfExpr); !ok {
+		t.Errorf("rhs = %T", a.Rhs)
+	}
+}
+
+func TestSelectWhen(t *testing.T) {
+	s := parseStmt(t, `
+select x {
+  when 1 { y = 1; }
+  when 2, 3 { y = 2; }
+  otherwise { y = 0; }
+}`)
+	sel := s.(*ast.SelectStmt)
+	if len(sel.Whens) != 2 || sel.Otherwise == nil {
+		t.Fatalf("select: %d whens, otherwise=%v", len(sel.Whens), sel.Otherwise != nil)
+	}
+	if len(sel.Whens[1].Values) != 2 {
+		t.Errorf("when 2,3 values = %d", len(sel.Whens[1].Values))
+	}
+}
+
+func TestDomainLiteralAndSlice(t *testing.T) {
+	s := parseStmt(t, `D = {0..#nx, 0..#ny};`)
+	a := s.(*ast.AssignStmt)
+	dl, ok := a.Rhs.(*ast.DomainLit)
+	if !ok || len(dl.Dims) != 2 {
+		t.Fatalf("rhs = %+v", a.Rhs)
+	}
+	s2 := parseStmt(t, `R = Pos[binSpace];`)
+	a2 := s2.(*ast.AssignStmt)
+	ix, ok := a2.Rhs.(*ast.IndexExpr)
+	if !ok || len(ix.Index) != 1 {
+		t.Fatalf("slice rhs: %+v", a2.Rhs)
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	s := parseStmt(t, `x = a + b * c ** d;`)
+	a := s.(*ast.AssignStmt)
+	add := a.Rhs.(*ast.BinaryExpr)
+	if add.Op != token.PLUS {
+		t.Fatalf("top op = %v", add.Op)
+	}
+	mul := add.Y.(*ast.BinaryExpr)
+	if mul.Op != token.STAR {
+		t.Fatalf("mul op = %v", mul.Op)
+	}
+	pow := mul.Y.(*ast.BinaryExpr)
+	if pow.Op != token.POW {
+		t.Fatalf("pow op = %v", pow.Op)
+	}
+}
+
+func TestLogicalPrecedence(t *testing.T) {
+	s := parseStmt(t, `ok = a < b && c > d || e == f;`)
+	or := s.(*ast.AssignStmt).Rhs.(*ast.BinaryExpr)
+	if or.Op != token.OR {
+		t.Fatalf("top = %v, want ||", or.Op)
+	}
+	and := or.X.(*ast.BinaryExpr)
+	if and.Op != token.AND {
+		t.Fatalf("left = %v, want &&", and.Op)
+	}
+}
+
+func TestCompoundAssignAndSwap(t *testing.T) {
+	if s := parseStmt(t, `x += 2;`).(*ast.AssignStmt); s.Op != token.PLUS_ASSIGN {
+		t.Errorf("op = %v", s.Op)
+	}
+	if s := parseStmt(t, `a <=> b;`).(*ast.AssignStmt); s.Op != token.SWAP {
+		t.Errorf("op = %v", s.Op)
+	}
+}
+
+func TestMethodCallChain(t *testing.T) {
+	s := parseStmt(t, `x = binSpace.expand(1).size;`)
+	f, ok := s.(*ast.AssignStmt).Rhs.(*ast.FieldExpr)
+	if !ok || f.Name.Name != "size" {
+		t.Fatalf("rhs: %+v", s.(*ast.AssignStmt).Rhs)
+	}
+	call, ok := f.X.(*ast.CallExpr)
+	if !ok {
+		t.Fatalf("inner: %T", f.X)
+	}
+	if _, ok := call.Fun.(*ast.FieldExpr); !ok {
+		t.Fatalf("call fun: %T", call.Fun)
+	}
+}
+
+func TestTupleExprAndIndex(t *testing.T) {
+	s := parseStmt(t, `p = (1.0, 2.0, 3.0);`)
+	tup, ok := s.(*ast.AssignStmt).Rhs.(*ast.TupleExpr)
+	if !ok || len(tup.Elems) != 3 {
+		t.Fatalf("tuple: %+v", s)
+	}
+	// t(1) parses as a call; sem resolves it to tuple indexing.
+	s2 := parseStmt(t, `x = t(1);`)
+	if _, ok := s2.(*ast.AssignStmt).Rhs.(*ast.CallExpr); !ok {
+		t.Fatalf("t(1): %T", s2.(*ast.AssignStmt).Rhs)
+	}
+}
+
+func TestReduceExpr(t *testing.T) {
+	s := parseStmt(t, `total = + reduce A;`)
+	r, ok := s.(*ast.AssignStmt).Rhs.(*ast.ReduceExpr)
+	if !ok || r.Op != token.PLUS {
+		t.Fatalf("reduce: %+v", s.(*ast.AssignStmt).Rhs)
+	}
+	s2 := parseStmt(t, `m = max reduce A;`)
+	if _, ok := s2.(*ast.AssignStmt).Rhs.(*ast.ReduceExpr); !ok {
+		t.Fatalf("max reduce: %T", s2.(*ast.AssignStmt).Rhs)
+	}
+}
+
+func TestOnBeginCobeginSync(t *testing.T) {
+	parseStmt(t, `on Locales[1] { work(); }`)
+	parseStmt(t, `begin { work(); }`)
+	parseStmt(t, `cobegin { a(); b(); }`)
+	parseStmt(t, `sync { begin { w(); } }`)
+}
+
+func TestNestedProcInBody(t *testing.T) {
+	prog := parse(t, `
+proc outer() {
+  proc inner(x: real): real { return x * 2.0; }
+  var y = inner(3.0);
+}
+`)
+	outer := prog.Decls[0].(*ast.ProcDecl)
+	ds, ok := outer.Body.Stmts[0].(*ast.DeclStmt)
+	if !ok {
+		t.Fatalf("first stmt: %T", outer.Body.Stmts[0])
+	}
+	if _, ok := ds.D.(*ast.ProcDecl); !ok {
+		t.Fatalf("nested decl: %T", ds.D)
+	}
+}
+
+func TestNewExpr(t *testing.T) {
+	s := parseStmt(t, `p = new Part(3);`)
+	ne, ok := s.(*ast.AssignStmt).Rhs.(*ast.NewExpr)
+	if !ok || len(ne.Args) != 1 {
+		t.Fatalf("new: %+v", s.(*ast.AssignStmt).Rhs)
+	}
+}
+
+func TestWhileAndDoWhile(t *testing.T) {
+	parseStmt(t, `while x < 10 { x += 1; }`)
+	s := parseStmt(t, `do { x += 1; } while x < 10;`)
+	if _, ok := s.(*ast.DoWhileStmt); !ok {
+		t.Fatalf("do-while: %T", s)
+	}
+}
+
+func TestSyntaxErrorReported(t *testing.T) {
+	fset := source.NewFileSet()
+	_, err := ParseFile(fset, "bad", "var = ;")
+	if err == nil {
+		t.Fatal("expected syntax error")
+	}
+}
+
+func TestParserNoInfiniteLoopOnGarbage(t *testing.T) {
+	fset := source.NewFileSet()
+	// Must terminate even on unparseable soup.
+	_, err := ParseFile(fset, "bad", "} ] ) when otherwise ..")
+	if err == nil {
+		t.Fatal("expected errors")
+	}
+}
+
+func TestUseIgnored(t *testing.T) {
+	prog := parse(t, "use Time;\nvar x = 1;")
+	if len(prog.Decls) != 1 {
+		t.Fatalf("use should be skipped, decls=%d", len(prog.Decls))
+	}
+}
+
+func TestWalkVisitsAll(t *testing.T) {
+	prog := parse(t, `
+proc f(a: int): int {
+  var s = 0;
+  for i in 1..a { s += i; }
+  return s;
+}
+var g = f(10);
+`)
+	var idents int
+	ast.Walk(prog, func(n ast.Node) bool {
+		if _, ok := n.(*ast.Ident); ok {
+			idents++
+		}
+		return true
+	})
+	if idents < 5 {
+		t.Errorf("Walk found only %d idents", idents)
+	}
+}
+
+func TestYieldStatement(t *testing.T) {
+	prog := parse(t, `
+iter countTo(n: int): int {
+  var i = 1;
+  while i <= n {
+    yield i;
+    i += 1;
+  }
+}
+`)
+	d := prog.Decls[0].(*ast.ProcDecl)
+	if !d.IsIter {
+		t.Fatal("iter not flagged")
+	}
+	found := false
+	ast.Walk(d.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.YieldStmt); ok {
+			found = true
+		}
+		return true
+	})
+	if !found {
+		t.Error("yield statement not parsed")
+	}
+}
+
+func TestAtomicTypeParsing(t *testing.T) {
+	prog := parse(t, `
+var c: atomic int;
+var F: [0..#8] atomic real;
+`)
+	v0 := prog.Decls[0].(*ast.GlobalVarDecl).V
+	if _, ok := v0.Type.(*ast.AtomicType); !ok {
+		t.Fatalf("c type = %T", v0.Type)
+	}
+	v1 := prog.Decls[1].(*ast.GlobalVarDecl).V
+	arr := v1.Type.(*ast.ArrayType)
+	if _, ok := arr.Elem.(*ast.AtomicType); !ok {
+		t.Fatalf("F elem type = %T", arr.Elem)
+	}
+}
+
+func TestDmappedDomainParsing(t *testing.T) {
+	prog := parse(t, `var D: domain(1) dmapped Block = {0..#8};`)
+	v := prog.Decls[0].(*ast.GlobalVarDecl).V
+	dt := v.Type.(*ast.DomainType)
+	if dt.Dist != "Block" {
+		t.Fatalf("dist = %q", dt.Dist)
+	}
+	// Without dmapped, Dist stays empty.
+	prog2 := parse(t, `var E: domain(1) = {0..#8};`)
+	dt2 := prog2.Decls[0].(*ast.GlobalVarDecl).V.Type.(*ast.DomainType)
+	if dt2.Dist != "" {
+		t.Fatalf("dist = %q, want empty", dt2.Dist)
+	}
+}
+
+func TestParenthesizedTupleType(t *testing.T) {
+	prog := parse(t, `var h: 8*(4*real);`)
+	v := prog.Decls[0].(*ast.GlobalVarDecl).V
+	outer := v.Type.(*ast.TupleType)
+	if _, ok := outer.Elem.(*ast.TupleType); !ok {
+		t.Fatalf("inner type = %T", outer.Elem)
+	}
+}

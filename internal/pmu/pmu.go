@@ -1,0 +1,106 @@
+// Package pmu simulates a performance monitoring unit programmed through
+// a PAPI-like interface: a cycle counter with an overflow threshold that
+// raises a signal each time the count crosses the threshold (paper §IV.B,
+// which programs PAPI_TOT_CYC with the large prime 608,888,809).
+//
+// Skid — the distance between the event and the instruction the interrupt
+// reports (§IV.B cites ProfileMe) — can be injected for robustness
+// experiments: a positive skid delays sample delivery by that many
+// subsequent instructions.
+package pmu
+
+// Event names a countable hardware event.
+type Event string
+
+// Supported events.
+const (
+	TotalCycles Event = "PAPI_TOT_CYC"
+)
+
+// DefaultThreshold is the paper's sampling threshold, a large prime.
+const DefaultThreshold = 608_888_809
+
+// Counter is one programmed PMU counter.
+type Counter struct {
+	event     Event
+	threshold uint64
+	value     uint64
+	overflows uint64
+}
+
+// NewCounter programs a counter for event with the given overflow
+// threshold. A zero threshold disables overflow generation.
+func NewCounter(event Event, threshold uint64) *Counter {
+	return &Counter{event: event, threshold: threshold}
+}
+
+// Event returns the programmed event.
+func (c *Counter) Event() Event { return c.event }
+
+// Threshold returns the programmed overflow threshold.
+func (c *Counter) Threshold() uint64 { return c.threshold }
+
+// Value returns the current residual count (since the last overflow).
+func (c *Counter) Value() uint64 { return c.value }
+
+// Overflows returns the total number of overflows so far.
+func (c *Counter) Overflows() uint64 { return c.overflows }
+
+// Add advances the counter and returns how many overflow interrupts fire
+// (0 almost always; >1 if a single addition spans several thresholds).
+func (c *Counter) Add(cycles uint64) int {
+	if c.threshold == 0 {
+		c.value += cycles
+		return 0
+	}
+	c.value += cycles
+	n := 0
+	for c.value >= c.threshold {
+		c.value -= c.threshold
+		c.overflows++
+		n++
+	}
+	return n
+}
+
+// Reset clears the counter state, keeping the programming.
+func (c *Counter) Reset() {
+	c.value = 0
+	c.overflows = 0
+}
+
+// SkidQueue models interrupt skid: overflows pushed in are delivered
+// after Skid subsequent instructions have retired.
+type SkidQueue struct {
+	Skid    int
+	pending []int // remaining instruction distances
+}
+
+// Push enqueues n overflow interrupts.
+func (q *SkidQueue) Push(n int) {
+	for i := 0; i < n; i++ {
+		q.pending = append(q.pending, q.Skid)
+	}
+}
+
+// Retire advances one instruction and returns how many interrupts deliver
+// on this instruction.
+func (q *SkidQueue) Retire() int {
+	if len(q.pending) == 0 {
+		return 0
+	}
+	delivered := 0
+	kept := q.pending[:0]
+	for _, d := range q.pending {
+		if d <= 0 {
+			delivered++
+		} else {
+			kept = append(kept, d-1)
+		}
+	}
+	q.pending = kept
+	return delivered
+}
+
+// Pending returns the number of undelivered interrupts.
+func (q *SkidQueue) Pending() int { return len(q.pending) }

@@ -1,0 +1,127 @@
+package pmu
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterBasicOverflow(t *testing.T) {
+	c := NewCounter(TotalCycles, 100)
+	if n := c.Add(99); n != 0 {
+		t.Fatalf("no overflow expected, got %d", n)
+	}
+	if n := c.Add(1); n != 1 {
+		t.Fatalf("overflow expected, got %d", n)
+	}
+	if c.Value() != 0 {
+		t.Fatalf("residual = %d, want 0", c.Value())
+	}
+	if c.Overflows() != 1 {
+		t.Fatalf("overflows = %d", c.Overflows())
+	}
+}
+
+func TestCounterMultipleOverflowsInOneAdd(t *testing.T) {
+	c := NewCounter(TotalCycles, 10)
+	if n := c.Add(35); n != 3 {
+		t.Fatalf("got %d overflows, want 3", n)
+	}
+	if c.Value() != 5 {
+		t.Fatalf("residual = %d, want 5", c.Value())
+	}
+}
+
+func TestCounterZeroThresholdDisabled(t *testing.T) {
+	c := NewCounter(TotalCycles, 0)
+	if n := c.Add(1 << 30); n != 0 {
+		t.Fatalf("disabled counter overflowed: %d", n)
+	}
+	if c.Value() != 1<<30 {
+		t.Fatalf("value = %d", c.Value())
+	}
+}
+
+func TestCounterReset(t *testing.T) {
+	c := NewCounter(TotalCycles, 10)
+	c.Add(25)
+	c.Reset()
+	if c.Value() != 0 || c.Overflows() != 0 {
+		t.Fatal("reset incomplete")
+	}
+	if c.Threshold() != 10 || c.Event() != TotalCycles {
+		t.Fatal("reset lost programming")
+	}
+}
+
+// Property: total overflows equal total cycles / threshold regardless of
+// how the cycles are chunked into Add calls.
+func TestCounterChunkingInvariant(t *testing.T) {
+	check := func(chunks []uint16, thresholdSeed uint16) bool {
+		threshold := uint64(thresholdSeed%997) + 3
+		c := NewCounter(TotalCycles, threshold)
+		var total, overflows uint64
+		for _, ch := range chunks {
+			total += uint64(ch)
+			overflows += uint64(c.Add(uint64(ch)))
+		}
+		return overflows == total/threshold && c.Value() == total%threshold
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSkidQueueDelaysDelivery(t *testing.T) {
+	q := &SkidQueue{Skid: 2}
+	q.Push(1)
+	if n := q.Retire(); n != 0 {
+		t.Fatalf("delivered too early: %d", n)
+	}
+	if n := q.Retire(); n != 0 {
+		t.Fatalf("delivered too early: %d", n)
+	}
+	if n := q.Retire(); n != 1 {
+		t.Fatalf("not delivered after skid: %d", n)
+	}
+	if q.Pending() != 0 {
+		t.Fatalf("pending = %d", q.Pending())
+	}
+}
+
+func TestSkidQueueMultiple(t *testing.T) {
+	q := &SkidQueue{Skid: 1}
+	q.Push(2)
+	if n := q.Retire(); n != 0 {
+		t.Fatalf("first retire: %d", n)
+	}
+	if n := q.Retire(); n != 2 {
+		t.Fatalf("second retire: %d", n)
+	}
+}
+
+// Property: nothing is lost — pushed interrupts all eventually deliver.
+func TestSkidConservation(t *testing.T) {
+	check := func(pushes []uint8, skidSeed uint8) bool {
+		q := &SkidQueue{Skid: int(skidSeed % 8)}
+		var pushed, delivered int
+		for _, p := range pushes {
+			n := int(p % 4)
+			q.Push(n)
+			pushed += n
+			delivered += q.Retire()
+		}
+		for i := 0; i < 16; i++ {
+			delivered += q.Retire()
+		}
+		return delivered == pushed && q.Pending() == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultThresholdIsTheLargePrime(t *testing.T) {
+	if DefaultThreshold != 608_888_809 {
+		t.Fatalf("DefaultThreshold = %d", DefaultThreshold)
+	}
+}

@@ -1,0 +1,74 @@
+package postmortem
+
+import (
+	"sort"
+
+	"repro/internal/sampler"
+)
+
+// CommRow attributes communication volume to one variable — the paper's
+// §VI extension: "blame communication cost back to key data structures".
+type CommRow struct {
+	// Name is the owning variable (or "(anonymous)" for unnamed blocks).
+	Name string
+	// Context is the owning variable's defining procedure.
+	Context  string
+	Messages int
+	Bytes    int64
+	// Share is this variable's fraction of all communicated bytes.
+	Share float64
+}
+
+// CommProfile aggregates inter-locale traffic.
+type CommProfile struct {
+	Rows       []CommRow
+	TotalBytes int64
+	TotalMsgs  int
+	// Matrix[from][to] is the byte volume per locale pair.
+	Matrix map[int]map[int]int64
+}
+
+// CommBlame aggregates the monitor's raw communication records into a
+// per-variable communication profile.
+func CommBlame(comms []sampler.CommRecord) *CommProfile {
+	p := &CommProfile{Matrix: make(map[int]map[int]int64)}
+	rows := make(map[string]*CommRow)
+	for _, c := range comms {
+		p.TotalBytes += c.Bytes
+		p.TotalMsgs++
+		if p.Matrix[c.From] == nil {
+			p.Matrix[c.From] = make(map[int]int64)
+		}
+		p.Matrix[c.From][c.To] += c.Bytes
+
+		name, ctx := "(anonymous)", "-"
+		if c.Var != nil {
+			name = c.Var.Name
+			if c.Var.Sym != nil {
+				ctx = c.Var.Sym.Context()
+			}
+		}
+		r, ok := rows[name]
+		if !ok {
+			r = &CommRow{Name: name, Context: ctx}
+			rows[name] = r
+		}
+		r.Messages++
+		r.Bytes += c.Bytes
+	}
+	total := p.TotalBytes
+	if total == 0 {
+		total = 1
+	}
+	for _, r := range rows {
+		r.Share = float64(r.Bytes) / float64(total)
+		p.Rows = append(p.Rows, *r)
+	}
+	sort.Slice(p.Rows, func(i, j int) bool {
+		if p.Rows[i].Bytes != p.Rows[j].Bytes {
+			return p.Rows[i].Bytes > p.Rows[j].Bytes
+		}
+		return p.Rows[i].Name < p.Rows[j].Name
+	})
+	return p
+}

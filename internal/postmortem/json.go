@@ -1,0 +1,88 @@
+package postmortem
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/vm"
+)
+
+// profileJSON is the stable on-disk form of a profile (instances and IR
+// pointers are runtime-only and excluded).
+type profileJSON struct {
+	TotalSamples int                  `json:"total_samples"`
+	Threshold    uint64               `json:"threshold"`
+	DataCentric  []varRowJSON         `json:"data_centric"`
+	CodeCentric  []FuncRow            `json:"code_centric"`
+	Stats        vm.Stats             `json:"stats"`
+	PerLocale    map[int]*profileJSON `json:"per_locale,omitempty"`
+}
+
+type varRowJSON struct {
+	Name    string  `json:"name"`
+	Type    string  `json:"type"`
+	Context string  `json:"context"`
+	Samples int     `json:"samples"`
+	Blame   float64 `json:"blame"`
+	IsPath  bool    `json:"is_path,omitempty"`
+}
+
+func toJSON(p *Profile) *profileJSON {
+	out := &profileJSON{
+		TotalSamples: p.TotalSamples,
+		Threshold:    p.Threshold,
+		CodeCentric:  p.CodeCentric,
+		Stats:        p.Stats,
+	}
+	for _, r := range p.DataCentric {
+		out.DataCentric = append(out.DataCentric, varRowJSON{
+			Name: r.Name, Type: r.Type, Context: r.Context,
+			Samples: r.Samples, Blame: r.Blame, IsPath: r.IsPath,
+		})
+	}
+	if p.PerLocale != nil {
+		out.PerLocale = make(map[int]*profileJSON)
+		for loc, sub := range p.PerLocale {
+			out.PerLocale[loc] = toJSON(sub)
+		}
+	}
+	return out
+}
+
+func fromJSON(in *profileJSON) *Profile {
+	p := &Profile{
+		TotalSamples: in.TotalSamples,
+		Threshold:    in.Threshold,
+		CodeCentric:  in.CodeCentric,
+		Stats:        in.Stats,
+	}
+	for _, r := range in.DataCentric {
+		p.DataCentric = append(p.DataCentric, VarRow{
+			Name: r.Name, Type: r.Type, Context: r.Context,
+			Samples: r.Samples, Blame: r.Blame, IsPath: r.IsPath,
+		})
+	}
+	if in.PerLocale != nil {
+		p.PerLocale = make(map[int]*Profile)
+		for loc, sub := range in.PerLocale {
+			p.PerLocale[loc] = fromJSON(sub)
+		}
+	}
+	return p
+}
+
+// WriteJSON serializes the profile (rows, stats; not instances).
+func (p *Profile) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(toJSON(p))
+}
+
+// ReadJSON loads a profile written by WriteJSON.
+func ReadJSON(r io.Reader) (*Profile, error) {
+	var in profileJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, err
+	}
+	return fromJSON(&in), nil
+}

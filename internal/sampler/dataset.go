@@ -1,0 +1,226 @@
+package sampler
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// The raw dataset format: the monitoring process writes samples, spawn
+// records and allocation records to disk during the run (paper §V: "the
+// sizes of the datasets generated during runtime are 6MB to 20MB"); the
+// post-mortem step reads them back. The format is a simple
+// length-prefixed binary stream (little endian).
+
+const datasetMagic = uint32(0xB1A3E001) // "blame" v1
+
+type recKind uint8
+
+const (
+	recSample recKind = iota + 1
+	recSpawn
+	recAlloc
+	recComm
+)
+
+// WriteDataset streams the sampler's raw data.
+func (s *Sampler) WriteDataset(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	le := binary.LittleEndian
+	writeU32 := func(v uint32) { _ = binary.Write(bw, le, v) }
+	writeU64 := func(v uint64) { _ = binary.Write(bw, le, v) }
+	writeI64 := func(v int64) { _ = binary.Write(bw, le, v) }
+	writeStr := func(v string) {
+		writeU32(uint32(len(v)))
+		_, _ = bw.WriteString(v)
+	}
+
+	writeU32(datasetMagic)
+	writeU64(s.Threshold())
+
+	for _, smp := range s.Samples {
+		bw.WriteByte(byte(recSample))
+		writeU64(smp.Addr)
+		writeU64(smp.Tag)
+		writeU32(uint32(smp.TaskID))
+		writeU32(uint32(smp.Locale))
+		writeStr(smp.RuntimeFunc)
+		writeU64(smp.DataAddr)
+		writeI64(smp.DataSize)
+		writeU32(uint32(len(smp.Stack)))
+		for _, a := range smp.Stack {
+			writeU64(a)
+		}
+	}
+	for _, sp := range s.Spawns {
+		bw.WriteByte(byte(recSpawn))
+		writeU64(sp.Tag)
+		writeU64(sp.ParentTag)
+		writeU64(sp.Site)
+		writeU32(uint32(len(sp.Stack)))
+		for _, a := range sp.Stack {
+			writeU64(a)
+		}
+	}
+	for _, al := range s.Allocs {
+		bw.WriteByte(byte(recAlloc))
+		writeU64(al.Addr)
+		writeI64(al.Size)
+		writeStr(al.VarName)
+		writeU64(al.Site)
+	}
+	for _, c := range s.Comms {
+		bw.WriteByte(byte(recComm))
+		writeI64(c.Bytes)
+		writeU32(uint32(c.From))
+		writeU32(uint32(c.To))
+		writeU64(c.Addr)
+		writeU64(c.Tag)
+		name := ""
+		if c.Var != nil {
+			name = c.Var.Name
+		}
+		writeStr(name)
+	}
+	return bw.Flush()
+}
+
+// Dataset is a raw profile read back from disk. Records referencing IR
+// variables carry names only (the post-mortem step re-resolves addresses
+// against the program's debug info, exactly as the paper's tool re-reads
+// its datasets).
+type Dataset struct {
+	Threshold uint64
+	Samples   []RawSample
+	Spawns    map[uint64]SpawnRecord
+	Allocs    []AllocRecord
+	CommNames []CommRecord
+}
+
+// ReadDataset parses a dataset written by WriteDataset.
+func ReadDataset(r io.Reader) (*Dataset, error) {
+	br := bufio.NewReader(r)
+	le := binary.LittleEndian
+	readU32 := func() (uint32, error) {
+		var v uint32
+		err := binary.Read(br, le, &v)
+		return v, err
+	}
+	readU64 := func() (uint64, error) {
+		var v uint64
+		err := binary.Read(br, le, &v)
+		return v, err
+	}
+	readI64 := func() (int64, error) {
+		var v int64
+		err := binary.Read(br, le, &v)
+		return v, err
+	}
+	readStr := func() (string, error) {
+		n, err := readU32()
+		if err != nil {
+			return "", err
+		}
+		if n > 1<<20 {
+			return "", fmt.Errorf("dataset: oversized string (%d)", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+	readStack := func() ([]uint64, error) {
+		n, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		if n > 1<<20 {
+			return nil, fmt.Errorf("dataset: oversized stack (%d)", n)
+		}
+		out := make([]uint64, n)
+		for i := range out {
+			if out[i], err = readU64(); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+
+	magic, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	if magic != datasetMagic {
+		return nil, fmt.Errorf("dataset: bad magic %#x", magic)
+	}
+	ds := &Dataset{Spawns: make(map[uint64]SpawnRecord)}
+	if ds.Threshold, err = readU64(); err != nil {
+		return nil, err
+	}
+
+	for {
+		kind, err := br.ReadByte()
+		if err == io.EOF {
+			return ds, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch recKind(kind) {
+		case recSample:
+			var smp RawSample
+			if smp.Addr, err = readU64(); err != nil {
+				return nil, err
+			}
+			smp.Tag, _ = readU64()
+			tid, _ := readU32()
+			smp.TaskID = int(tid)
+			loc, _ := readU32()
+			smp.Locale = int(loc)
+			if smp.RuntimeFunc, err = readStr(); err != nil {
+				return nil, err
+			}
+			smp.DataAddr, _ = readU64()
+			smp.DataSize, _ = readI64()
+			if smp.Stack, err = readStack(); err != nil {
+				return nil, err
+			}
+			ds.Samples = append(ds.Samples, smp)
+		case recSpawn:
+			var sp SpawnRecord
+			sp.Tag, _ = readU64()
+			sp.ParentTag, _ = readU64()
+			sp.Site, _ = readU64()
+			if sp.Stack, err = readStack(); err != nil {
+				return nil, err
+			}
+			ds.Spawns[sp.Tag] = sp
+		case recAlloc:
+			var al AllocRecord
+			al.Addr, _ = readU64()
+			al.Size, _ = readI64()
+			if al.VarName, err = readStr(); err != nil {
+				return nil, err
+			}
+			al.Site, _ = readU64()
+			ds.Allocs = append(ds.Allocs, al)
+		case recComm:
+			var c CommRecord
+			c.Bytes, _ = readI64()
+			f, _ := readU32()
+			c.From = int(f)
+			to, _ := readU32()
+			c.To = int(to)
+			c.Addr, _ = readU64()
+			c.Tag, _ = readU64()
+			if _, err = readStr(); err != nil {
+				return nil, err
+			}
+			ds.CommNames = append(ds.CommNames, c)
+		default:
+			return nil, fmt.Errorf("dataset: unknown record kind %d", kind)
+		}
+	}
+}

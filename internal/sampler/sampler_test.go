@@ -1,0 +1,278 @@
+package sampler_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/postmortem"
+	"repro/internal/sampler"
+	"repro/internal/vm"
+)
+
+func runSampled(t *testing.T, src string, threshold uint64, opts ...sampler.Option) (*sampler.Sampler, vm.Stats) {
+	t.Helper()
+	res, err := compile.Source("t.mchpl", src, compile.Options{})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	s := sampler.New(res.Prog, threshold, opts...)
+	cfg := vm.DefaultConfig()
+	cfg.Listener = s
+	cfg.MaxCycles = 200_000_000
+	stats, err := vm.New(res.Prog, cfg).Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return s, stats
+}
+
+const parSrc = `
+config const n = 200;
+var D: domain(1) = {0..#n};
+var A: [D] real;
+proc main() {
+  for rep in 1..10 {
+    forall i in D { A[i] = A[i] + sqrt(i * 1.0); }
+  }
+}
+`
+
+func TestSampleCountMatchesCycles(t *testing.T) {
+	s, stats := runSampled(t, parSrc, 1009)
+	want := stats.TotalCycles / 1009
+	got := uint64(len(s.Samples))
+	// Spin segments can cross thresholds mid-chunk; exact within 1%.
+	diff := int64(got) - int64(want)
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > int64(want/100+2) {
+		t.Errorf("samples = %d, cycles/threshold = %d", got, want)
+	}
+}
+
+func TestSamplesCarryStacksAndTags(t *testing.T) {
+	s, _ := runSampled(t, parSrc, 509)
+	var worker, withStack int
+	for _, smp := range s.Samples {
+		if smp.Tag != 0 {
+			worker++
+		}
+		if len(smp.Stack) > 0 {
+			withStack++
+		}
+	}
+	if worker == 0 {
+		t.Error("no worker samples recorded")
+	}
+	if withStack == 0 {
+		t.Error("no stack walks recorded")
+	}
+}
+
+func TestSpawnRecordsHavePreSpawnStacks(t *testing.T) {
+	s, _ := runSampled(t, parSrc, 509)
+	if len(s.Spawns) != 10 {
+		t.Fatalf("spawn records = %d, want 10 (one per forall)", len(s.Spawns))
+	}
+	for tag, rec := range s.Spawns {
+		if rec.Tag != tag {
+			t.Errorf("tag mismatch: %d vs %d", rec.Tag, tag)
+		}
+		if len(rec.Stack) == 0 {
+			t.Errorf("spawn %d has no pre-spawn stack", tag)
+		}
+		if rec.Site == 0 && rec.Stack[0] != rec.Site {
+			t.Errorf("spawn %d: site %d not innermost of stack %v", tag, rec.Site, rec.Stack)
+		}
+	}
+}
+
+func TestAllocRecords(t *testing.T) {
+	s, _ := runSampled(t, parSrc, 100000)
+	found := false
+	for _, a := range s.Allocs {
+		if a.VarName == "A" && a.Size == 200*8 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("allocation of A (1600 bytes) not recorded: %+v", s.Allocs)
+	}
+}
+
+func TestDataAddressesOnMemorySamples(t *testing.T) {
+	s, _ := runSampled(t, parSrc, 211)
+	withAddr := 0
+	for _, smp := range s.Samples {
+		if smp.DataAddr != 0 {
+			withAddr++
+			if smp.DataSize == 0 {
+				t.Error("data address without size")
+			}
+		}
+	}
+	if withAddr == 0 {
+		t.Error("no samples carry data addresses")
+	}
+}
+
+func TestRuntimeSpinSamples(t *testing.T) {
+	s, _ := runSampled(t, parSrc, 509)
+	spin := 0
+	for _, smp := range s.Samples {
+		if smp.RuntimeFunc == "__sched_yield" {
+			spin++
+		}
+	}
+	if spin == 0 {
+		t.Error("no spin samples attributed to __sched_yield")
+	}
+}
+
+func TestSkidShiftsAttribution(t *testing.T) {
+	s0, _ := runSampled(t, parSrc, 1009)
+	s2, _ := runSampled(t, parSrc, 1009, sampler.WithSkid(3))
+	if len(s0.Samples) == 0 || len(s2.Samples) == 0 {
+		t.Fatal("no samples")
+	}
+	// Same workload, same threshold: totals comparable; addresses shift.
+	shifted := 0
+	n := len(s0.Samples)
+	if len(s2.Samples) < n {
+		n = len(s2.Samples)
+	}
+	for i := 0; i < n; i++ {
+		if s0.Samples[i].Addr != s2.Samples[i].Addr {
+			shifted++
+		}
+	}
+	if shifted == 0 {
+		t.Error("skid did not shift any sample addresses")
+	}
+}
+
+func TestDataSetBytesGrowsWithSamples(t *testing.T) {
+	s1, _ := runSampled(t, parSrc, 4099)
+	s2, _ := runSampled(t, parSrc, 509)
+	if s2.DataSetBytes() <= s1.DataSetBytes() {
+		t.Errorf("dataset bytes should grow with sample count: %d vs %d",
+			s2.DataSetBytes(), s1.DataSetBytes())
+	}
+}
+
+func TestStackWalkCountsSpawns(t *testing.T) {
+	s, _ := runSampled(t, parSrc, 100000000)
+	// Nearly no samples; stack walks still happen per spawn.
+	if s.StackWalks < 10 {
+		t.Errorf("stack walks = %d, want >= 10 (one per spawn)", s.StackWalks)
+	}
+}
+
+func TestSkidCompensationRestoresAttribution(t *testing.T) {
+	// With compensation equal to the injected skid, sample addresses
+	// match the precise (no-skid) run.
+	s0, _ := runSampled(t, parSrc, 1009)
+	sc, _ := runSampled(t, parSrc, 1009, sampler.WithSkid(3), sampler.WithSkidCompensation())
+	n := len(s0.Samples)
+	if len(sc.Samples) < n {
+		n = len(sc.Samples)
+	}
+	if n == 0 {
+		t.Fatal("no samples")
+	}
+	match := 0
+	for i := 0; i < n; i++ {
+		if s0.Samples[i].Addr == sc.Samples[i].Addr {
+			match++
+		}
+	}
+	// Task-switch boundaries can defeat the per-task rewind occasionally;
+	// require a strong majority.
+	if match < n*8/10 {
+		t.Errorf("compensated addresses match precise run for only %d/%d samples", match, n)
+	}
+}
+
+func TestDatasetRoundTrip(t *testing.T) {
+	s, _ := runSampled(t, parSrc, 1009)
+	var buf bytes.Buffer
+	if err := s.WriteDataset(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := sampler.ReadDataset(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Threshold != 1009 {
+		t.Errorf("threshold = %d", ds.Threshold)
+	}
+	if len(ds.Samples) != len(s.Samples) {
+		t.Fatalf("samples: %d vs %d", len(ds.Samples), len(s.Samples))
+	}
+	for i := range s.Samples {
+		a, b := s.Samples[i], ds.Samples[i]
+		if a.Addr != b.Addr || a.Tag != b.Tag || a.TaskID != b.TaskID ||
+			a.RuntimeFunc != b.RuntimeFunc || a.DataAddr != b.DataAddr ||
+			len(a.Stack) != len(b.Stack) {
+			t.Fatalf("sample %d differs: %+v vs %+v", i, a, b)
+		}
+		for k := range a.Stack {
+			if a.Stack[k] != b.Stack[k] {
+				t.Fatalf("sample %d stack[%d] differs", i, k)
+			}
+		}
+	}
+	if len(ds.Spawns) != len(s.Spawns) {
+		t.Errorf("spawns: %d vs %d", len(ds.Spawns), len(s.Spawns))
+	}
+	for tag, sp := range s.Spawns {
+		got, ok := ds.Spawns[tag]
+		if !ok || got.Site != sp.Site || got.ParentTag != sp.ParentTag || len(got.Stack) != len(sp.Stack) {
+			t.Errorf("spawn %d differs", tag)
+		}
+	}
+	if len(ds.Allocs) != len(s.Allocs) {
+		t.Errorf("allocs: %d vs %d", len(ds.Allocs), len(s.Allocs))
+	}
+}
+
+func TestDatasetRejectsGarbage(t *testing.T) {
+	if _, err := sampler.ReadDataset(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Error("short garbage accepted")
+	}
+	if _, err := sampler.ReadDataset(bytes.NewReader([]byte{9, 9, 9, 9, 0, 0, 0, 0, 0, 0, 0, 0})); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestOfflinePostMortemFromDataset(t *testing.T) {
+	// The paper's workflow: run under the monitor, write the dataset,
+	// post-process offline against the program's debug info.
+	res, err := compile.Source("t.mchpl", parSrc, compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sampler.New(res.Prog, 1009)
+	cfg := vm.DefaultConfig()
+	cfg.Listener = s
+	stats, err := vm.New(res.Prog, cfg).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteDataset(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := sampler.ReadDataset(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := core.Analyze(res.Prog, core.DefaultOptions())
+	prof := postmortem.New(res.Prog, an, ds.Spawns).Process(ds.Samples, ds.Threshold, stats)
+	if row, ok := prof.Row("A"); !ok || row.Blame < 0.3 {
+		t.Errorf("offline profile lost attribution: %+v", prof.DataCentric)
+	}
+}

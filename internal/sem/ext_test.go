@@ -1,0 +1,121 @@
+package sem
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+// Direct semantic tests for the extension features (iterators, atomics,
+// distributed domains); end-to-end behavior is covered in internal/vm.
+
+func TestIteratorSignatureChecks(t *testing.T) {
+	info := check(t, `
+iter countTo(n: int): int {
+  var i = 1;
+  while i <= n {
+    yield i;
+    i += 1;
+  }
+}
+proc main() {
+  var s = 0;
+  for x in countTo(5) { s += x; }
+}
+`)
+	var iterSym *Symbol
+	for _, p := range info.Procs {
+		if p.Name == "countTo" {
+			iterSym = p
+		}
+	}
+	if iterSym == nil || iterSym.Proc == nil || !iterSym.Proc.IsIter {
+		t.Fatal("iterator symbol not collected")
+	}
+	// The loop call is flagged as an iterator invocation.
+	found := false
+	for _, ci := range info.Calls {
+		if ci.Iterator && ci.Target == iterSym {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("iterator call not flagged")
+	}
+	// The loop variable takes the yield type.
+	for id, sym := range info.Defs {
+		if id.Name == "x" && sym.Owner != nil && sym.Owner.Name == "main" {
+			if sym.Type.Kind() != types.Int {
+				t.Errorf("loop var type = %v", sym.Type)
+			}
+		}
+	}
+}
+
+func TestIteratorNeedsYieldType(t *testing.T) {
+	checkErr(t, `
+iter f() { yield 1; }
+proc main() { for x in f() { } }
+`, "yield type")
+}
+
+func TestIteratorCompositionTypes(t *testing.T) {
+	check(t, `
+iter inner(n: int): real {
+  for i in 1..n { yield i * 0.5; }
+}
+iter outer2(n: int): real {
+  for v in inner(n) { yield v * 2.0; }
+}
+proc main() {
+  var s = 0.0;
+  for x in outer2(3) { s += x; }
+}
+`)
+}
+
+func TestAtomicTypeResolution(t *testing.T) {
+	info := check(t, `
+var c: atomic int;
+var F: [0..#4] atomic real;
+proc main() {
+  c.add(1);
+  var v = c.read();
+  F[0].write(1.5);
+  var w = F[0].read();
+  writeln(v, w);
+}
+`)
+	c := globalSym(info, "c")
+	at, ok := c.Type.(*types.AtomicType)
+	if !ok || at.Elem.Kind() != types.Int {
+		t.Fatalf("c type = %v", c.Type)
+	}
+	if at.String() != "atomic int" {
+		t.Errorf("display = %q", at.String())
+	}
+	// read() yields the element type.
+	for _, ci := range info.Calls {
+		if ci.TypeMethod == "atomic:read" {
+			return
+		}
+	}
+	t.Error("atomic:read not resolved")
+}
+
+func TestDmappedDomainResolution(t *testing.T) {
+	info := check(t, `
+var D: domain(1) dmapped Block = {0..#8};
+var A: [D] real;
+proc main() { A[0] = 1.0; }
+`)
+	d := globalSym(info, "D")
+	dt, ok := d.Type.(*types.DomainType)
+	if !ok || dt.Dist != "Block" {
+		t.Fatalf("D type = %v", d.Type)
+	}
+	checkErr(t, `
+var D: domain(1) dmapped Cyclic = {0..#8};
+proc main() { }
+`, "unsupported distribution")
+}

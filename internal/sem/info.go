@@ -1,0 +1,90 @@
+package sem
+
+import (
+	"repro/internal/ast"
+	"repro/internal/source"
+	"repro/internal/types"
+)
+
+// CallInfo describes how a CallExpr resolved.
+type CallInfo struct {
+	// Target is the resolved procedure symbol (nil for builtins and
+	// tuple indexing).
+	Target *Symbol
+	// Builtin is the builtin function name, if any.
+	Builtin string
+	// TupleIndex is true when f(i) is tuple element access.
+	TupleIndex bool
+	// TypeMethod is the name of a domain/array/range/locale method
+	// (e.g. "expand", "size") when the call is such a method.
+	TypeMethod string
+	// Iterator is true when the call invokes a user-defined iterator
+	// (legal only as a serial loop iterand).
+	Iterator bool
+	// Method is true for record/class method calls (Target is the method).
+	Method bool
+}
+
+// Info is the semantic analysis result consumed by IR generation and the
+// blame analyses.
+type Info struct {
+	FileSet *source.FileSet
+
+	// Types records the type of every expression.
+	Types map[ast.Expr]types.Type
+	// Uses maps identifier uses to their symbols.
+	Uses map[*ast.Ident]*Symbol
+	// Defs maps declaring identifiers to the symbols they introduce.
+	Defs map[*ast.Ident]*Symbol
+	// Calls records call resolution.
+	Calls map[*ast.CallExpr]*CallInfo
+	// Consts records compile-time values for param-evaluated expressions.
+	Consts map[ast.Expr]*ConstValue
+
+	// Procs lists every procedure symbol (including nested and methods) in
+	// declaration order.
+	Procs []*Symbol
+	// Globals lists module-level variables in declaration order.
+	Globals []*Symbol
+	// ConfigConsts maps names of `config const` symbols.
+	ConfigConsts map[string]*Symbol
+	// Records maps record/class names to their types.
+	Records map[string]*types.RecordType
+	// Captures maps nested procedures to enclosing-procedure locals they
+	// reference (captured by reference, Chapel-style).
+	Captures map[*Symbol][]*Symbol
+	// Main is the entry procedure symbol (proc main), if present.
+	Main *Symbol
+	// ModuleInit is the synthetic symbol owning top-level statements.
+	ModuleInit *Symbol
+	// AllSyms is every symbol in ID order.
+	AllSyms []*Symbol
+}
+
+// TypeOf returns the recorded type of e (nil if unknown).
+func (in *Info) TypeOf(e ast.Expr) types.Type { return in.Types[e] }
+
+// SymOf returns the symbol an identifier use or def resolves to.
+func (in *Info) SymOf(id *ast.Ident) *Symbol {
+	if s, ok := in.Uses[id]; ok {
+		return s
+	}
+	return in.Defs[id]
+}
+
+// ConstOf returns the compile-time value of e, or nil.
+func (in *Info) ConstOf(e ast.Expr) *ConstValue { return in.Consts[e] }
+
+func newInfo(fset *source.FileSet) *Info {
+	return &Info{
+		FileSet:      fset,
+		Types:        make(map[ast.Expr]types.Type),
+		Uses:         make(map[*ast.Ident]*Symbol),
+		Defs:         make(map[*ast.Ident]*Symbol),
+		Calls:        make(map[*ast.CallExpr]*CallInfo),
+		Consts:       make(map[ast.Expr]*ConstValue),
+		ConfigConsts: make(map[string]*Symbol),
+		Records:      make(map[string]*types.RecordType),
+		Captures:     make(map[*Symbol][]*Symbol),
+	}
+}

@@ -1,0 +1,169 @@
+package source
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPosForLinesAndCols(t *testing.T) {
+	fs := NewFileSet()
+	f := fs.Add("a.mchpl", "ab\ncd\n\nxyz")
+	cases := []struct {
+		off  int
+		line int32
+		col  int32
+	}{
+		{0, 1, 1}, {1, 1, 2}, {2, 1, 3}, // '\n' belongs to line 1
+		{3, 2, 1}, {5, 2, 3},
+		{6, 3, 1},
+		{7, 4, 1}, {9, 4, 3}, {10, 4, 4},
+	}
+	for _, c := range cases {
+		p := f.PosFor(c.off)
+		if p.Line != c.line || p.Col != c.col {
+			t.Errorf("PosFor(%d) = %d:%d, want %d:%d", c.off, p.Line, p.Col, c.line, c.col)
+		}
+	}
+}
+
+func TestPosForClamping(t *testing.T) {
+	f := NewFile(1, "x", "hello")
+	if p := f.PosFor(-5); p.Line != 1 || p.Col != 1 {
+		t.Errorf("negative offset not clamped: %+v", p)
+	}
+	if p := f.PosFor(999); p.Line != 1 || p.Col != 6 {
+		t.Errorf("oversized offset not clamped: %+v", p)
+	}
+}
+
+func TestLineText(t *testing.T) {
+	f := NewFile(1, "x", "first\nsecond\r\nthird")
+	if got := f.Line(1); got != "first" {
+		t.Errorf("Line(1) = %q", got)
+	}
+	if got := f.Line(2); got != "second" {
+		t.Errorf("Line(2) = %q (CR should be trimmed)", got)
+	}
+	if got := f.Line(3); got != "third" {
+		t.Errorf("Line(3) = %q", got)
+	}
+	if got := f.Line(0); got != "" {
+		t.Errorf("Line(0) = %q, want empty", got)
+	}
+	if got := f.Line(4); got != "" {
+		t.Errorf("Line(4) = %q, want empty", got)
+	}
+}
+
+func TestFileSetPosition(t *testing.T) {
+	fs := NewFileSet()
+	f := fs.Add("bench.mchpl", "var x = 1;\n")
+	p := f.PosFor(4)
+	if got := fs.Position(p); got != "bench.mchpl:1:5" {
+		t.Errorf("Position = %q", got)
+	}
+	if got := fs.Position(NoPos); got != "-" {
+		t.Errorf("Position(NoPos) = %q", got)
+	}
+}
+
+func TestFileSetLookup(t *testing.T) {
+	fs := NewFileSet()
+	a := fs.Add("a", "")
+	b := fs.Add("b", "")
+	if fs.File(a.ID) != a || fs.File(b.ID) != b {
+		t.Fatal("File lookup by ID failed")
+	}
+	if fs.File(0) != nil || fs.File(99) != nil {
+		t.Fatal("out-of-range ID should return nil")
+	}
+	if fs.FileOf(Pos{FileID: b.ID, Line: 1, Col: 1}) != b {
+		t.Fatal("FileOf failed")
+	}
+}
+
+func TestPosBefore(t *testing.T) {
+	a := Pos{FileID: 1, Line: 2, Col: 3}
+	b := Pos{FileID: 1, Line: 2, Col: 4}
+	c := Pos{FileID: 1, Line: 3, Col: 1}
+	d := Pos{FileID: 2, Line: 1, Col: 1}
+	if !a.Before(b) || !b.Before(c) || !a.Before(c) || !c.Before(d) {
+		t.Error("Before ordering wrong")
+	}
+	if b.Before(a) || a.Before(a) {
+		t.Error("Before not strict")
+	}
+}
+
+func TestSpanContains(t *testing.T) {
+	s := Span{Start: Pos{FileID: 1, Line: 2, Col: 1}, End: Pos{FileID: 1, Line: 4, Col: 10}}
+	in := Pos{FileID: 1, Line: 3, Col: 5}
+	out := Pos{FileID: 1, Line: 5, Col: 1}
+	otherFile := Pos{FileID: 2, Line: 3, Col: 5}
+	if !s.Contains(in) {
+		t.Error("span should contain interior pos")
+	}
+	if !s.Contains(s.Start) || !s.Contains(s.End) {
+		t.Error("span should contain endpoints")
+	}
+	if s.Contains(out) || s.Contains(otherFile) {
+		t.Error("span should exclude outside positions")
+	}
+	if (Span{}).Contains(in) {
+		t.Error("invalid span contains nothing")
+	}
+}
+
+// Property: for any generated content, PosFor round-trips through the line
+// offset table: offset(line start) + (col-1) == original offset.
+func TestPosForRoundTripProperty(t *testing.T) {
+	check := func(raw []byte) bool {
+		// Restrict to printable + newlines to keep the property readable.
+		src := strings.Map(func(r rune) rune {
+			if r == '\n' || (r >= ' ' && r < 127) {
+				return r
+			}
+			return 'x'
+		}, string(raw))
+		f := NewFile(1, "p", src)
+		for off := 0; off <= len(src); off++ {
+			p := f.PosFor(off)
+			lineStart := 0
+			for i := 0; i < off; i++ {
+				if src[i] == '\n' {
+					lineStart = i + 1
+				}
+			}
+			if int(p.Col)-1+lineStart != off {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: line numbers are monotone in offset.
+func TestPosMonotoneProperty(t *testing.T) {
+	check := func(raw []byte) bool {
+		f := NewFile(1, "p", string(raw))
+		prev := f.PosFor(0)
+		for off := 1; off <= len(raw); off++ {
+			p := f.PosFor(off)
+			if p.Line < prev.Line {
+				return false
+			}
+			if p.Line == prev.Line && p.Col < prev.Col {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,272 @@
+// Package token defines the lexical tokens of MiniChapel, the small
+// Chapel-like PGAS language used as the compilation substrate for the
+// blame profiler.
+package token
+
+import "strconv"
+
+// Kind identifies a lexical token class.
+type Kind int
+
+// The list of tokens.
+const (
+	ILLEGAL Kind = iota
+	EOF
+
+	// Literals and identifiers.
+	IDENT  // foo
+	INT    // 123
+	REAL   // 1.5, 1e9
+	STRING // "abc"
+	BOOL   // true/false surface as keywords but carry BOOL values
+
+	// Operators and delimiters.
+	PLUS    // +
+	MINUS   // -
+	STAR    // *
+	SLASH   // /
+	PERCENT // %
+	POW     // **
+
+	ASSIGN       // =
+	PLUS_ASSIGN  // +=
+	MINUS_ASSIGN // -=
+	STAR_ASSIGN  // *=
+	SLASH_ASSIGN // /=
+	SWAP         // <=>
+
+	EQ  // ==
+	NEQ // !=
+	LT  // <
+	LE  // <=
+	GT  // >
+	GE  // >=
+
+	AND // &&
+	OR  // ||
+	NOT // !
+
+	LPAREN // (
+	RPAREN // )
+	LBRACK // [
+	RBRACK // ]
+	LBRACE // {
+	RBRACE // }
+	COMMA  // ,
+	SEMI   // ;
+	COLON  // :
+	DOT    // .
+	DOTDOT // ..
+	HASH   // # (count operator in ranges: 0..#n)
+	ARROW  // =>
+
+	// Keywords.
+	keywordBeg
+	VAR
+	CONST
+	PARAM
+	CONFIG
+	TYPE
+	RECORD
+	CLASS
+	PROC
+	ITER
+	RETURN
+	IF
+	THEN
+	ELSE
+	FOR
+	WHILE
+	DO
+	IN
+	ZIP
+	FORALL
+	COFORALL
+	BEGIN
+	COBEGIN
+	SYNC
+	ON
+	SELECT
+	WHEN
+	OTHERWISE
+	BREAK
+	CONTINUE
+	REF
+	INOUT
+	OUT
+	DOMAIN
+	RANGE
+	REDUCE
+	BY
+	YIELD
+	TRUE
+	FALSE
+	NIL
+	USE
+	LOCALE
+	HERE
+	NEW
+	keywordEnd
+)
+
+var names = map[Kind]string{
+	ILLEGAL: "ILLEGAL",
+	EOF:     "EOF",
+	IDENT:   "IDENT",
+	INT:     "INT",
+	REAL:    "REAL",
+	STRING:  "STRING",
+	BOOL:    "BOOL",
+
+	PLUS:    "+",
+	MINUS:   "-",
+	STAR:    "*",
+	SLASH:   "/",
+	PERCENT: "%",
+	POW:     "**",
+
+	ASSIGN:       "=",
+	PLUS_ASSIGN:  "+=",
+	MINUS_ASSIGN: "-=",
+	STAR_ASSIGN:  "*=",
+	SLASH_ASSIGN: "/=",
+	SWAP:         "<=>",
+
+	EQ:  "==",
+	NEQ: "!=",
+	LT:  "<",
+	LE:  "<=",
+	GT:  ">",
+	GE:  ">=",
+
+	AND: "&&",
+	OR:  "||",
+	NOT: "!",
+
+	LPAREN: "(",
+	RPAREN: ")",
+	LBRACK: "[",
+	RBRACK: "]",
+	LBRACE: "{",
+	RBRACE: "}",
+	COMMA:  ",",
+	SEMI:   ";",
+	COLON:  ":",
+	DOT:    ".",
+	DOTDOT: "..",
+	HASH:   "#",
+	ARROW:  "=>",
+
+	VAR:       "var",
+	CONST:     "const",
+	PARAM:     "param",
+	CONFIG:    "config",
+	TYPE:      "type",
+	RECORD:    "record",
+	CLASS:     "class",
+	PROC:      "proc",
+	ITER:      "iter",
+	RETURN:    "return",
+	IF:        "if",
+	THEN:      "then",
+	ELSE:      "else",
+	FOR:       "for",
+	WHILE:     "while",
+	DO:        "do",
+	IN:        "in",
+	ZIP:       "zip",
+	FORALL:    "forall",
+	COFORALL:  "coforall",
+	BEGIN:     "begin",
+	COBEGIN:   "cobegin",
+	SYNC:      "sync",
+	ON:        "on",
+	SELECT:    "select",
+	WHEN:      "when",
+	OTHERWISE: "otherwise",
+	BREAK:     "break",
+	CONTINUE:  "continue",
+	REF:       "ref",
+	INOUT:     "inout",
+	OUT:       "out",
+	DOMAIN:    "domain",
+	RANGE:     "range",
+	REDUCE:    "reduce",
+	YIELD:     "yield",
+	BY:        "by",
+	TRUE:      "true",
+	FALSE:     "false",
+	NIL:       "nil",
+	USE:       "use",
+	LOCALE:    "locale",
+	HERE:      "here",
+	NEW:       "new",
+}
+
+// String returns the token name or its literal spelling.
+func (k Kind) String() string {
+	if s, ok := names[k]; ok {
+		return s
+	}
+	return "token(" + strconv.Itoa(int(k)) + ")"
+}
+
+// IsKeyword reports whether k is a reserved word.
+func (k Kind) IsKeyword() bool { return k > keywordBeg && k < keywordEnd }
+
+// IsLiteral reports whether k is a literal class.
+func (k Kind) IsLiteral() bool {
+	switch k {
+	case IDENT, INT, REAL, STRING, TRUE, FALSE:
+		return true
+	}
+	return false
+}
+
+// IsAssignOp reports whether k is an assignment operator.
+func (k Kind) IsAssignOp() bool {
+	switch k {
+	case ASSIGN, PLUS_ASSIGN, MINUS_ASSIGN, STAR_ASSIGN, SLASH_ASSIGN, SWAP:
+		return true
+	}
+	return false
+}
+
+// keywords maps spellings to keyword kinds.
+var keywords = func() map[string]Kind {
+	m := make(map[string]Kind)
+	for k := keywordBeg + 1; k < keywordEnd; k++ {
+		m[names[k]] = k
+	}
+	return m
+}()
+
+// Lookup maps an identifier spelling to its keyword kind, or IDENT.
+func Lookup(ident string) Kind {
+	if k, ok := keywords[ident]; ok {
+		return k
+	}
+	return IDENT
+}
+
+// Precedence returns the binary-operator precedence of k (higher binds
+// tighter), or 0 if k is not a binary operator.
+func (k Kind) Precedence() int {
+	switch k {
+	case OR:
+		return 1
+	case AND:
+		return 2
+	case EQ, NEQ, LT, LE, GT, GE:
+		return 3
+	case DOTDOT:
+		return 4
+	case PLUS, MINUS:
+		return 5
+	case STAR, SLASH, PERCENT:
+		return 6
+	case POW:
+		return 7
+	}
+	return 0
+}

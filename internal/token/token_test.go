@@ -1,0 +1,85 @@
+package token
+
+import "testing"
+
+func TestLookupKeywords(t *testing.T) {
+	cases := map[string]Kind{
+		"var": VAR, "forall": FORALL, "coforall": COFORALL, "zip": ZIP,
+		"param": PARAM, "config": CONFIG, "record": RECORD, "proc": PROC,
+		"select": SELECT, "when": WHEN, "otherwise": OTHERWISE,
+		"on": ON, "begin": BEGIN, "cobegin": COBEGIN, "sync": SYNC,
+		"notakeyword": IDENT, "Forall": IDENT, "": IDENT,
+	}
+	for s, want := range cases {
+		if got := Lookup(s); got != want {
+			t.Errorf("Lookup(%q) = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestPrecedenceOrdering(t *testing.T) {
+	// || < && < comparisons < .. < +- < */% < **
+	chain := [][]Kind{
+		{OR}, {AND}, {EQ, NEQ, LT, LE, GT, GE}, {DOTDOT},
+		{PLUS, MINUS}, {STAR, SLASH, PERCENT}, {POW},
+	}
+	prev := 0
+	for _, level := range chain {
+		p := level[0].Precedence()
+		if p <= prev {
+			t.Errorf("%v precedence %d not above %d", level[0], p, prev)
+		}
+		for _, k := range level {
+			if k.Precedence() != p {
+				t.Errorf("%v precedence %d != %d", k, k.Precedence(), p)
+			}
+		}
+		prev = p
+	}
+	if IDENT.Precedence() != 0 || ASSIGN.Precedence() != 0 {
+		t.Error("non-operators must have zero precedence")
+	}
+}
+
+func TestIsAssignOp(t *testing.T) {
+	for _, k := range []Kind{ASSIGN, PLUS_ASSIGN, MINUS_ASSIGN, STAR_ASSIGN, SLASH_ASSIGN, SWAP} {
+		if !k.IsAssignOp() {
+			t.Errorf("%v should be an assign op", k)
+		}
+	}
+	for _, k := range []Kind{EQ, PLUS, LE} {
+		if k.IsAssignOp() {
+			t.Errorf("%v should not be an assign op", k)
+		}
+	}
+}
+
+func TestStringSpellings(t *testing.T) {
+	cases := map[Kind]string{
+		PLUS: "+", SWAP: "<=>", DOTDOT: "..", POW: "**",
+		FORALL: "forall", EOF: "EOF",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if Kind(9999).String() != "token(9999)" {
+		t.Errorf("unknown token spelling: %q", Kind(9999).String())
+	}
+}
+
+func TestKeywordClassification(t *testing.T) {
+	if !VAR.IsKeyword() || !LOCALE.IsKeyword() {
+		t.Error("keyword misclassified")
+	}
+	if IDENT.IsKeyword() || PLUS.IsKeyword() {
+		t.Error("non-keyword misclassified")
+	}
+	if !IDENT.IsLiteral() || !INT.IsLiteral() || !TRUE.IsLiteral() {
+		t.Error("literal misclassified")
+	}
+	if PLUS.IsLiteral() {
+		t.Error("+ is not a literal")
+	}
+}

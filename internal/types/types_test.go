@@ -1,0 +1,166 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDisplayStrings(t *testing.T) {
+	cases := []struct {
+		t    Type
+		want string
+	}{
+		{IntType, "int"},
+		{Int32Type, "int(32)"},
+		{RealType, "real"},
+		{BoolType, "bool"},
+		{&TupleType{Count: 8, Elem: RealType}, "8*real"},
+		{&TupleType{Count: 3, Elem: RealType, Alias: "v3"}, "v3"},
+		{&TupleType{Count: 8, Elem: &TupleType{Count: 4, Elem: RealType}}, "8*4*real"},
+		{&ArrayType{Rank: 1, Elem: RealType, DomName: "DistSpace"}, "[DistSpace] real"},
+		{&ArrayType{Rank: 1, Elem: &TupleType{Count: 3, Elem: RealType, Alias: "v3"}, DomName: "binSpace"}, "[binSpace] v3"},
+		{&DomainType{Rank: 2}, "domain"},
+		{RangeVal, "range"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestSizes(t *testing.T) {
+	if IntType.Size() != 8 || Int32Type.Size() != 4 || BoolType.Size() != 1 {
+		t.Error("scalar sizes wrong")
+	}
+	v3 := &TupleType{Count: 3, Elem: RealType}
+	if v3.Size() != 24 {
+		t.Errorf("3*real size = %d", v3.Size())
+	}
+	nested := &TupleType{Count: 8, Elem: &TupleType{Count: 4, Elem: RealType}}
+	if nested.Size() != 256 {
+		t.Errorf("8*(4*real) size = %d", nested.Size())
+	}
+}
+
+func TestRecordLayout(t *testing.T) {
+	r := &RecordType{Name: "atom", Fields: []Field{
+		{Name: "v", Type: &TupleType{Count: 3, Elem: RealType}},
+		{Name: "f", Type: &TupleType{Count: 3, Elem: RealType}},
+		{Name: "n", Type: Int32Type},
+	}}
+	if r.InstanceSize() != 24+24+4 {
+		t.Errorf("record size = %d", r.InstanceSize())
+	}
+	if r.Fields[1].Offset != 24 {
+		t.Errorf("field f offset = %d", r.Fields[1].Offset)
+	}
+	if r.FieldIndex("f") != 1 || r.FieldIndex("missing") != -1 {
+		t.Error("FieldIndex wrong")
+	}
+	// A class handle is pointer-sized regardless of payload.
+	c := &RecordType{Name: "Part", IsClass: true, Fields: r.Fields}
+	if c.Size() != 8 {
+		t.Errorf("class handle size = %d", c.Size())
+	}
+}
+
+func TestIdentical(t *testing.T) {
+	if !Identical(IntType, Int32Type) {
+		t.Error("int widths are display-only")
+	}
+	if Identical(IntType, RealType) {
+		t.Error("int != real")
+	}
+	a := &TupleType{Count: 3, Elem: RealType}
+	b := &TupleType{Count: 3, Elem: RealType, Alias: "v3"}
+	if !Identical(a, b) {
+		t.Error("alias does not affect identity")
+	}
+	if Identical(a, &TupleType{Count: 4, Elem: RealType}) {
+		t.Error("tuple counts differ")
+	}
+	r1 := &RecordType{Name: "A"}
+	r2 := &RecordType{Name: "A"}
+	if Identical(r1, r2) {
+		t.Error("records are nominal")
+	}
+	if !Identical(&ArrayType{Rank: 1, Elem: RealType, DomName: "D"},
+		&ArrayType{Rank: 1, Elem: RealType, DomName: "E"}) {
+		t.Error("array identity ignores domain names")
+	}
+}
+
+func TestAssignable(t *testing.T) {
+	if !AssignableTo(IntType, RealType) {
+		t.Error("int widens to real")
+	}
+	if AssignableTo(RealType, IntType) {
+		t.Error("real must not narrow to int")
+	}
+	if !AssignableTo(IntType, &TupleType{Count: 3, Elem: RealType}) {
+		t.Error("scalar broadcasts to tuple")
+	}
+	if !AssignableTo(&TupleType{Count: 3, Elem: IntType}, &TupleType{Count: 3, Elem: RealType}) {
+		t.Error("int tuple assigns to real tuple")
+	}
+	if AssignableTo(&TupleType{Count: 2, Elem: IntType}, &TupleType{Count: 3, Elem: RealType}) {
+		t.Error("tuple size mismatch must fail")
+	}
+	cls := &RecordType{Name: "C", IsClass: true}
+	if !AssignableTo(NilType, cls) {
+		t.Error("nil assigns to class")
+	}
+	if !AssignableTo(RealType, &ArrayType{Rank: 1, Elem: RealType}) {
+		t.Error("scalar broadcasts to array")
+	}
+}
+
+func TestIdenticalIsEquivalenceProperty(t *testing.T) {
+	// Symmetry over a small pool of generated types.
+	pool := []Type{
+		IntType, RealType, BoolType, StringType,
+		&TupleType{Count: 2, Elem: IntType},
+		&TupleType{Count: 2, Elem: RealType},
+		&ArrayType{Rank: 1, Elem: RealType},
+		&ArrayType{Rank: 2, Elem: RealType},
+		&DomainType{Rank: 1},
+		&DomainType{Rank: 2},
+		RangeVal,
+	}
+	check := func(i, j uint8) bool {
+		a := pool[int(i)%len(pool)]
+		b := pool[int(j)%len(pool)]
+		if Identical(a, b) != Identical(b, a) {
+			return false
+		}
+		return Identical(a, a)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCommonPromotion(t *testing.T) {
+	if Common(IntType, IntType) != IntType {
+		t.Error("int+int = int")
+	}
+	if Common(IntType, RealType) != RealType || Common(RealType, IntType) != RealType {
+		t.Error("real wins promotion")
+	}
+}
+
+func TestIsBigValue(t *testing.T) {
+	if IsBigValue(IntType) {
+		t.Error("int is small")
+	}
+	if !IsBigValue(&TupleType{Count: 8, Elem: RealType}) {
+		t.Error("8*real is big")
+	}
+	if !IsBigValue(&ArrayType{Rank: 1, Elem: RealType}) {
+		t.Error("arrays are big")
+	}
+	if IsBigValue(&RecordType{Name: "C", IsClass: true}) {
+		t.Error("class handles are small")
+	}
+}

@@ -1,0 +1,430 @@
+package vm_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/vm"
+)
+
+// Edge-case and failure-injection tests for the runtime.
+
+func TestEmptyDomainLoops(t *testing.T) {
+	out, _ := run(t, `
+config const n = 0;
+var D: domain(1) = {0..#n};
+var A: [D] real;
+proc main() {
+  var hits = 0;
+  for i in D { hits += 1; }
+  forall i in D { A[i] = 1.0; }
+  writeln(hits, " ", D.size);
+}
+`)
+	if out != "0 0\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestEmptyRangeLoop(t *testing.T) {
+	out, _ := run(t, `
+proc main() {
+  var hits = 0;
+  for i in 5..4 { hits += 1; }
+  writeln(hits);
+}
+`)
+	if out != "0\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestSingleElementForall(t *testing.T) {
+	out, stats := run(t, `
+var A: [0..#1] real;
+proc main() {
+  forall i in 0..#1 { A[i] = 7.0; }
+  writeln(A[0]);
+}
+`)
+	if out != "7.0\n" {
+		t.Errorf("out = %q", out)
+	}
+	if stats.TasksSpawned != 1 {
+		t.Errorf("tasks = %d, want 1", stats.TasksSpawned)
+	}
+}
+
+func TestDeepRecursion(t *testing.T) {
+	out, _ := run(t, `
+proc depth(n: int): int {
+  if n == 0 { return 0; }
+  return depth(n - 1) + 1;
+}
+proc main() { writeln(depth(500)); }
+`)
+	if out != "500\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestRealDivisionByZeroIsInf(t *testing.T) {
+	out, _ := run(t, `
+proc main() {
+  var z = 0.0;
+  var x = 1.0 / z;
+  writeln(x > 1.0e30);
+}
+`)
+	if out != "true\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestNegativeStrideRejected(t *testing.T) {
+	err := runErr(t, `
+proc main() {
+  for i in 0..10 by 0 { }
+}
+`)
+	if !strings.Contains(err.Error(), "stride") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestBoundsCheckStillGuardsUnderNoChecks(t *testing.T) {
+	// --no-checks elides the modeled check *cost*; the simulator still
+	// traps the access (memory safety of the host).
+	res, err := compile.Source("t", `
+var A: [0..#4] real;
+proc main() { A[9] = 1.0; }
+`, compile.Options{NoChecks: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = vm.New(res.Prog, vm.DefaultConfig()).Run()
+	if err == nil {
+		t.Fatal("expected out-of-bounds trap")
+	}
+}
+
+func TestGhostRegionIndexing(t *testing.T) {
+	// expand() domains allow negative indices (MiniMD's DistSpace).
+	out, _ := run(t, `
+config const n = 4;
+var binSpace: domain(1) = {0..#n};
+var DistSpace: domain(1) = binSpace.expand(1);
+var A: [DistSpace] real;
+proc main() {
+  A[-1] = 1.5;
+  A[n] = 2.5;
+  writeln(A[-1] + A[n]);
+}
+`)
+	if out != "4.0\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestSliceOfSlice(t *testing.T) {
+	out, _ := run(t, `
+var A: [0..#10] real;
+ref S1 = A[2..8];
+ref S2 = S1[4..6];
+proc main() {
+  S2[5] = 9.0;
+  writeln(A[5]);
+}
+`)
+	if out != "9.0\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestWriteThroughMultipleViews(t *testing.T) {
+	out, _ := run(t, `
+var A: [0..#6] real;
+ref V1 = A[0..5];
+ref V2 = A[0..5];
+proc main() {
+  V1[3] = 1.0;
+  V2[3] = V2[3] + 2.0;
+  writeln(A[3]);
+}
+`)
+	if out != "3.0\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestSelectNoMatchNoOtherwise(t *testing.T) {
+	out, _ := run(t, `
+proc main() {
+  var x = 9;
+  var y = 1;
+  select x {
+    when 1 { y = 10; }
+    when 2 { y = 20; }
+  }
+  writeln(y);
+}
+`)
+	if out != "1\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestNestedForallRejectedGracefully(t *testing.T) {
+	// Nested foralls (forall inside forall body) are legal: inner spawns
+	// more tasks from the worker.
+	out, _ := run(t, `
+config const n = 4;
+var G: [0..#n, 0..#n] real;
+proc main() {
+  forall i in 0..#n {
+    forall j in 0..#n {
+      G[i, j] = i * 10.0 + j;
+    }
+  }
+  writeln(G[3, 2]);
+}
+`)
+	if out != "32.0\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestStringConcatAndCompare(t *testing.T) {
+	out, _ := run(t, `
+proc main() {
+  var a = "foo";
+  var b = a + "bar";
+  writeln(b, " ", b == "foobar", " ", b != a);
+}
+`)
+	if out != "foobar true true\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestTupleSwap(t *testing.T) {
+	out, _ := run(t, `
+type v2 = 2*real;
+proc main() {
+  var a: v2 = (1.0, 2.0);
+  var b: v2 = (3.0, 4.0);
+  a <=> b;
+  writeln(a(1), " ", b(2));
+}
+`)
+	if out != "3.0 2.0\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestWhileWithComplexCondition(t *testing.T) {
+	out, _ := run(t, `
+proc main() {
+  var i = 0;
+  var j = 100;
+  while i < 10 && j > 90 {
+    i += 2;
+    j -= 1;
+  }
+  writeln(i, " ", j);
+}
+`)
+	if out != "10 95\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestConfigBadValueRejected(t *testing.T) {
+	res, err := compile.Source("t", `
+config const n = 4;
+proc main() { writeln(n); }
+`, compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := vm.DefaultConfig()
+	cfg.Configs = map[string]string{"n": "not-a-number"}
+	_, err = vm.New(res.Prog, cfg).Run()
+	if err == nil || !strings.Contains(err.Error(), "bad int") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestManyTasksOnFewCores(t *testing.T) {
+	// Coforall with more tasks than cores must still complete correctly.
+	out, _ := run(t, `
+config const nt = 40;
+var done: [0..#nt] int;
+proc main() {
+  coforall tid in 0..#nt { done[tid] = tid; }
+  var s = + reduce done;
+  writeln(s);
+}
+`, func(c *vm.Config) { c.NumCores = 3 })
+	if out != "780\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestReduceEmptyArray(t *testing.T) {
+	out, _ := run(t, `
+config const n = 0;
+var A: [0..#n] real;
+proc main() {
+  writeln(+ reduce A);
+}
+`)
+	if out != "0.0\n" && out != "0\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestModuloNegativeOperands(t *testing.T) {
+	out, _ := run(t, `
+proc main() {
+  writeln(-7 % 3, " ", 7 % -3);
+}
+`)
+	// Go semantics: -7%3 == -1, 7%-3 == 1.
+	if out != "-1 1\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestLargeTupleOperations(t *testing.T) {
+	out, _ := run(t, `
+proc main() {
+  var a: 8*real;
+  for param i in 1..8 { a(i) = i * 1.0; }
+  var b = a + a;
+  var s = 0.0;
+  for param i in 1..8 { s += b(i); }
+  writeln(s);
+}
+`)
+	if out != "72.0\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestAtomicVariables(t *testing.T) {
+	out, _ := run(t, `
+var counter: atomic int;
+var total: atomic real;
+proc main() {
+  counter.write(10);
+  counter.add(5);
+  counter.sub(3);
+  var prev = counter.fetchAdd(1);
+  total.write(1.5);
+  total.add(2.5);
+  writeln(counter.read(), " ", prev, " ", total.read());
+}
+`)
+	if out != "13 12 4.0\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestAtomicArrayAccumulation(t *testing.T) {
+	// The real LULESH pattern: concurrent force accumulation into an
+	// array of atomics.
+	out, _ := run(t, `
+config const n = 64;
+var F: [0..#n] atomic real;
+proc main() {
+  forall i in 0..#n {
+    F[i % 8].add(1.0);
+  }
+  var s = 0.0;
+  for i in 0..#8 { s += F[i].read(); }
+  writeln(s);
+}
+`)
+	if out != "64.0\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestAtomicErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`var a: atomic string; proc main() { }`, "numeric or bool"},
+		{`var a: atomic int; proc main() { a = 3; }`, "cannot assign"},
+		{`var a: atomic int; proc main() { a.frob(1); }`, "no method"},
+		{`var a: atomic int; proc main() { a.write(); }`, "takes 1"},
+	}
+	for _, c := range cases {
+		_, err := compile.Source("t", c.src, compile.Options{})
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%q: err = %v, want %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestBlockDistributedArray(t *testing.T) {
+	// Block-dmapped domains partition element homes across locales
+	// (paper §VI: "track the data mapping to different locales").
+	out, stats := run(t, `
+config const n = 40;
+var D: domain(1) dmapped Block = {0..#n};
+var A: [D] real;
+proc main() {
+  // Locale 0 writes everything: the second half is remote.
+  forall i in D { A[i] = i * 1.0; }
+  // Each locale updates its own block: no communication.
+  for l in 0..#2 {
+    on Locales[l] {
+      forall i in l*(n/2)..#(n/2) {
+        A[i] = A[i] + 1.0;
+      }
+    }
+  }
+  writeln(A[0], " ", A[39]);
+}
+`, func(c *vm.Config) { c.NumLocales = 2; c.NumCores = 4 })
+	if out != "1.0 40.0\n" {
+		t.Errorf("out = %q", out)
+	}
+	if stats.CommMessages == 0 {
+		t.Error("cross-block writes should generate communication")
+	}
+}
+
+func TestBlockDistributionLocality(t *testing.T) {
+	// Owner-computes sweeps over a distributed array move no data;
+	// the same sweep from a single locale does.
+	local := `
+config const n = 64;
+var D: domain(1) dmapped Block = {0..#n};
+var A: [D] real;
+proc main() {
+  for l in 0..#4 {
+    on Locales[l] {
+      forall i in l*(n/4)..#(n/4) { A[i] = i * 1.0; }
+    }
+  }
+}
+`
+	remote := `
+config const n = 64;
+var D: domain(1) dmapped Block = {0..#n};
+var A: [D] real;
+proc main() {
+  forall i in D { A[i] = i * 1.0; }
+}
+`
+	_, sl := run(t, local, func(c *vm.Config) { c.NumLocales = 4; c.NumCores = 3 })
+	_, sr := run(t, remote, func(c *vm.Config) { c.NumLocales = 4; c.NumCores = 3 })
+	if sl.CommMessages != 0 {
+		t.Errorf("owner-computes sweep moved %d messages", sl.CommMessages)
+	}
+	if sr.CommMessages == 0 {
+		t.Error("centralized sweep over a distributed array must communicate")
+	}
+}

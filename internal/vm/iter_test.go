@@ -1,0 +1,253 @@
+package vm_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/compile"
+)
+
+// Iterator tests: the paper lists iterator support as future work (§VI);
+// the reproduction implements serial user-defined iterators via inline
+// expansion, like the Chapel compiler.
+
+func TestIteratorBasic(t *testing.T) {
+	out, _ := run(t, `
+iter countTo(n: int): int {
+  var i = 1;
+  while i <= n {
+    yield i;
+    i += 1;
+  }
+}
+proc main() {
+  var s = 0;
+  for x in countTo(10) { s += x; }
+  writeln(s);
+}
+`)
+	if out != "55\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestIteratorMultipleYields(t *testing.T) {
+	out, _ := run(t, `
+iter corners(): int {
+  yield 1;
+  yield 10;
+  yield 100;
+}
+proc main() {
+  var s = 0;
+  for c in corners() { s += c; }
+  writeln(s);
+}
+`)
+	if out != "111\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestIteratorFibonacci(t *testing.T) {
+	out, _ := run(t, `
+iter fib(n: int): int {
+  var a = 0;
+  var b = 1;
+  for i in 1..n {
+    yield a;
+    var c = a + b;
+    a = b;
+    b = c;
+  }
+}
+proc main() {
+  var last = 0;
+  for f in fib(10) { last = f; }
+  writeln(last);
+}
+`)
+	if out != "34\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestIteratorConditionalYieldAndReturn(t *testing.T) {
+	out, _ := run(t, `
+iter evensUpTo(n: int): int {
+  for i in 0..n {
+    if i > 6 {
+      return;
+    }
+    if i % 2 == 0 {
+      yield i;
+    }
+  }
+}
+proc main() {
+  var s = 0;
+  for e in evensUpTo(100) { s += e; }   // 0+2+4+6
+  writeln(s);
+}
+`)
+	if out != "12\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestIteratorConsumerBreakContinue(t *testing.T) {
+	out, _ := run(t, `
+iter nats(): int {
+  var i = 0;
+  while true {
+    yield i;
+    i += 1;
+  }
+}
+proc main() {
+  var s = 0;
+  for x in nats() {
+    if x % 2 == 1 { continue; }
+    if x > 8 { break; }
+    s += x;   // 0+2+4+6+8
+  }
+  writeln(s);
+}
+`)
+	if out != "20\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestIteratorComposition(t *testing.T) {
+	out, _ := run(t, `
+iter base(n: int): int {
+  for i in 1..n { yield i; }
+}
+iter doubled(n: int): int {
+  for x in base(n) {
+    yield x * 2;
+  }
+}
+proc main() {
+  var s = 0;
+  for d in doubled(4) { s += d; }   // 2+4+6+8
+  writeln(s);
+}
+`)
+	if out != "20\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestIteratorYieldingReals(t *testing.T) {
+	out, _ := run(t, `
+iter halves(n: int): real {
+  for i in 1..n { yield i * 0.5; }
+}
+proc main() {
+  var s = 0.0;
+  for h in halves(4) { s += h; }
+  writeln(s);
+}
+`)
+	if out != "5.0\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestIteratorOverArrayElements(t *testing.T) {
+	out, _ := run(t, `
+config const n = 6;
+var D: domain(1) = {0..#n};
+var A: [D] real;
+iter positives(): real {
+  for i in D {
+    if A[i] > 0.0 {
+      yield A[i];
+    }
+  }
+}
+proc main() {
+  A[1] = 2.5;
+  A[4] = 1.5;
+  A[5] = -3.0;
+  var s = 0.0;
+  for v in positives() { s += v; }
+  writeln(s);
+}
+`)
+	if out != "4.0\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestIteratorErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{`proc main() { yield 1; }`, "yield outside"},
+		{`iter f(): int { yield 1; }
+proc main() { var x = f(); }`, "loop iterand"},
+		{`iter f() { yield 1; }
+proc main() { for x in f() { } }`, "yield type"},
+		{`iter f(): int { yield 1; }
+proc main() { forall x in f() { } }`, "parallel iteration"},
+		{`iter f(ref a: int): int { yield a; }
+proc main() { var v = 1; for x in f(v) { } }`, "ref-intent"},
+		{`iter f(): int { return 7; }
+proc main() { for x in f() { } }`, "yield, not return"},
+		{`iter f(): int { yield "s"; }
+proc main() { for x in f() { } }`, "cannot yield"},
+	}
+	for _, c := range cases {
+		_, err := compile.Source("t.mchpl", c.src, compile.Options{})
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("src %q: err = %v, want %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestRecursiveIteratorRejected(t *testing.T) {
+	_, err := compile.Source("t.mchpl", `
+iter f(n: int): int {
+  for x in f(n - 1) { yield x; }
+}
+proc main() { for x in f(3) { } }
+`, compile.Options{})
+	if err == nil || !strings.Contains(err.Error(), "recursive iterator") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestReduceOverIterator(t *testing.T) {
+	out, _ := run(t, `
+iter squares(n: int): int {
+  for i in 1..n { yield i * i; }
+}
+proc main() {
+  var s = + reduce squares(4);     // 1+4+9+16
+  var p = * reduce squares(3);     // 1*4*9
+  var m = max reduce squares(5);   // 25
+  var lo = min reduce squares(5);  // 1
+  writeln(s, " ", p, " ", m, " ", lo);
+}
+`)
+	if out != "30 36 25 1\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestReduceOverRealIterator(t *testing.T) {
+	out, _ := run(t, `
+iter halves(n: int): real {
+  for i in 1..n { yield i * 0.5; }
+}
+proc main() {
+  writeln(+ reduce halves(4));
+}
+`)
+	if out != "5.0\n" {
+		t.Errorf("out = %q", out)
+	}
+}

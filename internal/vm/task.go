@@ -1,0 +1,200 @@
+package vm
+
+import (
+	"repro/internal/ir"
+)
+
+// doSpawn implements the tasking layer: forall/coforall/begin/cobegin/on.
+// It mirrors the instrumented Chapel tasking layer of paper §IV.B: a
+// unique spawn tag is minted, the monitoring process records the parent's
+// pre-spawn stack under that tag, worker tasks carry the tag, and blocking
+// constructs leave the parent spinning at a join barrier.
+func (m *VM) doSpawn(t *Task, in *ir.Instr) {
+	sp := in.Spawn
+	m.nextTag++
+	tag := m.nextTag
+	m.lis.PreSpawn(t, tag, in)
+
+	// Evaluate captures as references into the parent frame.
+	captures := make([]Value, len(in.Args))
+	for i, av := range in.Args {
+		if av == m.hereVar {
+			captures[i] = Value{K: KLocale, I: int64(t.Locale)}
+		} else {
+			captures[i] = makeRef(m.cellOf(t, av))
+		}
+	}
+
+	switch sp.Kind {
+	case ir.SpawnForall, ir.SpawnCoforall:
+		m.spawnLoop(t, in, tag, captures)
+	case ir.SpawnBegin:
+		child := m.newTask(t, tag, t.Locale)
+		m.pushFrame(child, in.Callee, captures, nil)
+		// begin joins the innermost sync group, if any.
+		if n := len(t.syncStack); n > 0 {
+			g := t.syncStack[n-1]
+			g.pending++
+			child.join = g
+		}
+		m.enqueue(child, t)
+		m.rtCharge(t, m.cost(m.Cfg.Costs.SpawnPerTask), "chpl_task_spawn")
+	case ir.SpawnCobegin:
+		bodies := append([]*ir.Func{in.Callee}, sp.Extra...)
+		g := &joinGroup{pending: len(bodies), waiter: t, barrierSite: in}
+		for i, bf := range bodies {
+			child := m.newTask(t, tag, t.Locale)
+			bodyArgs := captures
+			if i > 0 {
+				extra := sp.ExtraArgs[i-1]
+				bodyArgs = make([]Value, len(extra))
+				for k, av := range extra {
+					bodyArgs[k] = makeRef(m.cellOf(t, av))
+				}
+			}
+			m.pushFrame(child, bf, bodyArgs, nil)
+			child.join = g
+			m.enqueue(child, t)
+		}
+		t.blockedOn = g
+		m.rtCharge(t, uint64(len(bodies))*m.cost(m.Cfg.Costs.SpawnPerTask), "chpl_task_spawn")
+	case ir.SpawnOn:
+		locale := t.Locale
+		if sp.Iter != nil {
+			lv := m.readVal(t, sp.Iter)
+			if lv.K == KLocale {
+				locale = int(lv.I)
+			}
+		}
+		if locale < 0 || locale >= m.Cfg.NumLocales {
+			m.fail(t, in, "on-statement targets locale %d of %d", locale, m.Cfg.NumLocales)
+			return
+		}
+		child := m.newTask(t, tag, locale)
+		m.pushFrame(child, in.Callee, captures, nil)
+		g := &joinGroup{pending: 1, waiter: t, barrierSite: in}
+		child.join = g
+		m.enqueue(child, t)
+		t.blockedOn = g
+		m.rtCharge(t, m.cost(m.Cfg.Costs.SpawnPerTask+m.Cfg.Costs.CommLatency), "chpl_task_spawn")
+	}
+}
+
+// spawnLoop creates the worker tasks of a forall/coforall.
+func (m *VM) spawnLoop(t *Task, in *ir.Instr, tag uint64, captures []Value) {
+	sp := in.Spawn
+	space, ok := m.iterSpace(t, in)
+	if !ok {
+		return
+	}
+	total := space.Size()
+	if total <= 0 {
+		return
+	}
+	var numTasks int64
+	if sp.Kind == ir.SpawnCoforall {
+		numTasks = total
+	} else {
+		numTasks = int64(m.Cfg.DataParTasksPerLocale)
+		if numTasks > total {
+			numTasks = total
+		}
+	}
+
+	g := &joinGroup{pending: int(numTasks), waiter: t, barrierSite: in}
+	chunk := total / numTasks
+	rem := total % numTasks
+	var pos int64
+	for k := int64(0); k < numTasks; k++ {
+		n := chunk
+		if k < rem {
+			n++
+		}
+		child := m.newTask(t, tag, t.Locale)
+		child.iter = &iterState{
+			body:     in.Callee,
+			captures: captures,
+			space:    space,
+			pos:      pos,
+			end:      pos + n,
+			site:     in,
+		}
+		child.join = g
+		pos += n
+		m.enqueue(child, t)
+		// Zippered iterator construction per task per iterand.
+		if nf := len(sp.Followers); nf > 0 {
+			m.rtCharge(t, uint64(nf+1)*m.cost(m.Cfg.Costs.ZipSetup), "chpl_task_spawn")
+		}
+	}
+	t.blockedOn = g
+	m.rtCharge(t, uint64(numTasks)*m.cost(m.Cfg.Costs.SpawnPerTask), "chpl_task_spawn")
+	m.Stats.TasksSpawned += uint64(numTasks)
+}
+
+// iterSpace derives the iteration domain of a spawn from its Iter operand.
+func (m *VM) iterSpace(t *Task, in *ir.Instr) (DomainVal, bool) {
+	sp := in.Spawn
+	if sp.Iter == nil {
+		return DomainVal{}, false
+	}
+	v := m.readVal(t, sp.Iter)
+	switch v.K {
+	case KRange:
+		return DomainVal{Rank: 1, Dims: [3]RangeVal{v.Rng}}, true
+	case KDomain:
+		return v.Dom, true
+	case KArray:
+		return v.Arr.Dom, true
+	}
+	m.fail(t, in, "cannot iterate over %s", v)
+	return DomainVal{}, false
+}
+
+// newTask mints a worker task.
+func (m *VM) newTask(parent *Task, tag uint64, locale int) *Task {
+	m.nextTaskID++
+	return &Task{
+		ID:     m.nextTaskID,
+		Tag:    tag,
+		Parent: parent,
+		Locale: locale,
+	}
+}
+
+// enqueue places a task on a core of its locale (round-robin) and models
+// the worker thread that accepts it: if that core's clock is behind the
+// spawner's, the gap was idle spin in the scheduler.
+func (m *VM) enqueue(child *Task, parent *Task) {
+	base := child.Locale * m.Cfg.NumCores
+	core := base + m.spawnRR%m.Cfg.NumCores
+	m.spawnRR++
+	child.Core = core
+	// The worker thread idling on this core since its previous task
+	// spun in the scheduler until now; attribute that spin to the stale
+	// context (its old spawn tag), as a real monitor would observe.
+	spinCtx := child
+	if prev := m.cores[core].lastTask; prev != nil {
+		spinCtx = prev
+	}
+	m.spinTo(spinCtx, m.coreOf(parent).clock)
+	m.cores[core].queue = append(m.cores[core].queue, child)
+}
+
+// startIterCall pushes the outlined body frame for the task's next index.
+func (m *VM) startIterCall(t *Task) {
+	it := t.iter
+	idx := make([]int64, it.space.Rank)
+	it.space.Unlinear(it.pos, idx)
+	it.pos++
+
+	body := it.body
+	args := make([]Value, 0, len(body.Params))
+	for i := 0; i < len(idx) && i < len(body.Params); i++ {
+		args = append(args, IntVal(idx[i]))
+	}
+	args = append(args, it.captures...)
+	m.rtCharge(t, m.cost(m.Cfg.Costs.IterPerCall+m.Cfg.Costs.CallOverhead), "chpl_task_callTaskFunction")
+	na := m.pushFrame(t, body, args, nil)
+	na.CallSite = it.site
+}

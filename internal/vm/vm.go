@@ -1,0 +1,574 @@
+package vm
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/ir"
+	"repro/internal/source"
+)
+
+// Listener observes execution. The sampling profiler, the code-centric
+// baseline and the HPCToolkit-like baseline are all Listeners.
+type Listener interface {
+	// Exec is called for every executed instruction with its cycle cost.
+	// acc is the array allocation touched by element accesses (nil
+	// otherwise) — the address information PEBS-style sampling exposes.
+	Exec(cycles uint64, t *Task, in *ir.Instr, acc *ArrayVal)
+	// Spin reports idle-spin cycles attributed to a runtime function
+	// (worker threads waiting for work or for a barrier).
+	Spin(cycles uint64, t *Task, fn *ir.Func)
+	// PreSpawn fires in the tasking layer right before tasks are created;
+	// the monitoring process records the parent's stack walk under tag
+	// (paper §IV.B: "record the stack trace before the spawn operation").
+	PreSpawn(parent *Task, tag uint64, site *ir.Instr)
+	// Alloc reports a heap allocation (arrays, class instances).
+	Alloc(addr uint64, size int64, v *ir.Var, site *ir.Instr)
+	// Comm reports a remote (inter-locale) data access: bytes moved
+	// between locales on behalf of the variable owning the accessed
+	// allocation — the paper's §VI plan to "blame communication cost
+	// back to key data structures".
+	Comm(bytes int64, from, to int, owner *ir.Var, t *Task, in *ir.Instr)
+}
+
+// nopListener is used when no profiler is attached.
+type nopListener struct{}
+
+func (nopListener) Exec(uint64, *Task, *ir.Instr, *ArrayVal)        {}
+func (nopListener) Spin(uint64, *Task, *ir.Func)                    {}
+func (nopListener) PreSpawn(*Task, uint64, *ir.Instr)               {}
+func (nopListener) Alloc(uint64, int64, *ir.Var, *ir.Instr)         {}
+func (nopListener) Comm(int64, int, int, *ir.Var, *Task, *ir.Instr) {}
+
+// Config parameterizes a run.
+type Config struct {
+	// NumCores is the number of simulated cores per locale (paper: 12).
+	NumCores int
+	// NumLocales simulates the PGAS node count (paper experiments: 1).
+	NumLocales int
+	// DataParTasksPerLocale bounds forall task counts (Chapel's
+	// dataParTasksPerLocale); defaults to NumCores.
+	DataParTasksPerLocale int
+	// Configs overrides `config const` values, like ./prog --name=value.
+	Configs map[string]string
+	// Stdout receives writeln output.
+	Stdout io.Writer
+	// Listener observes execution (nil = none).
+	Listener Listener
+	// MaxCycles aborts runaway programs (0 = no limit).
+	MaxCycles uint64
+	// ClockHz converts cycles to seconds for reports (paper: 2.53 GHz).
+	ClockHz float64
+	// Costs is the cycle cost model.
+	Costs CostModel
+	// Quantum is the instructions-per-scheduling-slice (determinism knob).
+	Quantum int
+}
+
+// DefaultConfig mirrors the paper's testbed: a single locale with 12
+// cores at 2.53 GHz.
+func DefaultConfig() Config {
+	return Config{
+		NumCores:   12,
+		NumLocales: 1,
+		Stdout:     io.Discard,
+		MaxCycles:  0,
+		ClockHz:    2.53e9,
+		Costs:      DefaultCosts(),
+		Quantum:    64,
+	}
+}
+
+// RuntimeError is an execution failure with source context.
+type RuntimeError struct {
+	Pos   source.Pos
+	Msg   string
+	Stack []string
+}
+
+func (e *RuntimeError) Error() string {
+	s := fmt.Sprintf("runtime error at line %d: %s", e.Pos.Line, e.Msg)
+	if len(e.Stack) > 0 {
+		s += "\n  in " + strings.Join(e.Stack, "\n  in ")
+	}
+	return s
+}
+
+// Activation is one call-stack frame.
+type Activation struct {
+	F     *ir.Func
+	Block *ir.Block
+	Idx   int
+	Slots []Value
+	// RetDst receives the callee's return value (cell in the caller).
+	RetDst *Value
+	// CallSite is the instruction that created this frame (nil for task
+	// roots); the stack walker reports it.
+	CallSite *ir.Instr
+}
+
+// iterState drives a forall/coforall chunk: the task repeatedly invokes
+// the outlined body for each index in [pos, end).
+type iterState struct {
+	body     *ir.Func
+	captures []Value
+	space    DomainVal
+	pos, end int64
+	site     *ir.Instr
+}
+
+// joinGroup tracks outstanding child tasks for a blocking construct.
+type joinGroup struct {
+	pending       int
+	waiter        *Task
+	completeClock uint64
+	barrierSite   *ir.Instr
+}
+
+// Task is a Chapel task (master or worker).
+type Task struct {
+	ID     int
+	Tag    uint64 // spawn tag (0 for the master)
+	Parent *Task
+	Frames []*Activation
+	Core   int
+	Locale int
+
+	iter      *iterState
+	join      *joinGroup // group to signal at completion
+	blockedOn *joinGroup
+	syncStack []*joinGroup
+	done      bool
+}
+
+// Top returns the innermost activation, or nil.
+func (t *Task) Top() *Activation {
+	if len(t.Frames) == 0 {
+		return nil
+	}
+	return t.Frames[len(t.Frames)-1]
+}
+
+// StackAddrs walks the task's stack, innermost first, returning the
+// current instruction address of each frame — exactly what a Dyninst
+// stack walk yields. Suspended caller frames hold the *return* address
+// (the instruction after the call); like real stack walkers, we report
+// the call site itself (the return-address-minus-one adjustment).
+func (t *Task) StackAddrs() []uint64 {
+	out := make([]uint64, 0, len(t.Frames))
+	for i := len(t.Frames) - 1; i >= 0; i-- {
+		a := t.Frames[i]
+		if a.Block == nil {
+			continue
+		}
+		idx := a.Idx
+		if i < len(t.Frames)-1 && idx > 0 {
+			idx-- // suspended at the instruction after its call
+		}
+		if idx >= len(a.Block.Instrs) {
+			idx = len(a.Block.Instrs) - 1
+		}
+		if idx < 0 {
+			continue
+		}
+		out = append(out, a.Block.Instrs[idx].Addr)
+	}
+	return out
+}
+
+// runnable reports whether the task can execute now.
+func (t *Task) runnable() bool { return !t.done && t.blockedOn == nil }
+
+type core struct {
+	clock uint64
+	queue []*Task
+	// lastTask is the most recent task that ran here; idle spin between
+	// assignments is attributed to its context (persistent worker
+	// threads keep their previous spawn tag while waiting for work).
+	lastTask *Task
+}
+
+// VM executes one IR program.
+type VM struct {
+	Prog *ir.Program
+	Cfg  Config
+
+	globals []Value
+	cores   []core
+	lis     Listener
+
+	totalCycles uint64
+	nextAddr    uint64
+	nextTaskID  int
+	nextTag     uint64
+	spawnRR     int // round-robin core cursor
+
+	hereVar *ir.Var
+	halted  bool
+	err     *RuntimeError
+	// icache maps functions to their i-cache pressure surcharge
+	// (per-mille extra cost for oversized bodies).
+	icache map[*ir.Func]uint64
+
+	// Stats accumulates run statistics.
+	Stats Stats
+}
+
+// Stats summarizes a run.
+type Stats struct {
+	TotalCycles  uint64 // sum over cores (PAPI_TOT_CYC-like, incl. spin)
+	WallCycles   uint64 // max core clock (elapsed time)
+	SpinCycles   uint64 // idle-spin portion of TotalCycles
+	Instructions uint64
+	TasksSpawned uint64
+	Allocations  uint64
+	AllocBytes   int64
+	CommMessages uint64 // remote gets/puts (multi-locale)
+	CommBytes    int64
+}
+
+// Seconds converts wall cycles to seconds at the configured clock.
+func (s Stats) Seconds(hz float64) float64 { return float64(s.WallCycles) / hz }
+
+// New creates a VM for prog.
+func New(prog *ir.Program, cfg Config) *VM {
+	if cfg.NumCores <= 0 {
+		cfg.NumCores = 1
+	}
+	if cfg.NumLocales <= 0 {
+		cfg.NumLocales = 1
+	}
+	if cfg.DataParTasksPerLocale <= 0 {
+		cfg.DataParTasksPerLocale = cfg.NumCores
+	}
+	if cfg.Stdout == nil {
+		cfg.Stdout = io.Discard
+	}
+	if cfg.Quantum <= 0 {
+		cfg.Quantum = 64
+	}
+	if cfg.ClockHz == 0 {
+		cfg.ClockHz = 2.53e9
+	}
+	m := &VM{
+		Prog:     prog,
+		Cfg:      cfg,
+		globals:  make([]Value, len(prog.Globals)),
+		cores:    make([]core, cfg.NumCores*cfg.NumLocales),
+		lis:      cfg.Listener,
+		nextAddr: 0x10000,
+	}
+	if m.lis == nil {
+		m.lis = nopListener{}
+	}
+	// Precompute i-cache pressure surcharges.
+	m.icache = make(map[*ir.Func]uint64)
+	if cfg.Costs.IcacheDen > 0 {
+		for _, f := range prog.Funcs {
+			n := uint64(0)
+			for _, b := range f.Blocks {
+				n += uint64(len(b.Instrs))
+			}
+			if n > cfg.Costs.IcacheThreshold {
+				extra := n - cfg.Costs.IcacheThreshold
+				if extra > cfg.Costs.IcacheDen {
+					extra = cfg.Costs.IcacheDen
+				}
+				m.icache[f] = extra
+			}
+		}
+	}
+	// Zero-initialize declared globals by type (record array fields are
+	// re-initialized by the definit marker in module init once their
+	// domains have values).
+	for _, g := range prog.Globals {
+		if g.Sym != nil && g.Sym.Owner == nil && g.Type != nil {
+			m.globals[g.Slot] = m.defaultValue(g.Type)
+		}
+	}
+	m.initPredeclared()
+	return m
+}
+
+// initPredeclared sets up Locales, numLocales, here and nil globals.
+func (m *VM) initPredeclared() {
+	for _, g := range m.Prog.Globals {
+		switch g.Name {
+		case "numLocales":
+			if g.Sym != nil && g.Sym.Owner == nil {
+				m.globals[g.Slot] = IntVal(int64(m.Cfg.NumLocales))
+			}
+		case "Locales":
+			if g.Sym != nil && g.Sym.Owner == nil {
+				arr := &ArrayVal{
+					Dom:    DomainVal{Rank: 1, Dims: [3]RangeVal{{0, int64(m.Cfg.NumLocales - 1), 1}}},
+					Layout: DomainVal{Rank: 1, Dims: [3]RangeVal{{0, int64(m.Cfg.NumLocales - 1), 1}}},
+					ElemT:  nil,
+				}
+				arr.Data = make([]Value, m.Cfg.NumLocales)
+				for i := range arr.Data {
+					arr.Data[i] = Value{K: KLocale, I: int64(i)}
+				}
+				m.globals[g.Slot] = Value{K: KArray, Arr: arr}
+			}
+		case "here":
+			if g.Sym != nil && g.Sym.Owner == nil {
+				m.hereVar = g
+			}
+		case "nil":
+			m.globals[g.Slot] = Value{K: KNil}
+		}
+	}
+}
+
+// coreOf returns the core a task runs on.
+func (m *VM) coreOf(t *Task) *core { return &m.cores[t.Core] }
+
+// Run executes module init then main to completion.
+func (m *VM) Run() (Stats, error) {
+	if m.Prog.ModuleInit != nil {
+		if err := m.runRoot(m.Prog.ModuleInit); err != nil {
+			return m.finishStats(), err
+		}
+	}
+	if m.Prog.Main == nil {
+		return m.finishStats(), fmt.Errorf("vm: program has no main")
+	}
+	if err := m.runRoot(m.Prog.Main); err != nil {
+		return m.finishStats(), err
+	}
+	return m.finishStats(), nil
+}
+
+func (m *VM) finishStats() Stats {
+	m.Stats.TotalCycles = m.totalCycles
+	var maxClock uint64
+	for i := range m.cores {
+		if m.cores[i].clock > maxClock {
+			maxClock = m.cores[i].clock
+		}
+	}
+	m.Stats.WallCycles = maxClock
+	return m.Stats
+}
+
+// runRoot runs fn as a fresh root task through the scheduler.
+func (m *VM) runRoot(fn *ir.Func) error {
+	t := &Task{ID: m.nextTaskID, Core: 0, Locale: 0}
+	m.nextTaskID++
+	m.pushFrame(t, fn, nil, nil)
+	m.cores[0].queue = append(m.cores[0].queue, t)
+	return m.schedule()
+}
+
+// pushFrame enters fn on task t. args are pre-bound parameter values
+// (may be nil for zero-arg roots).
+func (m *VM) pushFrame(t *Task, fn *ir.Func, args []Value, retDst *Value) *Activation {
+	n := len(fn.Params) + len(fn.Locals)
+	if fn.RetVar != nil {
+		n++
+	}
+	act := &Activation{F: fn, Slots: make([]Value, n)}
+	if len(fn.Blocks) > 0 {
+		act.Block = fn.Blocks[0]
+	}
+	act.RetDst = retDst
+	for i, p := range fn.Params {
+		if i < len(args) {
+			act.Slots[p.Slot] = args[i]
+		}
+	}
+	// Default-initialize locals by declared type (globals are zeroed the
+	// same way at startup).
+	for _, l := range fn.Locals {
+		if act.Slots[l.Slot].K == KNil && l.Type != nil {
+			act.Slots[l.Slot] = m.defaultValue(l.Type)
+		}
+	}
+	t.Frames = append(t.Frames, act)
+	return act
+}
+
+// schedule is the discrete-event core scheduler: repeatedly pick the
+// runnable task whose core clock is lowest and execute one quantum.
+func (m *VM) schedule() error {
+	for {
+		if m.err != nil {
+			return m.err
+		}
+		if m.halted {
+			return nil
+		}
+		ci := -1
+		for i := range m.cores {
+			c := &m.cores[i]
+			if !hasRunnable(c) {
+				continue
+			}
+			if ci < 0 || c.clock < m.cores[ci].clock {
+				ci = i
+			}
+		}
+		if ci < 0 {
+			// No runnable tasks: either everything finished, or deadlock.
+			total := 0
+			for i := range m.cores {
+				total += len(m.cores[i].queue)
+			}
+			if total == 0 {
+				return nil
+			}
+			return &RuntimeError{Msg: "deadlock: all tasks blocked"}
+		}
+		m.runQuantum(&m.cores[ci])
+		if m.Cfg.MaxCycles > 0 && m.totalCycles > m.Cfg.MaxCycles {
+			return &RuntimeError{Msg: fmt.Sprintf("cycle budget exceeded (%d)", m.Cfg.MaxCycles)}
+		}
+	}
+}
+
+func hasRunnable(c *core) bool {
+	for _, t := range c.queue {
+		if t.runnable() {
+			return true
+		}
+	}
+	return false
+}
+
+// runQuantum executes up to Quantum instructions from the first runnable
+// task on c, then rotates the queue.
+func (m *VM) runQuantum(c *core) {
+	// Find first runnable; rotate it to the front.
+	k := -1
+	for i, t := range c.queue {
+		if t.runnable() {
+			k = i
+			break
+		}
+	}
+	if k < 0 {
+		return
+	}
+	t := c.queue[k]
+	c.lastTask = t
+	for i := 0; i < m.Cfg.Quantum; i++ {
+		if m.err != nil || m.halted || !t.runnable() {
+			break
+		}
+		if !m.step(t) {
+			break
+		}
+	}
+	// Rotate: move t to the back for round-robin fairness.
+	if len(c.queue) > 1 {
+		c.queue = append(append(c.queue[:k:k], c.queue[k+1:]...), t)
+	}
+	m.reap(c)
+}
+
+// reap removes finished tasks from the queue.
+func (m *VM) reap(c *core) {
+	kept := c.queue[:0]
+	for _, t := range c.queue {
+		if !t.done {
+			kept = append(kept, t)
+		}
+	}
+	c.queue = kept
+}
+
+// charge accounts cycles for t's instruction execution.
+func (m *VM) charge(t *Task, cycles uint64) {
+	m.coreOf(t).clock += cycles
+	m.totalCycles += cycles
+}
+
+// rtCharge accounts tasking-layer cycles under a named runtime function,
+// so the PMU sees them (they surface under runtime frames in the
+// code-centric view, exactly as qthreads internals do).
+func (m *VM) rtCharge(t *Task, cycles uint64, fnName string) {
+	m.charge(t, cycles)
+	if f := m.Prog.FuncByName(fnName); f != nil {
+		m.lis.Spin(cycles, t, f)
+	}
+}
+
+// spinTo advances a core's clock to target, attributing the gap as
+// idle-spin in the scheduler (__sched_yield), as qthreads worker threads
+// do while waiting for work — the Fig. 4 signature.
+func (m *VM) spinTo(t *Task, target uint64) {
+	c := m.coreOf(t)
+	if target <= c.clock {
+		return
+	}
+	gap := target - c.clock
+	c.clock = target
+	m.totalCycles += gap
+	m.Stats.SpinCycles += gap
+	if f := m.Prog.FuncByName("__sched_yield"); f != nil {
+		m.lis.Spin(gap, t, f)
+	}
+}
+
+// taskFinished handles task completion bookkeeping.
+func (m *VM) taskFinished(t *Task) {
+	t.done = true
+	finish := m.coreOf(t).clock
+	if g := t.join; g != nil {
+		g.pending--
+		if finish > g.completeClock {
+			g.completeClock = finish
+		}
+		if g.pending == 0 && g.waiter != nil && g.waiter.blockedOn == g {
+			w := g.waiter
+			w.blockedOn = nil
+			// The waiter spun at the barrier until the last child arrived.
+			m.spinTo(w, g.completeClock)
+			m.rtCharge(w, m.cost(m.Cfg.Costs.Barrier), "chpl_task_barrier")
+			// Step past the spawn instruction the waiter blocked on.
+			if a := w.Top(); a != nil && a.Block != nil && a.Idx < len(a.Block.Instrs) {
+				if a.Block.Instrs[a.Idx].Op == ir.OpSpawn {
+					a.Idx++
+				}
+			}
+		}
+	}
+}
+
+// cost applies the --fast scale factor.
+func (m *VM) cost(c uint64) uint64 {
+	return m.Cfg.Costs.scale(m.Prog.Optimized, c)
+}
+
+// fail records a runtime error with a stack trace.
+func (m *VM) fail(t *Task, in *ir.Instr, format string, args ...any) {
+	if m.err != nil {
+		return
+	}
+	e := &RuntimeError{Msg: fmt.Sprintf(format, args...)}
+	if in != nil {
+		e.Pos = in.Pos
+	}
+	for i := len(t.Frames) - 1; i >= 0; i-- {
+		e.Stack = append(e.Stack, t.Frames[i].F.Name)
+	}
+	m.err = e
+}
+
+// TotalCycles returns cumulative cycles so far (PMU view).
+func (m *VM) TotalCycles() uint64 { return m.totalCycles }
+
+// Globals exposes global storage (tests and views).
+func (m *VM) Globals() []Value { return m.globals }
+
+// GlobalByName returns the value of a named global, for tests.
+func (m *VM) GlobalByName(name string) (Value, bool) {
+	for _, g := range m.Prog.Globals {
+		if g.Name == name {
+			return m.globals[g.Slot], true
+		}
+	}
+	return Value{}, false
+}
