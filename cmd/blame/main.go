@@ -3,7 +3,9 @@
 // benchmark), runs it under the monitoring process with PMU sampling,
 // performs post-mortem blame attribution, and prints the three views of
 // §IV.D: the flat data-centric view (default), the code-centric view
-// (pprof-style, Fig. 4), and the hybrid blame-points view.
+// (pprof-style, Fig. 4), and the hybrid blame-points view. With -lint it
+// additionally runs the static diagnostics (internal/analyze) and prints
+// the blame-guided advisor, joining static findings with dynamic ranks.
 //
 // Usage:
 //
@@ -18,6 +20,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/analyze"
 	"repro/internal/benchprog"
 	"repro/internal/blame"
 	"repro/internal/compile"
@@ -41,6 +44,7 @@ func main() {
 		skid      = flag.Int("skid", 0, "inject PMU interrupt skid (instructions)")
 		perLocale = flag.Bool("per-locale", false, "also print per-locale profiles")
 		jsonOut   = flag.String("json", "", "also write the profile as JSON to this file")
+		lint      = flag.Bool("lint", false, "run the static diagnostics and print the blame-guided advisor view")
 	)
 	flag.Parse()
 
@@ -93,6 +97,14 @@ func main() {
 		os.Exit(1)
 	}
 	prof := r.Profile
+
+	if *lint {
+		rep := analyze.Run(res.Prog)
+		fmt.Print(rep.Text())
+		fmt.Println()
+		fmt.Print(views.Advisor(prof, rep, *limit))
+		return
+	}
 
 	switch *view {
 	case "data":

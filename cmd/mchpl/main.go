@@ -9,7 +9,8 @@
 //
 // Flags mirror the paper's compiler/runtime options: -fast (--fast),
 // -no-checks (--no-checks), -cores (the testbed's core count),
-// -locales (PGAS node count).
+// -locales (PGAS node count). -analyze runs the static performance
+// diagnostics (internal/analyze) instead of executing the program.
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/analyze"
 	"repro/internal/benchprog"
 	"repro/internal/compile"
 	"repro/internal/vm"
@@ -32,6 +34,7 @@ func main() {
 		bench    = flag.String("bench", "", "run a built-in benchmark instead of a file")
 		stats    = flag.Bool("stats", false, "print run statistics")
 		dumpIR   = flag.Bool("dump-ir", false, "print the compiled IR and exit")
+		analyzeF = flag.Bool("analyze", false, "run the static performance diagnostics and exit")
 		maxCyc   = flag.Uint64("max-cycles", 10_000_000_000, "cycle budget (0 = unlimited)")
 	)
 	flag.Parse()
@@ -49,6 +52,10 @@ func main() {
 	}
 	if *dumpIR {
 		fmt.Print(res.Prog.Dump())
+		return
+	}
+	if *analyzeF {
+		fmt.Print(analyze.Run(res.Prog).Text())
 		return
 	}
 

@@ -6,6 +6,7 @@
 package main
 
 import (
+	_ "embed"
 	"fmt"
 	"log"
 
@@ -14,37 +15,11 @@ import (
 	"repro/internal/views"
 )
 
-const src = `
-config const n = 256;
-config const reps = 10;
-// Block-distributed: each locale owns a contiguous block of Grid.
-var D: domain(1) dmapped Block = {0..#n};
-var Grid: [D] real;
-var Halo: [D] real;
-
-proc relax(lo: int, hi: int) {
-  forall i in lo..hi {
-    // Interior accesses are local; the block-edge neighbors are remote
-    // (halo exchange).
-    var left = if i > 0 then Grid[i-1] else 0.0;
-    var right = if i < n-1 then Grid[i+1] else 0.0;
-    Halo[i] = (left + Grid[i] + right) / 3.0;
-    Grid[i] = Halo[i];
-  }
-}
-
-proc main() {
-  forall i in D { Grid[i] = i * 1.0; }
-  for r in 1..reps {
-    for l in 0..#numLocales {
-      on Locales[l] {
-        relax(l * (n / numLocales), (l + 1) * (n / numLocales) - 1);
-      }
-    }
-  }
-  writeln("sum positive: ", + reduce Grid > 0.0);
-}
-`
+// The halo-exchange program lives beside this file so `blame -lint` and
+// the analyzer's golden tests can read the exact same program.
+//
+//go:embed halo.mchpl
+var src string
 
 func main() {
 	res, err := compile.Source("halo.mchpl", src, compile.Options{})

@@ -5,6 +5,7 @@
 package main
 
 import (
+	_ "embed"
 	"fmt"
 	"log"
 
@@ -14,28 +15,12 @@ import (
 )
 
 // A toy stencil: the profile should blame B (written every sweep from A)
-// far more than the initialization-only A.
-const src = `
-config const n = 512;
-config const sweeps = 40;
-var D: domain(1) = {0..#n};
-var interior: domain(1) = {1..n-2};
-var A: [D] real;
-var B: [D] real;
-
-proc main() {
-  forall i in D { A[i] = i * 1.0; }
-  for s in 1..sweeps {
-    forall i in interior {
-      B[i] = (A[i-1] + A[i] + A[i+1]) / 3.0;
-    }
-    forall i in interior {
-      A[i] = B[i];
-    }
-  }
-  writeln("done ", + reduce B > 0.0);
-}
-`
+// far more than the initialization-only A. The source lives beside this
+// file so `mchpl --analyze` and the analyzer's golden tests can read the
+// exact same program.
+//
+//go:embed stencil.mchpl
+var src string
 
 func main() {
 	// Step 0: compile (parse → typecheck → IR), like `chpl --llvm -g`.

@@ -1,0 +1,253 @@
+package analyze_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analyze"
+	"repro/internal/benchprog"
+	"repro/internal/compile"
+)
+
+func run(t *testing.T, name, src string) *analyze.Report {
+	t.Helper()
+	res, err := compile.Source(name+".mchpl", src, compile.Options{})
+	if err != nil {
+		t.Fatalf("compile %s: %v", name, err)
+	}
+	return analyze.Run(res.Prog)
+}
+
+// --- forall race detection -------------------------------------------------
+
+const racySrc = `
+config const n = 64;
+var D: domain(1) = {0..#n};
+var A: [D] real;
+proc main() {
+  forall i in D { A[i] = i * 1.0; }
+  var tot = 0.0;
+  forall i in D { tot += A[i]; }
+  writeln(tot);
+}
+`
+
+const atomicSrc = `
+config const n = 64;
+var D: domain(1) = {0..#n};
+var A: [D] real;
+proc main() {
+  forall i in D { A[i] = i * 1.0; }
+  var tot: atomic real;
+  forall i in D { tot.add(A[i]); }
+  writeln(tot.read());
+}
+`
+
+const reduceSrc = `
+config const n = 64;
+var D: domain(1) = {0..#n};
+var A: [D] real;
+proc main() {
+  forall i in D { A[i] = i * 1.0; }
+  var tot = + reduce A;
+  writeln(tot);
+}
+`
+
+// TestRaceThreeWay checks the central race-detector contract: an
+// unsynchronized accumulation into a shared scalar inside a forall is
+// flagged, while the atomic and reduce formulations of the same
+// computation are not.
+func TestRaceThreeWay(t *testing.T) {
+	racy := run(t, "racy", racySrc).ByPass("forall-race")
+	if len(racy) != 1 {
+		t.Fatalf("racy version: %d forall-race findings, want 1: %+v", len(racy), racy)
+	}
+	if racy[0].Var != "tot" {
+		t.Errorf("race blamed %q, want tot", racy[0].Var)
+	}
+	if racy[0].Severity != analyze.Warning {
+		t.Errorf("race severity = %v, want Warning", racy[0].Severity)
+	}
+	if !strings.Contains(racy[0].Message, "shared variable 'tot'") {
+		t.Errorf("race message does not name the variable: %s", racy[0].Message)
+	}
+
+	if ds := run(t, "atomic", atomicSrc).ByPass("forall-race"); len(ds) != 0 {
+		t.Errorf("atomic version flagged: %+v", ds)
+	}
+	if ds := run(t, "reduce", reduceSrc).ByPass("forall-race"); len(ds) != 0 {
+		t.Errorf("reduce version flagged: %+v", ds)
+	}
+}
+
+// The partitioned write A[i] = ... must never be flagged: each iteration
+// owns a disjoint element.
+func TestRacePartitionedWriteIsClean(t *testing.T) {
+	const src = `
+config const n = 32;
+var D: domain(1) = {0..#n};
+var A: [D] real;
+var B: [D] real;
+proc main() {
+  forall i in D { A[i] = 1.0; B[i] = A[i] + 2.0; }
+  writeln(+ reduce B);
+}
+`
+	if ds := run(t, "part", src).ByPass("forall-race"); len(ds) != 0 {
+		t.Errorf("partitioned writes flagged: %+v", ds)
+	}
+}
+
+// --- communication-pattern classification ----------------------------------
+
+const haloSrc = `
+config const n = 64;
+var D: domain(1) dmapped Block = {0..#n};
+var G: [D] real;
+var H: [D] real;
+proc main() {
+  forall i in D { G[i] = i * 1.0; }
+  forall i in D {
+    H[i] = G[i] + (if i > 0 then G[i-1] else 0.0) + G[0];
+  }
+  writeln(+ reduce H > 0.0);
+}
+`
+
+// TestCommClassification drives all three classes through one aligned
+// forall: G[i] is local (owner-computes), G[i-1] is a halo access, and
+// the loop-invariant G[0] is fine-grained remote.
+func TestCommClassification(t *testing.T) {
+	rep := run(t, "halo3way", haloSrc)
+	ds := rep.ByPass("comm-pattern")
+
+	var locals, halos, remotes int
+	for _, d := range ds {
+		switch {
+		case strings.Contains(d.Message, "communication summary"):
+			// counted via the summary text below
+		case strings.Contains(d.Message, "halo access"):
+			halos++
+			if d.Severity != analyze.Note {
+				t.Errorf("halo finding should be a note: %+v", d)
+			}
+		case strings.Contains(d.Message, "fine-grained remote"):
+			remotes++
+			if d.Severity != analyze.Warning {
+				t.Errorf("remote finding should be a warning: %+v", d)
+			}
+		}
+	}
+	if halos != 1 {
+		t.Errorf("halo findings = %d, want 1 (G[i-1])", halos)
+	}
+	if remotes != 1 {
+		t.Errorf("remote findings = %d, want 1 (G[0])", remotes)
+	}
+	_ = locals
+
+	text := rep.Text()
+	if !strings.Contains(text, "2 local (owner-computes), 1 halo, 1 fine-grained remote") {
+		t.Errorf("summary for the stencil forall missing; got:\n%s", text)
+	}
+	if !strings.Contains(text, "1 local (owner-computes), 0 halo, 0 fine-grained remote") {
+		t.Errorf("summary for the init forall missing; got:\n%s", text)
+	}
+}
+
+// A forall over an unrelated domain makes every distributed access
+// fine-grained remote.
+func TestCommMisalignedForallIsRemote(t *testing.T) {
+	const src = `
+config const n = 64;
+var D: domain(1) dmapped Block = {0..#n};
+var E: domain(1) = {0..#n};
+var G: [D] real;
+proc main() {
+  forall i in E { G[i] = i * 1.0; }
+  writeln(+ reduce G > 0.0);
+}
+`
+	rep := run(t, "misaligned", src)
+	var remotes int
+	for _, d := range rep.ByPass("comm-pattern") {
+		if strings.Contains(d.Message, "fine-grained remote access") {
+			remotes++
+		}
+	}
+	if remotes == 0 {
+		t.Errorf("misaligned forall produced no remote findings:\n%s", rep.Text())
+	}
+}
+
+// --- benchprog oracle pairs (paper §V optimization patterns) ---------------
+
+// Each §V original/optimized pair is an oracle: the original source must
+// trip the lint that motivated its optimization, and the optimized
+// source must not.
+func TestBenchprogOracles(t *testing.T) {
+	cases := []struct {
+		pass      string
+		original  benchprog.Program
+		optimized benchprog.Program
+	}{
+		{"zip-overhead", benchprog.MiniMD(false), benchprog.MiniMD(true)},
+		{"domain-remap", benchprog.MiniMD(false), benchprog.MiniMD(true)},
+		{"nested-structure", benchprog.CLOMP(false), benchprog.CLOMP(true)},
+		{"var-globalization", benchprog.LULESH(benchprog.LuleshOriginal), benchprog.LULESH(benchprog.LuleshBest)},
+		// LuleshBest still contains trip-8 inner loops (P2/P3 replace the
+		// unrolling), so the param-unroll clean side is LuleshOriginal,
+		// whose P1 pass has already unrolled them.
+		{"param-unroll", benchprog.LULESH(benchprog.LuleshVariant{}), benchprog.LULESH(benchprog.LuleshOriginal)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.pass, func(t *testing.T) {
+			orig := run(t, tc.original.Name, tc.original.Source)
+			if ds := orig.ByPass(tc.pass); len(ds) == 0 {
+				t.Errorf("%s: original %s has no %s findings\n%s",
+					tc.pass, tc.original.Name, tc.pass, orig.Text())
+			}
+			opt := run(t, tc.optimized.Name, tc.optimized.Source)
+			if ds := opt.ByPass(tc.pass); len(ds) != 0 {
+				t.Errorf("%s: optimized %s still has %d %s findings: %+v",
+					tc.pass, tc.optimized.Name, len(ds), tc.pass, ds)
+			}
+		})
+	}
+}
+
+// None of the benchmark programs contain a data race; the detector must
+// stay silent on every variant (false-positive regression guard).
+func TestBenchprogsAreRaceFree(t *testing.T) {
+	for _, p := range benchprog.All() {
+		rep := run(t, p.Name, p.Source)
+		if ds := rep.ByPass("forall-race"); len(ds) != 0 {
+			t.Errorf("%s: unexpected race findings: %+v", p.Name, ds)
+		}
+	}
+}
+
+// The optimized miniMD variant is the analyzer's clean negative control:
+// no pass may fire on it at all.
+func TestMiniMDOptimizedIsClean(t *testing.T) {
+	rep := run(t, "minimd_opt", benchprog.MiniMD(true).Source)
+	if len(rep.Diags) != 0 {
+		t.Errorf("minimd_opt should produce no findings, got:\n%s", rep.Text())
+	}
+}
+
+// Dedup must collapse the duplicate diagnostics produced when param
+// unrolling clones a block that itself contains a finding.
+func TestReportDedup(t *testing.T) {
+	rep := run(t, "lulesh_best", benchprog.LULESH(benchprog.LuleshBest).Source)
+	seen := make(map[string]bool)
+	for _, d := range rep.Diags {
+		key := d.Pass + "|" + rep.Prog.FileSet.Position(d.Pos) + "|" + d.Message
+		if seen[key] {
+			t.Errorf("duplicate diagnostic survived dedup: %s", key)
+		}
+		seen[key] = true
+	}
+}

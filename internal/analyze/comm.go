@@ -1,0 +1,222 @@
+package analyze
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/source"
+	"repro/internal/types"
+)
+
+// CommPass classifies array accesses over `dmapped Block` domains inside
+// loops as local (owner-computes: the index IS the loop index and the loop
+// iterates the array's own distribution), halo (index ± small constant —
+// block-edge neighbor exchange), or fine-grained remote (anything whose
+// owner cannot be proven local, including every access made from an
+// iteration space not aligned with the distribution). Per-element remote
+// gets/puts in hot loops are the pattern Rolinger et al. show dominates
+// PGAS performance; the paper's multi-locale extension measures them
+// dynamically, this pass predicts them statically.
+type CommPass struct{}
+
+// Name implements Pass.
+func (CommPass) Name() string { return "comm-pattern" }
+
+// Doc implements Pass.
+func (CommPass) Doc() string {
+	return "local / halo / fine-grained-remote classification of Block-distributed array accesses"
+}
+
+// commClass is one access's classification.
+type commClass int
+
+const (
+	commLocal commClass = iota
+	commHalo
+	commRemote
+)
+
+// RunFunc implements FuncPass.
+func (CommPass) RunFunc(ctx *Context, f *ir.Func) []Diag {
+	sp, isBody := ctx.ParallelBody(f)
+	var bodyTi *taintInfo
+	var bodyDom *ir.Var
+	where := "loop"
+	var summaryPos source.Pos
+	if isBody {
+		bodyTi = ctx.bodyTaint(f)
+		spawner := f.OutlinedFrom
+		if sp.Block != nil {
+			spawner = sp.Block.Func
+		}
+		bodyDom = ctx.iterSpaceDomain(spawner, sp.Spawn.Iter)
+		where = sp.Spawn.Kind.String()
+		summaryPos = sp.Pos
+	} else {
+		summaryPos = f.Pos
+	}
+
+	// Serial counted loops whose iteration space resolves to a domain can
+	// align accesses just like a forall over it.
+	li := ctx.Loops(f)
+	type alignedLoop struct {
+		l   *natLoop
+		dom *ir.Var
+		ti  *taintInfo
+	}
+	var aligned []alignedLoop
+	for _, l := range li.Loops {
+		iv, iter := ctx.serialLoopIter(f, l)
+		if iv == nil {
+			continue
+		}
+		dom := ctx.iterSpaceDomain(f, iter)
+		if dom == nil {
+			continue
+		}
+		aligned = append(aligned, alignedLoop{l: l, dom: dom, ti: loopTaint(f, l, iv)})
+	}
+
+	var out []Diag
+	counts := [3]int{}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			var base *ir.Var
+			var args []*ir.Var
+			switch in.Op {
+			case ir.OpIndex, ir.OpRefElem:
+				base, args = in.A, in.Args
+			case ir.OpIndexStore:
+				base, args = in.Dst, in.Args
+			default:
+				continue
+			}
+			root := ctx.rootBase(f, base)
+			arrDom, dist := ctx.DistArray(root)
+			if !dist {
+				continue
+			}
+			// Pick the best-aligned loop context for this access: the
+			// parallel body itself when it iterates the array's
+			// distribution, else the innermost enclosing serial loop over
+			// it; with no aligned context, any loop context at all makes
+			// the access fine-grained remote, and straight-line code
+			// (runs once) is ignored.
+			cls := commRemote
+			alignedCtx := false
+			if isBody && bodyDom != nil && bodyDom == arrDom {
+				cls = ctx.classifyAccess(f, bodyTi, args)
+				alignedCtx = true
+			} else {
+				var best *alignedLoop
+				for i := range aligned {
+					al := &aligned[i]
+					if al.dom != arrDom || !al.l.Blocks[b.ID] {
+						continue
+					}
+					if best == nil || len(al.l.Blocks) < len(best.l.Blocks) {
+						best = al
+					}
+				}
+				if best != nil {
+					cls = ctx.classifyAccess(f, best.ti, args)
+					alignedCtx = true
+				} else if !ctx.HotAt(f, in) {
+					continue
+				}
+			}
+			counts[cls]++
+			name := ctx.DisplayName(root)
+			if name == "" {
+				name = root.Name
+			}
+			switch cls {
+			case commHalo:
+				out = append(out, Diag{
+					Pass: CommPass{}.Name(), Severity: Note, Pos: in.Pos, Fn: f, Var: name,
+					Message: fmt.Sprintf("halo access to Block-distributed '%s': the index is the loop index plus a constant offset, "+
+						"crossing into a neighbor's block at partition edges", name),
+					FixHint: "bulk-exchange boundary elements into a local halo buffer once per sweep instead of per-element gets",
+				})
+			case commRemote:
+				msg := fmt.Sprintf("fine-grained remote access to Block-distributed '%s': the enclosing %s does not iterate "+
+					"'%s''s distribution, so each element access may target another locale", name, where, name)
+				if alignedCtx {
+					msg = fmt.Sprintf("fine-grained remote access to Block-distributed '%s': the index is not derived from the "+
+						"loop index, so the accessed element's owner is unrelated to the executing locale", name)
+				}
+				out = append(out, Diag{
+					Pass: CommPass{}.Name(), Severity: Warning, Pos: in.Pos, Fn: f, Var: name,
+					Message: msg,
+					FixHint: fmt.Sprintf("iterate the distributed domain itself (forall i in %s) so owner-computes applies, "+
+						"or aggregate the remote elements into one bulk transfer", domDisplayName(ctx, arrDom)),
+				})
+			}
+		}
+	}
+	if counts[commLocal]+counts[commHalo]+counts[commRemote] > 0 {
+		out = append(out, Diag{
+			Pass: CommPass{}.Name(), Severity: Note, Pos: summaryPos, Fn: f,
+			Message: fmt.Sprintf("communication summary for this %s: %d local (owner-computes), %d halo, %d fine-grained remote "+
+				"distributed-array accesses", where, counts[commLocal], counts[commHalo], counts[commRemote]),
+		})
+	}
+	return out
+}
+
+// iterSpaceDomain resolves the domain an iteration source stands for: the
+// domain var itself (including `arr.domain` query temps), the allocation
+// domain when iterating an array, or nil for ranges and unknowns. owner is
+// the function the iteration variable lives in — the spawning function for
+// a parallel body's Iter.
+func (ctx *Context) iterSpaceDomain(owner *ir.Func, iter *ir.Var) *ir.Var {
+	if iter == nil || iter.Type == nil {
+		return nil
+	}
+	rep := ctx.Analysis.AliasClass
+	switch iter.Type.Kind() {
+	case types.Domain:
+		if owner != nil {
+			if in := singleDef(ctx.defs(owner), iter); in != nil &&
+				in.Op == ir.OpQuery && in.Method == "domain" {
+				if d, ok := ctx.arrayDom[rep(in.A)]; ok {
+					return d
+				}
+			}
+		}
+		return rep(iter)
+	case types.Array:
+		if d, ok := ctx.arrayDom[rep(iter)]; ok {
+			return d
+		}
+	}
+	return nil
+}
+
+// classifyAccess decides one access's class within an aligned loop from
+// its index arguments: all-direct → local, direct ± constant → halo,
+// anything else → remote.
+func (ctx *Context) classifyAccess(f *ir.Func, ti *taintInfo, args []*ir.Var) commClass {
+	cls := commLocal
+	for _, a := range args {
+		if ti.direct[a] {
+			continue
+		}
+		if _, ok := ctx.offsetOf(f, ti, a); ok {
+			cls = commHalo
+			continue
+		}
+		return commRemote
+	}
+	return cls
+}
+
+func domDisplayName(ctx *Context, d *ir.Var) string {
+	if d == nil {
+		return "D"
+	}
+	if n := ctx.DisplayName(d); n != "" {
+		return n
+	}
+	return d.Name
+}

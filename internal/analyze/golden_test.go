@@ -1,0 +1,55 @@
+package analyze_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analyze"
+	"repro/internal/compile"
+)
+
+// TestGoldenExamples locks the analyzer's full text output on the two
+// checked-in example programs. Regenerate with:
+//
+//	UPDATE_GOLDEN=1 go test ./internal/analyze -run TestGoldenExamples
+func TestGoldenExamples(t *testing.T) {
+	cases := []struct {
+		name   string
+		source string // path relative to this package
+		golden string
+	}{
+		{"quickstart", "../../examples/quickstart/stencil.mchpl", "testdata/quickstart_analyze.golden"},
+		{"multilocale", "../../examples/multilocale/halo.mchpl", "testdata/multilocale_analyze.golden"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			src, err := os.ReadFile(tc.source)
+			if err != nil {
+				t.Fatalf("read %s: %v", tc.source, err)
+			}
+			res, err := compile.Source(filepath.Base(tc.source), string(src), compile.Options{})
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			got := analyze.Run(res.Prog).Text()
+
+			if os.Getenv("UPDATE_GOLDEN") != "" {
+				if err := os.MkdirAll(filepath.Dir(tc.golden), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(tc.golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(tc.golden)
+			if err != nil {
+				t.Fatalf("read golden (run with UPDATE_GOLDEN=1 to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("analyzer output for %s changed.\n--- got ---\n%s--- want ---\n%s", tc.name, got, want)
+			}
+		})
+	}
+}

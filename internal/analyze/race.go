@@ -1,0 +1,124 @@
+package analyze
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// RacePass flags writes inside forall/coforall bodies that hit storage
+// shared across iterations — captured outer variables and globals — when
+// the write is neither atomic, nor folded by a reduce, nor partitioned by
+// the loop index. The alias classes and written-vars analysis it builds on
+// are the blame core's (paper §IV.A); the extra ingredient is the
+// index-taint partition proof.
+type RacePass struct{}
+
+// Name implements Pass.
+func (RacePass) Name() string { return "forall-race" }
+
+// Doc implements Pass.
+func (RacePass) Doc() string {
+	return "unsynchronized writes to shared variables in parallel loop bodies"
+}
+
+// RunFunc implements FuncPass.
+func (RacePass) RunFunc(ctx *Context, f *ir.Func) []Diag {
+	sp, ok := ctx.ParallelBody(f)
+	if !ok {
+		return nil
+	}
+	nidx := sp.Spawn.NumIdx
+	ti := ctx.bodyTaint(f)
+	paramIx := make(map[*ir.Var]int, len(f.Params))
+	for i, p := range f.Params {
+		paramIx[p] = i
+	}
+	// shared reports whether v names storage visible to every iteration:
+	// a by-ref capture (outer locals and bundled globals) beyond the index
+	// params. By-value captures are per-task copies.
+	shared := func(v *ir.Var) bool {
+		if v == nil {
+			return false
+		}
+		if v.IsGlobal {
+			return true
+		}
+		ix, isParam := paramIx[v]
+		return isParam && v.IsRef && ix >= nidx
+	}
+	var out []Diag
+	report := func(in *ir.Instr, v *ir.Var, how string) {
+		name := ctx.DisplayName(v)
+		if name == "" {
+			name = v.Name
+		}
+		out = append(out, Diag{
+			Pass:     RacePass{}.Name(),
+			Severity: Warning,
+			Pos:      in.Pos,
+			Fn:       f,
+			Var:      name,
+			Message: fmt.Sprintf("%s loop body %s shared variable '%s' without synchronization: "+
+				"the write is not atomic, not a reduction, and not partitioned by the loop index",
+				sp.Spawn.Kind, how, name),
+			FixHint: fmt.Sprintf("make '%s' atomic, rewrite the loop as a reduce expression, "+
+				"or index the write by the loop variable so iterations touch disjoint elements", name),
+		})
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			switch {
+			case in.Op == ir.OpBuiltin:
+				// Atomic read-modify-writes are synchronization; nothing
+				// else a builtin writes is shared.
+				continue
+			case in.Op == ir.OpSpawn:
+				// Nested parallel bodies are their own analysis unit.
+				continue
+			case in.Op == ir.OpCall:
+				if in.Callee == nil {
+					continue
+				}
+				for k, p := range in.Callee.Params {
+					if !p.IsRef || k >= len(in.Args) {
+						continue
+					}
+					arg := in.Args[k]
+					if !ctx.Analysis.CalleeWritesParam(in.Callee, p) {
+						continue
+					}
+					if ti.partRef[arg] || ti.tainted[arg] {
+						continue
+					}
+					if root := ctx.rootBase(f, arg); shared(root) {
+						report(in, root, fmt.Sprintf("passes ref to '%s' (which writes it), aliasing", in.Callee.Name))
+					}
+				}
+			case in.IsStoreThrough():
+				partitioned := ti.anyTainted(in.Args) || ti.partRef[in.Dst] ||
+					(in.Op == ir.OpTupleSet && ti.tainted[in.B])
+				if partitioned {
+					continue
+				}
+				if root := ctx.rootBase(f, in.Dst); shared(root) {
+					report(in, root, "stores into")
+				}
+			case in.Def() != nil && !in.IsAliasDef():
+				v := in.Dst
+				if v.IsRef && !v.IsParam {
+					// Local ref: a Move here is (re)binding or a write
+					// through the alias; the binding chain decides.
+					continue
+				}
+				if ix, isP := paramIx[v]; isP && ix < nidx {
+					continue // the index itself
+				}
+				if shared(v) {
+					report(in, v, "assigns")
+				}
+			}
+		}
+	}
+	return out
+}

@@ -20,24 +20,39 @@ type DomTree struct {
 	root     int
 }
 
-// Idom returns the immediate dominator of b, or nil.
+// Idom returns the immediate dominator of b, or nil. Blocks with IDs
+// outside the tree (malformed or from another function) have none.
 func (t *DomTree) Idom(b *ir.Block) *ir.Block {
-	if b.ID >= len(t.idom) || t.idom[b.ID] < 0 {
+	if b == nil || b.ID < 0 || b.ID >= len(t.idom) {
 		return nil
 	}
-	return t.fn.Blocks[t.idom[b.ID]]
+	d := t.idom[b.ID]
+	if d < 0 || d >= len(t.fn.Blocks) {
+		return nil
+	}
+	return t.fn.Blocks[d]
 }
 
-// Dominates reports whether a dominates b (reflexive).
+// Dominates reports whether a dominates b (reflexive). Malformed or
+// unreachable block IDs never dominate and are dominated by nothing but
+// themselves; the walk bounds-checks every step so a corrupted idom chain
+// cannot index out of range.
 func (t *DomTree) Dominates(a, b *ir.Block) bool {
-	for x := b.ID; x >= 0; {
+	if a == nil || b == nil {
+		return false
+	}
+	if a.ID == b.ID {
+		return true
+	}
+	for x := b.ID; x >= 0 && x < len(t.idom); {
 		if x == a.ID {
 			return true
 		}
-		if x >= len(t.idom) {
-			return false
+		next := t.idom[x]
+		if next == x {
+			return false // self-loop guard on corrupted trees
 		}
-		x = t.idom[x]
+		x = next
 	}
 	return false
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/cfg"
 	"repro/internal/compile"
 	"repro/internal/ir"
+	"repro/internal/source"
 )
 
 func buildFn(t *testing.T, src, name string) *ir.Func {
@@ -177,4 +178,58 @@ proc main() { }
 	f := res.Prog.FuncByName("spin")
 	_ = cfg.PostDominators(f)
 	_ = cfg.ControlDeps(f)
+}
+
+func TestDominatesUnreachableAndMalformedBlocks(t *testing.T) {
+	// Hand-build a CFG with an unreachable block: entry → exit, plus an
+	// orphan block no edge reaches. Its idom stays -1; dominance queries
+	// against it (and against blocks with IDs outside the tree entirely)
+	// must answer without panicking.
+	prog := ir.NewProgram(source.NewFileSet(), "t")
+	f := prog.NewFunc("f", nil, source.Pos{})
+	entry := f.NewBlock()
+	exit := f.NewBlock()
+	orphan := f.NewBlock()
+	entry.Instrs = append(entry.Instrs, &ir.Instr{Op: ir.OpJmp, Targets: [2]*ir.Block{exit, nil}})
+	exit.Instrs = append(exit.Instrs, &ir.Instr{Op: ir.OpRet})
+	orphan.Instrs = append(orphan.Instrs, &ir.Instr{Op: ir.OpRet})
+	prog.Finalize()
+
+	dom := cfg.Dominators(f)
+	if dom.Dominates(entry, orphan) {
+		t.Error("entry must not dominate an unreachable block")
+	}
+	if dom.Dominates(orphan, exit) {
+		t.Error("unreachable block must not dominate a reachable one")
+	}
+	if !dom.Dominates(orphan, orphan) {
+		t.Error("Dominates must stay reflexive for unreachable blocks")
+	}
+	if dom.Idom(orphan) != nil {
+		t.Errorf("unreachable block idom = %v, want nil", dom.Idom(orphan))
+	}
+
+	// Blocks whose IDs lie outside the tree (malformed input, or a block
+	// from another function): previously a mid-walk b.ID >= len(idom)
+	// could slip through; now every step is bounds-checked.
+	fake := &ir.Block{ID: 99}
+	if dom.Dominates(entry, fake) {
+		t.Error("out-of-range block must not be dominated")
+	}
+	if dom.Dominates(fake, exit) {
+		t.Error("out-of-range block must not dominate")
+	}
+	if !dom.Dominates(fake, fake) {
+		t.Error("Dominates must stay reflexive for out-of-range IDs")
+	}
+	if dom.Idom(fake) != nil {
+		t.Error("out-of-range block must have no idom")
+	}
+	neg := &ir.Block{ID: -7}
+	if dom.Dominates(neg, entry) || dom.Dominates(entry, neg) {
+		t.Error("negative block IDs must not participate in dominance")
+	}
+	if dom.Dominates(nil, entry) || dom.Dominates(entry, nil) {
+		t.Error("nil blocks must not participate in dominance")
+	}
 }

@@ -190,6 +190,15 @@ func (a *Analysis) union(x, y *ir.Var) {
 // AliasClass returns the representative of v's alias class.
 func (a *Analysis) AliasClass(v *ir.Var) *ir.Var { return a.find(v) }
 
+// CalleeWritesParam reports whether fn writes the given formal — directly
+// or transitively through further calls. It exposes the written-vars
+// analysis call-site blame uses, so static diagnostics (internal/analyze)
+// can tell a callee that mutates a ref argument from one that only reads
+// it.
+func (a *Analysis) CalleeWritesParam(fn *ir.Func, p *ir.Var) bool {
+	return a.writes.WritesParam(fn, p)
+}
+
 // ------------------------------------------------------- per-function
 
 func (a *Analysis) analyzeFunc(f *ir.Func) *FuncAnalysis {

@@ -2,8 +2,10 @@ package core
 
 import "math/bits"
 
-// bitset is a fixed-capacity bit set over per-function instruction
-// indices.
+// bitset is a growable bit set over per-function instruction indices.
+// Reads past the current capacity answer false; writes grow the word
+// array, so sets built against different instruction counts (e.g. when a
+// function is extended mid-analysis) still combine safely.
 type bitset struct {
 	words []uint64
 }
@@ -12,11 +14,29 @@ func newBitset(n int) *bitset {
 	return &bitset{words: make([]uint64, (n+63)/64)}
 }
 
+// grow ensures capacity for at least nWords words.
+func (b *bitset) grow(nWords int) {
+	if nWords <= len(b.words) {
+		return
+	}
+	w := make([]uint64, nWords)
+	copy(w, b.words)
+	b.words = w
+}
+
 func (b *bitset) set(i int) {
-	b.words[i>>6] |= 1 << (uint(i) & 63)
+	if i < 0 {
+		return
+	}
+	w := i >> 6
+	b.grow(w + 1)
+	b.words[w] |= 1 << (uint(i) & 63)
 }
 
 func (b *bitset) has(i int) bool {
+	if i < 0 {
+		return false
+	}
 	w := i >> 6
 	if w >= len(b.words) {
 		return false
@@ -24,12 +44,36 @@ func (b *bitset) has(i int) bool {
 	return b.words[w]&(1<<(uint(i)&63)) != 0
 }
 
-// union merges o into b, reporting whether b changed.
+// union merges o into b, reporting whether b changed. b grows as needed
+// when o has more words.
 func (b *bitset) union(o *bitset) bool {
 	changed := false
 	for i, w := range o.words {
+		if w == 0 {
+			continue
+		}
+		if i >= len(b.words) {
+			b.grow(len(o.words))
+		}
 		if b.words[i]|w != b.words[i] {
 			b.words[i] |= w
+			changed = true
+		}
+	}
+	return changed
+}
+
+// intersect keeps only the bits also set in o, reporting whether b
+// changed. Bits beyond o's capacity are cleared.
+func (b *bitset) intersect(o *bitset) bool {
+	changed := false
+	for i := range b.words {
+		var w uint64
+		if i < len(o.words) {
+			w = o.words[i]
+		}
+		if b.words[i]&w != b.words[i] {
+			b.words[i] &= w
 			changed = true
 		}
 	}
@@ -52,7 +96,7 @@ func (b *bitset) count() int {
 	return n
 }
 
-// each calls fn for every set index.
+// each calls fn for every set index, in ascending order.
 func (b *bitset) each(fn func(int)) {
 	for wi, w := range b.words {
 		for w != 0 {

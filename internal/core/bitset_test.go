@@ -1,0 +1,122 @@
+package core
+
+import "testing"
+
+func TestBitsetSetGrowsCapacity(t *testing.T) {
+	b := newBitset(4) // one word
+	if len(b.words) != 1 {
+		t.Fatalf("newBitset(4): %d words, want 1", len(b.words))
+	}
+	b.set(3)
+	b.set(200) // far past the initial capacity
+	if !b.has(3) || !b.has(200) {
+		t.Fatalf("bits lost after growth: has(3)=%v has(200)=%v", b.has(3), b.has(200))
+	}
+	if b.has(199) || b.has(201) {
+		t.Fatalf("neighbor bits leaked: has(199)=%v has(201)=%v", b.has(199), b.has(201))
+	}
+	if got := b.count(); got != 2 {
+		t.Fatalf("count = %d, want 2", got)
+	}
+}
+
+func TestBitsetOutOfRangeQueries(t *testing.T) {
+	b := newBitset(64)
+	b.set(0)
+	if b.has(-1) {
+		t.Fatal("has(-1) = true")
+	}
+	if b.has(1 << 20) {
+		t.Fatal("has far past capacity = true")
+	}
+	b.set(-5) // must not panic, must not record anything
+	if got := b.count(); got != 1 {
+		t.Fatalf("count after set(-5) = %d, want 1", got)
+	}
+}
+
+func TestBitsetUnionGrowth(t *testing.T) {
+	small := newBitset(8)
+	small.set(1)
+	big := newBitset(512)
+	big.set(500)
+
+	// Union a longer set into a shorter one: the shorter must grow.
+	if !small.union(big) {
+		t.Fatal("union reported no change")
+	}
+	if !small.has(1) || !small.has(500) {
+		t.Fatalf("union lost bits: has(1)=%v has(500)=%v", small.has(1), small.has(500))
+	}
+	// Union a shorter set into a longer one.
+	big2 := newBitset(512)
+	big2.set(500)
+	short := newBitset(8)
+	short.set(1)
+	if !big2.union(short) {
+		t.Fatal("union(short) reported no change")
+	}
+	if !big2.has(1) || !big2.has(500) {
+		t.Fatal("union(short) lost bits")
+	}
+	// Idempotent re-union reports no change.
+	if small.union(big) {
+		t.Fatal("repeated union reported a change")
+	}
+}
+
+func TestBitsetIntersect(t *testing.T) {
+	a := newBitset(512)
+	a.set(1)
+	a.set(100)
+	a.set(500)
+	o := newBitset(128) // shorter than a
+	o.set(1)
+	o.set(100)
+	if !a.intersect(o) {
+		t.Fatal("intersect reported no change")
+	}
+	if !a.has(1) || !a.has(100) {
+		t.Fatal("intersect dropped common bits")
+	}
+	if a.has(500) {
+		t.Fatal("intersect kept a bit beyond o's capacity")
+	}
+	if a.intersect(o) {
+		t.Fatal("repeated intersect reported a change")
+	}
+	if got := a.count(); got != 2 {
+		t.Fatalf("count = %d, want 2", got)
+	}
+}
+
+func TestBitsetIterationOrder(t *testing.T) {
+	b := newBitset(256)
+	want := []int{0, 63, 64, 65, 130, 255}
+	for i := len(want) - 1; i >= 0; i-- { // insert in reverse
+		b.set(want[i])
+	}
+	var got []int
+	b.each(func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("each yielded %d indices, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("each order: got %v, want %v (ascending)", got, want)
+		}
+	}
+}
+
+func TestBitsetCloneIndependence(t *testing.T) {
+	b := newBitset(64)
+	b.set(5)
+	c := b.clone()
+	c.set(6)
+	if b.has(6) {
+		t.Fatal("clone shares storage with original")
+	}
+	if !c.has(5) || !c.has(6) {
+		t.Fatal("clone lost bits")
+	}
+}

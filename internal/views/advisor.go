@@ -1,0 +1,72 @@
+package views
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/analyze"
+	"repro/internal/postmortem"
+)
+
+// Advisor renders the blame-guided advisor view: the dynamic data-centric
+// ranking joined with the static diagnostics that mention the same
+// variable. A variable that both carries high blame and trips a static
+// lint is the place to optimize first — the static finding says *what*
+// to change, the blame rank says *whether it is worth it*.
+func Advisor(p *postmortem.Profile, rep *analyze.Report, limit int) string {
+	byVar := make(map[string][]int)
+	for i, d := range rep.Diags {
+		if d.Var != "" {
+			byVar[d.Var] = append(byVar[d.Var], i)
+		}
+	}
+	pos := func(d analyze.Diag) string { return rep.Prog.FileSet.Position(d.Pos) }
+
+	var b strings.Builder
+	b.WriteString("Blame-guided advisor (dynamic rank x static findings)\n")
+	matched := make(map[int]bool)
+	rank, shown := 0, 0
+	for _, r := range p.DataCentric {
+		if r.IsPath {
+			continue
+		}
+		rank++
+		idxs := byVar[r.Name]
+		if len(idxs) == 0 {
+			continue
+		}
+		if limit > 0 && shown >= limit {
+			break
+		}
+		shown++
+		fmt.Fprintf(&b, "#%d  %-32s %6.1f%% blame  (%s, %s)\n", rank, r.Name, r.Blame*100, r.Type, r.Context)
+		for _, i := range idxs {
+			matched[i] = true
+			d := rep.Diags[i]
+			fmt.Fprintf(&b, "    %s: [%s] %s\n", pos(d), d.Pass, d.Message)
+			if d.FixHint != "" {
+				fmt.Fprintf(&b, "        fix: %s\n", d.FixHint)
+			}
+		}
+	}
+	if shown == 0 {
+		b.WriteString("  (no static finding names a profiled variable)\n")
+	}
+
+	// Static findings the profile cannot rank (summaries, unnamed temps,
+	// variables that never accumulated a sample) still matter; list them
+	// so nothing the analyzer said is silently dropped.
+	var rest []analyze.Diag
+	for i, d := range rep.Diags {
+		if !matched[i] {
+			rest = append(rest, d)
+		}
+	}
+	if len(rest) > 0 {
+		fmt.Fprintf(&b, "unranked static findings (%d):\n", len(rest))
+		for _, d := range rest {
+			fmt.Fprintf(&b, "    %s: [%s] %s\n", pos(d), d.Pass, d.Message)
+		}
+	}
+	return b.String()
+}
