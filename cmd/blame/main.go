@@ -23,6 +23,7 @@ import (
 	"repro/internal/analyze"
 	"repro/internal/benchprog"
 	"repro/internal/blame"
+	"repro/internal/comm"
 	"repro/internal/compile"
 	"repro/internal/core"
 	"repro/internal/hpctk"
@@ -45,6 +46,8 @@ func main() {
 		perLocale = flag.Bool("per-locale", false, "also print per-locale profiles")
 		jsonOut   = flag.String("json", "", "also write the profile as JSON to this file")
 		lint      = flag.Bool("lint", false, "run the static diagnostics and print the blame-guided advisor view")
+		commAgg   = flag.Bool("comm-aggregate", false, "model the communication aggregation runtime (halo prefetch, run coalescing, software cache)")
+		commCap   = flag.Int("comm-cache", comm.DefaultCacheCap, "per-locale software-cache capacity in elements (0 = no cache)")
 	)
 	flag.Parse()
 
@@ -72,6 +75,14 @@ func main() {
 		Interprocedural:  !*noInter,
 		LineGranularity:  *lineGran,
 		TrackPaths:       true,
+	}
+	if *commAgg {
+		cfg.VM.CommAggregate = true
+		cfg.VM.CommCacheCap = *commCap
+		if *commCap <= 0 {
+			cfg.VM.CommCacheCap = -1 // 0 on the command line means "no cache"
+		}
+		cfg.VM.CommPlan = analyze.CommPlan(res.Prog)
 	}
 	if *threshold != 0 {
 		cfg.Threshold = *threshold

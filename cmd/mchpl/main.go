@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/analyze"
 	"repro/internal/benchprog"
+	"repro/internal/comm"
 	"repro/internal/compile"
 	"repro/internal/vm"
 )
@@ -36,6 +37,8 @@ func main() {
 		dumpIR   = flag.Bool("dump-ir", false, "print the compiled IR and exit")
 		analyzeF = flag.Bool("analyze", false, "run the static performance diagnostics and exit")
 		maxCyc   = flag.Uint64("max-cycles", 10_000_000_000, "cycle budget (0 = unlimited)")
+		commAgg  = flag.Bool("comm-aggregate", false, "model the communication aggregation runtime (halo prefetch, run coalescing, software cache)")
+		commCap  = flag.Int("comm-cache", comm.DefaultCacheCap, "per-locale software-cache capacity in elements (0 = no cache)")
 	)
 	flag.Parse()
 
@@ -65,6 +68,14 @@ func main() {
 	cfg.Stdout = os.Stdout
 	cfg.MaxCycles = *maxCyc
 	cfg.Configs = parseConfigs(flag.Args())
+	if *commAgg {
+		cfg.CommAggregate = true
+		cfg.CommCacheCap = *commCap
+		if *commCap <= 0 {
+			cfg.CommCacheCap = -1 // 0 on the command line means "no cache"
+		}
+		cfg.CommPlan = analyze.CommPlan(res.Prog)
+	}
 
 	st, err := vm.New(res.Prog, cfg).Run()
 	if err != nil {
@@ -75,6 +86,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "elapsed (simulated): %.6f s  wall cycles: %d  total cycles: %d  spin: %.1f%%  tasks: %d  allocs: %d\n",
 			st.Seconds(cfg.ClockHz), st.WallCycles, st.TotalCycles,
 			100*float64(st.SpinCycles)/float64(max64(1, st.TotalCycles)), st.TasksSpawned, st.Allocations)
+		fmt.Fprintf(os.Stderr, "comm: %d messages  %d bytes\n", st.CommMessages, st.CommBytes)
+		if a := st.Agg; a != nil {
+			fmt.Fprintf(os.Stderr, "comm aggregation: %.1f%% cache hit rate  %d prefetches (%d elems)  %d streams (%d elems)  %d flushes (%d elems)  %d invalidations  %d evictions\n",
+				100*a.HitRate(), a.Prefetches, a.PrefetchedElems, a.Streams, a.StreamedElems,
+				a.Flushes, a.FlushedElems, a.Invalidations, a.Evictions)
+		}
 	}
 }
 

@@ -7,7 +7,7 @@
 //	paperbench            # run everything
 //	paperbench t2 t9      # run selected experiments
 //
-// Experiment names: t1..t9 (tables), fig3, fig4, baseline, overhead.
+// Experiment names: t1..t9 (tables), agg, fig3, fig4, baseline, overhead.
 package main
 
 import (
@@ -38,6 +38,7 @@ func main() {
 		{"t7", exp.Table7},
 		{"t8", exp.Table8},
 		{"t9", exp.Table9},
+		{"agg", exp.TableAgg},
 		{"baseline", exp.UnknownData},
 		{"overhead", exp.Overhead},
 	}

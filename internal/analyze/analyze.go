@@ -116,6 +116,10 @@ type Context struct {
 	arrayDom map[*ir.Var]*ir.Var
 	// distDoms holds alias-class representatives of distributed domains.
 	distDoms map[*ir.Var]bool
+
+	// iprocWrites caches the interprocedural global-write summaries
+	// (built on first use by interprocWrites).
+	iprocWrites map[*ir.Func][]gWrite
 }
 
 // NewContext builds the shared state for one program.
@@ -292,9 +296,7 @@ func (ctx *Context) aliasDefs(f *ir.Func) map[*ir.Var]*ir.Instr {
 	m = make(map[*ir.Var]*ir.Instr)
 	for _, b := range f.Blocks {
 		for _, in := range b.Instrs {
-			bind := in.IsAliasDef() ||
-				(in.Op == ir.OpMove && in.Dst != nil && in.Dst.IsRef && !in.Dst.IsParam)
-			if bind && in.Dst != nil {
+			if in.IsAliasDef() && in.Dst != nil {
 				if _, seen := m[in.Dst]; !seen {
 					m[in.Dst] = in
 				}

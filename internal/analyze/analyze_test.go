@@ -100,6 +100,106 @@ proc main() {
 	}
 }
 
+// TestRaceInterprocDepth traces global writes through call chains deeper
+// than one CalleeWritesParam level: a forall body calling mid -> leaf
+// where leaf accumulates into a global scalar must be flagged, while the
+// CLOMP `update_part` pattern — the written global element selected by a
+// parameter that receives the loop index — stays clean at any depth.
+func TestRaceInterprocDepth(t *testing.T) {
+	const racy = `
+config const n = 32;
+var D: domain(1) = {0..#n};
+var total: real;
+proc leaf(x: real) { total = total + x; }
+proc mid(x: real) { leaf(x); }
+proc main() {
+  forall i in D { mid(i * 1.0); }
+  writeln(total);
+}
+`
+	ds := run(t, "iprocracy", racy).ByPass("forall-race")
+	if len(ds) != 1 {
+		t.Fatalf("deep-chain race: %d findings, want 1: %+v", len(ds), ds)
+	}
+	if ds[0].Var != "total" {
+		t.Errorf("race blamed %q, want total", ds[0].Var)
+	}
+	if !strings.Contains(ds[0].Message, "calls 'mid', which (via leaf) writes") {
+		t.Errorf("race message does not cite the call chain: %s", ds[0].Message)
+	}
+
+	// Guarded two-level chain: the written element is selected by a
+	// parameter fed the loop index — partitioned, no race.
+	const guarded = `
+config const n = 32;
+var D: domain(1) = {0..#n};
+var A: [D] real;
+proc leafw(j: int, x: real) { A[j] = x; }
+proc midw(j: int, x: real) { leafw(j, x); }
+proc main() {
+  forall i in D { midw(i, 1.0); }
+  writeln(+ reduce A);
+}
+`
+	if ds := run(t, "iprocclean", guarded).ByPass("forall-race"); len(ds) != 0 {
+		t.Errorf("guarded chain flagged: %+v", ds)
+	}
+
+	// Same chain with a constant index: every iteration writes A[0].
+	const clashing = `
+config const n = 32;
+var D: domain(1) = {0..#n};
+var A: [D] real;
+proc leafw(j: int, x: real) { A[j] = x; }
+proc midw(j: int, x: real) { leafw(j, x); }
+proc main() {
+  forall i in D { midw(0, i * 1.0); }
+  writeln(+ reduce A);
+}
+`
+	if ds := run(t, "iprocclash", clashing).ByPass("forall-race"); len(ds) != 1 {
+		t.Errorf("constant-index chain: %d findings, want 1: %+v", len(ds), ds)
+	}
+}
+
+// TestRaceThroughLocalRef covers writes through a local `ref` alias: the
+// write races when the binding chain selected a fixed shared element,
+// and is clean when it selected an index-partitioned one.
+func TestRaceThroughLocalRef(t *testing.T) {
+	const racy = `
+config const n = 32;
+var D: domain(1) = {0..#n};
+var A: [D] real;
+proc main() {
+  forall i in D { ref r = A[0]; r += i * 1.0; }
+  writeln(+ reduce A);
+}
+`
+	ds := run(t, "refracy", racy).ByPass("forall-race")
+	if len(ds) != 1 {
+		t.Fatalf("ref-alias race: %d findings, want 1: %+v", len(ds), ds)
+	}
+	if ds[0].Var != "A" {
+		t.Errorf("race blamed %q, want A", ds[0].Var)
+	}
+	if !strings.Contains(ds[0].Message, "writes through a local ref") {
+		t.Errorf("race message does not cite the ref alias: %s", ds[0].Message)
+	}
+
+	const clean = `
+config const n = 32;
+var D: domain(1) = {0..#n};
+var A: [D] real;
+proc main() {
+  forall i in D { ref r = A[i]; r = 1.0; }
+  writeln(+ reduce A);
+}
+`
+	if ds := run(t, "refclean", clean).ByPass("forall-race"); len(ds) != 0 {
+		t.Errorf("partitioned ref alias flagged: %+v", ds)
+	}
+}
+
 // --- communication-pattern classification ----------------------------------
 
 const haloSrc = `
@@ -149,10 +249,10 @@ func TestCommClassification(t *testing.T) {
 	_ = locals
 
 	text := rep.Text()
-	if !strings.Contains(text, "2 local (owner-computes), 1 halo, 1 fine-grained remote") {
+	if !strings.Contains(text, "2 local (owner-computes), 1 halo, 0 coalescable (sweep/strided/blocked), 1 fine-grained remote") {
 		t.Errorf("summary for the stencil forall missing; got:\n%s", text)
 	}
-	if !strings.Contains(text, "1 local (owner-computes), 0 halo, 0 fine-grained remote") {
+	if !strings.Contains(text, "1 local (owner-computes), 0 halo, 0 coalescable (sweep/strided/blocked), 0 fine-grained remote") {
 		t.Errorf("summary for the init forall missing; got:\n%s", text)
 	}
 }

@@ -21,6 +21,7 @@ func TestGoldenExamples(t *testing.T) {
 	}{
 		{"quickstart", "../../examples/quickstart/stencil.mchpl", "testdata/quickstart_analyze.golden"},
 		{"multilocale", "../../examples/multilocale/halo.mchpl", "testdata/multilocale_analyze.golden"},
+		{"wavefront", "../../examples/multilocale/wavefront.mchpl", "testdata/wavefront_analyze.golden"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -95,6 +95,34 @@ func (RacePass) RunFunc(ctx *Context, f *ir.Func) []Diag {
 						report(in, root, fmt.Sprintf("passes ref to '%s' (which writes it), aliasing", in.Callee.Name))
 					}
 				}
+				// Globals written anywhere down the call chain race unless
+				// a guard formal receives an index-derived actual (the
+				// interprocedural form of the partition proof).
+				seenGlobals := map[*ir.Var]bool{}
+				for _, gw := range ctx.interprocWrites()[in.Callee] {
+					if seenGlobals[gw.global] {
+						continue
+					}
+					partitioned := false
+					for j := 0; j < len(in.Callee.Params) && j < 64 && j < len(in.Args); j++ {
+						if gw.guards&(1<<uint(j)) == 0 {
+							continue
+						}
+						if ti.tainted[in.Args[j]] || ti.partRef[in.Args[j]] {
+							partitioned = true
+							break
+						}
+					}
+					if partitioned {
+						continue
+					}
+					seenGlobals[gw.global] = true
+					how := fmt.Sprintf("calls '%s', which writes", in.Callee.Name)
+					if gw.via != "" {
+						how = fmt.Sprintf("calls '%s', which (via %s) writes", in.Callee.Name, gw.via)
+					}
+					report(in, gw.global, how)
+				}
 			case in.IsStoreThrough():
 				partitioned := ti.anyTainted(in.Args) || ti.partRef[in.Dst] ||
 					(in.Op == ir.OpTupleSet && ti.tainted[in.B])
@@ -107,8 +135,15 @@ func (RacePass) RunFunc(ctx *Context, f *ir.Func) []Diag {
 			case in.Def() != nil && !in.IsAliasDef():
 				v := in.Dst
 				if v.IsRef && !v.IsParam {
-					// Local ref: a Move here is (re)binding or a write
-					// through the alias; the binding chain decides.
+					// Write through a local ref alias (rebinds are alias
+					// defs and never reach here): private iff the binding
+					// chain selected an index-partitioned element.
+					if ti.partRef[v] {
+						continue
+					}
+					if root := ctx.rootBase(f, v); shared(root) {
+						report(in, root, "writes through a local ref into")
+					}
 					continue
 				}
 				if ix, isP := paramIx[v]; isP && ix < nidx {

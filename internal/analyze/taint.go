@@ -84,6 +84,18 @@ func seedTaint(f *ir.Func, ti *taintInfo) {
 		for _, b := range f.Blocks {
 			for _, in := range b.Instrs {
 				switch {
+				case in.Op == ir.OpMove && in.Rebind:
+					// `ref r = x`: r aliases x outright, so every taint
+					// facet transfers.
+					if ti.direct[in.A] {
+						mark(ti.direct, in.Dst)
+					}
+					if ti.tainted[in.A] {
+						mark(ti.tainted, in.Dst)
+					}
+					if ti.partRef[in.A] {
+						mark(ti.partRef, in.Dst)
+					}
 				case in.IsAliasDef():
 					if ti.anyTainted(in.Args) || ti.tainted[in.B] || ti.partRef[in.A] {
 						mark(ti.partRef, in.Dst)
@@ -95,9 +107,6 @@ func seedTaint(f *ir.Func, ti *taintInfo) {
 					if ti.tainted[in.A] {
 						mark(ti.tainted, in.Dst)
 					}
-					if in.Dst.IsRef && !in.Dst.IsParam && ti.partRef[in.A] {
-						mark(ti.partRef, in.Dst)
-					}
 				case in.Def() != nil && !in.IsStoreThrough():
 					if ti.anyTainted(in.Uses()) {
 						mark(ti.tainted, in.Dst)
@@ -106,6 +115,28 @@ func seedTaint(f *ir.Func, ti *taintInfo) {
 			}
 		}
 	}
+}
+
+// scaleOf recognizes `idx * c` / `idx / c`: v's unique definition scales a
+// direct index copy by a compile-time constant (op selects which). Returns
+// the constant factor.
+func (ctx *Context) scaleOf(f *ir.Func, ti *taintInfo, v *ir.Var, op token.Kind) (int64, bool) {
+	in := singleDef(ctx.defs(f), v)
+	if in == nil || in.Op != ir.OpBin || in.BinOp != op {
+		return 0, false
+	}
+	if ti.direct[in.A] {
+		if c, ok := ctx.constInt(f, in.B); ok {
+			return c, true
+		}
+	}
+	// Multiplication commutes; division does not.
+	if op == token.STAR && ti.direct[in.B] {
+		if c, ok := ctx.constInt(f, in.A); ok {
+			return c, true
+		}
+	}
+	return 0, false
 }
 
 // offsetOf recognizes `idx ± c`: v's unique definition is an add/subtract

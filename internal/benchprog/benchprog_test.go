@@ -1,9 +1,11 @@
 package benchprog_test
 
 import (
+	"os"
 	"strings"
 	"testing"
 
+	"repro/internal/analyze"
 	"repro/internal/benchprog"
 	"repro/internal/compile"
 	"repro/internal/vm"
@@ -158,6 +160,72 @@ func TestLULESHSourceVariantsDiffer(t *testing.T) {
 	vg := benchprog.LULESHSource(benchprog.LuleshVariant{P1: true, VG: true})
 	if !strings.Contains(vg, "// VG: hoisted locals") {
 		t.Error("VG variant missing hoisted globals")
+	}
+}
+
+// The embedded halo benchmark must stay byte-identical to the example
+// file the README walks through.
+func TestHaloSourceMatchesExample(t *testing.T) {
+	b, err := os.ReadFile("../../examples/multilocale/halo.mchpl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != benchprog.HaloSource {
+		t.Error("internal/benchprog/halo.go and examples/multilocale/halo.mchpl diverged")
+	}
+}
+
+// runHalo executes the halo benchmark at 4 locales with or without the
+// modeled aggregation runtime.
+func runHalo(t *testing.T, aggregate bool) (string, vm.Stats) {
+	t.Helper()
+	res, err := benchprog.Halo().Compile(compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	cfg := vm.DefaultConfig()
+	cfg.Stdout = &out
+	cfg.Configs = benchprog.DefaultHalo.Configs()
+	cfg.NumLocales = 4
+	cfg.MaxCycles = 3_000_000_000
+	cfg.CommAggregate = aggregate
+	if aggregate {
+		cfg.CommPlan = analyze.CommPlan(res.Prog)
+	}
+	stats, err := vm.New(res.Prog, cfg).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out.String(), stats
+}
+
+// TestHaloAggregationSmoke is the CI benchmark smoke for the modeled
+// communication runtime: with -comm-aggregate the halo benchmark must
+// send at least 10x fewer messages while printing bit-identical output.
+func TestHaloAggregationSmoke(t *testing.T) {
+	direct, ds := runHalo(t, false)
+	agg, as := runHalo(t, true)
+	if direct != agg {
+		t.Fatalf("aggregation changed program output:\n direct: %q\n agg:    %q", direct, agg)
+	}
+	if !strings.Contains(direct, "sum positive: true") {
+		t.Errorf("unexpected halo output: %q", direct)
+	}
+	if ds.CommMessages == 0 || as.CommMessages == 0 {
+		t.Fatalf("no communication recorded: direct=%d agg=%d", ds.CommMessages, as.CommMessages)
+	}
+	reduction := float64(ds.CommMessages) / float64(as.CommMessages)
+	t.Logf("halo messages: %d direct, %d aggregated (%.1fx)", ds.CommMessages, as.CommMessages, reduction)
+	if reduction < 10 {
+		t.Errorf("aggregation reduced messages only %.1fx (%d -> %d), want >= 10x",
+			reduction, ds.CommMessages, as.CommMessages)
+	}
+	if as.Agg == nil {
+		t.Fatal("aggregated run carries no comm runtime stats")
+	}
+	if as.Agg.Hits == 0 {
+		t.Error("aggregated run recorded no cache hits")
 	}
 }
 

@@ -1,0 +1,63 @@
+package benchprog
+
+import "fmt"
+
+// HaloSource is the multi-locale halo-exchange stencil — the canonical
+// workload for the modeled communication runtime (internal/comm). It is
+// kept byte-identical to examples/multilocale/halo.mchpl (a test asserts
+// the sync) so the CLI walkthroughs, the experiment harness, and the CI
+// benchmark smoke all exercise the same program.
+const HaloSource = `config const n = 256;
+config const reps = 10;
+// Block-distributed: each locale owns a contiguous block of Grid.
+var D: domain(1) dmapped Block = {0..#n};
+var Grid: [D] real;
+var Halo: [D] real;
+
+proc relax(lo: int, hi: int) {
+  forall i in lo..hi {
+    // Interior accesses are local; the block-edge neighbors are remote
+    // (halo exchange).
+    var left = if i > 0 then Grid[i-1] else 0.0;
+    var right = if i < n-1 then Grid[i+1] else 0.0;
+    Halo[i] = (left + Grid[i] + right) / 3.0;
+    Grid[i] = Halo[i];
+  }
+}
+
+proc main() {
+  forall i in D { Grid[i] = i * 1.0; }
+  for r in 1..reps {
+    for l in 0..#numLocales {
+      on Locales[l] {
+        relax(l * (n / numLocales), (l + 1) * (n / numLocales) - 1);
+      }
+    }
+  }
+  writeln("sum positive: ", + reduce Grid > 0.0);
+}
+`
+
+// Halo returns the halo-exchange stencil program.
+func Halo() Program {
+	return Program{Name: "halo", Source: HaloSource}
+}
+
+// HaloConfig sizes the halo benchmark.
+type HaloConfig struct {
+	N    int // grid size
+	Reps int // relaxation sweeps
+}
+
+// DefaultHalo is the experiment/CI configuration: large enough that the
+// per-sweep halo prefetch amortizes into a >=10x message reduction at
+// 4 locales (n=256 leaves too few interior accesses per block).
+var DefaultHalo = HaloConfig{N: 1024, Reps: 10}
+
+// Configs renders the config-const overrides for the VM.
+func (c HaloConfig) Configs() map[string]string {
+	return map[string]string{
+		"n":    fmt.Sprint(c.N),
+		"reps": fmt.Sprint(c.Reps),
+	}
+}

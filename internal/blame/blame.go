@@ -14,6 +14,7 @@
 package blame
 
 import (
+	"repro/internal/analyze"
 	"repro/internal/core"
 	"repro/internal/ir"
 	"repro/internal/postmortem"
@@ -57,9 +58,12 @@ type Result struct {
 
 // CommBlame returns the communication-blame profile for multi-locale
 // runs (paper §VI: "blame communication cost back to key data
-// structures").
+// structures"). When the run modeled the aggregation runtime, its
+// statistics ride along.
 func (r *Result) CommBlame() *postmortem.CommProfile {
-	return postmortem.CommBlame(r.Sampler.Comms)
+	p := postmortem.CommBlame(r.Sampler.Comms)
+	p.Agg = r.Stats.Agg
+	return p
 }
 
 // Profile runs the full pipeline on a compiled program.
@@ -78,6 +82,7 @@ func Profile(prog *ir.Program, cfg Config) (*Result, error) {
 	smp := sampler.New(prog, cfg.Threshold, opts...)
 	vmCfg := cfg.VM
 	vmCfg.Listener = smp
+	ensureCommPlan(prog, &vmCfg)
 	machine := vm.New(prog, vmCfg)
 	stats, err := machine.Run()
 	if err != nil {
@@ -98,6 +103,15 @@ func Profile(prog *ir.Program, cfg Config) (*Result, error) {
 // Run executes the program without profiling and returns timing stats —
 // used for the paper's speedup tables, where runs are unmonitored.
 func Run(prog *ir.Program, vmCfg vm.Config) (vm.Stats, error) {
+	ensureCommPlan(prog, &vmCfg)
 	machine := vm.New(prog, vmCfg)
 	return machine.Run()
+}
+
+// ensureCommPlan derives the static aggregation plan from the analyzer
+// when the modeled communication runtime is enabled without one.
+func ensureCommPlan(prog *ir.Program, vmCfg *vm.Config) {
+	if vmCfg.CommAggregate && vmCfg.CommPlan == nil {
+		vmCfg.CommPlan = analyze.CommPlan(prog)
+	}
 }

@@ -1,0 +1,325 @@
+// Package comm is the modeled communication runtime: it sits between the
+// VM executor and the cycle cost model and decides how many messages a
+// remote element access really costs once the classic PGAS optimizations
+// are applied — bulk halo exchange, run-length coalescing of
+// sequential/strided remote reads, and a per-locale software cache with
+// write-back flushing (Rolinger et al., arXiv:2303.13954).
+//
+// The runtime is cost-model-only: the VM always reads and writes the
+// canonical element cells, so program output is bit-identical with and
+// without aggregation. What changes is which accesses are charged a
+// message (and how large), which the VM translates into cycles and
+// Listener.Comm events exactly as it does for unaggregated accesses.
+//
+// Coherence rules (documented in DESIGN.md):
+//   - A read miss inserts a clean copy into the accessor's locale cache.
+//   - At a halo-classified site (see Plan) inside a rank-1 forall sweep, a
+//     read miss prefetches the whole [lo-k, hi+k] ghost window, one
+//     message per contiguous same-home run.
+//   - Otherwise a sequential (elem == prev+step) read miss streams a
+//     RunBlock-bounded block from the element's home in one message.
+//   - A remote write marks the copy dirty (write-back); dirty entries are
+//     flushed as coalesced runs when the writing task finishes, or
+//     individually on eviction.
+//   - Any write (local or remote) invalidates the other locales' copies;
+//     a dirty copy invalidated by a conflicting writer is dropped (the
+//     canonical store already holds the VM's value).
+package comm
+
+import "repro/internal/ir"
+
+// Config parameterizes the runtime.
+type Config struct {
+	// Locales is the simulated locale count (one cache per locale).
+	Locales int
+	// CacheCap is the per-locale software-cache capacity in elements:
+	// 0 selects DefaultCacheCap, negative values disable caching (every
+	// read fetches, every write is written through immediately).
+	CacheCap int
+	// RunBlock bounds the elements fetched by one streaming message.
+	// Values <= 0 select DefaultRunBlock.
+	RunBlock int64
+}
+
+// Defaults for Config.
+const (
+	DefaultCacheCap = 4096
+	DefaultRunBlock = 64
+)
+
+// Access describes one remote element access the VM delegates.
+type Access struct {
+	Arr   uint64  // owning allocation address (cache key namespace)
+	Var   *ir.Var // variable owning the allocation (attribution)
+	Site  uint64  // instruction address (Plan key)
+	Elem  int64   // layout-linear element position
+	Bytes int64   // element footprint in bytes
+	Home  int     // element's home locale
+	Loc   int     // accessing locale
+	Task  int     // accessing task ID
+	Write bool
+
+	// Sweep bounds in layout-linear element space when the access runs
+	// inside a rank-1 forall chunk (the task's current iteration window).
+	InSweep          bool
+	SweepLo, SweepHi int64
+	// LayoutLen is the element count of the owner's layout.
+	LayoutLen int64
+	// HomeOf maps a layout-linear element to its home locale.
+	HomeOf func(int64) int
+}
+
+// EventKind classifies runtime events.
+type EventKind int
+
+// Event kinds. Fetch/Prefetch/Stream/Flush are messages the VM charges;
+// Hit and Invalidate are zero-cost bookkeeping.
+const (
+	EvFetch EventKind = iota
+	EvPrefetch
+	EvStream
+	EvFlush
+	EvHit
+	EvInvalidate
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvFetch:
+		return "fetch"
+	case EvPrefetch:
+		return "prefetch"
+	case EvStream:
+		return "stream"
+	case EvFlush:
+		return "flush"
+	case EvHit:
+		return "hit"
+	case EvInvalidate:
+		return "invalidate"
+	}
+	return "?"
+}
+
+// Event is one runtime action. From is always the element home, To the
+// accessing locale (matching Listener.Comm's convention).
+type Event struct {
+	Kind     EventKind
+	Var      *ir.Var
+	Site     uint64
+	From, To int
+	Bytes    int64
+	Elems    int64
+}
+
+// Message reports whether the event is a charged network message.
+func (e Event) Message() bool {
+	switch e.Kind {
+	case EvFetch, EvPrefetch, EvStream, EvFlush:
+		return true
+	}
+	return false
+}
+
+// Runtime is the per-run aggregation state.
+type Runtime struct {
+	cfg    Config
+	plan   *Plan
+	stats  Stats
+	caches []*cache
+	// seq tracks the last element read per (task, array) for sequential
+	// run detection.
+	seq map[seqKey]int64
+}
+
+type seqKey struct {
+	task int
+	arr  uint64
+}
+
+// New creates a runtime for the given locale count and (optional) plan.
+func New(cfg Config, plan *Plan) *Runtime {
+	if cfg.Locales <= 0 {
+		cfg.Locales = 1
+	}
+	if cfg.CacheCap == 0 {
+		cfg.CacheCap = DefaultCacheCap
+	} else if cfg.CacheCap < 0 {
+		cfg.CacheCap = 0
+	}
+	if cfg.RunBlock <= 0 {
+		cfg.RunBlock = DefaultRunBlock
+	}
+	r := &Runtime{
+		cfg:    cfg,
+		plan:   plan,
+		caches: make([]*cache, cfg.Locales),
+		seq:    make(map[seqKey]int64),
+	}
+	for i := range r.caches {
+		r.caches[i] = newCache(cfg.CacheCap)
+	}
+	r.stats.PerVar = make(map[string]*VarStats)
+	return r
+}
+
+// Plan returns the static plan the runtime was built with (may be nil).
+func (r *Runtime) Plan() *Plan { return r.plan }
+
+// Access models one remote element access and returns the events it
+// produced. The VM charges every Message() event.
+func (r *Runtime) Access(a Access) []Event {
+	if a.Write {
+		return r.write(a)
+	}
+	return r.read(a)
+}
+
+func (r *Runtime) read(a Access) []Event {
+	c := r.caches[a.Loc]
+	defer func() { r.seq[seqKey{a.Task, a.Arr}] = a.Elem }()
+	if c.has(a.Arr, a.Elem) {
+		r.stats.Hits++
+		r.varStats(a.Var).Hits++
+		return []Event{{Kind: EvHit, Var: a.Var, Site: a.Site, From: a.Home, To: a.Loc, Elems: 1}}
+	}
+	r.stats.Misses++
+
+	var site Site
+	if r.plan != nil {
+		site = r.plan.Sites[a.Site]
+	}
+	var out []Event
+	if site.Class == SiteHalo && a.InSweep && c.cap > 0 {
+		out = r.prefetchHalo(a, site)
+		if c.has(a.Arr, a.Elem) {
+			return out
+		}
+		// Capacity smaller than the window evicted the target: fall
+		// through to a plain fetch.
+	}
+	if c.cap > 0 {
+		step := int64(1)
+		stream := false
+		switch site.Class {
+		case SiteStrided:
+			if site.Stride > 1 {
+				step, stream = site.Stride, true
+			}
+		case SiteBlocked:
+			stream = true
+		default:
+			if last, ok := r.seq[seqKey{a.Task, a.Arr}]; ok && a.Elem == last+1 {
+				stream = true
+			}
+		}
+		if stream {
+			return append(out, r.streamFetch(a, step)...)
+		}
+	}
+	// Single-element fetch.
+	ev := Event{Kind: EvFetch, Var: a.Var, Site: a.Site, From: a.Home, To: a.Loc, Bytes: a.Bytes, Elems: 1}
+	r.countMessage(ev)
+	out = append(out, ev)
+	out = append(out, c.insert(a.Var, a.Arr, a.Elem, a.Home, a.Bytes, false, a.Task, r)...)
+	return out
+}
+
+func (r *Runtime) write(a Access) []Event {
+	// Keep the other locales coherent first.
+	out := r.invalidateOthers(a.Var, a.Site, a.Arr, a.Elem, a.Loc)
+	c := r.caches[a.Loc]
+	if c.cap <= 0 {
+		// Uncached: immediate write-through, one message.
+		ev := Event{Kind: EvFlush, Var: a.Var, Site: a.Site, From: a.Home, To: a.Loc, Bytes: a.Bytes, Elems: 1}
+		r.countMessage(ev)
+		return append(out, ev)
+	}
+	// Write-back: mark dirty, flush at task end (or on eviction).
+	if e := c.get(a.Arr, a.Elem); e != nil {
+		e.dirty = true
+		e.task = a.Task
+		e.v = a.Var
+		return out
+	}
+	return append(out, c.insert(a.Var, a.Arr, a.Elem, a.Home, a.Bytes, true, a.Task, r)...)
+}
+
+// LocalWrite keeps remote caches coherent when a locale writes one of its
+// own (home) elements.
+func (r *Runtime) LocalWrite(v *ir.Var, site uint64, arr uint64, elem int64, loc int) []Event {
+	return r.invalidateOthers(v, site, arr, elem, loc)
+}
+
+func (r *Runtime) invalidateOthers(v *ir.Var, site uint64, arr uint64, elem int64, loc int) []Event {
+	var out []Event
+	for li, c := range r.caches {
+		if li == loc {
+			continue
+		}
+		if c.drop(arr, elem) {
+			r.stats.Invalidations++
+			out = append(out, Event{Kind: EvInvalidate, Var: v, Site: site, From: loc, To: li, Elems: 1})
+		}
+	}
+	return out
+}
+
+// TaskEnd flushes the finished task's dirty entries from its locale's
+// cache as coalesced contiguous same-home runs, one message per run. The
+// entries stay resident (clean).
+func (r *Runtime) TaskEnd(task, loc int) []Event {
+	if loc < 0 || loc >= len(r.caches) {
+		return nil
+	}
+	return r.caches[loc].flushTask(task, loc, r)
+}
+
+// Drain flushes every remaining dirty entry (program end); the messages
+// are recorded in Stats only — in practice TaskEnd has already flushed
+// everything.
+func (r *Runtime) Drain() {
+	for loc, c := range r.caches {
+		for _, ev := range c.flushTask(-1, loc, r) {
+			_ = ev
+		}
+	}
+}
+
+// Stats returns a snapshot of the accumulated statistics.
+func (r *Runtime) Stats() *Stats { return &r.stats }
+
+func (r *Runtime) varStats(v *ir.Var) *VarStats {
+	name := "?"
+	if v != nil {
+		name = v.Name
+	}
+	vs := r.stats.PerVar[name]
+	if vs == nil {
+		vs = &VarStats{Pairs: make(map[Pair]int64)}
+		r.stats.PerVar[name] = vs
+	}
+	return vs
+}
+
+// countMessage records a charged message in the aggregate and per-var
+// statistics.
+func (r *Runtime) countMessage(ev Event) {
+	r.stats.Messages++
+	r.stats.Bytes += ev.Bytes
+	switch ev.Kind {
+	case EvPrefetch:
+		r.stats.Prefetches++
+		r.stats.PrefetchedElems += ev.Elems
+	case EvStream:
+		r.stats.Streams++
+		r.stats.StreamedElems += ev.Elems
+	case EvFlush:
+		r.stats.Flushes++
+		r.stats.FlushedElems += ev.Elems
+	}
+	vs := r.varStats(ev.Var)
+	vs.Messages++
+	vs.Bytes += ev.Bytes
+	vs.Pairs[Pair{From: ev.From, To: ev.To}]++
+}

@@ -1,0 +1,53 @@
+package comm
+
+// SiteClass classifies one access site's statically proven pattern (the
+// machine-consumable form of the analyzer's comm-pattern findings).
+type SiteClass int
+
+// Site classes.
+const (
+	// SiteNone: no static knowledge; runtime heuristics only.
+	SiteNone SiteClass = iota
+	// SiteHalo: index = sweep index + Off (constant). Eligible for the
+	// ghost-window prefetch fast path.
+	SiteHalo
+	// SiteStrided: index = sweep index * Stride. Eligible for strided
+	// run coalescing.
+	SiteStrided
+	// SiteBlocked: index = sweep index / block (contiguous chunks).
+	// Eligible for sequential run coalescing.
+	SiteBlocked
+)
+
+func (c SiteClass) String() string {
+	switch c {
+	case SiteHalo:
+		return "halo"
+	case SiteStrided:
+		return "strided"
+	case SiteBlocked:
+		return "blocked"
+	}
+	return "none"
+}
+
+// Site is the static plan entry for one access instruction.
+type Site struct {
+	Class  SiteClass
+	Off    int64 // SiteHalo: constant offset from the sweep index
+	Stride int64 // SiteStrided: constant multiplier
+	// Var and Pos identify the static finding that predicted this site
+	// (display name of the accessed array and the source position), so
+	// measured speedups can cite it.
+	Var string
+	Pos string
+}
+
+// Plan maps instruction addresses to their statically classified sites.
+// It is produced by analyze.CommPlan and consumed by the runtime.
+type Plan struct {
+	Sites map[uint64]Site
+}
+
+// NewPlan returns an empty plan.
+func NewPlan() *Plan { return &Plan{Sites: make(map[uint64]Site)} }

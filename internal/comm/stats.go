@@ -1,0 +1,86 @@
+package comm
+
+import "sort"
+
+// Pair is an ordered locale pair (From = element home, To = accessor).
+type Pair struct {
+	From, To int
+}
+
+// Stats accumulates the runtime's counters. Messages/Bytes count only
+// charged network messages (what the VM adds to its CommMessages and
+// CommBytes); the remaining counters describe how the aggregation engine
+// arrived at them.
+type Stats struct {
+	Messages int64
+	Bytes    int64
+
+	Hits   int64 // reads served by a resident copy (no message)
+	Misses int64
+
+	Prefetches      int64 // halo ghost-window messages
+	PrefetchedElems int64
+	Streams         int64 // sequential/strided run messages
+	StreamedElems   int64
+	Flushes         int64 // write-back messages (task end + evictions)
+	FlushedElems    int64
+
+	Invalidations int64
+	Evictions     int64
+
+	PerVar map[string]*VarStats
+}
+
+// VarStats is the per-variable slice of Stats.
+type VarStats struct {
+	Messages int64
+	Bytes    int64
+	Hits     int64
+	Pairs    map[Pair]int64
+}
+
+// HitRate returns hits / (hits + misses), in [0, 1].
+func (s *Stats) HitRate() float64 {
+	n := s.Hits + s.Misses
+	if n == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(n)
+}
+
+// CoalescedElems returns the elements moved by multi-element messages.
+func (s *Stats) CoalescedElems() int64 {
+	return s.PrefetchedElems + s.StreamedElems + s.FlushedElems
+}
+
+// VarNames returns the per-variable keys sorted by descending message
+// count (ties broken by name) for stable rendering.
+func (s *Stats) VarNames() []string {
+	names := make([]string, 0, len(s.PerVar))
+	for n := range s.PerVar {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		a, b := s.PerVar[names[i]], s.PerVar[names[j]]
+		if a.Messages != b.Messages {
+			return a.Messages > b.Messages
+		}
+		return names[i] < names[j]
+	})
+	return names
+}
+
+// SortedPairs returns v's locale-pair counts in (From, To) order.
+func (v *VarStats) SortedPairs() []Pair {
+	pairs := make([]Pair, 0, len(v.Pairs))
+	for p := range v.Pairs {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].From != pairs[j].From {
+			return pairs[i].From < pairs[j].From
+		}
+		return pairs[i].To < pairs[j].To
+	})
+	return pairs
+}

@@ -158,7 +158,7 @@ func spliceCall(f *ir.Func, b *ir.Block, ci int, call *ir.Instr) {
 			ni := &ir.Instr{
 				Op: cin.Op, BinOp: cin.BinOp, FieldIx: cin.FieldIx,
 				Method: cin.Method, Callee: cin.Callee, Lit: cin.Lit,
-				Pos: cin.Pos,
+				Rebind: cin.Rebind, Pos: cin.Pos,
 			}
 			ni.Dst = mapVar(cin.Dst)
 			ni.A = mapVar(cin.A)

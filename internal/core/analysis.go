@@ -113,10 +113,6 @@ func Analyze(prog *ir.Program, opts Options) *Analysis {
 				if in.IsAliasDef() && in.Dst != nil && in.A != nil {
 					a.union(in.Dst, in.A)
 				}
-				// `ref R = x;` lowers to a Move into a ref var.
-				if in.Op == ir.OpMove && in.Dst != nil && in.Dst.IsRef && in.A != nil {
-					a.union(in.Dst, in.A)
-				}
 				// Class handle copies alias the same heap instance
 				// (`var p = partArray[pi];` — writes through p are
 				// writes to partArray's region).

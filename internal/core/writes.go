@@ -33,9 +33,6 @@ func newWriteInfo(prog *ir.Program) *writeInfo {
 				if in.IsAliasDef() && in.Dst != nil && in.A != nil {
 					w.union(f, in.Dst, in.A)
 				}
-				if in.Op == ir.OpMove && in.Dst != nil && in.Dst.IsRef && in.A != nil {
-					w.union(f, in.Dst, in.A)
-				}
 				if isClassVar(in.Dst) && in.A != nil {
 					switch in.Op {
 					case ir.OpMove, ir.OpIndex, ir.OpField, ir.OpTupleGet:
@@ -103,6 +100,10 @@ func directWriteTarget(in *ir.Instr) *ir.Var {
 		ir.OpCall, ir.OpSpawn,
 		ir.OpRet, ir.OpJmp, ir.OpBr, ir.OpNop, ir.OpYield:
 		return nil
+	case ir.OpMove:
+		if in.Rebind {
+			return nil // `ref r = x` binds, it does not write
+		}
 	}
 	if in.IsStoreThrough() {
 		return in.Dst

@@ -1,0 +1,153 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/analyze"
+	"repro/internal/benchprog"
+	"repro/internal/blame"
+	"repro/internal/compile"
+	"repro/internal/postmortem"
+	"repro/internal/vm"
+)
+
+// TableAgg regenerates the communication-aggregation study (§VI
+// extension): the halo-exchange stencil at 4 locales, measured once with
+// per-element remote access and once under the modeled aggregation
+// runtime (-comm-aggregate). Every per-variable reduction row cites the
+// static comm-pattern finding that predicted it — the advisor join, now
+// closing the predict -> transform -> measure loop.
+func TableAgg() (*Table, error) {
+	prog := benchprog.Halo()
+	cfgs := benchprog.DefaultHalo.Configs()
+	res, err := prog.Compile(compile.Options{})
+	if err != nil {
+		return nil, err
+	}
+
+	// The static side of the join: the comm-pattern findings per variable.
+	rep := analyze.Run(res.Prog)
+	predicted := make(map[string][]string)
+	for _, d := range rep.ByPass("comm-pattern") {
+		if d.Var == "" || strings.Contains(d.Message, "communication summary") {
+			continue
+		}
+		kind := "remote access"
+		for _, k := range []string{"halo access", "wavefront access", "strided access",
+			"blocked access", "sweep access", "fine-grained remote access"} {
+			if strings.Contains(d.Message, k) {
+				kind = k
+				break
+			}
+		}
+		predicted[d.Var] = append(predicted[d.Var],
+			fmt.Sprintf("%s at %s", kind, rep.Prog.FileSet.Position(d.Pos)))
+	}
+	cite := func(name string) string {
+		cs := predicted[name]
+		if len(cs) == 0 {
+			return "-"
+		}
+		if len(cs) > 2 {
+			return strings.Join(cs[:2], "; ") + fmt.Sprintf(" (+%d more)", len(cs)-2)
+		}
+		return strings.Join(cs, "; ")
+	}
+
+	run := func(aggregate bool) (*postmortem.CommProfile, vm.Stats, string, error) {
+		var out strings.Builder
+		bc := blame.DefaultConfig()
+		bc.VM = runConfig(cfgs)
+		bc.VM.NumLocales = 4
+		bc.VM.Stdout = &out
+		bc.VM.CommAggregate = aggregate
+		r, err := blame.Profile(res.Prog, bc)
+		if err != nil {
+			return nil, vm.Stats{}, "", err
+		}
+		return r.CommBlame(), r.Stats, out.String(), nil
+	}
+	dp, ds, dout, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	ap, as, aout, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+
+	aggMsgs := func(name string) int {
+		for _, r := range ap.Rows {
+			if r.Name == name {
+				return r.Messages
+			}
+		}
+		return 0
+	}
+	iratio := func(a, b int) string {
+		if b == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.2f", float64(a)/float64(b))
+	}
+
+	t := &Table{
+		ID:     "Table Agg",
+		Title:  "Halo exchange w/ and w/o modeled aggregation (4 locales)",
+		Header: []string{"Variable", "Msgs (direct)", "Msgs (aggregated)", "Reduction", "Predicted by"},
+	}
+	for _, r := range dp.Rows {
+		t.Rows = append(t.Rows, []string{
+			r.Name, fmt.Sprint(r.Messages), fmt.Sprint(aggMsgs(r.Name)),
+			iratio(r.Messages, aggMsgs(r.Name)), cite(r.Name),
+		})
+	}
+	t.Rows = append(t.Rows, []string{
+		"(total)", fmt.Sprint(ds.CommMessages), fmt.Sprint(as.CommMessages),
+		iratio(int(ds.CommMessages), int(as.CommMessages)), "-",
+	})
+
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("output identical: %v", dout == aout),
+		fmt.Sprintf("bytes on the wire: %d direct vs %d aggregated", ds.CommBytes, as.CommBytes),
+		fmt.Sprintf("wall time: %s s direct vs %s s aggregated (%s speedup)",
+			secs(ds.Seconds(bcClockHz)), secs(as.Seconds(bcClockHz)),
+			ratio(ds.Seconds(bcClockHz), as.Seconds(bcClockHz))),
+	)
+	if a := as.Agg; a != nil {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"aggregation runtime: %.1f%% cache hit rate, %d prefetches (%d elems), %d streams (%d elems), %d flushes (%d elems)",
+			a.HitRate()*100, a.Prefetches, a.PrefetchedElems, a.Streams, a.StreamedElems, a.Flushes, a.FlushedElems))
+	}
+	return t, nil
+}
+
+// bcClockHz is the experiment clock (paper testbed: 2.53 GHz).
+const bcClockHz = 2.53e9
+
+// predictedBy renders the advisor join for a §V speedup row: the named
+// passes' findings on the program the optimization started from.
+func predictedBy(p benchprog.Program, passes ...string) string {
+	res, err := p.Compile(compile.Options{})
+	if err != nil {
+		return "-"
+	}
+	rep := analyze.Run(res.Prog)
+	var cites []string
+	for _, pass := range passes {
+		ds := rep.ByPass(pass)
+		if len(ds) == 0 {
+			continue
+		}
+		c := fmt.Sprintf("%s at %s", pass, rep.Prog.FileSet.Position(ds[0].Pos))
+		if len(ds) > 1 {
+			c += fmt.Sprintf(" (+%d more)", len(ds)-1)
+		}
+		cites = append(cites, c)
+	}
+	if len(cites) == 0 {
+		return "-"
+	}
+	return strings.Join(cites, "; ")
+}

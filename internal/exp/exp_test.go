@@ -81,6 +81,9 @@ func TestTable3MiniMDSpeedups(t *testing.T) {
 		if s < 1.2 {
 			t.Errorf("%s: speedup %.2f < 1.2 (paper: >= 2.26)", row[0], s)
 		}
+		if !strings.Contains(row[5], "zip-overhead") || !strings.Contains(row[5], "domain-remap") {
+			t.Errorf("%s: speedup row does not cite its predicting findings: %q", row[0], row[5])
+		}
 	}
 }
 
@@ -126,6 +129,9 @@ func TestTable5CrossoverShape(t *testing.T) {
 	}
 	if s[2] < 1.4 {
 		t.Errorf("12/640,000 should gain strongly: %.2f", s[2])
+	}
+	if !strings.Contains(tab.Rows[0][5], "nested-structure") {
+		t.Errorf("speedup rows do not cite the nested-structure finding: %q", tab.Rows[0][5])
 	}
 }
 
@@ -205,6 +211,57 @@ func TestTable9OptimizationStack(t *testing.T) {
 	}
 	if orig := get("Original", 2); orig != 1.0 {
 		t.Error("original must normalize to 1.0")
+	}
+	cell := func(name string) string {
+		c, ok := tab.Cell(name, 7)
+		if !ok {
+			t.Fatalf("row %q missing predicted-by cell", name)
+		}
+		return c
+	}
+	if !strings.Contains(cell("VG"), "var-globalization") {
+		t.Errorf("VG row does not cite var-globalization: %q", cell("VG"))
+	}
+	if !strings.Contains(cell("P 1"), "param-unroll") {
+		t.Errorf("P 1 row does not cite param-unroll: %q", cell("P 1"))
+	}
+	if bc := cell("Best Case"); !strings.Contains(bc, "var-globalization") || !strings.Contains(bc, "param-unroll") {
+		t.Errorf("Best Case row does not cite both findings: %q", bc)
+	}
+}
+
+// TestTableAggReduction drives the §VI aggregation study: the modeled
+// runtime must cut halo-exchange messages >= 10x with identical output,
+// and every per-variable reduction row must cite the static comm-pattern
+// finding that predicted it.
+func TestTableAggReduction(t *testing.T) {
+	tab, err := exp.TableAgg()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, ok := tab.Cell("(total)", 3)
+	if !ok {
+		t.Fatal("(total) row missing")
+	}
+	if r := ratio(t, total); r < 10 {
+		t.Errorf("total message reduction %.2f, want >= 10", r)
+	}
+	for _, row := range tab.Rows {
+		if row[0] == "(total)" {
+			continue
+		}
+		if row[4] == "-" || row[4] == "" {
+			t.Errorf("variable %s reduction row cites no static finding", row[0])
+		}
+	}
+	var identical bool
+	for _, n := range tab.Notes {
+		if n == "output identical: true" {
+			identical = true
+		}
+	}
+	if !identical {
+		t.Errorf("aggregation changed program output; notes: %v", tab.Notes)
 	}
 }
 

@@ -81,8 +81,11 @@ func Table3() (*Table, error) {
 	t := &Table{
 		ID:     "Table III",
 		Title:  "MiniMD results w/ or w/o --fast",
-		Header: []string{"Flags", "Original(s)", "Optimized(s)", "Speedup", "Paper speedup"},
+		Header: []string{"Flags", "Original(s)", "Optimized(s)", "Speedup", "Paper speedup", "Predicted by"},
 	}
+	// Advisor join: the findings on the original source that motivated the
+	// optimized variant.
+	pred := predictedBy(benchprog.MiniMD(false), "zip-overhead", "domain-remap")
 	for _, fast := range []bool{false, true} {
 		o, err := timeProgram(benchprog.MiniMD(false), fast, cfgs)
 		if err != nil {
@@ -96,7 +99,7 @@ func Table3() (*Table, error) {
 		if fast {
 			label, paper = "w/ fast", "2.56"
 		}
-		t.Rows = append(t.Rows, []string{label, secs(o), secs(p), ratio(o, p), paper})
+		t.Rows = append(t.Rows, []string{label, secs(o), secs(p), ratio(o, p), paper, pred})
 	}
 	return t, nil
 }
@@ -134,9 +137,10 @@ func Table5() (*Table, error) {
 	t := &Table{
 		ID:     "Table V",
 		Title:  "CLOMP results w/ or w/o --fast across problem sizes",
-		Header: []string{"Flags/Size", "Original(s)", "Optimized(s)", "Speedup", "Paper speedup"},
+		Header: []string{"Flags/Size", "Original(s)", "Optimized(s)", "Speedup", "Paper speedup", "Predicted by"},
 		Notes:  []string{"sizes are the paper's four points scaled ~1/64 (parts/zones character preserved)"},
 	}
+	pred := predictedBy(benchprog.CLOMP(false), "nested-structure")
 	paper := map[bool][]string{
 		false: {"1.84", "1.09", "2.13", "1.10"},
 		true:  {"2.59", "2.40", "2.65", "1.96"},
@@ -155,7 +159,7 @@ func Table5() (*Table, error) {
 			if fast {
 				label = "w/ fast " + benchprog.CLOMPSizeLabels[i]
 			}
-			t.Rows = append(t.Rows, []string{label, secs(o), secs(p), ratio(o, p), paper[fast][i]})
+			t.Rows = append(t.Rows, []string{label, secs(o), secs(p), ratio(o, p), paper[fast][i], pred})
 		}
 	}
 	return t, nil
@@ -317,7 +321,19 @@ func Table9() (*Table, error) {
 	t := &Table{
 		ID:     "Table IX",
 		Title:  "LULESH results w/ or w/o --fast",
-		Header: []string{"Variant", "w/o fast (s)", "Speedup", "Paper", "w/ fast (s)", "Speedup", "Paper"},
+		Header: []string{"Variant", "w/o fast (s)", "Speedup", "Paper", "w/ fast (s)", "Speedup", "Paper", "Predicted by"},
+	}
+	// Advisor join, per transform: param-unroll fires on the 0-params
+	// source (LuleshOriginal already carries P1-P3), var-globalization on
+	// the original.
+	predPU := predictedBy(benchprog.LULESH(benchprog.LuleshVariant{}), "param-unroll")
+	predVG := predictedBy(benchprog.LULESH(benchprog.LuleshOriginal), "var-globalization")
+	pred := map[string]string{
+		"Best Case": predVG + "; " + predPU,
+		"VG":        predVG,
+		"P 1":       predPU,
+		"CENN":      predPU,
+		"Original":  "(baseline)",
 	}
 	baseSlow, err := timeProgram(benchprog.LULESH(benchprog.LuleshOriginal), false, cfgs)
 	if err != nil {
@@ -338,7 +354,7 @@ func Table9() (*Table, error) {
 		}
 		t.Rows = append(t.Rows, []string{
 			v.label, secs(slow), ratio(baseSlow, slow), v.paperSlow,
-			secs(fast), ratio(baseFast, fast), v.paperFast,
+			secs(fast), ratio(baseFast, fast), v.paperFast, pred[v.label],
 		})
 	}
 	return t, nil

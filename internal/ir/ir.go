@@ -183,6 +183,11 @@ type Instr struct {
 	Method string
 	// Callee is the target for OpCall/OpSpawn.
 	Callee *Func
+	// Rebind marks an OpMove that (re)binds a ref variable to its
+	// initializer's storage (`ref r = x`) rather than assigning through
+	// it. Distinguishing the two in the IR lets the race pass reason
+	// about writes through local refs instead of skipping them.
+	Rebind bool
 	// Spawn describes OpSpawn iteration.
 	Spawn *SpawnInfo
 	// Targets are the successor blocks for OpJmp (1) and OpBr (2).
@@ -422,12 +427,14 @@ func (i *Instr) IsStoreThrough() bool {
 }
 
 // IsAliasDef reports whether the instruction makes Dst an alias of A
-// (slices and element refs) — the alias edges the paper's blame
-// definition includes in W.
+// (slices, element refs, and ref rebinds) — the alias edges the paper's
+// blame definition includes in W.
 func (i *Instr) IsAliasDef() bool {
 	switch i.Op {
 	case OpSlice, OpRefElem, OpRefField:
 		return true
+	case OpMove:
+		return i.Rebind
 	}
 	return false
 }

@@ -324,11 +324,11 @@ func (fg *fnGen) genRefInto(dst *ir.Var, init ast.Expr) {
 		fg.emit(&ir.Instr{Op: ir.OpRefField, Dst: dst, A: base, FieldIx: ix, Pos: x.Pos()})
 	case *ast.Ident:
 		src := fg.genExpr(x)
-		fg.emit(&ir.Instr{Op: ir.OpMove, Dst: dst, A: src, Pos: x.Pos()})
+		fg.emit(&ir.Instr{Op: ir.OpMove, Dst: dst, A: src, Rebind: true, Pos: x.Pos()})
 	default:
 		// General expression: alias of a temp (degenerates to a copy).
 		src := fg.genExpr(init)
-		fg.emit(&ir.Instr{Op: ir.OpMove, Dst: dst, A: src, Pos: init.Pos()})
+		fg.emit(&ir.Instr{Op: ir.OpMove, Dst: dst, A: src, Rebind: true, Pos: init.Pos()})
 	}
 }
 

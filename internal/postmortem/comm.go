@@ -3,6 +3,7 @@ package postmortem
 import (
 	"sort"
 
+	"repro/internal/comm"
 	"repro/internal/sampler"
 )
 
@@ -17,6 +18,9 @@ type CommRow struct {
 	Bytes    int64
 	// Share is this variable's fraction of all communicated bytes.
 	Share float64
+	// Pairs counts this variable's messages per (home, accessor) locale
+	// pair — the per-variable slice of the locale matrix.
+	Pairs map[comm.Pair]int
 }
 
 // CommProfile aggregates inter-locale traffic.
@@ -26,6 +30,9 @@ type CommProfile struct {
 	TotalMsgs  int
 	// Matrix[from][to] is the byte volume per locale pair.
 	Matrix map[int]map[int]int64
+	// Agg carries the modeled aggregation runtime's statistics when the
+	// run executed with communication aggregation enabled (nil otherwise).
+	Agg *comm.Stats
 }
 
 // CommBlame aggregates the monitor's raw communication records into a
@@ -50,11 +57,12 @@ func CommBlame(comms []sampler.CommRecord) *CommProfile {
 		}
 		r, ok := rows[name]
 		if !ok {
-			r = &CommRow{Name: name, Context: ctx}
+			r = &CommRow{Name: name, Context: ctx, Pairs: make(map[comm.Pair]int)}
 			rows[name] = r
 		}
 		r.Messages++
 		r.Bytes += c.Bytes
+		r.Pairs[comm.Pair{From: c.From, To: c.To}]++
 	}
 	total := p.TotalBytes
 	if total == 0 {

@@ -8,6 +8,7 @@
 package sampler
 
 import (
+	"repro/internal/comm"
 	"repro/internal/ir"
 	"repro/internal/pmu"
 	"repro/internal/vm"
@@ -88,6 +89,7 @@ type Sampler struct {
 	Spawns  map[uint64]SpawnRecord
 	Allocs  []AllocRecord
 	Comms   []CommRecord
+	AggEvs  []comm.Event
 
 	// StackWalks counts walks performed (overhead accounting, §V).
 	StackWalks uint64
@@ -252,6 +254,12 @@ func (s *Sampler) Comm(bytes int64, from, to int, owner *ir.Var, t *vm.Task, in 
 		rec.Addr = in.Addr
 	}
 	s.Comms = append(s.Comms, rec)
+}
+
+// CommAgg implements vm.Listener: record aggregation-runtime events
+// (prefetches, cache hits, flushes, ...) for the post-mortem comm view.
+func (s *Sampler) CommAgg(ev comm.Event, t *vm.Task) {
+	s.AggEvs = append(s.AggEvs, ev)
 }
 
 // DataSetBytes estimates the raw profile size on disk (overhead table in

@@ -137,6 +137,21 @@ func CommCentric(p *postmortem.CommProfile, limit int) string {
 			fmt.Fprintf(&b, "  locale %d -> locale %d: %d bytes\n", f, t, p.Matrix[f][t])
 		}
 	}
+	if a := p.Agg; a != nil {
+		fmt.Fprintf(&b, "Aggregation runtime (modeled): %d messages, %.2f KB on the wire\n",
+			a.Messages, float64(a.Bytes)/1e3)
+		fmt.Fprintf(&b, "  cache: %.1f%% hit rate (%d hits / %d misses), %d evictions, %d invalidations\n",
+			100*a.HitRate(), a.Hits, a.Misses, a.Evictions, a.Invalidations)
+		fmt.Fprintf(&b, "  coalescing: %d halo prefetches (%d elems), %d run streams (%d elems), %d write-back flushes (%d elems)\n",
+			a.Prefetches, a.PrefetchedElems, a.Streams, a.StreamedElems, a.Flushes, a.FlushedElems)
+		for _, name := range a.VarNames() {
+			vs := a.PerVar[name]
+			fmt.Fprintf(&b, "  %-30s %6d messages %10d bytes %6d hits\n", name, vs.Messages, vs.Bytes, vs.Hits)
+			for _, pr := range vs.SortedPairs() {
+				fmt.Fprintf(&b, "    locale %d -> locale %d: %d messages\n", pr.From, pr.To, vs.Pairs[pr])
+			}
+		}
+	}
 	return b.String()
 }
 

@@ -3,6 +3,7 @@ package vm
 import (
 	"math"
 
+	"repro/internal/comm"
 	"repro/internal/ir"
 	"repro/internal/token"
 	"repro/internal/types"
@@ -42,6 +43,12 @@ func (m *VM) step(t *Task) bool {
 		m.bindCell(t, in.Dst, litValue(in.Lit))
 
 	case ir.OpMove:
+		if in.Rebind && in.A != m.hereVar {
+			// `ref r = x`: bind r to x's storage instead of copying, so
+			// writes through r reach x (and the blame edge is an alias).
+			m.bindCell(t, in.Dst, makeRef(m.cellOf(t, in.A)))
+			break
+		}
 		src := m.readVal(t, in.A)
 		extra := m.assignVar(t, in.Dst, src, in)
 		cycles += extra
@@ -134,7 +141,7 @@ func (m *VM) step(t *Task) bool {
 		acc = arr
 		v := cell.Copy()
 		cycles += uint64(v.FlatSize()-1) * m.cost(m.Cfg.Costs.PerElem)
-		cycles += m.commCost(t, arr, idx, int64(v.FlatSize())*8)
+		cycles += m.commCost(t, arr, idx, int64(v.FlatSize())*8, false)
 		m.assignVar(t, in.Dst, v, in)
 
 	case ir.OpIndexStore:
@@ -145,7 +152,7 @@ func (m *VM) step(t *Task) bool {
 		acc = arr
 		src := m.readVal(t, in.A)
 		cycles += m.assignInto(cell, src)
-		cycles += m.commCost(t, arr, idx, int64(src.FlatSize())*8)
+		cycles += m.commCost(t, arr, idx, int64(src.FlatSize())*8, true)
 
 	case ir.OpRefElem:
 		cell, arr, idx, ok := m.elemCell(t, in, in.A)
@@ -153,7 +160,7 @@ func (m *VM) step(t *Task) bool {
 			return false
 		}
 		acc = arr
-		cycles += m.commCost(t, arr, idx, 8)
+		cycles += m.commCost(t, arr, idx, 8, false)
 		m.bindCell(t, in.Dst, makeRef(cell))
 
 	case ir.OpSlice:
@@ -636,7 +643,10 @@ func sliceArray(base *ArrayVal, idx Value) (*ArrayVal, string) {
 // commCost models remote access for multi-locale runs and reports the
 // transfer to the monitor (communication blame, paper §VI). For
 // Block-distributed arrays the element's home locale decides locality.
-func (m *VM) commCost(t *Task, arr *ArrayVal, idx []int64, bytes int64) uint64 {
+// With Config.CommAggregate, Block-distributed accesses route through the
+// modeled communication runtime (internal/comm) instead of paying one
+// message per element.
+func (m *VM) commCost(t *Task, arr *ArrayVal, idx []int64, bytes int64, write bool) uint64 {
 	if arr == nil {
 		return 0
 	}
@@ -644,17 +654,88 @@ func (m *VM) commCost(t *Task, arr *ArrayVal, idx []int64, bytes int64) uint64 {
 	if arr.DistBlock && idx != nil {
 		home = arr.ElemHome(idx)
 	}
+	if m.comm != nil && arr.DistBlock && arr.NumLoc > 1 && idx != nil {
+		return m.commAccess(t, arr, idx, bytes, home, write)
+	}
 	if home == t.Locale {
 		return 0
 	}
 	m.Stats.CommMessages++
 	m.Stats.CommBytes += bytes
-	var in *ir.Instr
-	if act := t.Top(); act != nil && act.Block != nil && act.Idx < len(act.Block.Instrs) {
-		in = act.Block.Instrs[act.Idx]
-	}
+	in := m.currentInstr(t)
 	m.lis.Comm(bytes, home, t.Locale, arr.OwnerVar, t, in)
 	return m.cost(m.Cfg.Costs.CommLatency + uint64(bytes)*m.Cfg.Costs.CommPerByte)
+}
+
+// currentInstr returns the instruction t is executing, or nil.
+func (m *VM) currentInstr(t *Task) *ir.Instr {
+	if act := t.Top(); act != nil && act.Block != nil && act.Idx < len(act.Block.Instrs) {
+		return act.Block.Instrs[act.Idx]
+	}
+	return nil
+}
+
+// commAccess delegates one Block-distributed element access to the
+// aggregation runtime and charges the messages it decides on.
+func (m *VM) commAccess(t *Task, arr *ArrayVal, idx []int64, bytes int64, home int, write bool) uint64 {
+	elem := arr.Layout.Linear(idx)
+	in := m.currentInstr(t)
+	if home == t.Locale {
+		// Local access: writes must still invalidate the other locales'
+		// cached copies of this element.
+		if write {
+			var site uint64
+			if in != nil {
+				site = in.Addr
+			}
+			for _, ev := range m.comm.LocalWrite(arr.OwnerVar, site, arr.Addr, elem, t.Locale) {
+				m.lis.CommAgg(ev, t)
+			}
+		}
+		return 0
+	}
+	a := comm.Access{
+		Arr: arr.Addr, Var: arr.OwnerVar, Elem: elem, Bytes: bytes,
+		Home: home, Loc: t.Locale, Task: t.ID, Write: write,
+		LayoutLen: arr.Layout.Size(),
+	}
+	if in != nil {
+		a.Site = in.Addr
+	}
+	if it := t.iter; it != nil && it.space.Rank == 1 && arr.Layout.Rank == 1 {
+		// The task is driving a rank-1 forall chunk: expose the sweep
+		// window in layout-linear element space for halo prefetching.
+		d := it.space.Dims[0]
+		st := d.Stride
+		if st <= 0 {
+			st = 1
+		}
+		base := arr.Layout.Dims[0].Lo
+		a.InSweep = true
+		a.SweepLo = d.Lo + it.start*st - base
+		a.SweepHi = d.Lo + (it.end-1)*st - base
+	}
+	a.HomeOf = func(e int64) int {
+		var buf [3]int64
+		ix := buf[:arr.Layout.Rank]
+		arr.Layout.Unlinear(e, ix)
+		return arr.ElemHome(ix)
+	}
+	var cycles uint64
+	for _, ev := range m.comm.Access(a) {
+		if ev.Message() {
+			m.Stats.CommMessages++
+			m.Stats.CommBytes += ev.Bytes
+			owner := ev.Var
+			if owner == nil {
+				owner = arr.OwnerVar
+			}
+			m.lis.Comm(ev.Bytes, ev.From, ev.To, owner, t, in)
+			cycles += m.cost(m.Cfg.Costs.CommLatency + uint64(ev.Bytes)*m.Cfg.Costs.CommPerByte)
+		}
+		m.lis.CommAgg(ev, t)
+	}
+	return cycles
 }
 
 // ------------------------------------------------------------ arithmetic

@@ -117,6 +117,7 @@ func (m *VM) spawnLoop(t *Task, in *ir.Instr, tag uint64, captures []Value) {
 			space:    space,
 			pos:      pos,
 			end:      pos + n,
+			start:    pos,
 			site:     in,
 		}
 		child.join = g

@@ -5,6 +5,7 @@ import (
 	"io"
 	"strings"
 
+	"repro/internal/comm"
 	"repro/internal/ir"
 	"repro/internal/source"
 )
@@ -30,6 +31,10 @@ type Listener interface {
 	// allocation — the paper's §VI plan to "blame communication cost
 	// back to key data structures".
 	Comm(bytes int64, from, to int, owner *ir.Var, t *Task, in *ir.Instr)
+	// CommAgg reports an aggregation-runtime event (hits, prefetches,
+	// flushes, invalidations...) when the modeled communication runtime
+	// is enabled. Message events are additionally reported through Comm.
+	CommAgg(ev comm.Event, t *Task)
 }
 
 // nopListener is used when no profiler is attached.
@@ -40,6 +45,7 @@ func (nopListener) Spin(uint64, *Task, *ir.Func)                    {}
 func (nopListener) PreSpawn(*Task, uint64, *ir.Instr)               {}
 func (nopListener) Alloc(uint64, int64, *ir.Var, *ir.Instr)         {}
 func (nopListener) Comm(int64, int, int, *ir.Var, *Task, *ir.Instr) {}
+func (nopListener) CommAgg(comm.Event, *Task)                       {}
 
 // Config parameterizes a run.
 type Config struct {
@@ -64,6 +70,19 @@ type Config struct {
 	Costs CostModel
 	// Quantum is the instructions-per-scheduling-slice (determinism knob).
 	Quantum int
+	// CommAggregate enables the modeled communication runtime
+	// (internal/comm): halo ghost-window prefetch, run-length coalescing
+	// of sequential/strided remote reads, and a per-locale software cache
+	// with write-back flushing. Program output is unchanged; only the
+	// message accounting (and thus cycles) differs.
+	CommAggregate bool
+	// CommCacheCap is the per-locale software-cache capacity in elements
+	// (0 selects comm.DefaultCacheCap, negative disables caching). Only
+	// meaningful with CommAggregate.
+	CommCacheCap int
+	// CommPlan is the static comm-pattern plan (analyze.CommPlan) the
+	// aggregation runtime keys halo prefetches on. Optional.
+	CommPlan *comm.Plan
 }
 
 // DefaultConfig mirrors the paper's testbed: a single locale with 12
@@ -109,12 +128,14 @@ type Activation struct {
 }
 
 // iterState drives a forall/coforall chunk: the task repeatedly invokes
-// the outlined body for each index in [pos, end).
+// the outlined body for each index in [pos, end). start records the
+// chunk's first position so the comm runtime can see the whole sweep.
 type iterState struct {
 	body     *ir.Func
 	captures []Value
 	space    DomainVal
 	pos, end int64
+	start    int64
 	site     *ir.Instr
 }
 
@@ -207,6 +228,9 @@ type VM struct {
 	hereVar *ir.Var
 	halted  bool
 	err     *RuntimeError
+	// comm is the modeled communication runtime (nil unless
+	// Config.CommAggregate).
+	comm *comm.Runtime
 	// icache maps functions to their i-cache pressure surcharge
 	// (per-mille extra cost for oversized bodies).
 	icache map[*ir.Func]uint64
@@ -226,6 +250,9 @@ type Stats struct {
 	AllocBytes   int64
 	CommMessages uint64 // remote gets/puts (multi-locale)
 	CommBytes    int64
+	// Agg holds the aggregation runtime's statistics (nil unless
+	// Config.CommAggregate).
+	Agg *comm.Stats
 }
 
 // Seconds converts wall cycles to seconds at the configured clock.
@@ -261,6 +288,12 @@ func New(prog *ir.Program, cfg Config) *VM {
 	}
 	if m.lis == nil {
 		m.lis = nopListener{}
+	}
+	if cfg.CommAggregate {
+		m.comm = comm.New(comm.Config{
+			Locales:  cfg.NumLocales,
+			CacheCap: cfg.CommCacheCap,
+		}, cfg.CommPlan)
 	}
 	// Precompute i-cache pressure surcharges.
 	m.icache = make(map[*ir.Func]uint64)
@@ -342,6 +375,12 @@ func (m *VM) Run() (Stats, error) {
 }
 
 func (m *VM) finishStats() Stats {
+	if m.comm != nil {
+		// Residual dirty entries (tasks flush at completion, so normally
+		// none) surface in the aggregation statistics.
+		m.comm.Drain()
+		m.Stats.Agg = m.comm.Stats()
+	}
 	m.Stats.TotalCycles = m.totalCycles
 	var maxClock uint64
 	for i := range m.cores {
@@ -514,6 +553,19 @@ func (m *VM) spinTo(t *Task, target uint64) {
 
 // taskFinished handles task completion bookkeeping.
 func (m *VM) taskFinished(t *Task) {
+	if m.comm != nil {
+		// Write-back: flush the task's dirty remote elements as coalesced
+		// runs, charging the messages to the finishing task.
+		for _, ev := range m.comm.TaskEnd(t.ID, t.Locale) {
+			if ev.Message() {
+				m.Stats.CommMessages++
+				m.Stats.CommBytes += ev.Bytes
+				m.lis.Comm(ev.Bytes, ev.From, ev.To, ev.Var, t, nil)
+				m.charge(t, m.cost(m.Cfg.Costs.CommLatency+uint64(ev.Bytes)*m.Cfg.Costs.CommPerByte))
+			}
+			m.lis.CommAgg(ev, t)
+		}
+	}
 	t.done = true
 	finish := m.coreOf(t).clock
 	if g := t.join; g != nil {
