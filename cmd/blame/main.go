@@ -48,6 +48,7 @@ func main() {
 		lint      = flag.Bool("lint", false, "run the static diagnostics and print the blame-guided advisor view")
 		commAgg   = flag.Bool("comm-aggregate", false, "model the communication aggregation runtime (halo prefetch, run coalescing, software cache)")
 		commCap   = flag.Int("comm-cache", comm.DefaultCacheCap, "per-locale software-cache capacity in elements (0 = no cache)")
+		noOwner   = flag.Bool("no-owner-computes", false, "disable owner-computes forall scheduling (chunks inherit the spawner's locale)")
 	)
 	flag.Parse()
 
@@ -76,12 +77,17 @@ func main() {
 		LineGranularity:  *lineGran,
 		TrackPaths:       true,
 	}
+	cfg.VM.NoOwnerComputes = *noOwner
 	if *commAgg {
 		cfg.VM.CommAggregate = true
 		cfg.VM.CommCacheCap = *commCap
 		if *commCap <= 0 {
 			cfg.VM.CommCacheCap = -1 // 0 on the command line means "no cache"
 		}
+	}
+	if *commAgg || *locales > 1 {
+		// The plan also powers the owner-computes violation counter, so
+		// derive it for any multi-locale run, not just aggregated ones.
 		cfg.VM.CommPlan = analyze.CommPlan(res.Prog)
 	}
 	if *threshold != 0 {

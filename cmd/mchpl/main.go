@@ -39,6 +39,7 @@ func main() {
 		maxCyc   = flag.Uint64("max-cycles", 10_000_000_000, "cycle budget (0 = unlimited)")
 		commAgg  = flag.Bool("comm-aggregate", false, "model the communication aggregation runtime (halo prefetch, run coalescing, software cache)")
 		commCap  = flag.Int("comm-cache", comm.DefaultCacheCap, "per-locale software-cache capacity in elements (0 = no cache)")
+		noOwner  = flag.Bool("no-owner-computes", false, "disable owner-computes forall scheduling (chunks inherit the spawner's locale)")
 	)
 	flag.Parse()
 
@@ -68,12 +69,17 @@ func main() {
 	cfg.Stdout = os.Stdout
 	cfg.MaxCycles = *maxCyc
 	cfg.Configs = parseConfigs(flag.Args())
+	cfg.NoOwnerComputes = *noOwner
 	if *commAgg {
 		cfg.CommAggregate = true
 		cfg.CommCacheCap = *commCap
 		if *commCap <= 0 {
 			cfg.CommCacheCap = -1 // 0 on the command line means "no cache"
 		}
+	}
+	if *commAgg || cfg.NumLocales > 1 {
+		// The plan also powers the owner-computes violation counter, so
+		// derive it for any multi-locale run, not just aggregated ones.
 		cfg.CommPlan = analyze.CommPlan(res.Prog)
 	}
 
@@ -87,6 +93,10 @@ func main() {
 			st.Seconds(cfg.ClockHz), st.WallCycles, st.TotalCycles,
 			100*float64(st.SpinCycles)/float64(max64(1, st.TotalCycles)), st.TasksSpawned, st.Allocations)
 		fmt.Fprintf(os.Stderr, "comm: %d messages  %d bytes\n", st.CommMessages, st.CommBytes)
+		if cfg.NumLocales > 1 {
+			fmt.Fprintf(os.Stderr, "scheduling: %d owner-computes chunks  %d remote spawns  %d owner-site violations\n",
+				st.OwnerChunks, st.RemoteSpawns, st.OwnerSiteRemote)
+		}
 		if a := st.Agg; a != nil {
 			fmt.Fprintf(os.Stderr, "comm aggregation: %.1f%% cache hit rate  %d prefetches (%d elems)  %d streams (%d elems)  %d flushes (%d elems)  %d invalidations  %d evictions\n",
 				100*a.HitRate(), a.Prefetches, a.PrefetchedElems, a.Streams, a.StreamedElems,

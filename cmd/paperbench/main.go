@@ -7,7 +7,8 @@
 //	paperbench            # run everything
 //	paperbench t2 t9      # run selected experiments
 //
-// Experiment names: t1..t9 (tables), agg, fig3, fig4, baseline, overhead.
+// Experiment names: t1..t9 (tables), agg, locales, fig3, fig4, baseline,
+// overhead.
 package main
 
 import (
@@ -39,6 +40,7 @@ func main() {
 		{"t8", exp.Table8},
 		{"t9", exp.Table9},
 		{"agg", exp.TableAgg},
+		{"locales", exp.TableLocales},
 		{"baseline", exp.UnknownData},
 		{"overhead", exp.Overhead},
 	}

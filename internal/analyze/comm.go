@@ -277,9 +277,12 @@ func (ctx *Context) CommPlan() *comm.Plan {
 			if !s.rank1 || !s.aligned || s.pat.kind == comm.SiteNone {
 				continue
 			}
-			// Owner-local accesses still enter the plan: the VM's forall
-			// does not migrate tasks across locales, so a statically
-			// "owner-computes" sweep is a halo sweep (offset 0) at runtime.
+			// Owner-local accesses enter the plan as SiteOwner: the VM's
+			// owner-computes forall scheduling runs each chunk on its
+			// owning locale, so these sites should see zero remote
+			// traffic — the VM counts violations (Stats.OwnerSiteRemote),
+			// and the runtime falls back to a halo-offset-0 window when a
+			// sweep is not owner-aligned (e.g. a single-locale run).
 			plan.Sites[s.in.Addr] = comm.Site{
 				Class:  s.pat.kind,
 				Off:    s.pat.off,
@@ -312,7 +315,7 @@ func (ctx *Context) classifyAccess(f *ir.Func, ti *taintInfo, args []*ir.Var, sh
 				if sweep {
 					return accessPat{cls: commCoalesce, kind: comm.SiteHalo}
 				}
-				return accessPat{cls: commLocal, kind: comm.SiteHalo}
+				return accessPat{cls: commLocal, kind: comm.SiteOwner}
 			}
 			return accessPat{cls: commHalo, kind: comm.SiteHalo, off: net}
 		}

@@ -1,0 +1,419 @@
+package ast
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/token"
+)
+
+// Print renders a parsed program back to MiniChapel source. The output
+// is normalized, not a faithful reproduction of the input bytes:
+// comments are gone, nested expressions are parenthesized, and module
+// declarations print before top-level statements. What Print guarantees
+// is that its output reparses, and that print∘parse is idempotent —
+// printing the reparse of a printed program reproduces it byte for
+// byte. The frontend fuzz tests lean on both properties.
+func Print(p *Program) string {
+	var pr printer
+	for _, d := range p.Decls {
+		pr.decl(d)
+	}
+	for _, s := range p.TopStmts {
+		pr.stmt(s)
+	}
+	return pr.b.String()
+}
+
+type printer struct {
+	b      strings.Builder
+	indent int
+}
+
+func (p *printer) line(format string, args ...any) {
+	p.b.WriteString(strings.Repeat("  ", p.indent))
+	fmt.Fprintf(&p.b, format, args...)
+	p.b.WriteByte('\n')
+}
+
+// ------------------------------------------------------------ declarations
+
+func (p *printer) decl(d Decl) {
+	switch d := d.(type) {
+	case *ProcDecl:
+		p.procDecl(d)
+	case *RecordDecl:
+		kw := "record"
+		if d.IsClass {
+			kw = "class"
+		}
+		p.line("%s %s {", kw, d.Name.Name)
+		p.indent++
+		for _, f := range d.Fields {
+			s := "var " + f.Name.Name
+			if f.Type != nil {
+				s += ": " + typeStr(f.Type)
+			}
+			if f.Init != nil {
+				s += " = " + exprStr(f.Init)
+			}
+			p.line("%s;", s)
+		}
+		for _, m := range d.Methods {
+			p.procDecl(m)
+		}
+		p.indent--
+		p.line("}")
+	case *TypeAliasDecl:
+		p.line("type %s = %s;", d.Name.Name, typeStr(d.Target))
+	case *GlobalVarDecl:
+		p.varDecl(d.V)
+	}
+}
+
+func (p *printer) procDecl(d *ProcDecl) {
+	kw := "proc"
+	if d.IsIter {
+		kw = "iter"
+	}
+	params := make([]string, len(d.Params))
+	for i, q := range d.Params {
+		s := q.Name.Name
+		if in := q.Intent.String(); in != "" {
+			s = in + " " + s
+		}
+		if q.Type != nil {
+			s += ": " + typeStr(q.Type)
+		}
+		params[i] = s
+	}
+	head := fmt.Sprintf("%s %s(%s)", kw, d.Name.Name, strings.Join(params, ", "))
+	if d.RetType != nil {
+		head += ": " + typeStr(d.RetType)
+	}
+	p.line("%s {", head)
+	p.body(d.Body)
+	p.line("}")
+}
+
+func (p *printer) varDecl(d *VarDecl) {
+	var s string
+	if d.IsRef {
+		s = "ref"
+	} else {
+		s = d.Kind.String()
+	}
+	names := make([]string, len(d.Names))
+	for i, n := range d.Names {
+		names[i] = n.Name
+	}
+	s += " " + strings.Join(names, ", ")
+	if d.Type != nil {
+		s += ": " + typeStr(d.Type)
+	}
+	if d.Init != nil {
+		s += " = " + exprStr(d.Init)
+	}
+	p.line("%s;", s)
+}
+
+// -------------------------------------------------------------- statements
+
+// body prints a block's statements at one deeper indent (the braces are
+// the caller's).
+func (p *printer) body(b *BlockStmt) {
+	p.indent++
+	if b != nil {
+		for _, s := range b.Stmts {
+			p.stmt(s)
+		}
+	}
+	p.indent--
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch s := s.(type) {
+	case *VarDecl:
+		p.varDecl(s)
+	case *AssignStmt:
+		p.line("%s %s %s;", exprStr(s.Lhs), s.Op.String(), exprStr(s.Rhs))
+	case *ExprStmt:
+		p.line("%s;", exprStr(s.X))
+	case *BlockStmt:
+		p.line("{")
+		p.body(s)
+		p.line("}")
+	case *IfStmt:
+		p.ifStmt(s)
+	case *WhileStmt:
+		p.line("while %s {", exprStr(s.Cond))
+		p.body(s.Body)
+		p.line("}")
+	case *DoWhileStmt:
+		p.line("do {")
+		p.body(s.Body)
+		p.line("} while %s;", exprStr(s.Cond))
+	case *ForStmt:
+		idx := make([]string, len(s.Idx))
+		for i, n := range s.Idx {
+			idx[i] = n.Name
+		}
+		ix := idx[0]
+		if len(idx) > 1 {
+			ix = "(" + strings.Join(idx, ", ") + ")"
+		}
+		p.line("%s %s in %s {", s.Kind.String(), ix, iterStr(s.Iter))
+		p.body(s.Body)
+		p.line("}")
+	case *SelectStmt:
+		p.line("select %s {", exprStr(s.Subject))
+		p.indent++
+		for _, w := range s.Whens {
+			vals := make([]string, len(w.Values))
+			for i, v := range w.Values {
+				vals[i] = exprStr(v)
+			}
+			p.line("when %s {", strings.Join(vals, ", "))
+			p.body(w.Body)
+			p.line("}")
+		}
+		if s.Otherwise != nil {
+			p.line("otherwise {")
+			p.body(s.Otherwise)
+			p.line("}")
+		}
+		p.indent--
+		p.line("}")
+	case *ReturnStmt:
+		if s.X != nil {
+			p.line("return %s;", exprStr(s.X))
+		} else {
+			p.line("return;")
+		}
+	case *YieldStmt:
+		p.line("yield %s;", exprStr(s.X))
+	case *BreakStmt:
+		p.line("break;")
+	case *ContinueStmt:
+		p.line("continue;")
+	case *OnStmt:
+		p.line("on %s {", exprStr(s.Target))
+		p.body(s.Body)
+		p.line("}")
+	case *BeginStmt:
+		p.line("begin {")
+		p.body(s.Body)
+		p.line("}")
+	case *CobeginStmt:
+		p.line("cobegin {")
+		p.body(s.Body)
+		p.line("}")
+	case *SyncStmt:
+		p.line("sync {")
+		p.body(s.Body)
+		p.line("}")
+	case *DeclStmt:
+		p.decl(s.D)
+	}
+}
+
+func (p *printer) ifStmt(s *IfStmt) {
+	p.line("if %s {", exprStr(s.Cond))
+	p.body(s.Then)
+	switch e := s.Else.(type) {
+	case nil:
+		p.line("}")
+	case *IfStmt:
+		// `} else if ... {`: reprint the chained if on the closing line.
+		p.b.WriteString(strings.Repeat("  ", p.indent))
+		p.b.WriteString("} else ")
+		// Splice: emit the nested if without its leading indent.
+		var q printer
+		q.indent = p.indent
+		q.ifStmt(e)
+		nested := q.b.String()
+		p.b.WriteString(strings.TrimPrefix(nested, strings.Repeat("  ", p.indent)))
+	case *BlockStmt:
+		p.line("} else {")
+		p.body(e)
+		p.line("}")
+	default:
+		p.line("} else {")
+		p.indent++
+		p.stmt(e)
+		p.indent--
+		p.line("}")
+	}
+}
+
+// ------------------------------------------------------------ expressions
+
+// exprStr renders an expression for any p.expr() context: atoms print
+// bare, everything else is wrapped in parentheses so the reparse cannot
+// re-associate it.
+func exprStr(e Expr) string {
+	if s, atom := exprAtom(e); atom {
+		return s
+	} else {
+		return "(" + s + ")"
+	}
+}
+
+// iterStr renders a loop iterand: like exprStr, but a range prints bare
+// (`for i in 0..n by 2`), matching the grammar's expectation.
+func iterStr(e Expr) string {
+	if r, ok := e.(*RangeExpr); ok {
+		s, _ := exprAtom(r)
+		return s
+	}
+	return exprStr(e)
+}
+
+// exprAtom renders e and reports whether the rendering is self-delimiting
+// (safe to embed in any operand position without parentheses).
+func exprAtom(e Expr) (string, bool) {
+	switch e := e.(type) {
+	case *Ident:
+		return e.Name, true
+	case *IntLit:
+		if e.Value < 0 {
+			return fmt.Sprint(e.Value), false
+		}
+		return fmt.Sprint(e.Value), true
+	case *RealLit:
+		return realStr(e.Value), true
+	case *BoolLit:
+		return fmt.Sprint(e.Value), true
+	case *StringLit:
+		return quoteString(e.Value), true
+	case *BinaryExpr:
+		return exprStr(e.X) + " " + e.Op.String() + " " + exprStr(e.Y), false
+	case *UnaryExpr:
+		return e.Op.String() + exprStr(e.X), false
+	case *CallExpr:
+		return exprStr(e.Fun) + "(" + exprList(e.Args) + ")", true
+	case *IndexExpr:
+		return exprStr(e.X) + "[" + exprList(e.Index) + "]", true
+	case *FieldExpr:
+		return exprStr(e.X) + "." + e.Name.Name, true
+	case *TupleExpr:
+		// A 1-element tuple cannot be spelled; it degrades to parens.
+		return "(" + exprList(e.Elems) + ")", true
+	case *DomainLit:
+		return "{" + exprList(e.Dims) + "}", true
+	case *RangeExpr:
+		s := exprStr(e.Lo) + ".."
+		if e.Count != nil {
+			s += "#" + exprStr(e.Count)
+		} else if e.Hi != nil {
+			s += exprStr(e.Hi)
+		}
+		if e.By != nil {
+			s += " by " + exprStr(e.By)
+		}
+		return s, false
+	case *IfExpr:
+		return "if " + exprStr(e.Cond) + " then " + exprStr(e.Then) + " else " + exprStr(e.Else), false
+	case *NewExpr:
+		s := "new " + typeStr(e.Type)
+		s += "(" + exprList(e.Args) + ")"
+		return s, false
+	case *ReduceExpr:
+		op := e.Op.String()
+		switch e.Op {
+		case token.GT:
+			op = "max"
+		case token.LT:
+			op = "min"
+		}
+		return op + " reduce " + exprStr(e.X), false
+	case *ZipExpr:
+		return "zip(" + exprList(e.Args) + ")", true
+	}
+	return "0", true
+}
+
+func exprList(es []Expr) string {
+	parts := make([]string, len(es))
+	for i, e := range es {
+		if r, ok := e.(*RangeExpr); ok {
+			// Ranges print bare in list positions (index/domain dims).
+			parts[i], _ = exprAtom(r)
+		} else {
+			parts[i] = exprStr(e)
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
+// realStr formats a float so the lexer reads it back as a REAL token
+// (it must keep a '.' or an exponent).
+func realStr(v float64) string {
+	s := strconv.FormatFloat(v, 'g', -1, 64)
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	return s
+}
+
+// quoteString escapes the lexer's supported escapes (\n, \t, \\, \");
+// other bytes pass through raw, mirroring scanString.
+func quoteString(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+// ----------------------------------------------------------------- types
+
+func typeStr(t TypeExpr) string {
+	switch t := t.(type) {
+	case *NamedType:
+		if t.Width > 0 {
+			return fmt.Sprintf("%s(%d)", t.Name, t.Width)
+		}
+		return t.Name
+	case *TupleType:
+		cnt, _ := exprAtom(t.Count)
+		return cnt + "*" + parenType(t.Elem)
+	case *DomainType:
+		s := "domain(" + exprStr(t.Rank) + ")"
+		if t.Dist != "" {
+			s += " dmapped " + t.Dist
+		}
+		return s
+	case *ArrayType:
+		return "[" + exprList(t.Dom) + "] " + typeStr(t.Elem)
+	case *RangeType:
+		return "range"
+	case *AtomicType:
+		return "atomic " + parenType(t.Elem)
+	}
+	return "int"
+}
+
+// parenType wraps composite element types so `3*4*real` round-trips as
+// `3*(4*real)`.
+func parenType(t TypeExpr) string {
+	switch t.(type) {
+	case *NamedType, *RangeType:
+		return typeStr(t)
+	}
+	return "(" + typeStr(t) + ")"
+}

@@ -175,9 +175,20 @@ func TestHaloSourceMatchesExample(t *testing.T) {
 	}
 }
 
+// Likewise for the embedded wavefront benchmark.
+func TestWavefrontSourceMatchesExample(t *testing.T) {
+	b, err := os.ReadFile("../../examples/multilocale/wavefront.mchpl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != benchprog.WavefrontSource {
+		t.Error("internal/benchprog/wavefront.go and examples/multilocale/wavefront.mchpl diverged")
+	}
+}
+
 // runHalo executes the halo benchmark at 4 locales with or without the
 // modeled aggregation runtime.
-func runHalo(t *testing.T, aggregate bool) (string, vm.Stats) {
+func runHalo(t *testing.T, aggregate, ownerComputes bool) (string, vm.Stats) {
 	t.Helper()
 	res, err := benchprog.Halo().Compile(compile.Options{})
 	if err != nil {
@@ -190,9 +201,8 @@ func runHalo(t *testing.T, aggregate bool) (string, vm.Stats) {
 	cfg.NumLocales = 4
 	cfg.MaxCycles = 3_000_000_000
 	cfg.CommAggregate = aggregate
-	if aggregate {
-		cfg.CommPlan = analyze.CommPlan(res.Prog)
-	}
+	cfg.NoOwnerComputes = !ownerComputes
+	cfg.CommPlan = analyze.CommPlan(res.Prog)
 	stats, err := vm.New(res.Prog, cfg).Run()
 	if err != nil {
 		t.Fatal(err)
@@ -201,11 +211,12 @@ func runHalo(t *testing.T, aggregate bool) (string, vm.Stats) {
 }
 
 // TestHaloAggregationSmoke is the CI benchmark smoke for the modeled
-// communication runtime: with -comm-aggregate the halo benchmark must
-// send at least 10x fewer messages while printing bit-identical output.
+// communication runtime: on the spawn-locale baseline (owner-computes
+// off) -comm-aggregate must send at least 10x fewer messages while
+// printing bit-identical output.
 func TestHaloAggregationSmoke(t *testing.T) {
-	direct, ds := runHalo(t, false)
-	agg, as := runHalo(t, true)
+	direct, ds := runHalo(t, false, false)
+	agg, as := runHalo(t, true, false)
 	if direct != agg {
 		t.Fatalf("aggregation changed program output:\n direct: %q\n agg:    %q", direct, agg)
 	}
@@ -226,6 +237,43 @@ func TestHaloAggregationSmoke(t *testing.T) {
 	}
 	if as.Agg.Hits == 0 {
 		t.Error("aggregated run recorded no cache hits")
+	}
+}
+
+// TestHaloOwnerComputesSmoke is the CI benchmark smoke for owner-computes
+// forall scheduling: the halo benchmark at 4 locales with owner-computes +
+// aggregation must beat the spawn-locale aggregation baseline (71
+// messages when this smoke was pinned), produce the same output, and
+// leave every statically owner-computes site communication-free.
+func TestHaloOwnerComputesSmoke(t *testing.T) {
+	// The ceiling: what PR 2's aggregation achieved with every forall
+	// chunk pinned to the spawning locale.
+	const baselineCeiling = 71
+
+	base, bs := runHalo(t, true, false)
+	own, os := runHalo(t, true, true)
+	if base != own {
+		t.Fatalf("owner-computes scheduling changed program output:\n baseline: %q\n owner:    %q", base, own)
+	}
+	t.Logf("halo messages: %d baseline (agg), %d owner-computes (agg); owner-site violations: %d baseline, %d owner",
+		bs.CommMessages, os.CommMessages, bs.OwnerSiteRemote, os.OwnerSiteRemote)
+	if bs.CommMessages > baselineCeiling {
+		t.Errorf("spawn-locale aggregation baseline regressed: %d messages, ceiling %d", bs.CommMessages, baselineCeiling)
+	}
+	if os.CommMessages >= bs.CommMessages {
+		t.Errorf("owner-computes (%d msgs) should beat the spawn-locale baseline (%d msgs)",
+			os.CommMessages, bs.CommMessages)
+	}
+	if os.OwnerSiteRemote != 0 {
+		t.Errorf("owner-computes run still made %d remote accesses at statically owner-computes sites, want 0",
+			os.OwnerSiteRemote)
+	}
+	if os.OwnerChunks == 0 || os.RemoteSpawns == 0 {
+		t.Errorf("owner-computes run spawned no distributed chunks (owner=%d remote=%d)",
+			os.OwnerChunks, os.RemoteSpawns)
+	}
+	if bs.OwnerSiteRemote == 0 {
+		t.Error("spawn-locale baseline should record owner-site violations (that is what it pays for)")
 	}
 }
 

@@ -1,0 +1,135 @@
+package benchprog_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/analyze"
+	"repro/internal/benchprog"
+	"repro/internal/compile"
+	"repro/internal/vm"
+)
+
+// commMode is one setting of the communication-runtime knobs.
+type commMode struct {
+	name      string
+	aggregate bool
+	cacheCap  int // 0 = default, -1 = cache disabled
+}
+
+var commModes = []commMode{
+	{name: "direct"},
+	{name: "comm-aggregate", aggregate: true},
+	{name: "comm-aggregate/no-cache", aggregate: true, cacheCap: -1},
+}
+
+// TestHaloDeterminism runs the halo benchmark twice with an identical
+// configuration and asserts the runs are indistinguishable: same output,
+// same VM counters, and — the regression this test pins — identical
+// comm.Stats renderings. The rendering goes through sorted keys
+// (VarNames/SortedPairs); a formatter ranging over the PerVar/Pairs maps
+// directly would flake here.
+func TestHaloDeterminism(t *testing.T) {
+	run := func() (string, vm.Stats) {
+		res, err := benchprog.Halo().Compile(compile.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out strings.Builder
+		cfg := vm.DefaultConfig()
+		cfg.Stdout = &out
+		cfg.Configs = benchprog.DefaultHalo.Configs()
+		cfg.NumLocales = 4
+		cfg.MaxCycles = 3_000_000_000
+		cfg.CommAggregate = true
+		cfg.CommPlan = analyze.CommPlan(res.Prog)
+		stats, err := vm.New(res.Prog, cfg).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.String(), stats
+	}
+	out1, s1 := run()
+	out2, s2 := run()
+	if out1 != out2 {
+		t.Errorf("program output differs between identical runs:\n run 1: %q\n run 2: %q", out1, out2)
+	}
+	if s1.Agg == nil || s2.Agg == nil {
+		t.Fatal("aggregated runs carry no comm runtime stats")
+	}
+	r1, r2 := s1.Agg.Render(), s2.Agg.Render()
+	if r1 != r2 {
+		t.Errorf("comm.Stats renderings differ between identical runs:\n run 1:\n%s\n run 2:\n%s", r1, r2)
+	}
+	if s1.WallCycles != s2.WallCycles || s1.CommMessages != s2.CommMessages {
+		t.Errorf("VM counters differ between identical runs: cycles %d vs %d, messages %d vs %d",
+			s1.WallCycles, s2.WallCycles, s1.CommMessages, s2.CommMessages)
+	}
+}
+
+// TestCrossLocaleDifferential is the cross-locale differential harness:
+// every embedded benchmark, at 1/2/4 locales, under every comm-runtime
+// mode, must print bit-identical output. Owner-computes scheduling and
+// the modeled aggregation runtime move work and messages around — they
+// must never change what the program computes. Each benchmark is also
+// checked for zero remote accesses at statically owner-computes sites
+// (the scheduling is owner-aligned by construction).
+func TestCrossLocaleDifferential(t *testing.T) {
+	cases := []struct {
+		prog benchprog.Program
+		cfgs map[string]string
+	}{
+		{benchprog.Halo(), benchprog.HaloConfig{N: 256, Reps: 4}.Configs()},
+		{benchprog.Wavefront(), benchprog.DefaultWavefront.Configs()},
+		{benchprog.CLOMP(false), benchprog.CLOMPConfig{NumParts: 8, ZonesPerPart: 16, FlopScale: 1, TimeScale: 1}.Configs()},
+		{benchprog.MiniMD(false), benchprog.MiniMDConfig{NBins: 12, AtomsPerBin: 2, NSteps: 2}.Configs()},
+		{benchprog.LULESH(benchprog.LuleshOriginal), benchprog.LuleshConfig{NumElems: 24, NSteps: 2}.Configs()},
+	}
+	locales := []int{1, 2, 4}
+
+	for _, c := range cases {
+		c := c
+		t.Run(c.prog.Name, func(t *testing.T) {
+			res, err := c.prog.Compile(compile.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			plan := analyze.CommPlan(res.Prog)
+
+			var ref string
+			var refCell string
+			for _, nl := range locales {
+				for _, mode := range commModes {
+					cell := fmt.Sprintf("%d locales/%s", nl, mode.name)
+					var out strings.Builder
+					cfg := vm.DefaultConfig()
+					cfg.Stdout = &out
+					cfg.Configs = c.cfgs
+					cfg.NumLocales = nl
+					cfg.MaxCycles = 3_000_000_000
+					cfg.CommAggregate = mode.aggregate
+					cfg.CommCacheCap = mode.cacheCap
+					cfg.CommPlan = plan
+					stats, err := vm.New(res.Prog, cfg).Run()
+					if err != nil {
+						t.Fatalf("%s: %v", cell, err)
+					}
+					if out.Len() == 0 {
+						t.Fatalf("%s: benchmark printed nothing", cell)
+					}
+					if refCell == "" {
+						ref, refCell = out.String(), cell
+					} else if out.String() != ref {
+						t.Errorf("output diverged:\n %s: %q\n %s: %q",
+							refCell, ref, cell, out.String())
+					}
+					if stats.OwnerSiteRemote != 0 {
+						t.Errorf("%s: %d remote accesses at statically owner-computes sites, want 0",
+							cell, stats.OwnerSiteRemote)
+					}
+				}
+			}
+		})
+	}
+}

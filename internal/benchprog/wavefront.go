@@ -1,0 +1,64 @@
+package benchprog
+
+import "fmt"
+
+// WavefrontSource is the multi-locale wavefront/strided/blocked sweep
+// mix — the workload that exercises every statically classified access
+// shape (owner-computes, wavefront via D.translate, strided, blocked).
+// It is kept byte-identical to examples/multilocale/wavefront.mchpl (a
+// test asserts the sync) so the CLI walkthroughs, the experiment
+// harness, and the multi-locale goldens all exercise the same program.
+const WavefrontSource = `config const n = 64;
+// Wavefront, strided, and blocked sweeps over Block-distributed arrays:
+// the comm-pattern pass classifies each access shape statically, and the
+// modeled communication runtime (-comm-aggregate) exploits the exported
+// plan to coalesce the matching remote transfers.
+var D: domain(1) dmapped Block = {0..#n};
+var A: [D] real;
+var H: [D] real;
+var S: [D] real;
+var C: [D] real;
+
+proc main() {
+  forall i in D { A[i] = i * 1.0; }
+
+  // Wavefront: iterate D translated by +2, so an owner-aligned index
+  // lands two elements into the neighbor's block.
+  forall i in D.translate(2) {
+    var up = if i < n then A[i - 2] else 0.0;
+    if i > 2 {
+      H[i - 3] = up;
+    }
+  }
+
+  // Strided: every second element — fixed-stride runs in each block.
+  forall i in 0..#(n / 2) {
+    S[i * 2] = A[i] + 1.0;
+  }
+
+  // Blocked: consecutive iterations revisit one contiguous chunk.
+  forall i in 0..#n {
+    C[i] = S[i / 4] + H[i / 4];
+  }
+
+  writeln("sum positive: ", + reduce C > 0.0);
+}
+`
+
+// Wavefront returns the wavefront sweep-mix program.
+func Wavefront() Program {
+	return Program{Name: "wavefront", Source: WavefrontSource}
+}
+
+// WavefrontConfig sizes the wavefront benchmark.
+type WavefrontConfig struct {
+	N int // array size
+}
+
+// DefaultWavefront is the experiment/golden configuration.
+var DefaultWavefront = WavefrontConfig{N: 256}
+
+// Configs renders the config-const overrides for the VM.
+func (c WavefrontConfig) Configs() map[string]string {
+	return map[string]string{"n": fmt.Sprint(c.N)}
+}

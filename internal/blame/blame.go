@@ -63,6 +63,10 @@ type Result struct {
 func (r *Result) CommBlame() *postmortem.CommProfile {
 	p := postmortem.CommBlame(r.Sampler.Comms)
 	p.Agg = r.Stats.Agg
+	p.OwnerChunks = r.Stats.OwnerChunks
+	p.RemoteSpawns = r.Stats.RemoteSpawns
+	p.OwnerSiteRemote = r.Stats.OwnerSiteRemote
+	p.Scheduled = true
 	return p
 }
 

@@ -189,6 +189,13 @@ func (r *Runtime) read(a Access) []Event {
 	if r.plan != nil {
 		site = r.plan.Sites[a.Site]
 	}
+	if site.Class == SiteOwner {
+		// Statically owner-computes, yet the access went remote: the
+		// sweep was not owner-aligned (range-based forall, or a single
+		// task walking the whole space). Degrade to a halo window at
+		// offset 0 so the miss still amortizes.
+		site.Class, site.Off = SiteHalo, 0
+	}
 	var out []Event
 	if site.Class == SiteHalo && a.InSweep && c.cap > 0 {
 		out = r.prefetchHalo(a, site)

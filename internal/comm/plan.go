@@ -17,6 +17,15 @@ const (
 	// SiteBlocked: index = sweep index / block (contiguous chunks).
 	// Eligible for sequential run coalescing.
 	SiteBlocked
+	// SiteOwner: index = sweep index exactly (net offset 0) inside a
+	// forall over the accessed array's own Block-dmapped space. Under
+	// owner-computes scheduling every access lands on the executing
+	// locale, so the site needs no remote traffic at all; the VM counts
+	// any access here that still goes remote (Stats.OwnerSiteRemote) as
+	// a scheduling violation. If the sweep is not owner-aligned (e.g. a
+	// range-based forall from one locale), the runtime falls back to
+	// treating it as a halo sweep with offset 0.
+	SiteOwner
 )
 
 func (c SiteClass) String() string {
@@ -27,6 +36,8 @@ func (c SiteClass) String() string {
 		return "strided"
 	case SiteBlocked:
 		return "blocked"
+	case SiteOwner:
+		return "owner-computes"
 	}
 	return "none"
 }

@@ -1,6 +1,10 @@
 package comm
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
 
 // Pair is an ordered locale pair (From = element home, To = accessor).
 type Pair struct {
@@ -68,6 +72,28 @@ func (s *Stats) VarNames() []string {
 		return names[i] < names[j]
 	})
 	return names
+}
+
+// Render returns the canonical text form of the statistics. PerVar and
+// Pairs are Go maps, so any formatter that ranged over them directly
+// would produce a different line order on every run; Render goes through
+// VarNames/SortedPairs so two identical runs render identically — the
+// determinism regression test pins this.
+func (s *Stats) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "messages %d bytes %d\n", s.Messages, s.Bytes)
+	fmt.Fprintf(&b, "hits %d misses %d (%.1f%% hit rate)\n", s.Hits, s.Misses, 100*s.HitRate())
+	fmt.Fprintf(&b, "prefetches %d (%d elems) streams %d (%d elems) flushes %d (%d elems)\n",
+		s.Prefetches, s.PrefetchedElems, s.Streams, s.StreamedElems, s.Flushes, s.FlushedElems)
+	fmt.Fprintf(&b, "invalidations %d evictions %d\n", s.Invalidations, s.Evictions)
+	for _, name := range s.VarNames() {
+		vs := s.PerVar[name]
+		fmt.Fprintf(&b, "var %s: messages %d bytes %d hits %d\n", name, vs.Messages, vs.Bytes, vs.Hits)
+		for _, p := range vs.SortedPairs() {
+			fmt.Fprintf(&b, "  locale %d -> locale %d: %d\n", p.From, p.To, vs.Pairs[p])
+		}
+	}
+	return b.String()
 }
 
 // SortedPairs returns v's locale-pair counts in (From, To) order.

@@ -55,24 +55,32 @@ func TableAgg() (*Table, error) {
 		return strings.Join(cs, "; ")
 	}
 
-	run := func(aggregate bool) (*postmortem.CommProfile, vm.Stats, string, error) {
+	run := func(aggregate, ownerComputes bool) (*postmortem.CommProfile, vm.Stats, string, error) {
 		var out strings.Builder
 		bc := blame.DefaultConfig()
 		bc.VM = runConfig(cfgs)
 		bc.VM.NumLocales = 4
 		bc.VM.Stdout = &out
 		bc.VM.CommAggregate = aggregate
+		bc.VM.NoOwnerComputes = !ownerComputes
 		r, err := blame.Profile(res.Prog, bc)
 		if err != nil {
 			return nil, vm.Stats{}, "", err
 		}
 		return r.CommBlame(), r.Stats, out.String(), nil
 	}
-	dp, ds, dout, err := run(false)
+	// The aggregation study keeps PR 2's spawn-locale scheduling so the
+	// before/after pair isolates the runtime transform; the owner-computes
+	// scheduler's effect rides along as a note (and TableLocales).
+	dp, ds, dout, err := run(false, false)
 	if err != nil {
 		return nil, err
 	}
-	ap, as, aout, err := run(true)
+	ap, as, aout, err := run(true, false)
+	if err != nil {
+		return nil, err
+	}
+	_, ws, wout, err := run(true, true)
 	if err != nil {
 		return nil, err
 	}
@@ -120,6 +128,9 @@ func TableAgg() (*Table, error) {
 			"aggregation runtime: %.1f%% cache hit rate, %d prefetches (%d elems), %d streams (%d elems), %d flushes (%d elems)",
 			a.HitRate()*100, a.Prefetches, a.PrefetchedElems, a.Streams, a.StreamedElems, a.Flushes, a.FlushedElems))
 	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"owner-computes scheduling (default) cuts this further: %d messages, %d owner-site violations, output identical: %v (see Table Locales)",
+		ws.CommMessages, ws.OwnerSiteRemote, wout == aout))
 	return t, nil
 }
 

@@ -319,3 +319,56 @@ func TestTableRendering(t *testing.T) {
 		t.Errorf("rendering broken:\n%s", out)
 	}
 }
+
+// TestTableLocalesScaling drives the locale-scaling study: both
+// benchmarks at every locale count must report zero owner-site
+// violations under owner-computes scheduling, strictly fewer messages
+// than the spawn-locale baseline once communication exists, and
+// identical output everywhere.
+func TestTableLocalesScaling(t *testing.T) {
+	tab, err := exp.TableLocales()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 8 {
+		t.Fatalf("rows: %d, want 8 (2 benchmarks x 4 locale counts)", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		name := row[0]
+		baseMsgs, ownMsgs := atoiCell(t, name, row[2]), atoiCell(t, name, row[3])
+		baseViol, ownViol := atoiCell(t, name, row[6]), atoiCell(t, name, row[7])
+		if ownViol != 0 {
+			t.Errorf("%s: %d owner-site violations under owner-computes, want 0", name, ownViol)
+		}
+		if row[1] == "1" {
+			if baseMsgs != 0 || ownMsgs != 0 {
+				t.Errorf("%s: single-locale run communicated (%d/%d messages)", name, baseMsgs, ownMsgs)
+			}
+			continue
+		}
+		if ownMsgs >= baseMsgs {
+			t.Errorf("%s: owner-computes sent %d messages, baseline %d — want strictly fewer", name, ownMsgs, baseMsgs)
+		}
+		if baseViol == 0 {
+			t.Errorf("%s: spawn-locale baseline reports 0 owner-site violations; the comparison is vacuous", name)
+		}
+	}
+	identical := 0
+	for _, n := range tab.Notes {
+		if strings.Contains(n, "output identical across all locale counts and both schedulers: true") {
+			identical++
+		}
+	}
+	if identical != 2 {
+		t.Errorf("want 2 output-identical notes, got %d; notes: %v", identical, tab.Notes)
+	}
+}
+
+func atoiCell(t *testing.T, row, cell string) int {
+	t.Helper()
+	n, err := strconv.Atoi(cell)
+	if err != nil {
+		t.Fatalf("row %s: non-numeric cell %q", row, cell)
+	}
+	return n
+}

@@ -1,0 +1,109 @@
+package lexer_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lexer"
+	"repro/internal/source"
+	"repro/internal/token"
+)
+
+// seedCorpus returns the .mchpl example corpus plus a few adversarial
+// inputs that have historically tripped hand-written scanners.
+func seedCorpus(t testing.TB) []string {
+	var seeds []string
+	matches, err := filepath.Glob("../../examples/*/*.mchpl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range matches {
+		b, err := os.ReadFile(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seeds = append(seeds, string(b))
+	}
+	if len(seeds) == 0 {
+		t.Fatal("no .mchpl examples found for the seed corpus")
+	}
+	seeds = append(seeds,
+		"",
+		"\"unterminated",
+		"\"trailing backslash\\",
+		"1.2e",
+		"0..#10 by 2",
+		"/* unterminated block comment",
+		"// line comment with no newline",
+		"\x00\xff binary junk \x80",
+		"a..b..c...d",
+	)
+	return seeds
+}
+
+// scanBounded drives the lexer by hand and fails the test if EOF does
+// not arrive within a budget proportional to the input size. Every Next
+// call must consume at least one byte (ILLEGAL bytes included), so
+// len(src)+1 calls always suffice for a terminating scanner.
+func scanBounded(t *testing.T, src string) []lexer.Token {
+	file := source.NewFileSet().Add("fuzz.mchpl", src)
+	l := lexer.New(file)
+	budget := len(src) + 2
+	var toks []lexer.Token
+	for i := 0; i < budget; i++ {
+		tok := l.Next()
+		if tok.Kind == token.EOF {
+			return toks
+		}
+		toks = append(toks, tok)
+	}
+	t.Fatalf("lexer did not reach EOF within %d tokens on a %d-byte input", budget, len(src))
+	return nil
+}
+
+// FuzzLex asserts the scanner never panics and always terminates: every
+// input, however malformed, must lex to a finite token stream ending in
+// EOF, with every token carrying a valid position inside the file.
+func FuzzLex(f *testing.F) {
+	for _, s := range seedCorpus(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		for _, tok := range scanBounded(t, src) {
+			if tok.Kind == token.EOF {
+				t.Fatal("EOF token before end of stream")
+			}
+			if !tok.Pos.IsValid() {
+				t.Fatalf("token %v carries an invalid position", tok)
+			}
+		}
+	})
+}
+
+// TestLexCorpus runs the FuzzLex property over the seed corpus directly,
+// so plain `go test` exercises it without -fuzz.
+func TestLexCorpus(t *testing.T) {
+	for i, src := range seedCorpus(t) {
+		toks := scanBounded(t, src)
+		for _, tok := range toks {
+			if !tok.Pos.IsValid() {
+				t.Fatalf("seed %d: token %v carries an invalid position", i, tok)
+			}
+		}
+	}
+}
+
+// TestLexLongRuns pins termination on degenerate long runs that stress
+// the scanner's inner loops.
+func TestLexLongRuns(t *testing.T) {
+	for _, src := range []string{
+		strings.Repeat("=", 100000),
+		strings.Repeat("\"a\" ", 50000),
+		strings.Repeat("1 ", 100000),
+		strings.Repeat("..", 50000),
+	} {
+		scanBounded(t, src)
+	}
+}

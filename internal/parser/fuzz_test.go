@@ -1,0 +1,105 @@
+package parser_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/benchprog"
+	"repro/internal/parser"
+	"repro/internal/source"
+)
+
+// corpusSeeds returns the .mchpl example corpus plus the embedded
+// benchmark sources — every real program the repo ships.
+func corpusSeeds(t testing.TB) []string {
+	var seeds []string
+	matches, err := filepath.Glob("../../examples/*/*.mchpl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range matches {
+		b, err := os.ReadFile(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seeds = append(seeds, string(b))
+	}
+	if len(seeds) == 0 {
+		t.Fatal("no .mchpl examples found for the seed corpus")
+	}
+	seeds = append(seeds,
+		benchprog.HaloSource,
+		benchprog.WavefrontSource,
+		benchprog.Fig1Example,
+	)
+	for _, p := range []benchprog.Program{
+		benchprog.MiniMD(false), benchprog.MiniMD(true),
+		benchprog.CLOMP(false), benchprog.CLOMP(true),
+		benchprog.LULESH(benchprog.LuleshOriginal), benchprog.LULESH(benchprog.LuleshBest),
+	} {
+		seeds = append(seeds, p.Source)
+	}
+	return seeds
+}
+
+// FuzzParse asserts the frontend never panics on arbitrary input, and
+// that for input that parses cleanly the printer round-trips: the
+// printed form reparses, and print∘parse is idempotent from the first
+// reprint on.
+func FuzzParse(f *testing.F) {
+	for _, s := range corpusSeeds(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		fset := source.NewFileSet()
+		prog, err := parser.ParseFile(fset, "fuzz.mchpl", src)
+		if err != nil {
+			return // invalid input is fine; panics are not
+		}
+		p1 := ast.Print(prog)
+		prog2, err := parser.ParseFile(source.NewFileSet(), "fuzz2.mchpl", p1)
+		if err != nil {
+			t.Fatalf("printed program does not reparse: %v\n--- printed ---\n%s", err, p1)
+		}
+		p2 := ast.Print(prog2)
+		prog3, err := parser.ParseFile(source.NewFileSet(), "fuzz3.mchpl", p2)
+		if err != nil {
+			t.Fatalf("reprinted program does not reparse: %v\n--- printed ---\n%s", err, p2)
+		}
+		if p3 := ast.Print(prog3); p2 != p3 {
+			t.Fatalf("print/parse did not reach a fixed point:\n--- second ---\n%s\n--- third ---\n%s", p2, p3)
+		}
+	})
+}
+
+// TestPrintRoundTripCorpus runs the round-trip property over the whole
+// seed corpus directly, so `go test` exercises it without -fuzz.
+func TestPrintRoundTripCorpus(t *testing.T) {
+	for i, src := range corpusSeeds(t) {
+		fset := source.NewFileSet()
+		prog, err := parser.ParseFile(fset, "corpus.mchpl", src)
+		if err != nil {
+			t.Fatalf("seed %d does not parse: %v", i, err)
+		}
+		p1 := ast.Print(prog)
+		prog2, err := parser.ParseFile(source.NewFileSet(), "corpus2.mchpl", p1)
+		if err != nil {
+			t.Fatalf("seed %d: printed form does not reparse: %v\n%s", i, err, p1)
+		}
+		if p2 := ast.Print(prog2); p1 != p2 {
+			t.Fatalf("seed %d: print∘parse not idempotent:\n--- first ---\n%s\n--- second ---\n%s", i, p1, p2)
+		}
+	}
+}
+
+// TestParseDepthBound pins the recursion guard: pathological nesting
+// must produce a syntax error, not a stack overflow.
+func TestParseDepthBound(t *testing.T) {
+	deep := "var x = " + strings.Repeat("(", 100000) + "1" + strings.Repeat(")", 100000) + ";"
+	if _, err := parser.ParseFile(source.NewFileSet(), "deep.mchpl", deep); err == nil {
+		t.Error("100k-deep nesting parsed without error; expected the depth bound to trip")
+	}
+}

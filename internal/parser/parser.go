@@ -40,8 +40,31 @@ type Parser struct {
 	next lexer.Token // one-token lookahead
 	errs ErrorList
 
+	// depth counts live stmt/expr/type recursion; beyond maxParseDepth
+	// the parser errors out instead of overflowing the goroutine stack
+	// on adversarial inputs like "((((((..." (found by FuzzParse).
+	depth int
+
 	fileName string
 }
+
+// maxParseDepth bounds recursive-descent nesting. Real programs stay in
+// the tens; the bound only exists so pathological inputs degrade into a
+// syntax error.
+const maxParseDepth = 512
+
+// enter guards one recursion level; callers that receive false must
+// return a placeholder without recursing further.
+func (p *Parser) enter() bool {
+	p.depth++
+	if p.depth > maxParseDepth {
+		p.errorf(p.tok.Pos, "nesting too deep (more than %d levels)", maxParseDepth)
+		return false
+	}
+	return true
+}
+
+func (p *Parser) leave() { p.depth-- }
 
 // New returns a parser over the given registered file.
 func New(f *source.File) *Parser {
@@ -282,6 +305,11 @@ func (p *Parser) ident() *ast.Ident {
 // ------------------------------------------------------------------- types
 
 func (p *Parser) typeExpr() ast.TypeExpr {
+	if !p.enter() {
+		p.leave()
+		return &ast.NamedType{NamePos: p.tok.Pos, Name: "_error_"}
+	}
+	defer p.leave()
 	switch p.tok.Kind {
 	case token.LPAREN:
 		// Parenthesized type: 8*(4*real).
@@ -397,6 +425,14 @@ func (p *Parser) blockOrDo() *ast.BlockStmt {
 }
 
 func (p *Parser) stmt() ast.Stmt {
+	if !p.enter() {
+		p.leave()
+		if p.tok.Kind != token.EOF {
+			p.advance()
+		}
+		return &ast.BlockStmt{Lbrace: p.tok.Pos}
+	}
+	defer p.leave()
 	switch p.tok.Kind {
 	case token.VAR, token.CONST, token.PARAM, token.CONFIG, token.REF:
 		return p.varDecl()
@@ -583,6 +619,11 @@ func (p *Parser) selectStmt() ast.Stmt {
 // ------------------------------------------------------------- expressions
 
 func (p *Parser) expr() ast.Expr {
+	if !p.enter() {
+		p.leave()
+		return &ast.IntLit{LitPos: p.tok.Pos}
+	}
+	defer p.leave()
 	if p.tok.Kind == token.IF {
 		pos := p.tok.Pos
 		p.advance()
@@ -630,6 +671,11 @@ func (p *Parser) binaryExpr(minPrec int) ast.Expr {
 }
 
 func (p *Parser) unaryExpr() ast.Expr {
+	if !p.enter() {
+		p.leave()
+		return &ast.IntLit{LitPos: p.tok.Pos}
+	}
+	defer p.leave()
 	switch p.tok.Kind {
 	case token.MINUS, token.NOT:
 		pos := p.tok.Pos

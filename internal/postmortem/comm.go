@@ -33,6 +33,14 @@ type CommProfile struct {
 	// Agg carries the modeled aggregation runtime's statistics when the
 	// run executed with communication aggregation enabled (nil otherwise).
 	Agg *comm.Stats
+	// Owner-computes scheduling counters (from vm.Stats): chunks placed
+	// on their owning locale, chunks launched remotely, and element
+	// accesses at statically owner-computes sites that still went remote
+	// (0 under owner-aligned scheduling).
+	OwnerChunks     uint64
+	RemoteSpawns    uint64
+	OwnerSiteRemote uint64
+	Scheduled       bool // true when the run carried scheduling counters
 }
 
 // CommBlame aggregates the monitor's raw communication records into a

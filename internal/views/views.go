@@ -137,6 +137,10 @@ func CommCentric(p *postmortem.CommProfile, limit int) string {
 			fmt.Fprintf(&b, "  locale %d -> locale %d: %d bytes\n", f, t, p.Matrix[f][t])
 		}
 	}
+	if p.Scheduled {
+		fmt.Fprintf(&b, "Scheduling: %d owner-computes chunks (%d spawned remotely), %d owner-site violations\n",
+			p.OwnerChunks, p.RemoteSpawns, p.OwnerSiteRemote)
+	}
 	if a := p.Agg; a != nil {
 		fmt.Fprintf(&b, "Aggregation runtime (modeled): %d messages, %.2f KB on the wire\n",
 			a.Messages, float64(a.Bytes)/1e3)

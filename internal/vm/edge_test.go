@@ -375,7 +375,7 @@ config const n = 40;
 var D: domain(1) dmapped Block = {0..#n};
 var A: [D] real;
 proc main() {
-  // Locale 0 writes everything: the second half is remote.
+  // Owner-computes: each locale writes its own block.
   forall i in D { A[i] = i * 1.0; }
   // Each locale updates its own block: no communication.
   for l in 0..#2 {
@@ -391,14 +391,25 @@ proc main() {
 	if out != "1.0 40.0\n" {
 		t.Errorf("out = %q", out)
 	}
+	// The only remote element access left is locale 0 printing A[39],
+	// which lives in locale 1's block.
 	if stats.CommMessages == 0 {
-		t.Error("cross-block writes should generate communication")
+		t.Error("reading the remote block's element should generate communication")
+	}
+	if stats.OwnerChunks == 0 {
+		t.Error("distributed forall should schedule owner-computes chunks")
 	}
 }
 
 func TestBlockDistributionLocality(t *testing.T) {
-	// Owner-computes sweeps over a distributed array move no data;
-	// the same sweep from a single locale does.
+	// Three ways to sweep a Block-distributed array:
+	//  - explicit on-blocks, each locale walking its own range: local;
+	//  - forall over the distributed domain itself: the VM's
+	//    owner-computes scheduling places every chunk on its owning
+	//    locale, so this is local too (the ROADMAP's stated goal);
+	//  - forall over a plain range: no distribution to follow, all
+	//    chunks run on the spawning locale and the remote blocks cost
+	//    one message per element.
 	local := `
 config const n = 64;
 var D: domain(1) dmapped Block = {0..#n};
@@ -411,7 +422,7 @@ proc main() {
   }
 }
 `
-	remote := `
+	owner := `
 config const n = 64;
 var D: domain(1) dmapped Block = {0..#n};
 var A: [D] real;
@@ -419,12 +430,31 @@ proc main() {
   forall i in D { A[i] = i * 1.0; }
 }
 `
+	central := `
+config const n = 64;
+var D: domain(1) dmapped Block = {0..#n};
+var A: [D] real;
+proc main() {
+  forall i in 0..#n { A[i] = i * 1.0; }
+}
+`
 	_, sl := run(t, local, func(c *vm.Config) { c.NumLocales = 4; c.NumCores = 3 })
-	_, sr := run(t, remote, func(c *vm.Config) { c.NumLocales = 4; c.NumCores = 3 })
+	_, so := run(t, owner, func(c *vm.Config) { c.NumLocales = 4; c.NumCores = 3 })
+	_, sc := run(t, central, func(c *vm.Config) { c.NumLocales = 4; c.NumCores = 3 })
 	if sl.CommMessages != 0 {
-		t.Errorf("owner-computes sweep moved %d messages", sl.CommMessages)
+		t.Errorf("on-block sweep moved %d messages", sl.CommMessages)
 	}
-	if sr.CommMessages == 0 {
-		t.Error("centralized sweep over a distributed array must communicate")
+	if so.CommMessages != 0 {
+		t.Errorf("owner-computes sweep moved %d messages", so.CommMessages)
+	}
+	if so.RemoteSpawns == 0 {
+		t.Error("distributed forall should launch chunks on remote locales")
+	}
+	if sc.CommMessages == 0 {
+		t.Error("centralized range sweep over a distributed array must communicate")
+	}
+	if sc.CommMessages <= sl.CommMessages || sc.CommMessages <= so.CommMessages {
+		t.Errorf("centralized sweep (%d msgs) should cost more than local (%d) or owner-computes (%d)",
+			sc.CommMessages, sl.CommMessages, so.CommMessages)
 	}
 }

@@ -660,11 +660,26 @@ func (m *VM) commCost(t *Task, arr *ArrayVal, idx []int64, bytes int64, write bo
 	if home == t.Locale {
 		return 0
 	}
+	m.noteOwnerRemote(t)
 	m.Stats.CommMessages++
 	m.Stats.CommBytes += bytes
 	in := m.currentInstr(t)
 	m.lis.Comm(bytes, home, t.Locale, arr.OwnerVar, t, in)
 	return m.cost(m.Cfg.Costs.CommLatency + uint64(bytes)*m.Cfg.Costs.CommPerByte)
+}
+
+// noteOwnerRemote records a scheduling violation: an element access at a
+// site the static plan proved owner-computes (SiteOwner) that still
+// targeted a remote locale. Under owner-aligned forall scheduling this
+// counter stays 0; the CI smoke and goldens pin that.
+func (m *VM) noteOwnerRemote(t *Task) {
+	plan := m.Cfg.CommPlan
+	if plan == nil {
+		return
+	}
+	if in := m.currentInstr(t); in != nil && plan.Sites[in.Addr].Class == comm.SiteOwner {
+		m.Stats.OwnerSiteRemote++
+	}
 }
 
 // currentInstr returns the instruction t is executing, or nil.
@@ -694,6 +709,7 @@ func (m *VM) commAccess(t *Task, arr *ArrayVal, idx []int64, bytes int64, home i
 		}
 		return 0
 	}
+	m.noteOwnerRemote(t)
 	a := comm.Access{
 		Arr: arr.Addr, Var: arr.OwnerVar, Elem: elem, Bytes: bytes,
 		Home: home, Loc: t.Locale, Task: t.ID, Write: write,

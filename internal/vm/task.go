@@ -91,6 +91,10 @@ func (m *VM) spawnLoop(t *Task, in *ir.Instr, tag uint64, captures []Value) {
 	if total <= 0 {
 		return
 	}
+	if space.Dist && m.Cfg.NumLocales > 1 && !m.Cfg.NoOwnerComputes {
+		m.spawnLoopOwner(t, in, tag, captures, space, total)
+		return
+	}
 	var numTasks int64
 	if sp.Kind == ir.SpawnCoforall {
 		numTasks = total
@@ -131,6 +135,80 @@ func (m *VM) spawnLoop(t *Task, in *ir.Instr, tag uint64, captures []Value) {
 	t.blockedOn = g
 	m.rtCharge(t, uint64(numTasks)*m.cost(m.Cfg.Costs.SpawnPerTask), "chpl_task_spawn")
 	m.Stats.TasksSpawned += uint64(numTasks)
+}
+
+// spawnLoopOwner creates the worker tasks of a forall/coforall over a
+// Block-dmapped iteration space: owner-computes scheduling. The linear
+// space is partitioned by the owning locale of each dim-0 block (the
+// same decomposition ArrayVal.ElemHome uses), DataParTasksPerLocale
+// workers (or one per index, for coforall) are minted per locale, and
+// each chunk is enqueued on its owner's cores. Remote children cost an
+// active-message launch (SpawnPerTask + CommLatency), mirroring `on`.
+func (m *VM) spawnLoopOwner(t *Task, in *ir.Instr, tag uint64, captures []Value, space DomainVal, total int64) {
+	sp := in.Spawn
+	n0 := space.Dims[0].Size()
+	rowSize := total / n0 // linear positions per dim-0 index
+	nl := int64(m.Cfg.NumLocales)
+
+	g := &joinGroup{waiter: t, barrierSite: in}
+	var spawned int64
+	var spawnCycles uint64
+	for loc := int64(0); loc < nl; loc++ {
+		// Locale loc owns dim-0 positions [ceil(loc*n0/nl), ceil((loc+1)*n0/nl)):
+		// exactly the set where ElemHome's floor(pos*nl/n0) == loc.
+		lo := (loc*n0 + nl - 1) / nl
+		hi := ((loc+1)*n0 + nl - 1) / nl
+		cnt := (hi - lo) * rowSize
+		if cnt <= 0 {
+			continue
+		}
+		var numTasks int64
+		if sp.Kind == ir.SpawnCoforall {
+			numTasks = cnt
+		} else {
+			numTasks = int64(m.Cfg.DataParTasksPerLocale)
+			if numTasks > cnt {
+				numTasks = cnt
+			}
+		}
+		chunk := cnt / numTasks
+		rem := cnt % numTasks
+		pos := lo * rowSize
+		for k := int64(0); k < numTasks; k++ {
+			n := chunk
+			if k < rem {
+				n++
+			}
+			child := m.newTask(t, tag, int(loc))
+			child.iter = &iterState{
+				body:     in.Callee,
+				captures: captures,
+				space:    space,
+				pos:      pos,
+				end:      pos + n,
+				start:    pos,
+				site:     in,
+			}
+			child.join = g
+			g.pending++
+			pos += n
+			m.enqueue(child, t)
+			if nf := len(sp.Followers); nf > 0 {
+				m.rtCharge(t, uint64(nf+1)*m.cost(m.Cfg.Costs.ZipSetup), "chpl_task_spawn")
+			}
+		}
+		launch := m.Cfg.Costs.SpawnPerTask
+		if int(loc) != t.Locale {
+			launch += m.Cfg.Costs.CommLatency
+			m.Stats.RemoteSpawns += uint64(numTasks)
+		}
+		spawnCycles += uint64(numTasks) * m.cost(launch)
+		spawned += numTasks
+		m.Stats.OwnerChunks += uint64(numTasks)
+	}
+	t.blockedOn = g
+	m.rtCharge(t, spawnCycles, "chpl_task_spawn")
+	m.Stats.TasksSpawned += uint64(spawned)
 }
 
 // iterSpace derives the iteration domain of a spawn from its Iter operand.

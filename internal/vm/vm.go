@@ -83,6 +83,12 @@ type Config struct {
 	// CommPlan is the static comm-pattern plan (analyze.CommPlan) the
 	// aggregation runtime keys halo prefetches on. Optional.
 	CommPlan *comm.Plan
+	// NoOwnerComputes disables owner-computes forall scheduling: chunks
+	// of a forall over a Block-dmapped space then inherit the spawning
+	// task's locale (the pre-owner-computes baseline), paying remote
+	// messages for every non-local element. Used by the before/after
+	// studies in internal/exp; leave false for Chapel-faithful runs.
+	NoOwnerComputes bool
 }
 
 // DefaultConfig mirrors the paper's testbed: a single locale with 12
@@ -250,6 +256,11 @@ type Stats struct {
 	AllocBytes   int64
 	CommMessages uint64 // remote gets/puts (multi-locale)
 	CommBytes    int64
+	// Owner-computes scheduling counters (multi-locale foralls over
+	// Block-dmapped spaces).
+	OwnerChunks     uint64 // forall chunks placed on their owning locale
+	RemoteSpawns    uint64 // chunks launched on a locale != the spawner's
+	OwnerSiteRemote uint64 // element accesses at statically owner-computes sites that still went remote (should be 0)
 	// Agg holds the aggregation runtime's statistics (nil unless
 	// Config.CommAggregate).
 	Agg *comm.Stats
