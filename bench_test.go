@@ -219,13 +219,15 @@ func BenchmarkOverhead_StackWalk(b *testing.B) {
 	if _, err := vm.New(res.Prog, cfg).Run(); err != nil {
 		b.Fatal(err)
 	}
+	// Static analysis and processor construction are setup, not part of
+	// the walk being measured — keep them out of the timed loop.
+	an := core.Analyze(res.Prog, core.DefaultOptions())
+	proc := postmortem.New(res.Prog, an, s.Spawns)
 	b.ResetTimer()
 	walks := 0
 	for i := 0; i < b.N; i++ {
 		// Replay: glue every recorded sample (address resolution +
 		// per-frame work is the dominant post-walk cost).
-		an := core.Analyze(res.Prog, core.DefaultOptions())
-		proc := postmortem.New(res.Prog, an, s.Spawns)
 		for _, smp := range s.Samples {
 			proc.Glue(smp)
 			walks++

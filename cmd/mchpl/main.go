@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/analyze"
@@ -40,8 +42,37 @@ func main() {
 		commAgg  = flag.Bool("comm-aggregate", false, "model the communication aggregation runtime (halo prefetch, run coalescing, software cache)")
 		commCap  = flag.Int("comm-cache", comm.DefaultCacheCap, "per-locale software-cache capacity in elements (0 = no cache)")
 		noOwner  = flag.Bool("no-owner-computes", false, "disable owner-computes forall scheduling (chunks inherit the spawner's locale)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the compile+run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mchpl: cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "mchpl: cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err == nil {
+				runtime.GC()
+				err = pprof.WriteHeapProfile(f)
+				f.Close()
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mchpl: memprofile:", err)
+			}
+		}()
+	}
 
 	src, name, err := loadSource(*bench, flag.Args())
 	if err != nil {

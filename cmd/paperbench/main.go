@@ -4,80 +4,212 @@
 //
 // Usage:
 //
-//	paperbench            # run everything
-//	paperbench t2 t9      # run selected experiments
+//	paperbench                 # run everything (parallel drivers)
+//	paperbench t2 t9           # run selected experiments
+//	paperbench -serial         # one experiment at a time (same bytes)
+//	paperbench -bench-json f   # also write wall-clock/alloc measurements
+//	paperbench -check BENCH_PR4.json -check-slack 1.5
+//	                           # fail if slower than the checked-in baseline
 //
 // Experiment names: t1..t9 (tables), agg, locales, fig3, fig4, baseline,
 // overhead.
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
 
 	"repro/internal/exp"
 )
 
-func main() {
-	want := map[string]bool{}
-	for _, a := range os.Args[1:] {
-		want[a] = true
-	}
-	sel := func(name string) bool { return len(want) == 0 || want[name] }
+// BenchEntry is one measured experiment (or the "total" row) in the
+// -bench-json report.
+type BenchEntry struct {
+	Name        string  `json:"name"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Mallocs     uint64  `json:"mallocs,omitempty"`
+	AllocBytes  uint64  `json:"alloc_bytes,omitempty"`
+}
 
-	type tableFn struct {
-		name string
-		fn   func() (*exp.Table, error)
+// BenchReport is the -bench-json payload and one side of BENCH_PR4.json.
+type BenchReport struct {
+	Label   string       `json:"label,omitempty"`
+	Workers int          `json:"workers"`
+	Entries []BenchEntry `json:"entries"`
+}
+
+// Baseline is the checked-in before/after perf-regression baseline
+// (BENCH_PR4.json).
+type Baseline struct {
+	Description string       `json:"description,omitempty"`
+	Before      *BenchReport `json:"before,omitempty"`
+	After       *BenchReport `json:"after,omitempty"`
+}
+
+func main() {
+	var (
+		workers    = flag.Int("j", runtime.NumCPU(), "experiment driver parallelism")
+		serial     = flag.Bool("serial", false, "run experiments one at a time (equivalent output)")
+		benchJSON  = flag.String("bench-json", "", "write wall-clock and allocation measurements to this file")
+		checkFile  = flag.String("check", "", "compare against the 'after' entries of this baseline file and fail on regression")
+		checkSlack = flag.Float64("check-slack", 1.3, "allowed wall-clock factor over the baseline before -check fails")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file")
+	)
+	flag.Parse()
+	if *serial {
+		*workers = 1
 	}
-	tables := []tableFn{
-		{"t1", exp.Table1},
-		{"t2", exp.Table2},
-		{"t3", exp.Table3},
-		{"t4", exp.Table4},
-		{"t5", exp.Table5},
-		{"t6", exp.Table6},
-		{"t7", exp.Table7},
-		{"t8", exp.Table8},
-		{"t9", exp.Table9},
-		{"agg", exp.TableAgg},
-		{"locales", exp.TableLocales},
-		{"baseline", exp.UnknownData},
-		{"overhead", exp.Overhead},
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
 	}
+
+	exps, err := exp.Select(flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	// Wrap each experiment to record its own wall time (valid under the
+	// parallel driver too: each Fn runs on one worker).
+	durs := make([]time.Duration, len(exps))
+	timed := make([]exp.Experiment, len(exps))
+	for i, e := range exps {
+		i, e := i, e
+		timed[i] = exp.Experiment{Name: e.Name, Fn: func() (string, error) {
+			start := time.Now()
+			text, err := e.Fn()
+			durs[i] = time.Since(start)
+			return text, err
+		}}
+	}
+
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
+	wallStart := time.Now()
+	outcomes := exp.RunSuite(timed, *workers)
+	wall := time.Since(wallStart)
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
+
 	failed := false
-	for _, tf := range tables {
-		if !sel(tf.name) {
-			continue
-		}
-		t, err := tf.fn()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", tf.name, err)
+	for _, o := range outcomes {
+		if o.Err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", o.Name, o.Err)
 			failed = true
 			continue
 		}
-		fmt.Println(t)
+		fmt.Println(o.Text)
 	}
-	if sel("fig4") {
-		text, _, err := exp.Fig4()
+
+	report := BenchReport{Workers: *workers}
+	for i, o := range outcomes {
+		report.Entries = append(report.Entries, BenchEntry{
+			Name:        o.Name,
+			WallSeconds: durs[i].Seconds(),
+		})
+	}
+	report.Entries = append(report.Entries, BenchEntry{
+		Name:        "total",
+		WallSeconds: wall.Seconds(),
+		Mallocs:     msAfter.Mallocs - msBefore.Mallocs,
+		AllocBytes:  msAfter.TotalAlloc - msBefore.TotalAlloc,
+	})
+
+	if *benchJSON != "" {
+		data, err := json.MarshalIndent(&report, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*benchJSON, append(data, '\n'), 0o644)
+		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "fig4:", err)
+			fmt.Fprintln(os.Stderr, "bench-json:", err)
 			failed = true
-		} else {
-			fmt.Println("Fig. 4 — LULESH code-centric profile (pprof format)")
-			fmt.Println(text)
 		}
 	}
-	if sel("fig3") {
-		text, err := exp.Fig3()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "fig3:", err)
+
+	if *checkFile != "" && !failed {
+		if err := checkBaseline(*checkFile, &report, *checkSlack); err != nil {
+			fmt.Fprintln(os.Stderr, "perf regression:", err)
 			failed = true
 		} else {
-			fmt.Println("Fig. 3 — the three tool views for a MiniMD run")
-			fmt.Println(text)
+			fmt.Fprintf(os.Stderr, "perf check passed against %s (slack %.2fx)\n", *checkFile, *checkSlack)
 		}
 	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err == nil {
+			runtime.GC()
+			err = pprof.WriteHeapProfile(f)
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+			failed = true
+		}
+	}
+
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// checkBaseline compares the current report against the baseline's
+// "after" entries: wall clock may exceed the baseline by the slack
+// factor, total allocations by 1.3x. Entries missing on either side are
+// skipped, so partial runs (paperbench t5 -check ...) check what they ran.
+// Wall clock is only compared for entries the baseline timed at >= 200ms:
+// below that, scheduler jitter dwarfs any real regression (allocation
+// counts, which are deterministic, are still compared).
+func checkBaseline(path string, cur *BenchReport, slack float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if base.After == nil {
+		return fmt.Errorf("%s: no 'after' entries to check against", path)
+	}
+	ref := make(map[string]BenchEntry, len(base.After.Entries))
+	for _, e := range base.After.Entries {
+		ref[e.Name] = e
+	}
+	for _, e := range cur.Entries {
+		b, ok := ref[e.Name]
+		if !ok {
+			continue
+		}
+		if b.WallSeconds >= 0.2 {
+			if limit := b.WallSeconds * slack; e.WallSeconds > limit {
+				return fmt.Errorf("%s took %.2fs, baseline %.2fs (limit %.2fs)",
+					e.Name, e.WallSeconds, b.WallSeconds, limit)
+			}
+		}
+		if b.Mallocs > 0 && e.Mallocs > 0 {
+			if limit := float64(b.Mallocs) * 1.3; float64(e.Mallocs) > limit {
+				return fmt.Errorf("%s allocated %d objects, baseline %d (limit %.0f)",
+					e.Name, e.Mallocs, b.Mallocs, limit)
+			}
+		}
+	}
+	return nil
 }

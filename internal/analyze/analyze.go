@@ -126,7 +126,7 @@ type Context struct {
 func NewContext(prog *ir.Program) *Context {
 	ctx := &Context{
 		Prog:     prog,
-		Analysis: core.Analyze(prog, core.DefaultOptions()),
+		Analysis: core.AnalyzeCached(prog, core.DefaultOptions()),
 		loops:    make(map[*ir.Func]*loopInfo),
 		taints:   make(map[*ir.Func]*taintInfo),
 		aliasOf:  make(map[*ir.Func]map[*ir.Var]*ir.Instr),

@@ -42,15 +42,22 @@ type Program struct {
 	Optimized bool // benchmark-level optimization (not --fast)
 }
 
-// Compile builds the program with the given compiler options.
+// Compile builds the program with the given compiler options. Benchmark
+// sources are compile-time constants, so results are memoized: repeated
+// compiles of the same variant share one immutable *compile.Result
+// across tables, benchmarks and goroutines.
 func (p Program) Compile(opts compile.Options) (*compile.Result, error) {
-	return compile.Source(p.Name+".mchpl", p.Source, opts)
+	return compile.SourceCached(p.Name+".mchpl", p.Source, opts)
 }
 
 // MustCompile builds or panics (benchmark sources are compile-time
 // constants; failure is a bug).
 func (p Program) MustCompile(opts compile.Options) *compile.Result {
-	return compile.MustSource(p.Name+".mchpl", p.Source, opts)
+	r, err := p.Compile(opts)
+	if err != nil {
+		panic(err)
+	}
+	return r
 }
 
 // MiniMD returns the MiniMD program (original or optimized).

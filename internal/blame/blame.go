@@ -75,8 +75,10 @@ func Profile(prog *ir.Program, cfg Config) (*Result, error) {
 	if cfg.Threshold == 0 {
 		cfg.Threshold = 6089
 	}
-	// Step 1: static analysis (pre-run).
-	analysis := core.Analyze(prog, cfg.Core)
+	// Step 1: static analysis (pre-run). Memoized: the analysis is a pure
+	// function of (program, options) and immutable once built, so repeated
+	// profiles of the same program share it.
+	analysis := core.AnalyzeCached(prog, cfg.Core)
 
 	// Step 2: execution under the monitoring process.
 	var opts []sampler.Option

@@ -1,0 +1,56 @@
+package compile
+
+import (
+	"crypto/sha256"
+	"sync"
+)
+
+// The experiment harness and the benchmark suite compile the same handful
+// of embedded programs (LULESH variants, CLOMP, MiniMD, the PGAS
+// stencils) dozens of times per run. Compilation is deterministic — the
+// same (source, Options) pair always produces the same IR — and the
+// Result is immutable once built (the VM keeps all run state in its own
+// globals/frames), so results can be shared freely across callers and
+// goroutines.
+
+type sourceKey struct {
+	name string
+	hash [sha256.Size]byte
+	opts Options
+}
+
+type sourceEntry struct {
+	once sync.Once
+	res  *Result
+	err  error
+}
+
+var (
+	sourceMu    sync.Mutex
+	sourceCache = make(map[sourceKey]*sourceEntry)
+)
+
+// SourceCached compiles like Source but memoizes the result keyed by
+// (name, hash of src, opts). Cache hits return the identical *Result;
+// concurrent lookups of the same key compile exactly once (the losers
+// block until the winner finishes). Errors are cached too: a source that
+// failed to compile keeps failing without re-parsing.
+func SourceCached(name, src string, opts Options) (*Result, error) {
+	k := sourceKey{name: name, hash: sha256.Sum256([]byte(src)), opts: opts}
+	sourceMu.Lock()
+	e, ok := sourceCache[k]
+	if !ok {
+		e = &sourceEntry{}
+		sourceCache[k] = e
+	}
+	sourceMu.Unlock()
+	e.once.Do(func() { e.res, e.err = Source(name, src, opts) })
+	return e.res, e.err
+}
+
+// ResetCache drops all memoized compilations (tests).
+func ResetCache() {
+	sourceMu.Lock()
+	sourceCache = make(map[sourceKey]*sourceEntry)
+	sourceMu.Unlock()
+}

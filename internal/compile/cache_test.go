@@ -1,0 +1,118 @@
+package compile_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/compile"
+)
+
+const cacheSrc = `
+config const n = 4;
+var total: int;
+for i in 1..n {
+  total = total + i;
+}
+writeln(total);
+`
+
+// TestSourceCachedHitIsIdentical pins the memoization contract: the same
+// (name, source, options) returns the identical *Result pointer, so every
+// consumer shares one immutable IR.
+func TestSourceCachedHitIsIdentical(t *testing.T) {
+	compile.ResetCache()
+	a, err := compile.SourceCached("cache.mchpl", cacheSrc, compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := compile.SourceCached("cache.mchpl", cacheSrc, compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("cache hit returned a different *Result: %p vs %p", a, b)
+	}
+}
+
+// TestSourceCachedOptionsMiss: differing Options must not share results —
+// --fast changes the IR.
+func TestSourceCachedOptionsMiss(t *testing.T) {
+	compile.ResetCache()
+	plain, err := compile.SourceCached("cache.mchpl", cacheSrc, compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := compile.SourceCached("cache.mchpl", cacheSrc, compile.Options{Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain == fast {
+		t.Fatal("Options{Fast} shared a cache entry with Options{}")
+	}
+	noChecks, err := compile.SourceCached("cache.mchpl", cacheSrc, compile.Options{NoChecks: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noChecks == plain || noChecks == fast {
+		t.Fatal("Options{NoChecks} shared a cache entry with a different option set")
+	}
+}
+
+// TestSourceCachedSourceMiss: same name, different source bytes, must
+// recompile (the key hashes the source, not just the name).
+func TestSourceCachedSourceMiss(t *testing.T) {
+	compile.ResetCache()
+	a, err := compile.SourceCached("cache.mchpl", cacheSrc, compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := compile.SourceCached("cache.mchpl", cacheSrc+"\nwriteln(0);\n", compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("different source shared a cache entry")
+	}
+}
+
+// TestSourceCachedErrorsCached: a failing source keeps failing without
+// recompiling, and does not poison other keys.
+func TestSourceCachedErrorsCached(t *testing.T) {
+	compile.ResetCache()
+	if _, err := compile.SourceCached("bad.mchpl", "var x = ;", compile.Options{}); err == nil {
+		t.Fatal("expected a compile error")
+	}
+	if _, err := compile.SourceCached("bad.mchpl", "var x = ;", compile.Options{}); err == nil {
+		t.Fatal("expected the cached compile error")
+	}
+	if _, err := compile.SourceCached("cache.mchpl", cacheSrc, compile.Options{}); err != nil {
+		t.Fatalf("good source after bad one: %v", err)
+	}
+}
+
+// TestSourceCachedConcurrent hammers one key from many goroutines (run
+// under -race in CI): all callers must observe the same pointer.
+func TestSourceCachedConcurrent(t *testing.T) {
+	compile.ResetCache()
+	const goroutines = 16
+	results := make([]*compile.Result, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			res, err := compile.SourceCached("cache.mchpl", cacheSrc, compile.Options{})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[g] = res
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if results[g] != results[0] {
+			t.Fatalf("goroutine %d saw a different *Result", g)
+		}
+	}
+}

@@ -146,6 +146,12 @@ func Analyze(prog *ir.Program, opts Options) *Analysis {
 		}
 		a.Funcs[f] = a.analyzeFunc(f)
 	}
+	// Fully path-compress the union-find so post-build find() calls are
+	// pure reads: the Analysis can then be shared across goroutines
+	// (AnalyzeCached) without racing on lazy compression.
+	for v := range a.aliasParent {
+		a.find(v)
+	}
 	return a
 }
 
@@ -157,7 +163,12 @@ func (a *Analysis) find(v *ir.Var) *ir.Var {
 		return v
 	}
 	r := a.find(p)
-	a.aliasParent[v] = r
+	// Path-compress only when the stored parent is stale. After the full
+	// compression at the end of Analyze this branch never fires, keeping
+	// post-build lookups write-free (safe for concurrent readers).
+	if r != p {
+		a.aliasParent[v] = r
+	}
 	return r
 }
 

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/ir"
+)
+
+// Static blame analysis is a pure function of (program, options), and an
+// Analysis is read-only once built (the union-find is fully path-
+// compressed at the end of Analyze, so even lookups no longer write).
+// The profiler, the diagnostics passes and every experiment driver can
+// therefore share one Analysis per program instead of re-running the
+// slice fixpoint — the dominant static cost on LULESH.
+
+type analyzeKey struct {
+	prog *ir.Program
+	opts Options
+}
+
+type analyzeEntry struct {
+	once sync.Once
+	an   *Analysis
+}
+
+var (
+	analyzeMu    sync.Mutex
+	analyzeCache = make(map[analyzeKey]*analyzeEntry)
+)
+
+// AnalyzeCached memoizes Analyze keyed by (program identity, options).
+// Cache hits return the identical *Analysis; concurrent lookups of the
+// same key analyze exactly once.
+func AnalyzeCached(prog *ir.Program, opts Options) *Analysis {
+	k := analyzeKey{prog: prog, opts: opts}
+	analyzeMu.Lock()
+	e, ok := analyzeCache[k]
+	if !ok {
+		e = &analyzeEntry{}
+		analyzeCache[k] = e
+	}
+	analyzeMu.Unlock()
+	e.once.Do(func() { e.an = Analyze(prog, opts) })
+	return e.an
+}
+
+// ResetCache drops all memoized analyses (tests).
+func ResetCache() {
+	analyzeMu.Lock()
+	analyzeCache = make(map[analyzeKey]*analyzeEntry)
+	analyzeMu.Unlock()
+}

@@ -1,0 +1,95 @@
+package core_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/core"
+)
+
+const cacheSrc = `
+var a: real;
+var b: real;
+for i in 1..8 {
+  a = a + i;
+  b = a * 2.0;
+}
+writeln(b);
+`
+
+func compileFor(t testing.TB) *compile.Result {
+	t.Helper()
+	res, err := compile.Source("core_cache.mchpl", cacheSrc, compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestAnalyzeCachedHitIsIdentical: same (program, options) returns the
+// identical *Analysis, so the profiler and the diagnostics passes share
+// one immutable result.
+func TestAnalyzeCachedHitIsIdentical(t *testing.T) {
+	core.ResetCache()
+	res := compileFor(t)
+	a := core.AnalyzeCached(res.Prog, core.DefaultOptions())
+	b := core.AnalyzeCached(res.Prog, core.DefaultOptions())
+	if a != b {
+		t.Fatalf("cache hit returned a different *Analysis: %p vs %p", a, b)
+	}
+}
+
+// TestAnalyzeCachedOptionsMiss: differing core.Options must not share an
+// entry — implicit transfer changes the blame graph.
+func TestAnalyzeCachedOptionsMiss(t *testing.T) {
+	core.ResetCache()
+	res := compileFor(t)
+	def := core.AnalyzeCached(res.Prog, core.DefaultOptions())
+	opts := core.DefaultOptions()
+	opts.ImplicitTransfer = !opts.ImplicitTransfer
+	flipped := core.AnalyzeCached(res.Prog, opts)
+	if def == flipped {
+		t.Fatal("different Options shared a cache entry")
+	}
+}
+
+// TestAnalyzeCachedProgramMiss: distinct program identities (even from
+// identical source) are distinct keys — the cache keys on the *ir.Program
+// pointer, matching the VM's own identity-keyed cost table.
+func TestAnalyzeCachedProgramMiss(t *testing.T) {
+	core.ResetCache()
+	res1 := compileFor(t)
+	res2 := compileFor(t)
+	if res1.Prog == res2.Prog {
+		t.Fatal("test setup: expected distinct program identities")
+	}
+	a1 := core.AnalyzeCached(res1.Prog, core.DefaultOptions())
+	a2 := core.AnalyzeCached(res2.Prog, core.DefaultOptions())
+	if a1 == a2 {
+		t.Fatal("distinct programs shared a cache entry")
+	}
+}
+
+// TestAnalyzeCachedConcurrent hammers one key from many goroutines (run
+// under -race in CI): exactly one analysis, same pointer for all.
+func TestAnalyzeCachedConcurrent(t *testing.T) {
+	core.ResetCache()
+	res := compileFor(t)
+	const goroutines = 16
+	results := make([]*core.Analysis, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			results[g] = core.AnalyzeCached(res.Prog, core.DefaultOptions())
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if results[g] != results[0] {
+			t.Fatalf("goroutine %d saw a different *Analysis", g)
+		}
+	}
+}

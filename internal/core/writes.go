@@ -83,6 +83,13 @@ func newWriteInfo(prog *ir.Program) *writeInfo {
 			}
 		}
 	}
+	// Fully path-compress every per-function union-find so later find()
+	// calls are pure reads (see find).
+	for f, m := range w.localRep {
+		for v := range m {
+			w.find(f, v)
+		}
+	}
 	return w
 }
 
@@ -151,7 +158,12 @@ func (w *writeInfo) find(f *ir.Func, v *ir.Var) *ir.Var {
 		return v
 	}
 	r := w.find(f, p)
-	m[v] = r
+	// Compress only stale entries; after newWriteInfo's full compression
+	// pass this is write-free, so WritesParam is safe for concurrent
+	// readers of a shared Analysis.
+	if r != p {
+		m[v] = r
+	}
 	return r
 }
 

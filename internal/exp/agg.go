@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/analyze"
 	"repro/internal/benchprog"
 	"repro/internal/blame"
 	"repro/internal/compile"
@@ -27,7 +26,7 @@ func TableAgg() (*Table, error) {
 	}
 
 	// The static side of the join: the comm-pattern findings per variable.
-	rep := analyze.Run(res.Prog)
+	rep := analysisReport(res.Prog)
 	predicted := make(map[string][]string)
 	for _, d := range rep.ByPass("comm-pattern") {
 		if d.Var == "" || strings.Contains(d.Message, "communication summary") {
@@ -138,27 +137,32 @@ func TableAgg() (*Table, error) {
 const bcClockHz = 2.53e9
 
 // predictedBy renders the advisor join for a §V speedup row: the named
-// passes' findings on the program the optimization started from.
+// passes' findings on the program the optimization started from. Cited
+// strings are memoized per (program, pass list).
 func predictedBy(p benchprog.Program, passes ...string) string {
-	res, err := p.Compile(compile.Options{})
-	if err != nil {
-		return "-"
-	}
-	rep := analyze.Run(res.Prog)
-	var cites []string
-	for _, pass := range passes {
-		ds := rep.ByPass(pass)
-		if len(ds) == 0 {
-			continue
+	key := p.Name + "|" + strings.Join(passes, ",")
+	s, _ := predMemo.get(key, func() (string, error) {
+		res, err := p.Compile(compile.Options{})
+		if err != nil {
+			return "-", nil
 		}
-		c := fmt.Sprintf("%s at %s", pass, rep.Prog.FileSet.Position(ds[0].Pos))
-		if len(ds) > 1 {
-			c += fmt.Sprintf(" (+%d more)", len(ds)-1)
+		rep := analysisReport(res.Prog)
+		var cites []string
+		for _, pass := range passes {
+			ds := rep.ByPass(pass)
+			if len(ds) == 0 {
+				continue
+			}
+			c := fmt.Sprintf("%s at %s", pass, rep.Prog.FileSet.Position(ds[0].Pos))
+			if len(ds) > 1 {
+				c += fmt.Sprintf(" (+%d more)", len(ds)-1)
+			}
+			cites = append(cites, c)
 		}
-		cites = append(cites, c)
-	}
-	if len(cites) == 0 {
-		return "-"
-	}
-	return strings.Join(cites, "; ")
+		if len(cites) == 0 {
+			return "-", nil
+		}
+		return strings.Join(cites, "; "), nil
+	})
+	return s
 }

@@ -1,0 +1,139 @@
+package exp
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/analyze"
+	"repro/internal/benchprog"
+	"repro/internal/blame"
+	"repro/internal/comm"
+	"repro/internal/compile"
+	"repro/internal/ir"
+)
+
+// The table functions re-derive the same deterministic quantities many
+// times: profileProgram(LULESH original) alone backs Fig4, Table6,
+// Table8's first column, the baseline comparison and the overhead table.
+// Every VM run here is bit-reproducible (fixed scheduler, fixed cost
+// model, no host time), so run results are pure functions of
+// (program, config) and safe to share — including across the parallel
+// suite driver's goroutines.
+
+// memo is a tiny generic singleflight cache: concurrent lookups of the
+// same key compute once, losers block on the winner.
+type memo[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*memoEntry[V]
+}
+
+type memoEntry[V any] struct {
+	once sync.Once
+	v    V
+	err  error
+}
+
+func (c *memo[K, V]) get(k K, f func() (V, error)) (V, error) {
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[K]*memoEntry[V])
+	}
+	e, ok := c.m[k]
+	if !ok {
+		e = &memoEntry[V]{}
+		c.m[k] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.v, e.err = f() })
+	return e.v, e.err
+}
+
+// cfgKey canonicalizes a config-const override map for cache keys.
+func cfgKey(cfgs map[string]string) string {
+	if len(cfgs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(cfgs))
+	for k := range cfgs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(cfgs[k])
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+type timeKey struct {
+	name string
+	fast bool
+	cfgs string
+}
+
+type profKey struct {
+	name string
+	cfgs string
+}
+
+var (
+	timeMemo   memo[timeKey, float64]
+	profMemo   memo[profKey, *blame.Result]
+	reportMemo memo[*ir.Program, *analyze.Report]
+	commMemo   memo[*ir.Program, *comm.Plan]
+	predMemo   memo[string, string]
+)
+
+// analysisReport memoizes the default diagnostics report per program
+// (reports are immutable once built).
+func analysisReport(prog *ir.Program) *analyze.Report {
+	rep, _ := reportMemo.get(prog, func() (*analyze.Report, error) {
+		return analyze.Run(prog), nil
+	})
+	return rep
+}
+
+// commPlanFor memoizes the static comm-pattern plan per program (the VM
+// and the aggregation runtime only read it).
+func commPlanFor(prog *ir.Program) *comm.Plan {
+	plan, _ := commMemo.get(prog, func() (*comm.Plan, error) {
+		return analyze.CommPlan(prog), nil
+	})
+	return plan
+}
+
+// timedSeconds memoizes timeProgram results: unmonitored runs are
+// deterministic, so one (program, fast, configs) run serves Table3,
+// Table5, Table7 and Table9 alike.
+func timedSeconds(p benchprog.Program, fast bool, cfgs map[string]string) (float64, error) {
+	return timeMemo.get(timeKey{p.Name, fast, cfgKey(cfgs)}, func() (float64, error) {
+		res, err := p.Compile(compile.Options{Fast: fast})
+		if err != nil {
+			return 0, err
+		}
+		return timeRun(res, cfgs)
+	})
+}
+
+// profiled memoizes profileProgram results. The *blame.Result (profile,
+// analysis, sampler) is read-only for every consumer, so the LULESH
+// profile runs once and feeds Fig4, Table6, Table8, the baseline and the
+// overhead tables.
+func profiled(p benchprog.Program, cfgs map[string]string) (*blame.Result, error) {
+	return profMemo.get(profKey{p.Name, cfgKey(cfgs)}, func() (*blame.Result, error) {
+		return profileUncached(p, cfgs)
+	})
+}
+
+// ResetMemos drops all experiment-level caches (tests).
+func ResetMemos() {
+	timeMemo = memo[timeKey, float64]{}
+	profMemo = memo[profKey, *blame.Result]{}
+	reportMemo = memo[*ir.Program, *analyze.Report]{}
+	commMemo = memo[*ir.Program, *comm.Plan]{}
+	predMemo = memo[string, string]{}
+}

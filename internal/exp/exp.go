@@ -89,19 +89,24 @@ func timeRun(res *compile.Result, cfgs map[string]string) (float64, error) {
 	return stats.Seconds(cfg.ClockHz), nil
 }
 
-// timeProgram compiles and times one benchmark program.
+// timeProgram compiles and times one benchmark program. Results are
+// memoized (timedSeconds): the VM is deterministic, so one run per
+// (program, fast, configs) serves every table that needs it.
 func timeProgram(p benchprog.Program, fast bool, cfgs map[string]string) (float64, error) {
-	res, err := p.Compile(compile.Options{Fast: fast})
-	if err != nil {
-		return 0, err
-	}
-	return timeRun(res, cfgs)
+	return timedSeconds(p, fast, cfgs)
 }
 
 // profileProgram runs the full blame pipeline on a benchmark with an
 // auto-scaled sampling threshold (the paper's fixed large prime assumes
-// multi-second runs; we target a few thousand samples).
+// multi-second runs; we target a few thousand samples). Results are
+// memoized (profiled): the LULESH profile backs five tables but runs
+// once.
 func profileProgram(p benchprog.Program, cfgs map[string]string) (*blame.Result, error) {
+	return profiled(p, cfgs)
+}
+
+// profileUncached is the memoized body of profileProgram.
+func profileUncached(p benchprog.Program, cfgs map[string]string) (*blame.Result, error) {
 	res, err := p.Compile(compile.Options{})
 	if err != nil {
 		return nil, err

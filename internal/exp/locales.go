@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/analyze"
 	"repro/internal/benchprog"
 	"repro/internal/compile"
 	"repro/internal/vm"
@@ -40,7 +39,7 @@ func TableLocales() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		plan := analyze.CommPlan(res.Prog)
+		plan := commPlanFor(res.Prog)
 
 		run := func(nl int, ownerComputes bool) (vm.Stats, string, error) {
 			var out strings.Builder

@@ -1,0 +1,127 @@
+package exp
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Experiment is one named table/figure generator of the evaluation suite.
+// Fn returns the rendered text exactly as cmd/paperbench prints it (for
+// figures that includes the header line), so serial and parallel drivers
+// produce byte-identical output.
+type Experiment struct {
+	Name string
+	Fn   func() (string, error)
+}
+
+// Outcome is one experiment's rendered result.
+type Outcome struct {
+	Name string
+	Text string
+	Err  error
+}
+
+func tableExp(name string, fn func() (*Table, error)) Experiment {
+	return Experiment{Name: name, Fn: func() (string, error) {
+		t, err := fn()
+		if err != nil {
+			return "", err
+		}
+		return t.String(), nil
+	}}
+}
+
+// Experiments returns the full suite in presentation order (the order
+// cmd/paperbench prints them).
+func Experiments() []Experiment {
+	return []Experiment{
+		tableExp("t1", Table1),
+		tableExp("t2", Table2),
+		tableExp("t3", Table3),
+		tableExp("t4", Table4),
+		tableExp("t5", Table5),
+		tableExp("t6", Table6),
+		tableExp("t7", Table7),
+		tableExp("t8", Table8),
+		tableExp("t9", Table9),
+		tableExp("agg", TableAgg),
+		tableExp("locales", TableLocales),
+		tableExp("baseline", UnknownData),
+		tableExp("overhead", Overhead),
+		{Name: "fig4", Fn: func() (string, error) {
+			text, _, err := Fig4()
+			if err != nil {
+				return "", err
+			}
+			return "Fig. 4 — LULESH code-centric profile (pprof format)\n" + text, nil
+		}},
+		{Name: "fig3", Fn: func() (string, error) {
+			text, err := Fig3()
+			if err != nil {
+				return "", err
+			}
+			return "Fig. 3 — the three tool views for a MiniMD run\n" + text, nil
+		}},
+	}
+}
+
+// Select filters the suite by name, preserving presentation order; an
+// empty name list selects everything. Unknown names error.
+func Select(names []string) ([]Experiment, error) {
+	all := Experiments()
+	if len(names) == 0 {
+		return all, nil
+	}
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		want[n] = true
+	}
+	var out []Experiment
+	for _, e := range all {
+		if want[e.Name] {
+			out = append(out, e)
+			delete(want, e.Name)
+		}
+	}
+	for n := range want {
+		return nil, fmt.Errorf("unknown experiment %q", n)
+	}
+	return out, nil
+}
+
+// RunSuite executes the given experiments over a bounded worker pool and
+// returns the outcomes in input order. workers <= 1 runs serially; the
+// output is byte-identical either way (pinned by TestSuiteParallelMatchesSerial):
+// every experiment is deterministic, the shared compile/analysis/profile
+// memos are concurrency-safe, and ordering is by slot, not completion.
+func RunSuite(exps []Experiment, workers int) []Outcome {
+	out := make([]Outcome, len(exps))
+	if workers <= 1 {
+		for i, e := range exps {
+			text, err := e.Fn()
+			out[i] = Outcome{Name: e.Name, Text: text, Err: err}
+		}
+		return out
+	}
+	if workers > len(exps) {
+		workers = len(exps)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				text, err := exps[i].Fn()
+				out[i] = Outcome{Name: exps[i].Name, Text: text, Err: err}
+			}
+		}()
+	}
+	for i := range exps {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,113 @@
+package exp
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// lightSubset is the part of the suite cheap enough to run twice in a
+// unit test (the t5/t7/t8/t9 sweeps re-execute LULESH many times and
+// belong to the benchmark suite, not here). It still covers every kind
+// of experiment: plain tables, the aggregation/locale drivers, and both
+// figures.
+var lightSubset = []string{
+	"t1", "t2", "t3", "t4", "agg", "locales", "baseline", "overhead", "fig4", "fig3",
+}
+
+// TestSuiteParallelMatchesSerial pins the acceptance criterion for the
+// parallel experiment driver: running over the worker pool must produce
+// byte-identical text per experiment, in the same order, as the serial
+// path.
+func TestSuiteParallelMatchesSerial(t *testing.T) {
+	exps, err := Select(lightSubset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := RunSuite(exps, 1)
+	parallel := RunSuite(exps, 4)
+	if len(serial) != len(parallel) {
+		t.Fatalf("outcome count: serial %d, parallel %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		s, p := serial[i], parallel[i]
+		if s.Err != nil || p.Err != nil {
+			t.Fatalf("%s: serial err=%v parallel err=%v", s.Name, s.Err, p.Err)
+		}
+		if s.Name != p.Name {
+			t.Fatalf("outcome %d: name %q (serial) vs %q (parallel)", i, s.Name, p.Name)
+		}
+		if s.Text != p.Text {
+			t.Errorf("%s: parallel text differs from serial\n--- serial ---\n%s\n--- parallel ---\n%s",
+				s.Name, s.Text, p.Text)
+		}
+	}
+}
+
+// TestSuiteParallelRepeatable runs the parallel driver twice: memo hits
+// on the second pass must not change the rendered bytes.
+func TestSuiteParallelRepeatable(t *testing.T) {
+	exps, err := Select([]string{"t2", "agg", "fig3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := RunSuite(exps, 3)
+	second := RunSuite(exps, 3)
+	for i := range first {
+		if first[i].Err != nil || second[i].Err != nil {
+			t.Fatalf("%s: err first=%v second=%v", first[i].Name, first[i].Err, second[i].Err)
+		}
+		if first[i].Text != second[i].Text {
+			t.Errorf("%s: second (memoized) run differs from first", first[i].Name)
+		}
+	}
+}
+
+// TestSelect covers ordering, filtering, and unknown-name errors.
+func TestSelect(t *testing.T) {
+	all, err := Select(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) == 0 {
+		t.Fatal("empty suite")
+	}
+	// Selection preserves presentation order regardless of request order.
+	got, err := Select([]string{"t2", "t1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "t1" || got[1].Name != "t2" {
+		t.Fatalf("Select order: got %v", []string{got[0].Name, got[1].Name})
+	}
+	if _, err := Select([]string{"nope"}); err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("unknown name: got err %v", err)
+	}
+}
+
+// TestRunSuiteOrderUnderContention floods a 2-worker pool with quick
+// jobs finishing out of order; outcomes must still land by input slot.
+func TestRunSuiteOrderUnderContention(t *testing.T) {
+	const n = 64
+	var mu sync.Mutex
+	started := 0
+	exps := make([]Experiment, n)
+	for i := range exps {
+		name := string(rune('a' + i%26))
+		exps[i] = Experiment{Name: name, Fn: func() (string, error) {
+			mu.Lock()
+			started++
+			mu.Unlock()
+			return name, nil
+		}}
+	}
+	out := RunSuite(exps, 2)
+	if started != n {
+		t.Fatalf("ran %d of %d experiments", started, n)
+	}
+	for i, o := range out {
+		if o.Name != exps[i].Name || o.Text != exps[i].Name {
+			t.Fatalf("slot %d: got %q/%q, want %q", i, o.Name, o.Text, exps[i].Name)
+		}
+	}
+}

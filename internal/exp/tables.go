@@ -15,11 +15,11 @@ import (
 // Table1 regenerates the paper's Table I: the variable→blame-lines map of
 // the Fig. 1 example, computed by static analysis alone.
 func Table1() (*Table, error) {
-	res, err := compile.Source("fig1.mchpl", benchprog.Fig1Example, compile.Options{})
+	res, err := compile.SourceCached("fig1.mchpl", benchprog.Fig1Example, compile.Options{})
 	if err != nil {
 		return nil, err
 	}
-	an := core.Analyze(res.Prog, core.DefaultOptions())
+	an := core.AnalyzeCached(res.Prog, core.DefaultOptions())
 	main := res.Prog.FuncByName("main")
 	find := func(name string) *ir.Var {
 		for _, v := range main.AllVars() {

@@ -187,30 +187,30 @@ func (m *VM) doBuiltin(t *Task, in *ir.Instr) (uint64, bool) {
 		fmt.Fprint(m.Cfg.Stdout, b.String())
 		return m.cost(m.Cfg.Costs.WriteBuiltin), true
 	case "sqrt":
-		m.assignVar(t, in.Dst, RealVal(math.Sqrt(argV(0).AsReal())), in)
+		m.assignVarV(t, in.Dst, RealVal(math.Sqrt(argV(0).AsReal())), in)
 	case "cbrt":
-		m.assignVar(t, in.Dst, RealVal(math.Cbrt(argV(0).AsReal())), in)
+		m.assignVarV(t, in.Dst, RealVal(math.Cbrt(argV(0).AsReal())), in)
 	case "exp":
-		m.assignVar(t, in.Dst, RealVal(math.Exp(argV(0).AsReal())), in)
+		m.assignVarV(t, in.Dst, RealVal(math.Exp(argV(0).AsReal())), in)
 	case "log":
-		m.assignVar(t, in.Dst, RealVal(math.Log(argV(0).AsReal())), in)
+		m.assignVarV(t, in.Dst, RealVal(math.Log(argV(0).AsReal())), in)
 	case "sin":
-		m.assignVar(t, in.Dst, RealVal(math.Sin(argV(0).AsReal())), in)
+		m.assignVarV(t, in.Dst, RealVal(math.Sin(argV(0).AsReal())), in)
 	case "cos":
-		m.assignVar(t, in.Dst, RealVal(math.Cos(argV(0).AsReal())), in)
+		m.assignVarV(t, in.Dst, RealVal(math.Cos(argV(0).AsReal())), in)
 	case "floor":
-		m.assignVar(t, in.Dst, RealVal(math.Floor(argV(0).AsReal())), in)
+		m.assignVarV(t, in.Dst, RealVal(math.Floor(argV(0).AsReal())), in)
 	case "ceil":
-		m.assignVar(t, in.Dst, RealVal(math.Ceil(argV(0).AsReal())), in)
+		m.assignVarV(t, in.Dst, RealVal(math.Ceil(argV(0).AsReal())), in)
 	case "abs":
 		v := argV(0)
 		if v.K == KInt {
 			if v.I < 0 {
 				v.I = -v.I
 			}
-			m.assignVar(t, in.Dst, v, in)
+			m.assignVarV(t, in.Dst, v, in)
 		} else {
-			m.assignVar(t, in.Dst, RealVal(math.Abs(v.AsReal())), in)
+			m.assignVarV(t, in.Dst, RealVal(math.Abs(v.AsReal())), in)
 		}
 	case "sgn":
 		x := argV(0).AsReal()
@@ -220,7 +220,7 @@ func (m *VM) doBuiltin(t *Task, in *ir.Instr) (uint64, bool) {
 		} else if x < 0 {
 			s = -1
 		}
-		m.assignVar(t, in.Dst, IntVal(s), in)
+		m.assignVarV(t, in.Dst, IntVal(s), in)
 	case "min", "max":
 		best := argV(0)
 		isInt := best.K == KInt
@@ -237,10 +237,10 @@ func (m *VM) doBuiltin(t *Task, in *ir.Instr) (uint64, bool) {
 		if !isInt && best.K == KInt {
 			best = RealVal(best.AsReal())
 		}
-		m.assignVar(t, in.Dst, best, in)
+		m.assignVarV(t, in.Dst, best, in)
 	case "getCurrentTime":
 		secs := float64(m.coreOf(t).clock) / m.Cfg.ClockHz
-		m.assignVar(t, in.Dst, RealVal(secs), in)
+		m.assignVarV(t, in.Dst, RealVal(secs), in)
 	case "assert":
 		v := argV(0)
 		if v.K != KBool || !v.B {
@@ -305,7 +305,7 @@ func (m *VM) atomicBuiltin(t *Task, in *ir.Instr, op string) (uint64, bool) {
 	}
 	switch op {
 	case "read":
-		m.assignVar(t, in.Dst, *cell, in)
+		m.assignVarV(t, in.Dst, *cell, in)
 	case "write":
 		*cell = argV(0).Copy()
 	case "add", "sub", "fetchAdd":
@@ -328,7 +328,7 @@ func (m *VM) atomicBuiltin(t *Task, in *ir.Instr, op string) (uint64, bool) {
 		}
 		*cell = next
 		if op == "fetchAdd" {
-			m.assignVar(t, in.Dst, old, in)
+			m.assignVarV(t, in.Dst, old, in)
 		}
 	default:
 		m.fail(t, in, "unknown atomic op %s", op)
@@ -351,25 +351,25 @@ func (m *VM) configBuiltin(t *Task, in *ir.Instr, name string) (uint64, bool) {
 				m.fail(t, in, "config %s: bad int %q", name, raw)
 				return 0, false
 			}
-			m.assignVar(t, in.Dst, IntVal(n), in)
+			m.assignVarV(t, in.Dst, IntVal(n), in)
 		case KReal:
 			f, err := strconv.ParseFloat(raw, 64)
 			if err != nil {
 				m.fail(t, in, "config %s: bad real %q", name, raw)
 				return 0, false
 			}
-			m.assignVar(t, in.Dst, RealVal(f), in)
+			m.assignVarV(t, in.Dst, RealVal(f), in)
 		case KBool:
-			m.assignVar(t, in.Dst, BoolVal(raw == "true" || raw == "1"), in)
+			m.assignVarV(t, in.Dst, BoolVal(raw == "true" || raw == "1"), in)
 		case KString:
-			m.assignVar(t, in.Dst, StrVal(raw), in)
+			m.assignVarV(t, in.Dst, StrVal(raw), in)
 		default:
 			m.fail(t, in, "config %s: unsupported type", name)
 			return 0, false
 		}
 		return 0, true
 	}
-	m.assignVar(t, in.Dst, def, in)
+	m.assignVarV(t, in.Dst, def, in)
 	return 0, true
 }
 
@@ -421,9 +421,9 @@ func (m *VM) reduceBuiltin(t *Task, in *ir.Instr, op string) (uint64, bool) {
 		first = false
 	}
 	if isInt {
-		m.assignVar(t, in.Dst, IntVal(accI), in)
+		m.assignVarV(t, in.Dst, IntVal(accI), in)
 	} else {
-		m.assignVar(t, in.Dst, RealVal(accF), in)
+		m.assignVarV(t, in.Dst, RealVal(accF), in)
 	}
 	return uint64(n) * m.cost(m.Cfg.Costs.PerElem), true
 }

@@ -1,6 +1,8 @@
 package vm
 
 import (
+	"sync"
+
 	"repro/internal/ir"
 	"repro/internal/token"
 )
@@ -142,6 +144,65 @@ func (c *CostModel) scale(fast bool, cycles uint64) uint64 {
 		s = 1
 	}
 	return s
+}
+
+// costTabKey identifies a precomputed per-instruction cost table.
+// CostModel has only uint64 fields, so it is comparable and usable as a
+// map key directly; Optimized/NoChecks ride along with the program
+// identity.
+type costTabKey struct {
+	prog  *ir.Program
+	costs CostModel
+}
+
+var (
+	costTabMu    sync.Mutex
+	costTabCache = make(map[costTabKey][]uint64)
+)
+
+// costTable returns the per-instruction static cost, indexed by the dense
+// Instr.Addr that Program.Finalize assigns. The table folds in the --fast
+// scale and the per-function i-cache surcharge, so the interpreter's hot
+// loop replaces an instrCost switch plus a map lookup with one slice
+// load. Tables are immutable and shared across all VMs of the same
+// (program, cost model) — dozens per experiment suite.
+func costTable(prog *ir.Program, c CostModel) []uint64 {
+	k := costTabKey{prog: prog, costs: c}
+	costTabMu.Lock()
+	defer costTabMu.Unlock()
+	if tab, ok := costTabCache[k]; ok {
+		return tab
+	}
+	// Per-function i-cache pressure surcharge (same arithmetic as the
+	// previous per-step computation, applied per instruction).
+	surcharge := make(map[*ir.Func]uint64)
+	if c.IcacheDen > 0 {
+		for _, f := range prog.Funcs {
+			n := uint64(0)
+			for _, b := range f.Blocks {
+				n += uint64(len(b.Instrs))
+			}
+			if n > c.IcacheThreshold {
+				extra := n - c.IcacheThreshold
+				if extra > c.IcacheDen {
+					extra = c.IcacheDen
+				}
+				surcharge[f] = extra
+			}
+		}
+	}
+	tab := make([]uint64, len(prog.Instrs))
+	for _, in := range prog.Instrs {
+		cycles := c.scale(prog.Optimized, c.instrCost(in, prog.NoChecks))
+		if in.Block != nil {
+			if ex := surcharge[in.Block.Func]; ex > 0 {
+				cycles += cycles * ex / c.IcacheDen
+			}
+		}
+		tab[in.Addr] = cycles
+	}
+	costTabCache[k] = tab
+	return tab
 }
 
 // instrCost computes the cycle cost of one executed instruction. Costs

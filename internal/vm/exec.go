@@ -22,16 +22,15 @@ func (m *VM) step(t *Task) bool {
 		return false
 	}
 	if act.Block == nil || act.Idx >= len(act.Block.Instrs) {
-		m.popFrame(t, Value{})
+		m.popFrame(t, nil)
 		return true
 	}
 	in := act.Block.Instrs[act.Idx]
 	m.Stats.Instructions++
 
-	cycles := m.cost(m.Cfg.Costs.instrCost(in, m.Prog.NoChecks))
-	if ex := m.icache[act.F]; ex > 0 {
-		cycles += cycles * ex / m.Cfg.Costs.IcacheDen
-	}
+	// Static cost (with --fast scaling and i-cache surcharge) comes from
+	// the precomputed per-instruction table.
+	cycles := m.costTab[in.Addr]
 	var acc *ArrayVal
 
 	advance := true
@@ -49,36 +48,56 @@ func (m *VM) step(t *Task) bool {
 			m.bindCell(t, in.Dst, makeRef(m.cellOf(t, in.A)))
 			break
 		}
-		src := m.readVal(t, in.A)
-		extra := m.assignVar(t, in.Dst, src, in)
-		cycles += extra
+		src := m.readPtr(t, in.A)
+		cycles += m.assignVar(t, in.Dst, src, in)
 
 	case ir.OpBin:
-		a := m.readVal(t, in.A)
-		b := m.readVal(t, in.B)
+		a := m.readPtr(t, in.A)
+		b := m.readPtr(t, in.B)
+		// Fast path: int/real/bool operands into a non-composite cell
+		// write the result in place (assignVar would reduce to a plain
+		// scalar store anyway), skipping two ~200-byte Value copies.
+		if in.Dst != nil {
+			dst := m.cellOf(t, in.Dst)
+			if dst.K == KRef {
+				dst = dst.Deref()
+			}
+			if dst.K != KArray && dst.K != KTuple && dst.K != KRecord {
+				if handled, ok := binScalarInto(in.BinOp, a, b, dst); handled {
+					if !ok {
+						m.fail(t, in, "invalid operands for %s: %s and %s", in.BinOp, a, b)
+						return false
+					}
+					break
+				}
+			}
+		}
 		v, extra, ok := m.evalBin(in.BinOp, a, b)
 		if !ok {
 			m.fail(t, in, "invalid operands for %s: %s and %s", in.BinOp, a, b)
 			return false
 		}
 		cycles += extra
-		m.assignVar(t, in.Dst, v, in)
+		m.assignVar(t, in.Dst, &v, in)
 
 	case ir.OpUn:
-		a := m.readVal(t, in.A)
+		a := m.readPtr(t, in.A)
 		v, ok := evalUn(in.BinOp, a)
 		if !ok {
 			m.fail(t, in, "invalid operand for unary %s: %s", in.BinOp, a)
 			return false
 		}
-		m.assignVar(t, in.Dst, v, in)
+		m.assignVar(t, in.Dst, &v, in)
 
 	case ir.OpMakeTuple:
+		// Elements are not copied here: assignVar deep-copies composites
+		// when it stores the tuple, and the intermediate is never aliased.
 		elems := make([]Value, len(in.Args))
 		for i, a := range in.Args {
-			elems[i] = m.readVal(t, a).Copy()
+			elems[i] = *m.readPtr(t, a)
 		}
-		m.assignVar(t, in.Dst, Value{K: KTuple, Elems: elems}, in)
+		v := Value{K: KTuple, Elems: elems}
+		m.assignVar(t, in.Dst, &v, in)
 
 	case ir.OpTupleGet:
 		base := m.readCellChecked(t, in.A, in)
@@ -89,7 +108,7 @@ func (m *VM) step(t *Task) bool {
 		if ix < 0 {
 			return false
 		}
-		m.assignVar(t, in.Dst, base.Elems[ix].Copy(), in)
+		m.assignVar(t, in.Dst, &base.Elems[ix], in)
 
 	case ir.OpTupleSet:
 		base := m.cellOf(t, in.Dst).Deref()
@@ -101,7 +120,12 @@ func (m *VM) step(t *Task) bool {
 		if ix < 0 {
 			return false
 		}
-		base.Elems[ix] = m.readVal(t, in.A).Copy()
+		src := m.readPtr(t, in.A)
+		if src.K == KTuple || src.K == KRecord {
+			base.Elems[ix] = src.Copy()
+		} else {
+			base.Elems[ix] = *src
+		}
 
 	case ir.OpField:
 		cycles += m.classDerefCost(t, in.A)
@@ -110,9 +134,8 @@ func (m *VM) step(t *Task) bool {
 			return false
 		}
 		acc = arr
-		v := cell.Copy()
-		cycles += uint64(v.FlatSize()-1) * m.cost(m.Cfg.Costs.PerElem)
-		m.assignVar(t, in.Dst, v, in)
+		cycles += uint64(cell.FlatSize()-1) * m.cost(m.Cfg.Costs.PerElem)
+		m.assignVar(t, in.Dst, cell, in)
 
 	case ir.OpFieldStore:
 		cycles += m.classDerefCost(t, in.Dst)
@@ -121,7 +144,7 @@ func (m *VM) step(t *Task) bool {
 			return false
 		}
 		acc = arr
-		src := m.readVal(t, in.A)
+		src := m.readPtr(t, in.A)
 		cycles += m.assignInto(cell, src)
 
 	case ir.OpRefField:
@@ -139,10 +162,10 @@ func (m *VM) step(t *Task) bool {
 			return false
 		}
 		acc = arr
-		v := cell.Copy()
-		cycles += uint64(v.FlatSize()-1) * m.cost(m.Cfg.Costs.PerElem)
-		cycles += m.commCost(t, arr, idx, int64(v.FlatSize())*8, false)
-		m.assignVar(t, in.Dst, v, in)
+		fs := cell.FlatSize()
+		cycles += uint64(fs-1) * m.cost(m.Cfg.Costs.PerElem)
+		cycles += m.commCost(t, arr, idx, int64(fs)*8, false)
+		m.assignVar(t, in.Dst, cell, in)
 
 	case ir.OpIndexStore:
 		cell, arr, idx, ok := m.elemCell(t, in, in.Dst)
@@ -150,9 +173,10 @@ func (m *VM) step(t *Task) bool {
 			return false
 		}
 		acc = arr
-		src := m.readVal(t, in.A)
+		src := m.readPtr(t, in.A)
+		fs := int64(src.FlatSize())
 		cycles += m.assignInto(cell, src)
-		cycles += m.commCost(t, arr, idx, int64(src.FlatSize())*8, true)
+		cycles += m.commCost(t, arr, idx, fs*8, true)
 
 	case ir.OpRefElem:
 		cell, arr, idx, ok := m.elemCell(t, in, in.A)
@@ -192,7 +216,8 @@ func (m *VM) step(t *Task) bool {
 				return false
 			}
 		}
-		m.assignVar(t, in.Dst, Value{K: KRange, Rng: r}, in)
+		rv := Value{K: KRange, Rng: r}
+		m.assignVar(t, in.Dst, &rv, in)
 
 	case ir.OpMakeDomain:
 		d := DomainVal{Rank: len(in.Args)}
@@ -204,21 +229,22 @@ func (m *VM) step(t *Task) bool {
 			}
 			d.Dims[i] = rv.Rng
 		}
-		m.assignVar(t, in.Dst, Value{K: KDomain, Dom: d}, in)
+		dv := Value{K: KDomain, Dom: d}
+		m.assignVar(t, in.Dst, &dv, in)
 
 	case ir.OpDomMethod:
 		v, ok := m.domMethod(t, in)
 		if !ok {
 			return false
 		}
-		m.assignVar(t, in.Dst, v, in)
+		m.assignVar(t, in.Dst, &v, in)
 
 	case ir.OpQuery:
 		v, ok := m.query(t, in)
 		if !ok {
 			return false
 		}
-		m.assignVar(t, in.Dst, v, in)
+		m.assignVar(t, in.Dst, &v, in)
 
 	case ir.OpAllocArray:
 		dv := m.readVal(t, in.A)
@@ -251,11 +277,14 @@ func (m *VM) step(t *Task) bool {
 		}
 		obj, extra := m.allocInstance(t, rt, in.Dst, in)
 		cycles += extra
-		m.assignVar(t, in.Dst, Value{K: KClass, Obj: obj}, in)
+		ov := Value{K: KClass, Obj: obj}
+		m.assignVar(t, in.Dst, &ov, in)
 
 	case ir.OpCall:
 		m.charge(t, cycles)
-		m.lis.Exec(cycles, t, in, nil)
+		if !m.noLis {
+			m.lis.Exec(cycles, t, in, nil)
+		}
 		m.doCall(t, in)
 		return true // doCall manages Idx
 
@@ -270,14 +299,18 @@ func (m *VM) step(t *Task) bool {
 			// advancing (re-check on resume is unnecessary: sync_end
 			// completes when unblocked).
 			m.charge(t, cycles)
-			m.lis.Exec(cycles, t, in, nil)
+			if !m.noLis {
+				m.lis.Exec(cycles, t, in, nil)
+			}
 			act.Idx++
 			return false
 		}
 
 	case ir.OpSpawn:
 		m.charge(t, cycles)
-		m.lis.Exec(cycles, t, in, nil)
+		if !m.noLis {
+			m.lis.Exec(cycles, t, in, nil)
+		}
 		m.doSpawn(t, in)
 		if t.blockedOn == nil {
 			// Non-blocking (begin) or empty iteration: continue past.
@@ -291,15 +324,19 @@ func (m *VM) step(t *Task) bool {
 
 	case ir.OpJmp:
 		m.charge(t, cycles)
-		m.lis.Exec(cycles, t, in, nil)
+		if !m.noLis {
+			m.lis.Exec(cycles, t, in, nil)
+		}
 		act.Block = in.Targets[0]
 		act.Idx = 0
 		return true
 
 	case ir.OpBr:
-		cond := m.readVal(t, in.A)
+		cond := m.readPtr(t, in.A)
 		m.charge(t, cycles)
-		m.lis.Exec(cycles, t, in, nil)
+		if !m.noLis {
+			m.lis.Exec(cycles, t, in, nil)
+		}
 		if cond.K != KBool {
 			m.fail(t, in, "branch on non-bool %s", cond)
 			return false
@@ -313,12 +350,14 @@ func (m *VM) step(t *Task) bool {
 		return true
 
 	case ir.OpRet:
-		var rv Value
+		var rv *Value
 		if in.A != nil {
-			rv = m.readVal(t, in.A)
+			rv = m.readPtr(t, in.A)
 		}
 		m.charge(t, cycles)
-		m.lis.Exec(cycles, t, in, nil)
+		if !m.noLis {
+			m.lis.Exec(cycles, t, in, nil)
+		}
 		m.popFrame(t, rv)
 		return true
 
@@ -331,7 +370,9 @@ func (m *VM) step(t *Task) bool {
 		return false
 	}
 	m.charge(t, cycles)
-	m.lis.Exec(cycles, t, in, acc)
+	if !m.noLis {
+		m.lis.Exec(cycles, t, in, acc)
+	}
 	if advance {
 		act.Idx++
 	}
@@ -371,6 +412,18 @@ func (m *VM) readVal(t *Task, v *ir.Var) Value {
 	return *m.cellOf(t, v).Deref()
 }
 
+// readPtr returns a pointer to v's dereferenced storage without copying
+// the Value. Callers must treat the result as read-only and consume it
+// before executing another instruction (`here` resolves to a scratch cell
+// that the next readPtr of `here` overwrites).
+func (m *VM) readPtr(t *Task, v *ir.Var) *Value {
+	if v == m.hereVar {
+		m.hereTmp = Value{K: KLocale, I: int64(t.Locale)}
+		return &m.hereTmp
+	}
+	return m.cellOf(t, v).Deref()
+}
+
 // readCellChecked reads v's dereferenced cell, failing on nil frames.
 func (m *VM) readCellChecked(t *Task, v *ir.Var, in *ir.Instr) *Value {
 	return m.cellOf(t, v).Deref()
@@ -393,8 +446,9 @@ func makeRef(cell *Value) Value {
 }
 
 // assignVar assigns through refs with array-aware semantics; returns
-// extra cycles for bulk copies.
-func (m *VM) assignVar(t *Task, v *ir.Var, src Value, in *ir.Instr) uint64 {
+// extra cycles for bulk copies. src is a pointer to avoid copying the
+// Value through the call (see copyValueInto for the aliasing argument).
+func (m *VM) assignVar(t *Task, v *ir.Var, src *Value, in *ir.Instr) uint64 {
 	if v == nil {
 		return 0
 	}
@@ -405,11 +459,17 @@ func (m *VM) assignVar(t *Task, v *ir.Var, src Value, in *ir.Instr) uint64 {
 	return m.assignInto(cell, src)
 }
 
+// assignVarV is assignVar for call sites with non-addressable sources
+// (builtin results); the extra copy is fine off the hot path.
+func (m *VM) assignVarV(t *Task, v *ir.Var, src Value, in *ir.Instr) uint64 {
+	return m.assignVar(t, v, &src, in)
+}
+
 // assignInto implements MiniChapel assignment semantics into a cell:
 // arrays assign elementwise (views write through to their parents),
 // scalars broadcast over arrays and tuples, everything else deep-copies.
-func (m *VM) assignInto(cell *Value, src Value) uint64 {
-	src = *src.Deref()
+func (m *VM) assignInto(cell *Value, src *Value) uint64 {
+	src = src.Deref()
 	if cell.K == KArray && cell.Arr != nil {
 		dst := cell.Arr
 		switch src.K {
@@ -422,7 +482,7 @@ func (m *VM) assignInto(cell *Value, src Value) uint64 {
 			for p := int64(0); p < n; p++ {
 				dst.Dom.Unlinear(p, idx)
 				if c := dst.Cell(idx); c != nil {
-					*c = src.Copy()
+					copyValueInto(c, src)
 				}
 			}
 			return uint64(n) * m.cost(m.Cfg.Costs.PerElem)
@@ -437,12 +497,12 @@ func (m *VM) assignInto(cell *Value, src Value) uint64 {
 	if (cell.K == KTuple || cell.K == KRecord) && src.K != cell.K {
 		// Scalar broadcast over tuple.
 		for i := range cell.Elems {
-			cell.Elems[i] = src.Copy()
+			copyValueInto(&cell.Elems[i], src)
 		}
 		return uint64(len(cell.Elems)) * m.cost(m.Cfg.Costs.PerElem)
 	}
 	n := src.FlatSize()
-	*cell = src.Copy()
+	copyValueInto(cell, src)
 	if n > 1 {
 		return uint64(n-1) * m.cost(m.Cfg.Costs.PerElem)
 	}
@@ -582,7 +642,9 @@ func (m *VM) elemCell(t *Task, in *ir.Instr, baseVar *ir.Var) (*Value, *ArrayVal
 		return nil, nil, nil, false
 	}
 	arr := base.Arr
-	idx := make([]int64, 0, 3)
+	// Resolved indices live in a VM scratch buffer: element accesses
+	// dominate hot loops and the indices never outlive the instruction.
+	idx := m.idxScratch[:0]
 	if len(in.Args) == 1 {
 		iv := m.readVal(t, in.Args[0])
 		if iv.K == KTuple {
@@ -757,10 +819,12 @@ func (m *VM) commAccess(t *Task, arr *ArrayVal, idx []int64, bytes int64, home i
 // ------------------------------------------------------------ arithmetic
 
 // evalBin computes a binary operation with promotion over tuples and
-// arrays. Returns extra cycles for elementwise work.
-func (m *VM) evalBin(op token.Kind, a, b Value) (Value, uint64, bool) {
-	a = *a.Deref()
-	b = *b.Deref()
+// arrays. Returns extra cycles for elementwise work. Operands are passed
+// by pointer (and only read): binary ops run on every hot-loop iteration
+// and Value is too large to copy per call.
+func (m *VM) evalBin(op token.Kind, a, b *Value) (Value, uint64, bool) {
+	a = a.Deref()
+	b = b.Deref()
 	// Array promotion.
 	if a.K == KArray || b.K == KArray {
 		return m.evalArrayBin(op, a, b)
@@ -821,7 +885,108 @@ func (m *VM) evalBin(op token.Kind, a, b Value) (Value, uint64, bool) {
 	return Value{}, 0, false
 }
 
-func compare(op token.Kind, a, b Value) (Value, uint64, bool) {
+// binScalarInto is the hot-path form of evalBin for int/real/bool
+// operands, writing the result straight into out (the caller guarantees
+// out is not an array/tuple/record cell, where assignment broadcasts).
+// handled=false means "not a case this covers — use evalBin"; when
+// handled, ok mirrors evalBin's ok exactly (e.g. division by zero).
+// out is only written on success, and only after both operands are
+// read, so out may alias a or b.
+func binScalarInto(op token.Kind, a, b, out *Value) (handled, ok bool) {
+	if a.K == KInt && b.K == KInt {
+		var n int64
+		switch op {
+		case token.PLUS:
+			n = a.I + b.I
+		case token.MINUS:
+			n = a.I - b.I
+		case token.STAR:
+			n = a.I * b.I
+		case token.SLASH:
+			if b.I == 0 {
+				return true, false
+			}
+			n = a.I / b.I
+		case token.PERCENT:
+			if b.I == 0 {
+				return true, false
+			}
+			n = a.I % b.I
+		case token.POW:
+			n = ipow(a.I, b.I)
+		case token.EQ, token.NEQ, token.LT, token.LE, token.GT, token.GE:
+			return true, cmpRealInto(op, a.AsReal(), b.AsReal(), out)
+		default:
+			return false, false
+		}
+		*out = Value{K: KInt, I: n}
+		return true, true
+	}
+	if (a.K == KInt || a.K == KReal) && (b.K == KInt || b.K == KReal) {
+		x, y := a.AsReal(), b.AsReal()
+		var f float64
+		switch op {
+		case token.PLUS:
+			f = x + y
+		case token.MINUS:
+			f = x - y
+		case token.STAR:
+			f = x * y
+		case token.SLASH:
+			f = x / y
+		case token.POW:
+			f = math.Pow(x, y)
+		case token.EQ, token.NEQ, token.LT, token.LE, token.GT, token.GE:
+			return true, cmpRealInto(op, x, y, out)
+		default:
+			return false, false
+		}
+		*out = Value{K: KReal, F: f}
+		return true, true
+	}
+	if a.K == KBool && b.K == KBool {
+		var r bool
+		switch op {
+		case token.AND:
+			r = a.B && b.B
+		case token.OR:
+			r = a.B || b.B
+		case token.EQ:
+			r = a.B == b.B
+		case token.NEQ:
+			r = a.B != b.B
+		default:
+			return false, false
+		}
+		*out = Value{K: KBool, B: r}
+		return true, true
+	}
+	return false, false
+}
+
+// cmpRealInto writes the six-way numeric comparison (the same AsReal
+// semantics compare uses for non-string scalars) into out.
+func cmpRealInto(op token.Kind, x, y float64, out *Value) bool {
+	var r bool
+	switch op {
+	case token.EQ:
+		r = x == y
+	case token.NEQ:
+		r = x != y
+	case token.LT:
+		r = x < y
+	case token.LE:
+		r = x <= y
+	case token.GT:
+		r = x > y
+	case token.GE:
+		r = x >= y
+	}
+	*out = Value{K: KBool, B: r}
+	return true
+}
+
+func compare(op token.Kind, a, b *Value) (Value, uint64, bool) {
 	// Class/nil comparisons.
 	if a.K == KClass || b.K == KClass || a.K == KNil || b.K == KNil {
 		var ap, bp *Instance
@@ -873,7 +1038,7 @@ func compare(op token.Kind, a, b Value) (Value, uint64, bool) {
 	return Value{}, 0, false
 }
 
-func (m *VM) evalTupleBin(op token.Kind, a, b Value) (Value, uint64, bool) {
+func (m *VM) evalTupleBin(op token.Kind, a, b *Value) (Value, uint64, bool) {
 	var n int
 	if a.K == KTuple {
 		n = len(a.Elems)
@@ -886,16 +1051,12 @@ func (m *VM) evalTupleBin(op token.Kind, a, b Value) (Value, uint64, bool) {
 	out := Value{K: KTuple, Elems: make([]Value, n)}
 	var extra uint64
 	for i := 0; i < n; i++ {
-		var ea, eb Value
+		ea, eb := a, b
 		if a.K == KTuple {
-			ea = a.Elems[i]
-		} else {
-			ea = a
+			ea = &a.Elems[i]
 		}
 		if b.K == KTuple {
-			eb = b.Elems[i]
-		} else {
-			eb = b
+			eb = &b.Elems[i]
 		}
 		v, e, ok := m.evalBin(op, ea, eb)
 		if !ok {
@@ -911,7 +1072,7 @@ func (m *VM) evalTupleBin(op token.Kind, a, b Value) (Value, uint64, bool) {
 	return out, extra, true
 }
 
-func (m *VM) evalArrayBin(op token.Kind, a, b Value) (Value, uint64, bool) {
+func (m *VM) evalArrayBin(op token.Kind, a, b *Value) (Value, uint64, bool) {
 	var src *ArrayVal
 	if a.K == KArray {
 		src = a.Arr
@@ -923,24 +1084,20 @@ func (m *VM) evalArrayBin(op token.Kind, a, b Value) (Value, uint64, bool) {
 	ia := make([]int64, src.Dom.Rank)
 	for p := int64(0); p < src.Dom.Size(); p++ {
 		src.Dom.Unlinear(p, ia)
-		var ea, eb Value
+		ea, eb := a, b
 		if a.K == KArray {
 			c := a.Arr.Cell(ia)
 			if c == nil {
 				return Value{}, 0, false
 			}
-			ea = *c
-		} else {
-			ea = a
+			ea = c
 		}
 		if b.K == KArray {
 			c := b.Arr.Cell(ia)
 			if c == nil {
 				return Value{}, 0, false
 			}
-			eb = *c
-		} else {
-			eb = b
+			eb = c
 		}
 		v, e, ok := m.evalBin(op, ea, eb)
 		if !ok {
@@ -952,8 +1109,8 @@ func (m *VM) evalArrayBin(op token.Kind, a, b Value) (Value, uint64, bool) {
 	return Value{K: KArray, Arr: out}, extra, true
 }
 
-func evalUn(op token.Kind, a Value) (Value, bool) {
-	a = *a.Deref()
+func evalUn(op token.Kind, a *Value) (Value, bool) {
+	a = a.Deref()
 	switch op {
 	case token.MINUS:
 		switch a.K {
@@ -963,8 +1120,8 @@ func evalUn(op token.Kind, a Value) (Value, bool) {
 			return RealVal(-a.F), true
 		case KTuple:
 			out := Value{K: KTuple, Elems: make([]Value, len(a.Elems))}
-			for i, e := range a.Elems {
-				v, ok := evalUn(op, e)
+			for i := range a.Elems {
+				v, ok := evalUn(op, &a.Elems[i])
 				if !ok {
 					return Value{}, false
 				}
@@ -1165,11 +1322,16 @@ func (m *VM) allocInstance(t *Task, rt *types.RecordType, ownerVar *ir.Var, site
 
 // ------------------------------------------------------------ calls/ret
 
-// doCall pushes the callee frame.
+// doCall pushes the callee frame, binding arguments directly into the
+// callee's slots (no intermediate args slice; composites are deep-copied,
+// scalars moved).
 func (m *VM) doCall(t *Task, in *ir.Instr) {
 	callee := in.Callee
 	act := t.Top()
-	args := make([]Value, len(callee.Params))
+	na := m.newActivation(callee, frameSlots(callee))
+	if len(callee.Blocks) > 0 {
+		na.Block = callee.Blocks[0]
+	}
 	var extra uint64
 	for i, p := range callee.Params {
 		if i >= len(in.Args) {
@@ -1178,39 +1340,64 @@ func (m *VM) doCall(t *Task, in *ir.Instr) {
 		av := in.Args[i]
 		if p.IsRef {
 			if av == m.hereVar {
-				args[i] = Value{K: KLocale, I: int64(t.Locale)}
+				na.Slots[p.Slot] = Value{K: KLocale, I: int64(t.Locale)}
 			} else {
-				args[i] = makeRef(m.cellOf(t, av))
+				na.Slots[p.Slot] = makeRef(m.cellOf(t, av))
 			}
 		} else {
-			v := m.readVal(t, av).Copy()
-			args[i] = v
+			v := m.readPtr(t, av)
 			if n := v.FlatSize(); n > 1 {
 				extra += uint64(n-1) * m.cost(m.Cfg.Costs.PerElem)
+			}
+			if v.K == KTuple || v.K == KRecord {
+				na.Slots[p.Slot] = v.Copy()
+			} else {
+				na.Slots[p.Slot] = *v
 			}
 		}
 	}
 	if extra > 0 {
 		m.charge(t, extra)
-		m.lis.Exec(extra, t, in, nil)
+		if !m.noLis {
+			m.lis.Exec(extra, t, in, nil)
+		}
 	}
-	var retDst *Value
+	for _, d := range m.defaultsFor(callee) {
+		if na.Slots[d.slot].K != KNil {
+			continue
+		}
+		switch d.mode {
+		case defDirect:
+			na.Slots[d.slot] = d.v
+		case defCopy:
+			na.Slots[d.slot] = d.v.Copy()
+		default:
+			na.Slots[d.slot] = m.defaultValue(d.typ)
+		}
+	}
 	if in.Dst != nil {
-		retDst = m.cellOf(t, in.Dst)
+		na.RetDst = m.cellOf(t, in.Dst)
 	}
-	act.Idx++ // resume after the call
-	na := m.pushFrame(t, callee, args, retDst)
 	na.CallSite = in
+	act.Idx++ // resume after the call
+	t.Frames = append(t.Frames, na)
 }
 
-// popFrame leaves the current frame, delivering rv to the caller.
-func (m *VM) popFrame(t *Task, rv Value) {
+// popFrame leaves the current frame, delivering rv (nil for a bare
+// return) to the caller. rv may point into the popped frame's slots:
+// the value is deep-copied into RetDst before the frame is recycled.
+func (m *VM) popFrame(t *Task, rv *Value) {
 	n := len(t.Frames)
 	act := t.Frames[n-1]
+	t.Frames[n-1] = nil
 	t.Frames = t.Frames[:n-1]
 	if act.RetDst != nil {
+		if rv == nil {
+			rv = &Value{}
+		}
 		m.assignInto(act.RetDst, rv)
 	}
+	m.freeActivation(act)
 	if len(t.Frames) == 0 && t.iter == nil {
 		m.taskFinished(t)
 	}

@@ -13,7 +13,9 @@ func (m *VM) doSpawn(t *Task, in *ir.Instr) {
 	sp := in.Spawn
 	m.nextTag++
 	tag := m.nextTag
-	m.lis.PreSpawn(t, tag, in)
+	if !m.noLis {
+		m.lis.PreSpawn(t, tag, in)
+	}
 
 	// Evaluate captures as references into the parent frame.
 	captures := make([]Value, len(in.Args))
@@ -261,14 +263,19 @@ func (m *VM) enqueue(child *Task, parent *Task) {
 }
 
 // startIterCall pushes the outlined body frame for the task's next index.
+// Index and argument scratch live in the iterState and are reused across
+// iterations (pushFrame copies the values into the frame).
 func (m *VM) startIterCall(t *Task) {
 	it := t.iter
-	idx := make([]int64, it.space.Rank)
+	idx := it.idxBuf[:it.space.Rank]
 	it.space.Unlinear(it.pos, idx)
 	it.pos++
 
 	body := it.body
-	args := make([]Value, 0, len(body.Params))
+	if need := it.space.Rank + len(it.captures); cap(it.argBuf) < need {
+		it.argBuf = make([]Value, 0, need)
+	}
+	args := it.argBuf[:0]
 	for i := 0; i < len(idx) && i < len(body.Params); i++ {
 		args = append(args, IntVal(idx[i]))
 	}

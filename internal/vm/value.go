@@ -71,6 +71,25 @@ func (v Value) Copy() Value {
 	return v
 }
 
+// copyValueInto deep-copies *src into *dst with the same semantics as
+// Copy, but without passing the ~200-byte Value through parameters and
+// return slots (the interpreter's hottest copy path). It tolerates
+// aliasing — dst == src, or src pointing into dst's element storage —
+// because the source element slice is captured before dst's header is
+// overwritten.
+func copyValueInto(dst, src *Value) {
+	if src.K == KTuple || src.K == KRecord {
+		elems := src.Elems
+		*dst = *src
+		dst.Elems = make([]Value, len(elems))
+		for i := range elems {
+			copyValueInto(&dst.Elems[i], &elems[i])
+		}
+		return
+	}
+	*dst = *src
+}
+
 // FlatSize returns the number of scalar elements copied when assigning v
 // (drives the cost model for tuple/record moves).
 func (v Value) FlatSize() int {

@@ -133,9 +133,16 @@ type Activation struct {
 	CallSite *ir.Instr
 }
 
+// maxActFree bounds the activation free list (frames beyond this go back
+// to the garbage collector).
+const maxActFree = 256
+
 // iterState drives a forall/coforall chunk: the task repeatedly invokes
 // the outlined body for each index in [pos, end). start records the
 // chunk's first position so the comm runtime can see the whole sweep.
+// idxBuf/argBuf are per-chunk scratch reused across iterations (pushFrame
+// copies argument values into the frame, so the backing arrays are free
+// to be overwritten by the next index).
 type iterState struct {
 	body     *ir.Func
 	captures []Value
@@ -143,6 +150,8 @@ type iterState struct {
 	pos, end int64
 	start    int64
 	site     *ir.Instr
+	idxBuf   [3]int64
+	argBuf   []Value
 }
 
 // joinGroup tracks outstanding child tasks for a blocking construct.
@@ -237,9 +246,32 @@ type VM struct {
 	// comm is the modeled communication runtime (nil unless
 	// Config.CommAggregate).
 	comm *comm.Runtime
-	// icache maps functions to their i-cache pressure surcharge
-	// (per-mille extra cost for oversized bodies).
-	icache map[*ir.Func]uint64
+
+	// noLis short-circuits all Listener calls when no profiler is
+	// attached, so unsampled runs skip per-instruction monitor
+	// bookkeeping entirely.
+	noLis bool
+	// costTab is the precomputed per-instruction cost (indexed by the
+	// dense Instr.Addr), with --fast scaling and i-cache surcharges folded
+	// in; shared across VMs of the same (program, cost model).
+	costTab []uint64
+	// rtFns resolves the runtime functions the tasking layer charges
+	// against, precomputed to avoid linear FuncByName scans per spawn and
+	// per iteration.
+	rtFns        map[string]*ir.Func
+	fnSchedYield *ir.Func
+	// actFree recycles popped activations (and their slot arrays).
+	// Disabled (poolOff) for programs using non-blocking `begin`, whose
+	// captured references may outlive the spawning frame.
+	actFree []*Activation
+	poolOff bool
+	// defSlots caches each function's precomputed local default
+	// initializers, replacing a per-frame type walk.
+	defSlots map[*ir.Func][]defSlot
+	// hereTmp backs readPtr's resolution of the `here` pseudo-variable;
+	// idxScratch backs elemCell's resolved index (rank <= 3).
+	hereTmp    Value
+	idxScratch [3]int64
 
 	// Stats accumulates run statistics.
 	Stats Stats
@@ -299,6 +331,7 @@ func New(prog *ir.Program, cfg Config) *VM {
 	}
 	if m.lis == nil {
 		m.lis = nopListener{}
+		m.noLis = true
 	}
 	if cfg.CommAggregate {
 		m.comm = comm.New(comm.Config{
@@ -306,21 +339,26 @@ func New(prog *ir.Program, cfg Config) *VM {
 			CacheCap: cfg.CommCacheCap,
 		}, cfg.CommPlan)
 	}
-	// Precompute i-cache pressure surcharges.
-	m.icache = make(map[*ir.Func]uint64)
-	if cfg.Costs.IcacheDen > 0 {
-		for _, f := range prog.Funcs {
-			n := uint64(0)
-			for _, b := range f.Blocks {
-				n += uint64(len(b.Instrs))
-			}
-			if n > cfg.Costs.IcacheThreshold {
-				extra := n - cfg.Costs.IcacheThreshold
-				if extra > cfg.Costs.IcacheDen {
-					extra = cfg.Costs.IcacheDen
-				}
-				m.icache[f] = extra
-			}
+	// Per-instruction static costs (with --fast scaling and i-cache
+	// surcharges folded in), shared across VMs of the same program.
+	m.costTab = costTable(prog, cfg.Costs)
+	// Resolve the tasking-layer runtime functions once (rtCharge/spinTo
+	// attribute cycles to them on every spawn, barrier and iteration).
+	m.rtFns = make(map[string]*ir.Func, 4)
+	for _, name := range []string{"chpl_task_spawn", "chpl_task_barrier",
+		"chpl_task_callTaskFunction", "__sched_yield"} {
+		m.rtFns[name] = prog.FuncByName(name)
+	}
+	m.fnSchedYield = m.rtFns["__sched_yield"]
+	m.defSlots = make(map[*ir.Func][]defSlot)
+	// `begin` children don't block their parent, so captured references
+	// may still point into frames that have returned; recycling those
+	// frames would alias live refs. Blocking constructs (forall, coforall,
+	// cobegin, on) keep the parent frame pinned, so pooling stays on.
+	for _, in := range prog.Instrs {
+		if in.Op == ir.OpSpawn && in.Spawn != nil && in.Spawn.Kind == ir.SpawnBegin {
+			m.poolOff = true
+			break
 		}
 	}
 	// Zero-initialize declared globals by type (record array fields are
@@ -412,14 +450,53 @@ func (m *VM) runRoot(fn *ir.Func) error {
 	return m.schedule()
 }
 
-// pushFrame enters fn on task t. args are pre-bound parameter values
-// (may be nil for zero-arg roots).
-func (m *VM) pushFrame(t *Task, fn *ir.Func, args []Value, retDst *Value) *Activation {
+// newActivation allocates (or recycles) a frame with n zeroed slots.
+func (m *VM) newActivation(fn *ir.Func, n int) *Activation {
+	if k := len(m.actFree); k > 0 {
+		act := m.actFree[k-1]
+		m.actFree[k-1] = nil
+		m.actFree = m.actFree[:k-1]
+		act.F = fn
+		act.Idx = 0
+		act.RetDst = nil
+		act.CallSite = nil
+		act.Block = nil
+		if cap(act.Slots) >= n {
+			s := act.Slots[:n]
+			for i := range s {
+				s[i] = Value{}
+			}
+			act.Slots = s
+		} else {
+			act.Slots = make([]Value, n)
+		}
+		return act
+	}
+	return &Activation{F: fn, Slots: make([]Value, n)}
+}
+
+// freeActivation returns a popped frame to the pool. Callers must not
+// retain act afterwards.
+func (m *VM) freeActivation(act *Activation) {
+	if m.poolOff || len(m.actFree) >= maxActFree {
+		return
+	}
+	m.actFree = append(m.actFree, act)
+}
+
+// frameSlots returns the slot count of a frame for fn.
+func frameSlots(fn *ir.Func) int {
 	n := len(fn.Params) + len(fn.Locals)
 	if fn.RetVar != nil {
 		n++
 	}
-	act := &Activation{F: fn, Slots: make([]Value, n)}
+	return n
+}
+
+// pushFrame enters fn on task t. args are pre-bound parameter values
+// (may be nil for zero-arg roots).
+func (m *VM) pushFrame(t *Task, fn *ir.Func, args []Value, retDst *Value) *Activation {
+	act := m.newActivation(fn, frameSlots(fn))
 	if len(fn.Blocks) > 0 {
 		act.Block = fn.Blocks[0]
 	}
@@ -430,10 +507,19 @@ func (m *VM) pushFrame(t *Task, fn *ir.Func, args []Value, retDst *Value) *Activ
 		}
 	}
 	// Default-initialize locals by declared type (globals are zeroed the
-	// same way at startup).
-	for _, l := range fn.Locals {
-		if act.Slots[l.Slot].K == KNil && l.Type != nil {
-			act.Slots[l.Slot] = m.defaultValue(l.Type)
+	// same way at startup). The per-function defSlot list skips locals
+	// whose default is the zero Value and precomputes the rest.
+	for _, d := range m.defaultsFor(fn) {
+		if act.Slots[d.slot].K != KNil {
+			continue // parameter-aliased slot already bound
+		}
+		switch d.mode {
+		case defDirect:
+			act.Slots[d.slot] = d.v
+		case defCopy:
+			act.Slots[d.slot] = d.v.Copy()
+		default:
+			act.Slots[d.slot] = m.defaultValue(d.typ)
 		}
 	}
 	t.Frames = append(t.Frames, act)
@@ -540,9 +626,23 @@ func (m *VM) charge(t *Task, cycles uint64) {
 // code-centric view, exactly as qthreads internals do).
 func (m *VM) rtCharge(t *Task, cycles uint64, fnName string) {
 	m.charge(t, cycles)
-	if f := m.Prog.FuncByName(fnName); f != nil {
+	if m.noLis {
+		return
+	}
+	if f := m.rtFunc(fnName); f != nil {
 		m.lis.Spin(cycles, t, f)
 	}
+}
+
+// rtFunc resolves a runtime function by name, memoizing the linear
+// FuncByName scan (negative results included).
+func (m *VM) rtFunc(name string) *ir.Func {
+	f, ok := m.rtFns[name]
+	if !ok {
+		f = m.Prog.FuncByName(name)
+		m.rtFns[name] = f
+	}
+	return f
 }
 
 // spinTo advances a core's clock to target, attributing the gap as
@@ -557,8 +657,8 @@ func (m *VM) spinTo(t *Task, target uint64) {
 	c.clock = target
 	m.totalCycles += gap
 	m.Stats.SpinCycles += gap
-	if f := m.Prog.FuncByName("__sched_yield"); f != nil {
-		m.lis.Spin(gap, t, f)
+	if !m.noLis && m.fnSchedYield != nil {
+		m.lis.Spin(gap, t, m.fnSchedYield)
 	}
 }
 
