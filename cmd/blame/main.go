@@ -26,6 +26,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/compile"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/hpctk"
 	"repro/internal/views"
 	"repro/internal/vm"
@@ -49,6 +50,9 @@ func main() {
 		commAgg   = flag.Bool("comm-aggregate", false, "model the communication aggregation runtime (halo prefetch, run coalescing, software cache)")
 		commCap   = flag.Int("comm-cache", comm.DefaultCacheCap, "per-locale software-cache capacity in elements (0 = no cache)")
 		noOwner   = flag.Bool("no-owner-computes", false, "disable owner-computes forall scheduling (chunks inherit the spawner's locale)")
+		faultSpc  = flag.String("fault-spec", "", "inject deterministic comm faults, e.g. loss=0.01,dup=0.005,delay=0.1:3xCommLatency")
+		faultSd   = flag.Uint64("fault-seed", 1, "seed for the fault injector's PRNG")
+		smpBuf    = flag.Int("sample-buffer", 0, "bound the monitor's sample ring buffer (0 = unbounded); overruns drop samples")
 	)
 	flag.Parse()
 
@@ -107,6 +111,18 @@ func main() {
 		}
 		cfg.Threshold = th | 1
 	}
+	// The injector is attached after the calibration run: the calibration
+	// must not consume PRNG draws, or the profiled run's fault schedule
+	// would depend on whether -threshold was given explicitly.
+	if *faultSpc != "" {
+		spec, err := fault.ParseSpec(*faultSpc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "blame:", err)
+			os.Exit(1)
+		}
+		cfg.VM.Fault = fault.NewInjector(spec, *faultSd)
+	}
+	cfg.SampleBuffer = *smpBuf
 
 	r, err := blame.Profile(res.Prog, cfg)
 	if err != nil {

@@ -25,6 +25,7 @@ import (
 	"repro/internal/benchprog"
 	"repro/internal/comm"
 	"repro/internal/compile"
+	"repro/internal/fault"
 	"repro/internal/vm"
 )
 
@@ -44,6 +45,8 @@ func main() {
 		noOwner  = flag.Bool("no-owner-computes", false, "disable owner-computes forall scheduling (chunks inherit the spawner's locale)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the compile+run to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		faultSpc = flag.String("fault-spec", "", "inject deterministic comm faults, e.g. loss=0.01,dup=0.005,delay=0.1:3xCommLatency,locale-slow=2:4x,locale-fail=3@tick500")
+		faultSd  = flag.Uint64("fault-seed", 1, "seed for the fault injector's PRNG")
 	)
 	flag.Parse()
 
@@ -113,6 +116,14 @@ func main() {
 		// derive it for any multi-locale run, not just aggregated ones.
 		cfg.CommPlan = analyze.CommPlan(res.Prog)
 	}
+	if *faultSpc != "" {
+		spec, err := fault.ParseSpec(*faultSpc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mchpl:", err)
+			os.Exit(1)
+		}
+		cfg.Fault = fault.NewInjector(spec, *faultSd)
+	}
 
 	st, err := vm.New(res.Prog, cfg).Run()
 	if err != nil {
@@ -133,6 +144,14 @@ func main() {
 				100*a.HitRate(), a.Prefetches, a.PrefetchedElems, a.Streams, a.StreamedElems,
 				a.Flushes, a.FlushedElems, a.Invalidations, a.Evictions)
 		}
+		if f := st.Fault; f != nil {
+			fmt.Fprintln(os.Stderr, f.Render())
+		}
+	}
+	// Task panics are diagnostics, not run failures: the scheduler recovers
+	// them and the run completes, so always disclose them on stderr.
+	for _, p := range st.TaskPanics {
+		fmt.Fprintf(os.Stderr, "mchpl: task %d panicked in %s: %s\n", p.TaskID, p.Fn, p.Msg)
 	}
 }
 

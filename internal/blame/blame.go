@@ -36,6 +36,9 @@ type Config struct {
 	Skid int
 	// PerLocale additionally builds per-locale profiles.
 	PerLocale bool
+	// SampleBuffer bounds the monitor's sample ring buffer (0 =
+	// unbounded): overruns drop samples, surfaced as Profile.Dropped.
+	SampleBuffer int
 }
 
 // DefaultConfig returns the paper-equivalent configuration with a
@@ -85,6 +88,9 @@ func Profile(prog *ir.Program, cfg Config) (*Result, error) {
 	if cfg.Skid > 0 {
 		opts = append(opts, sampler.WithSkid(cfg.Skid))
 	}
+	if cfg.SampleBuffer > 0 {
+		opts = append(opts, sampler.WithRingBuffer(cfg.SampleBuffer))
+	}
 	smp := sampler.New(prog, cfg.Threshold, opts...)
 	vmCfg := cfg.VM
 	vmCfg.Listener = smp
@@ -103,6 +109,7 @@ func Profile(prog *ir.Program, cfg Config) (*Result, error) {
 	} else {
 		prof = proc.Process(smp.Samples, cfg.Threshold, stats)
 	}
+	prof.Dropped += smp.Dropped
 	return &Result{Profile: prof, Analysis: analysis, Sampler: smp, Stats: stats}, nil
 }
 

@@ -34,7 +34,7 @@ func (r *Runtime) prefetchHalo(a Access, site Site) []Event {
 			From: runHome, To: a.Loc,
 			Bytes: n * a.Bytes, Elems: n,
 		}
-		r.countMessage(ev)
+		r.countMessage(&ev)
 		out = append(out, ev)
 		runStart, runHome = -1, -1
 	}
@@ -77,7 +77,7 @@ func (r *Runtime) streamFetch(a Access, step int64) []Event {
 		// The target itself was unfetchable (shouldn't happen): charge a
 		// plain fetch so the access is never free.
 		ev := Event{Kind: EvFetch, Var: a.Var, Site: a.Site, From: a.Home, To: a.Loc, Bytes: a.Bytes, Elems: 1}
-		r.countMessage(ev)
+		r.countMessage(&ev)
 		return append(out, ev)
 	}
 	ev := Event{
@@ -85,6 +85,6 @@ func (r *Runtime) streamFetch(a Access, step int64) []Event {
 		From: a.Home, To: a.Loc,
 		Bytes: n * a.Bytes, Elems: n,
 	}
-	r.countMessage(ev)
+	r.countMessage(&ev)
 	return append(out, ev)
 }

@@ -74,7 +74,7 @@ func (c *cache) insert(v *ir.Var, arr uint64, elem int64, home int, bytes int64,
 		r.stats.Evictions++
 		if victim.dirty {
 			ev := Event{Kind: EvFlush, Var: victim.v, From: victim.home, To: c.loc(r), Bytes: victim.bytes, Elems: 1}
-			r.countMessage(ev)
+			r.countMessage(&ev)
 			out = append(out, ev)
 		}
 	}
@@ -139,7 +139,7 @@ func (c *cache) flushTask(task, loc int, r *Runtime) []Event {
 			Kind: EvFlush, Var: run[0].v, From: run[0].home, To: loc,
 			Bytes: bytes, Elems: int64(len(run)),
 		}
-		r.countMessage(ev)
+		r.countMessage(&ev)
 		out = append(out, ev)
 	}
 	start := 0

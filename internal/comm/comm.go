@@ -26,7 +26,10 @@
 //     canonical store already holds the VM's value).
 package comm
 
-import "repro/internal/ir"
+import (
+	"repro/internal/fault"
+	"repro/internal/ir"
+)
 
 // Config parameterizes the runtime.
 type Config struct {
@@ -39,6 +42,15 @@ type Config struct {
 	// RunBlock bounds the elements fetched by one streaming message.
 	// Values <= 0 select DefaultRunBlock.
 	RunBlock int64
+	// Fault, when non-nil, injects deterministic faults into every
+	// charged message: lost messages are retransmitted (bounded
+	// exponential backoff per Retry), duplicates are suppressed, delays
+	// and timeouts add modeled latency. Program output never changes —
+	// only stats and cycles.
+	Fault *fault.Injector
+	// Retry overrides the injector's retry policy when any field is
+	// non-zero (zero fields keep their defaults).
+	Retry fault.RetryPolicy
 }
 
 // Defaults for Config.
@@ -110,6 +122,11 @@ type Event struct {
 	From, To int
 	Bytes    int64
 	Elems    int64
+	// ExtraLat is the injected extra latency in CommLatency units
+	// (retransmission backoff, delays, slow locales, timeouts). The VM
+	// charges CommLatency*(1+ExtraLat) for the message. Always 0 without
+	// a fault injector.
+	ExtraLat int64
 }
 
 // Message reports whether the event is a charged network message.
@@ -127,6 +144,7 @@ type Runtime struct {
 	plan   *Plan
 	stats  Stats
 	caches []*cache
+	fault  *fault.Injector
 	// seq tracks the last element read per (task, array) for sequential
 	// run detection.
 	seq map[seqKey]int64
@@ -154,12 +172,17 @@ func New(cfg Config, plan *Plan) *Runtime {
 		cfg:    cfg,
 		plan:   plan,
 		caches: make([]*cache, cfg.Locales),
+		fault:  cfg.Fault,
 		seq:    make(map[seqKey]int64),
+	}
+	if r.fault != nil && cfg.Retry != (fault.RetryPolicy{}) {
+		r.fault.SetRetry(cfg.Retry)
 	}
 	for i := range r.caches {
 		r.caches[i] = newCache(cfg.CacheCap)
 	}
 	r.stats.PerVar = make(map[string]*VarStats)
+	r.stats.Fault = r.fault.Stats()
 	return r
 }
 
@@ -226,7 +249,7 @@ func (r *Runtime) read(a Access) []Event {
 	}
 	// Single-element fetch.
 	ev := Event{Kind: EvFetch, Var: a.Var, Site: a.Site, From: a.Home, To: a.Loc, Bytes: a.Bytes, Elems: 1}
-	r.countMessage(ev)
+	r.countMessage(&ev)
 	out = append(out, ev)
 	out = append(out, c.insert(a.Var, a.Arr, a.Elem, a.Home, a.Bytes, false, a.Task, r)...)
 	return out
@@ -239,7 +262,7 @@ func (r *Runtime) write(a Access) []Event {
 	if c.cap <= 0 {
 		// Uncached: immediate write-through, one message.
 		ev := Event{Kind: EvFlush, Var: a.Var, Site: a.Site, From: a.Home, To: a.Loc, Bytes: a.Bytes, Elems: 1}
-		r.countMessage(ev)
+		r.countMessage(&ev)
 		return append(out, ev)
 	}
 	// Write-back: mark dirty, flush at task end (or on eviction).
@@ -310,8 +333,11 @@ func (r *Runtime) varStats(v *ir.Var) *VarStats {
 }
 
 // countMessage records a charged message in the aggregate and per-var
-// statistics.
-func (r *Runtime) countMessage(ev Event) {
+// statistics, running it through the fault injector first: any injected
+// extra latency lands in ev.ExtraLat for the VM to charge.
+func (r *Runtime) countMessage(ev *Event) {
+	out := r.fault.Send(ev.From, ev.To)
+	ev.ExtraLat = out.ExtraLat
 	r.stats.Messages++
 	r.stats.Bytes += ev.Bytes
 	switch ev.Kind {

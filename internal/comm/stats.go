@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/fault"
 )
 
 // Pair is an ordered locale pair (From = element home, To = accessor).
@@ -31,6 +33,10 @@ type Stats struct {
 
 	Invalidations int64
 	Evictions     int64
+
+	// Fault points at the injector's counters when fault injection is
+	// active (nil otherwise); it is shared, not a snapshot.
+	Fault *fault.Stats
 
 	PerVar map[string]*VarStats
 }
@@ -86,6 +92,9 @@ func (s *Stats) Render() string {
 	fmt.Fprintf(&b, "prefetches %d (%d elems) streams %d (%d elems) flushes %d (%d elems)\n",
 		s.Prefetches, s.PrefetchedElems, s.Streams, s.StreamedElems, s.Flushes, s.FlushedElems)
 	fmt.Fprintf(&b, "invalidations %d evictions %d\n", s.Invalidations, s.Evictions)
+	if s.Fault != nil {
+		b.WriteString(s.Fault.Render())
+	}
 	for _, name := range s.VarNames() {
 		vs := s.PerVar[name]
 		fmt.Fprintf(&b, "var %s: messages %d bytes %d hits %d\n", name, vs.Messages, vs.Bytes, vs.Hits)

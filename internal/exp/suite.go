@@ -46,6 +46,7 @@ func Experiments() []Experiment {
 		tableExp("t9", Table9),
 		tableExp("agg", TableAgg),
 		tableExp("locales", TableLocales),
+		tableExp("chaos", TableChaos),
 		tableExp("baseline", UnknownData),
 		tableExp("overhead", Overhead),
 		{Name: "fig4", Fn: func() (string, error) {
@@ -98,8 +99,7 @@ func RunSuite(exps []Experiment, workers int) []Outcome {
 	out := make([]Outcome, len(exps))
 	if workers <= 1 {
 		for i, e := range exps {
-			text, err := e.Fn()
-			out[i] = Outcome{Name: e.Name, Text: text, Err: err}
+			out[i] = runOne(e)
 		}
 		return out
 	}
@@ -113,8 +113,7 @@ func RunSuite(exps []Experiment, workers int) []Outcome {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				text, err := exps[i].Fn()
-				out[i] = Outcome{Name: exps[i].Name, Text: text, Err: err}
+				out[i] = runOne(exps[i])
 			}
 		}()
 	}
@@ -124,4 +123,18 @@ func RunSuite(exps []Experiment, workers int) []Outcome {
 	close(jobs)
 	wg.Wait()
 	return out
+}
+
+// runOne executes a single experiment, recovering a panic into a failed
+// outcome: one exploding table must not take down the whole suite (or,
+// in the parallel driver, the whole process via an unrecovered goroutine
+// panic).
+func runOne(e Experiment) (o Outcome) {
+	defer func() {
+		if r := recover(); r != nil {
+			o = Outcome{Name: e.Name, Err: fmt.Errorf("experiment %s panicked: %v", e.Name, r)}
+		}
+	}()
+	text, err := e.Fn()
+	return Outcome{Name: e.Name, Text: text, Err: err}
 }

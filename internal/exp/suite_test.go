@@ -111,3 +111,26 @@ func TestRunSuiteOrderUnderContention(t *testing.T) {
 		}
 	}
 }
+
+// TestRunSuiteRecoversPanic: an exploding experiment becomes a failed
+// outcome, not a dead suite — in both the serial and the parallel
+// driver (an unrecovered goroutine panic would kill the whole process).
+func TestRunSuiteRecoversPanic(t *testing.T) {
+	exps := []Experiment{
+		{Name: "ok1", Fn: func() (string, error) { return "fine", nil }},
+		{Name: "boom", Fn: func() (string, error) { panic("table exploded") }},
+		{Name: "ok2", Fn: func() (string, error) { return "also fine", nil }},
+	}
+	for _, workers := range []int{1, 2} {
+		out := RunSuite(exps, workers)
+		if len(out) != 3 {
+			t.Fatalf("workers=%d: %d outcomes", workers, len(out))
+		}
+		if out[0].Err != nil || out[0].Text != "fine" || out[2].Err != nil || out[2].Text != "also fine" {
+			t.Errorf("workers=%d: healthy experiments affected: %+v", workers, out)
+		}
+		if out[1].Err == nil || !strings.Contains(out[1].Err.Error(), "table exploded") {
+			t.Errorf("workers=%d: panic not captured: %+v", workers, out[1])
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSpecFull(t *testing.T) {
+	s, err := ParseSpec("loss=0.01,dup=0.005,delay=3xCommLatency,locale-slow=2:4x,locale-fail=3@tick500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Loss != 0.01 || s.Dup != 0.005 {
+		t.Errorf("loss/dup = %v/%v", s.Loss, s.Dup)
+	}
+	if s.DelayProb != 1 || s.DelayMult != 3 {
+		t.Errorf("delay = %v:%v", s.DelayProb, s.DelayMult)
+	}
+	if s.SlowLocale[2] != 4 {
+		t.Errorf("slow = %v", s.SlowLocale)
+	}
+	if !s.HasFail || s.FailLocale != 3 || s.FailTick != 500 {
+		t.Errorf("fail = %v/%d@%d", s.HasFail, s.FailLocale, s.FailTick)
+	}
+}
+
+func TestParseSpecVariants(t *testing.T) {
+	// Probabilistic delay, bare locale-fail (tick 0), spaces, trailing comma.
+	s, err := ParseSpec(" delay=0.5:2xCommLatency , locale-fail=1 ,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.DelayProb != 0.5 || s.DelayMult != 2 {
+		t.Errorf("delay = %v:%v", s.DelayProb, s.DelayMult)
+	}
+	if !s.HasFail || s.FailLocale != 1 || s.FailTick != 0 {
+		t.Errorf("fail = %v/%d@%d", s.HasFail, s.FailLocale, s.FailTick)
+	}
+	// Empty spec is fault-free; a slow factor of 1 is a no-op.
+	if s, err := ParseSpec(""); err != nil || !s.Zero() {
+		t.Errorf("empty spec: %v, %v", s, err)
+	}
+	if s, err := ParseSpec("locale-slow=2:1x"); err != nil || !s.Zero() {
+		t.Errorf("factor-1 slow should be a no-op: %v, %v", s, err)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, bad := range []string{
+		"loss", "loss=2", "loss=-0.1", "loss=NaN", "dup=x",
+		"delay=3x", "delay=0xCommLatency", "delay=2:3xCommLatency",
+		"locale-slow=2", "locale-slow=-1:2x", "locale-slow=2:0x",
+		"locale-fail=-1", "locale-fail=2@5", "locale-fail=x",
+		"bogus=1",
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSpecStringRoundTrip(t *testing.T) {
+	for _, in := range []string{
+		"",
+		"loss=0.01",
+		"loss=0.01,dup=0.005,delay=3xCommLatency,locale-slow=2:4x,locale-fail=3@tick500",
+		"delay=0.5:2xCommLatency",
+		"locale-slow=0:2x,locale-slow=3:8x",
+		"locale-fail=1",
+	} {
+		s, err := ParseSpec(in)
+		if err != nil {
+			t.Fatalf("%q: %v", in, err)
+		}
+		canon := s.String()
+		s2, err := ParseSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical %q of %q does not re-parse: %v", canon, in, err)
+		}
+		if got := s2.String(); got != canon {
+			t.Errorf("String not stable: %q -> %q", canon, got)
+		}
+	}
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	spec, err := ParseSpec("loss=0.3,dup=0.2,delay=0.4:3xCommLatency")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewInjector(spec, 42)
+	b := NewInjector(spec, 42)
+	other := NewInjector(spec, 43)
+	diverged := false
+	for i := 0; i < 500; i++ {
+		oa, ob := a.Send(0, 1), b.Send(0, 1)
+		if oa != ob {
+			t.Fatalf("send %d: same seed diverged: %+v vs %+v", i, oa, ob)
+		}
+		if oa != other.Send(0, 1) {
+			diverged = true
+		}
+	}
+	if *a.Stats() != *b.Stats() {
+		t.Errorf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+	if !diverged {
+		t.Error("a different seed produced the identical fault schedule")
+	}
+	if a.Stats().Retries == 0 || a.Stats().DelayedMsgs == 0 || a.Stats().DuplicatesSuppressed == 0 {
+		t.Errorf("loss/delay/dup spec produced no faults over 500 sends: %+v", a.Stats())
+	}
+}
+
+// Total loss exercises the whole retry ladder deterministically: every
+// transmission drops, so each message burns the full budget then times
+// out, with bounded exponential backoff summed into ExtraLat.
+func TestRetryPolicyBackoff(t *testing.T) {
+	spec, err := ParseSpec("loss=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := NewInjector(spec, 1)
+	inj.SetRetry(RetryPolicy{MaxRetries: 2, BackoffBase: 1, BackoffCap: 4, TimeoutUnits: 8})
+	out := inj.Send(0, 1)
+	// Retry 1: backoff 1 + 1 resend; retry 2: backoff 2 + 1 resend; then
+	// the third drop exhausts the budget: timeout (+8).
+	if out.Retries != 2 || !out.Timeout || out.ExtraLat != 2+3+8 {
+		t.Errorf("outcome = %+v, want 2 retries, timeout, 13 extra units", out)
+	}
+	st := inj.Stats()
+	if st.Retries != 2 || st.Timeouts != 1 || st.DroppedMsgs != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+	// Zero fields of a custom policy fall back to defaults.
+	inj.SetRetry(RetryPolicy{MaxRetries: 1})
+	if inj.pol.TimeoutUnits != DefaultRetry().TimeoutUnits {
+		t.Errorf("normalize lost the default timeout: %+v", inj.pol)
+	}
+}
+
+func TestLocaleFailure(t *testing.T) {
+	spec, err := ParseSpec("locale-fail=2@tick3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := NewInjector(spec, 7)
+	if inj.LocaleDead(2) {
+		t.Error("locale 2 dead before tick 3")
+	}
+	for k := 0; k < 3; k++ {
+		if out := inj.Send(0, 2); out.Timeout {
+			t.Errorf("send %d timed out before the failure tick", k)
+		}
+	}
+	if !inj.LocaleDead(2) || inj.LocaleDead(1) {
+		t.Errorf("death state wrong at tick %d", inj.Tick())
+	}
+	out := inj.Send(0, 2)
+	if !out.Timeout || out.ExtraLat != DefaultRetry().TimeoutUnits {
+		t.Errorf("send to dead locale: %+v", out)
+	}
+	inj.NoteFallback()
+	if st := inj.Stats(); st.Timeouts != 1 || st.FailedLocaleFallbacks != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSlowLocale(t *testing.T) {
+	spec, err := ParseSpec("locale-slow=1:4x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := NewInjector(spec, 1)
+	if out := inj.Send(0, 1); out.ExtraLat != 3 {
+		t.Errorf("message to 4x-slow locale: %+v, want 3 extra units", out)
+	}
+	if out := inj.Send(2, 3); out.ExtraLat != 0 {
+		t.Errorf("message avoiding the slow locale: %+v, want 0 extra units", out)
+	}
+}
+
+// A nil injector must be inert: the comm runtime and VM call through
+// without nil checks at every site.
+func TestNilInjectorIsInert(t *testing.T) {
+	var inj *Injector
+	if out := inj.Send(0, 1); out != (Outcome{}) {
+		t.Errorf("nil Send = %+v", out)
+	}
+	if inj.LocaleDead(0) || inj.Stats() != nil || inj.Tick() != 0 {
+		t.Error("nil injector not inert")
+	}
+	inj.NoteFallback()
+	inj.SetRetry(RetryPolicy{})
+}
+
+func TestStatsRenderDeterministic(t *testing.T) {
+	s := &Stats{Sends: 10, Retries: 2, Timeouts: 1, ExtraLatUnits: 40}
+	if s.Render() != s.Render() || !strings.Contains(s.Render(), "retries 2") {
+		t.Errorf("render: %q", s.Render())
+	}
+}

@@ -1,0 +1,49 @@
+package fault
+
+import "testing"
+
+// FuzzFaultSpec checks that any accepted spec string has a stable
+// canonical form (parse → String → parse is a fixed point) and that a
+// parsed spec can drive an injector without panicking or violating the
+// basic outcome invariants.
+func FuzzFaultSpec(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"loss=0.01",
+		"loss=0.01,dup=0.005,delay=3xCommLatency,locale-slow=2:4x,locale-fail=3@tick500",
+		"delay=0.25:2xCommLatency",
+		"locale-slow=0:2x,locale-slow=3:8x",
+		"locale-fail=1@tick0",
+		"loss=1,dup=1",
+		"loss=2",
+		"delay=xCommLatency",
+		"locale-fail=@tick",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := ParseSpec(in)
+		if err != nil {
+			return
+		}
+		canon := s.String()
+		s2, err := ParseSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q rejected: %v", canon, in, err)
+		}
+		if got := s2.String(); got != canon {
+			t.Fatalf("canonical form not stable: %q -> %q", canon, got)
+		}
+		inj := NewInjector(s, 1)
+		for i := 0; i < 64; i++ {
+			out := inj.Send(i%4, (i+1)%4)
+			if out.ExtraLat < 0 || out.Retries < 0 {
+				t.Fatalf("negative outcome %+v for spec %q", out, in)
+			}
+		}
+		st := inj.Stats()
+		if st.Sends != 64 || st.ExtraLatUnits < 0 {
+			t.Fatalf("stats invariant broken: %+v", st)
+		}
+	})
+}

@@ -2,7 +2,9 @@ package postmortem
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
+	"math"
 
 	"repro/internal/vm"
 )
@@ -12,6 +14,7 @@ import (
 type profileJSON struct {
 	TotalSamples int                  `json:"total_samples"`
 	Threshold    uint64               `json:"threshold"`
+	Dropped      uint64               `json:"dropped,omitempty"`
 	DataCentric  []varRowJSON         `json:"data_centric"`
 	CodeCentric  []FuncRow            `json:"code_centric"`
 	Stats        vm.Stats             `json:"stats"`
@@ -31,6 +34,7 @@ func toJSON(p *Profile) *profileJSON {
 	out := &profileJSON{
 		TotalSamples: p.TotalSamples,
 		Threshold:    p.Threshold,
+		Dropped:      p.Dropped,
 		CodeCentric:  p.CodeCentric,
 		Stats:        p.Stats,
 	}
@@ -53,6 +57,7 @@ func fromJSON(in *profileJSON) *Profile {
 	p := &Profile{
 		TotalSamples: in.TotalSamples,
 		Threshold:    in.Threshold,
+		Dropped:      in.Dropped,
 		CodeCentric:  in.CodeCentric,
 		Stats:        in.Stats,
 	}
@@ -71,6 +76,40 @@ func fromJSON(in *profileJSON) *Profile {
 	return p
 }
 
+// validate rejects profiles whose numbers cannot have come from a real
+// run: negative counts, non-finite blame. Unvalidated input would
+// otherwise flow into the views and averages unchecked.
+func (in *profileJSON) validate(path string) error {
+	if in.TotalSamples < 0 {
+		return fmt.Errorf("%s: negative total_samples (%d)", path, in.TotalSamples)
+	}
+	for i, r := range in.DataCentric {
+		if r.Samples < 0 {
+			return fmt.Errorf("%s: data_centric[%d] (%s): negative samples (%d)", path, i, r.Name, r.Samples)
+		}
+		if math.IsNaN(r.Blame) || math.IsInf(r.Blame, 0) {
+			return fmt.Errorf("%s: data_centric[%d] (%s): non-finite blame", path, i, r.Name)
+		}
+	}
+	for i, r := range in.CodeCentric {
+		if r.Flat < 0 || r.Cum < 0 {
+			return fmt.Errorf("%s: code_centric[%d] (%s): negative sample counts", path, i, r.Name)
+		}
+	}
+	for loc, sub := range in.PerLocale {
+		if loc < 0 {
+			return fmt.Errorf("%s: negative locale key (%d)", path, loc)
+		}
+		if sub == nil {
+			return fmt.Errorf("%s: per_locale[%d] is null", path, loc)
+		}
+		if err := sub.validate(fmt.Sprintf("%s.per_locale[%d]", path, loc)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // WriteJSON serializes the profile (rows, stats; not instances).
 func (p *Profile) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
@@ -78,11 +117,18 @@ func (p *Profile) WriteJSON(w io.Writer) error {
 	return enc.Encode(toJSON(p))
 }
 
-// ReadJSON loads a profile written by WriteJSON.
+// ReadJSON loads a profile written by WriteJSON. Malformed input returns
+// a wrapped error carrying the byte offset where decoding stopped;
+// structurally valid JSON with impossible values (negative counts,
+// non-finite blame) is rejected by validation.
 func ReadJSON(r io.Reader) (*Profile, error) {
+	dec := json.NewDecoder(r)
 	var in profileJSON
-	if err := json.NewDecoder(r).Decode(&in); err != nil {
-		return nil, err
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("profile json: decode failed at byte %d: %w", dec.InputOffset(), err)
+	}
+	if err := in.validate("profile"); err != nil {
+		return nil, fmt.Errorf("profile json: %w", err)
 	}
 	return fromJSON(&in), nil
 }

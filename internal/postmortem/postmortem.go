@@ -77,6 +77,10 @@ type Profile struct {
 	Instances    []Instance
 	Threshold    uint64
 	Stats        vm.Stats
+	// Dropped counts profile records lost upstream (sampler ring-buffer
+	// overrun, truncated/corrupt dataset records): the profile below is a
+	// partial view and the renderers say so.
+	Dropped uint64
 	// PerLocale holds per-node profiles for multi-locale runs (step 3 is
 	// "embarrassingly parallel" per node; step 4 aggregates).
 	PerLocale map[int]*Profile
@@ -102,6 +106,15 @@ type Processor struct {
 // New creates a processor.
 func New(prog *ir.Program, analysis *core.Analysis, spawns map[uint64]sampler.SpawnRecord) *Processor {
 	return &Processor{prog: prog, analysis: analysis, spawns: spawns}
+}
+
+// ProcessDataset runs attribution over a dataset read back from disk,
+// carrying the dataset's drop count (truncated or corrupt records) into
+// the profile so the rendered views disclose the partial coverage.
+func (p *Processor) ProcessDataset(ds *sampler.Dataset, stats vm.Stats) *Profile {
+	prof := p.Process(ds.Samples, ds.Threshold, stats)
+	prof.Dropped += ds.Dropped
+	return prof
 }
 
 // Glue builds the full, trimmed call path of one raw sample: address →

@@ -96,9 +96,17 @@ type Dataset struct {
 	Spawns    map[uint64]SpawnRecord
 	Allocs    []AllocRecord
 	CommNames []CommRecord
+	// Dropped counts records lost to truncation or corruption: a
+	// malformed header is fatal (the stream is not a dataset at all), but
+	// a stream that goes bad mid-record yields the records parsed so far
+	// plus a nonzero Dropped — the profile degrades instead of vanishing.
+	Dropped uint64
 }
 
-// ReadDataset parses a dataset written by WriteDataset.
+// ReadDataset parses a dataset written by WriteDataset. Header errors
+// (short read, bad magic) are returned as errors; mid-stream truncation
+// or corruption ends the parse early with Dataset.Dropped > 0 and a nil
+// error, so the post-mortem step can still process the intact prefix.
 func ReadDataset(r io.Reader) (*Dataset, error) {
 	br := bufio.NewReader(r)
 	le := binary.LittleEndian
@@ -160,67 +168,110 @@ func ReadDataset(r io.Reader) (*Dataset, error) {
 		return nil, err
 	}
 
+	// drop abandons the rest of the stream: a length-prefixed binary
+	// format cannot resync after a bad length or kind byte, so everything
+	// from the first bad record on is counted as dropped.
+	drop := func() (*Dataset, error) {
+		ds.Dropped++
+		return ds, nil
+	}
 	for {
 		kind, err := br.ReadByte()
 		if err == io.EOF {
 			return ds, nil
 		}
 		if err != nil {
-			return nil, err
+			return drop()
 		}
 		switch recKind(kind) {
 		case recSample:
 			var smp RawSample
 			if smp.Addr, err = readU64(); err != nil {
-				return nil, err
+				return drop()
 			}
-			smp.Tag, _ = readU64()
-			tid, _ := readU32()
+			if smp.Tag, err = readU64(); err != nil {
+				return drop()
+			}
+			tid, err := readU32()
+			if err != nil {
+				return drop()
+			}
 			smp.TaskID = int(tid)
-			loc, _ := readU32()
+			loc, err := readU32()
+			if err != nil {
+				return drop()
+			}
 			smp.Locale = int(loc)
 			if smp.RuntimeFunc, err = readStr(); err != nil {
-				return nil, err
+				return drop()
 			}
-			smp.DataAddr, _ = readU64()
-			smp.DataSize, _ = readI64()
+			if smp.DataAddr, err = readU64(); err != nil {
+				return drop()
+			}
+			if smp.DataSize, err = readI64(); err != nil {
+				return drop()
+			}
 			if smp.Stack, err = readStack(); err != nil {
-				return nil, err
+				return drop()
 			}
 			ds.Samples = append(ds.Samples, smp)
 		case recSpawn:
 			var sp SpawnRecord
-			sp.Tag, _ = readU64()
-			sp.ParentTag, _ = readU64()
-			sp.Site, _ = readU64()
+			if sp.Tag, err = readU64(); err != nil {
+				return drop()
+			}
+			if sp.ParentTag, err = readU64(); err != nil {
+				return drop()
+			}
+			if sp.Site, err = readU64(); err != nil {
+				return drop()
+			}
 			if sp.Stack, err = readStack(); err != nil {
-				return nil, err
+				return drop()
 			}
 			ds.Spawns[sp.Tag] = sp
 		case recAlloc:
 			var al AllocRecord
-			al.Addr, _ = readU64()
-			al.Size, _ = readI64()
-			if al.VarName, err = readStr(); err != nil {
-				return nil, err
+			if al.Addr, err = readU64(); err != nil {
+				return drop()
 			}
-			al.Site, _ = readU64()
+			if al.Size, err = readI64(); err != nil {
+				return drop()
+			}
+			if al.VarName, err = readStr(); err != nil {
+				return drop()
+			}
+			if al.Site, err = readU64(); err != nil {
+				return drop()
+			}
 			ds.Allocs = append(ds.Allocs, al)
 		case recComm:
 			var c CommRecord
-			c.Bytes, _ = readI64()
-			f, _ := readU32()
+			if c.Bytes, err = readI64(); err != nil {
+				return drop()
+			}
+			f, err := readU32()
+			if err != nil {
+				return drop()
+			}
 			c.From = int(f)
-			to, _ := readU32()
+			to, err := readU32()
+			if err != nil {
+				return drop()
+			}
 			c.To = int(to)
-			c.Addr, _ = readU64()
-			c.Tag, _ = readU64()
+			if c.Addr, err = readU64(); err != nil {
+				return drop()
+			}
+			if c.Tag, err = readU64(); err != nil {
+				return drop()
+			}
 			if _, err = readStr(); err != nil {
-				return nil, err
+				return drop()
 			}
 			ds.CommNames = append(ds.CommNames, c)
 		default:
-			return nil, fmt.Errorf("dataset: unknown record kind %d", kind)
+			return drop()
 		}
 	}
 }

@@ -84,6 +84,9 @@ type Sampler struct {
 	// history (the paper's planned skid-compensation feature, §IV.B).
 	compensate bool
 	history    map[int]*ring
+	// ringCap models a bounded sample ring buffer: once Samples reaches
+	// it, further samples are dropped and counted (0 = unbounded).
+	ringCap int
 
 	Samples []RawSample
 	Spawns  map[uint64]SpawnRecord
@@ -93,6 +96,11 @@ type Sampler struct {
 
 	// StackWalks counts walks performed (overhead accounting, §V).
 	StackWalks uint64
+	// Dropped counts samples lost to ring-buffer overrun — the real-world
+	// failure mode where the monitor can't drain the PMU buffer fast
+	// enough. Post-mortem reports them so a partial profile is honest
+	// about its coverage.
+	Dropped uint64
 }
 
 // Option configures a Sampler.
@@ -112,6 +120,13 @@ func WithSkidCompensation() Option {
 		s.compensate = true
 		s.history = make(map[int]*ring)
 	}
+}
+
+// WithRingBuffer bounds the sample buffer to n entries: overruns are
+// dropped (newest-lost, like a full perf ring buffer) and counted in
+// Dropped. n <= 0 keeps the buffer unbounded.
+func WithRingBuffer(n int) Option {
+	return func(s *Sampler) { s.ringCap = n }
 }
 
 // ring is a small per-task history of retired instruction addresses.
@@ -174,6 +189,12 @@ func (s *Sampler) Exec(cycles uint64, t *vm.Task, in *ir.Instr, acc *vm.ArrayVal
 }
 
 func (s *Sampler) takeSample(t *vm.Task, in *ir.Instr, acc *vm.ArrayVal) {
+	if s.ringCap > 0 && len(s.Samples) >= s.ringCap {
+		// Buffer overrun: the monitor checks for space before walking the
+		// stack, so a dropped sample costs no walk.
+		s.Dropped++
+		return
+	}
 	s.StackWalks++
 	smp := RawSample{
 		Addr:   in.Addr,
@@ -207,6 +228,10 @@ func (s *Sampler) takeSample(t *vm.Task, in *ir.Instr, acc *vm.ArrayVal) {
 func (s *Sampler) Spin(cycles uint64, t *vm.Task, fn *ir.Func) {
 	n := s.counter.Add(cycles)
 	for i := 0; i < n; i++ {
+		if s.ringCap > 0 && len(s.Samples) >= s.ringCap {
+			s.Dropped++
+			continue
+		}
 		s.StackWalks++
 		smp := RawSample{
 			TaskID:      t.ID,

@@ -20,6 +20,9 @@ import (
 func DataCentric(p *postmortem.Profile, limit int) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Flat data-centric view (%d samples, threshold %d)\n", p.TotalSamples, p.Threshold)
+	if p.Dropped > 0 {
+		fmt.Fprintf(&b, "WARNING: partial profile — %d records dropped (buffer overrun or corrupt dataset)\n", p.Dropped)
+	}
 	fmt.Fprintf(&b, "%-42s %-28s %8s  %s\n", "Name", "Type", "Blame", "Context")
 	n := 0
 	for _, r := range p.DataCentric {
@@ -148,6 +151,10 @@ func CommCentric(p *postmortem.CommProfile, limit int) string {
 			100*a.HitRate(), a.Hits, a.Misses, a.Evictions, a.Invalidations)
 		fmt.Fprintf(&b, "  coalescing: %d halo prefetches (%d elems), %d run streams (%d elems), %d write-back flushes (%d elems)\n",
 			a.Prefetches, a.PrefetchedElems, a.Streams, a.StreamedElems, a.Flushes, a.FlushedElems)
+		if f := a.Fault; f != nil {
+			fmt.Fprintf(&b, "  faults: %d retries, %d timeouts, %d dropped, %d duplicates suppressed, %d locale fallbacks, %d extra latency units\n",
+				f.Retries, f.Timeouts, f.DroppedMsgs, f.DuplicatesSuppressed, f.FailedLocaleFallbacks, f.ExtraLatUnits)
+		}
 		for _, name := range a.VarNames() {
 			vs := a.PerVar[name]
 			fmt.Fprintf(&b, "  %-30s %6d messages %10d bytes %6d hits\n", name, vs.Messages, vs.Bytes, vs.Hits)

@@ -727,7 +727,11 @@ func (m *VM) commCost(t *Task, arr *ArrayVal, idx []int64, bytes int64, write bo
 	m.Stats.CommBytes += bytes
 	in := m.currentInstr(t)
 	m.lis.Comm(bytes, home, t.Locale, arr.OwnerVar, t, in)
-	return m.cost(m.Cfg.Costs.CommLatency + uint64(bytes)*m.Cfg.Costs.CommPerByte)
+	lat := m.Cfg.Costs.CommLatency
+	if out := m.fault.Send(home, t.Locale); out.ExtraLat > 0 {
+		lat += uint64(out.ExtraLat) * m.Cfg.Costs.CommLatency
+	}
+	return m.cost(lat + uint64(bytes)*m.Cfg.Costs.CommPerByte)
 }
 
 // noteOwnerRemote records a scheduling violation: an element access at a
@@ -809,7 +813,7 @@ func (m *VM) commAccess(t *Task, arr *ArrayVal, idx []int64, bytes int64, home i
 				owner = arr.OwnerVar
 			}
 			m.lis.Comm(ev.Bytes, ev.From, ev.To, owner, t, in)
-			cycles += m.cost(m.Cfg.Costs.CommLatency + uint64(ev.Bytes)*m.Cfg.Costs.CommPerByte)
+			cycles += m.cost(m.Cfg.Costs.CommLatency*uint64(1+ev.ExtraLat) + uint64(ev.Bytes)*m.Cfg.Costs.CommPerByte)
 		}
 		m.lis.CommAgg(ev, t)
 	}

@@ -72,13 +72,26 @@ func (m *VM) doSpawn(t *Task, in *ir.Instr) {
 			m.fail(t, in, "on-statement targets locale %d of %d", locale, m.Cfg.NumLocales)
 			return
 		}
+		// The launch message always pays SpawnPerTask + CommLatency (even
+		// same-locale `on`, matching Chapel's active-message path). Fault
+		// handling applies only to genuinely remote launches: a dead target
+		// degrades to spawn-locale execution, a faulty link adds latency.
+		launch := m.Cfg.Costs.SpawnPerTask + m.Cfg.Costs.CommLatency
+		if locale != t.Locale && m.fault != nil {
+			if m.fault.LocaleDead(locale) {
+				m.fault.NoteFallback()
+				locale = t.Locale
+			} else if out := m.fault.Send(t.Locale, locale); out.ExtraLat > 0 {
+				launch += uint64(out.ExtraLat) * m.Cfg.Costs.CommLatency
+			}
+		}
 		child := m.newTask(t, tag, locale)
 		m.pushFrame(child, in.Callee, captures, nil)
 		g := &joinGroup{pending: 1, waiter: t, barrierSite: in}
 		child.join = g
 		m.enqueue(child, t)
 		t.blockedOn = g
-		m.rtCharge(t, m.cost(m.Cfg.Costs.SpawnPerTask+m.Cfg.Costs.CommLatency), "chpl_task_spawn")
+		m.rtCharge(t, m.cost(launch), "chpl_task_spawn")
 	}
 }
 
@@ -173,6 +186,16 @@ func (m *VM) spawnLoopOwner(t *Task, in *ir.Instr, tag uint64, captures []Value,
 				numTasks = cnt
 			}
 		}
+		// Graceful degradation: chunks owned by a failed locale run on the
+		// spawner's locale instead (paying remote element access for them,
+		// but completing with correct output).
+		target := int(loc)
+		if target != t.Locale && m.fault.LocaleDead(target) {
+			target = t.Locale
+			for k := int64(0); k < numTasks; k++ {
+				m.fault.NoteFallback()
+			}
+		}
 		chunk := cnt / numTasks
 		rem := cnt % numTasks
 		pos := lo * rowSize
@@ -181,7 +204,7 @@ func (m *VM) spawnLoopOwner(t *Task, in *ir.Instr, tag uint64, captures []Value,
 			if k < rem {
 				n++
 			}
-			child := m.newTask(t, tag, int(loc))
+			child := m.newTask(t, tag, target)
 			child.iter = &iterState{
 				body:     in.Callee,
 				captures: captures,
@@ -200,9 +223,20 @@ func (m *VM) spawnLoopOwner(t *Task, in *ir.Instr, tag uint64, captures []Value,
 			}
 		}
 		launch := m.Cfg.Costs.SpawnPerTask
-		if int(loc) != t.Locale {
+		if target != t.Locale {
 			launch += m.Cfg.Costs.CommLatency
 			m.Stats.RemoteSpawns += uint64(numTasks)
+			if m.fault != nil {
+				// One launch message per remote worker runs through the
+				// injector; lost/delayed launches add modeled latency.
+				var extra uint64
+				for k := int64(0); k < numTasks; k++ {
+					if out := m.fault.Send(t.Locale, target); out.ExtraLat > 0 {
+						extra += uint64(out.ExtraLat) * m.Cfg.Costs.CommLatency
+					}
+				}
+				spawnCycles += m.cost(extra)
+			}
 		}
 		spawnCycles += uint64(numTasks) * m.cost(launch)
 		spawned += numTasks

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/comm"
+	"repro/internal/fault"
 	"repro/internal/ir"
 	"repro/internal/source"
 )
@@ -89,6 +90,15 @@ type Config struct {
 	// messages for every non-local element. Used by the before/after
 	// studies in internal/exp; leave false for Chapel-faithful runs.
 	NoOwnerComputes bool
+	// Fault, when non-nil, injects deterministic comm faults (loss with
+	// retries, duplicates, delays, slow/failed locales) into every remote
+	// access and remote spawn. Output is unchanged — chunks owned by a
+	// dead locale fall back to the spawner's locale, lost messages are
+	// retransmitted — only cycles and Stats.Fault counters move.
+	Fault *fault.Injector
+	// CommRetry overrides the fault injector's retry policy when any
+	// field is non-zero.
+	CommRetry fault.RetryPolicy
 }
 
 // DefaultConfig mirrors the paper's testbed: a single locale with 12
@@ -246,6 +256,9 @@ type VM struct {
 	// comm is the modeled communication runtime (nil unless
 	// Config.CommAggregate).
 	comm *comm.Runtime
+	// fault is the deterministic fault injector (nil unless Config.Fault);
+	// nil receivers are inert, so call sites skip nil checks.
+	fault *fault.Injector
 
 	// noLis short-circuits all Listener calls when no profiler is
 	// attached, so unsampled runs skip per-instruction monitor
@@ -296,6 +309,20 @@ type Stats struct {
 	// Agg holds the aggregation runtime's statistics (nil unless
 	// Config.CommAggregate).
 	Agg *comm.Stats
+	// Fault holds the fault injector's counters (nil unless Config.Fault).
+	Fault *fault.Stats `json:",omitempty"`
+	// TaskPanics records tasks whose execution panicked and was recovered
+	// into a diagnostic instead of killing the run.
+	TaskPanics []TaskPanic `json:",omitempty"`
+}
+
+// TaskPanic is one recovered task panic (graceful degradation: the task
+// is abandoned, its joins released, and the run continues).
+type TaskPanic struct {
+	TaskID int
+	Tag    uint64
+	Fn     string // innermost frame at the point of panic
+	Msg    string
 }
 
 // Seconds converts wall cycles to seconds at the configured clock.
@@ -337,8 +364,16 @@ func New(prog *ir.Program, cfg Config) *VM {
 		m.comm = comm.New(comm.Config{
 			Locales:  cfg.NumLocales,
 			CacheCap: cfg.CommCacheCap,
+			Fault:    cfg.Fault,
+			Retry:    cfg.CommRetry,
 		}, cfg.CommPlan)
+	} else if cfg.Fault != nil && cfg.CommRetry != (fault.RetryPolicy{}) {
+		// Direct (unaggregated) path: apply the retry override here since
+		// no comm runtime will.
+		cfg.Fault.SetRetry(cfg.CommRetry)
 	}
+	m.fault = cfg.Fault
+	m.Stats.Fault = m.fault.Stats()
 	// Per-instruction static costs (with --fast scaling and i-cache
 	// surcharges folded in), shared across VMs of the same program.
 	m.costTab = costTable(prog, cfg.Costs)
@@ -589,6 +624,36 @@ func (m *VM) runQuantum(c *core) {
 	}
 	t := c.queue[k]
 	c.lastTask = t
+	m.runSlice(t)
+	// Rotate: move t to the back for round-robin fairness.
+	if len(c.queue) > 1 {
+		c.queue = append(append(c.queue[:k:k], c.queue[k+1:]...), t)
+	}
+	m.reap(c)
+}
+
+// runSlice executes up to Quantum instructions from t, recovering a task
+// panic into a per-task diagnostic (Stats.TaskPanics): the task is
+// abandoned, its join group released, and the run continues degraded
+// rather than crashing the whole simulation.
+func (m *VM) runSlice(t *Task) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		p := TaskPanic{TaskID: t.ID, Tag: t.Tag, Msg: fmt.Sprint(r)}
+		if a := t.Top(); a != nil && a.F != nil {
+			p.Fn = a.F.Name
+		}
+		m.Stats.TaskPanics = append(m.Stats.TaskPanics, p)
+		t.Frames = t.Frames[:0]
+		t.iter = nil
+		t.blockedOn = nil
+		if !t.done {
+			m.taskFinished(t)
+		}
+	}()
 	for i := 0; i < m.Cfg.Quantum; i++ {
 		if m.err != nil || m.halted || !t.runnable() {
 			break
@@ -597,11 +662,6 @@ func (m *VM) runQuantum(c *core) {
 			break
 		}
 	}
-	// Rotate: move t to the back for round-robin fairness.
-	if len(c.queue) > 1 {
-		c.queue = append(append(c.queue[:k:k], c.queue[k+1:]...), t)
-	}
-	m.reap(c)
 }
 
 // reap removes finished tasks from the queue.
@@ -672,7 +732,7 @@ func (m *VM) taskFinished(t *Task) {
 				m.Stats.CommMessages++
 				m.Stats.CommBytes += ev.Bytes
 				m.lis.Comm(ev.Bytes, ev.From, ev.To, ev.Var, t, nil)
-				m.charge(t, m.cost(m.Cfg.Costs.CommLatency+uint64(ev.Bytes)*m.Cfg.Costs.CommPerByte))
+				m.charge(t, m.cost(m.Cfg.Costs.CommLatency*uint64(1+ev.ExtraLat)+uint64(ev.Bytes)*m.Cfg.Costs.CommPerByte))
 			}
 			m.lis.CommAgg(ev, t)
 		}
