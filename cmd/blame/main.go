@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"repro/internal/analyze"
+	"repro/internal/analyze/cost"
 	"repro/internal/benchprog"
 	"repro/internal/blame"
 	"repro/internal/comm"
@@ -47,6 +48,8 @@ func main() {
 		perLocale = flag.Bool("per-locale", false, "also print per-locale profiles")
 		jsonOut   = flag.String("json", "", "also write the profile as JSON to this file")
 		lint      = flag.Bool("lint", false, "run the static diagnostics and print the blame-guided advisor view")
+		lintJSON  = flag.Bool("lint-json", false, "print the static diagnostics as JSON and exit (no execution)")
+		static    = flag.Bool("static", false, "print the static cost engine's predicted blame and comm volume and exit (no execution)")
 		commAgg   = flag.Bool("comm-aggregate", false, "model the communication aggregation runtime (halo prefetch, run coalescing, software cache)")
 		commCap   = flag.Int("comm-cache", comm.DefaultCacheCap, "per-locale software-cache capacity in elements (0 = no cache)")
 		noOwner   = flag.Bool("no-owner-computes", false, "disable owner-computes forall scheduling (chunks inherit the spawner's locale)")
@@ -65,6 +68,14 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "blame:", err)
 		os.Exit(1)
+	}
+
+	if *lintJSON {
+		if err := analyze.Run(res.Prog).WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "blame:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	cfg := blame.DefaultConfig()
@@ -93,6 +104,20 @@ func main() {
 		// The plan also powers the owner-computes violation counter, so
 		// derive it for any multi-locale run, not just aggregated ones.
 		cfg.VM.CommPlan = analyze.CommPlan(res.Prog)
+	}
+	if *static {
+		// Predict without executing anything: no calibration run, no
+		// profiled run.
+		opts := cost.DefaultOptions()
+		opts.VM = cfg.VM
+		opts.Core = cfg.Core
+		pred := cost.Predict(res.Prog, opts)
+		fmt.Print(views.Predicted(pred, *limit))
+		if *lint {
+			fmt.Println()
+			fmt.Print(analyze.Run(res.Prog).Text())
+		}
+		return
 	}
 	if *threshold != 0 {
 		cfg.Threshold = *threshold
@@ -135,7 +160,10 @@ func main() {
 		rep := analyze.Run(res.Prog)
 		fmt.Print(rep.Text())
 		fmt.Println()
-		fmt.Print(views.Advisor(prof, rep, *limit))
+		opts := cost.DefaultOptions()
+		opts.VM = cfg.VM
+		opts.Core = cfg.Core
+		fmt.Print(views.Advisor(prof, rep, cost.Predict(res.Prog, opts), *limit))
 		return
 	}
 
@@ -204,6 +232,12 @@ func loadSource(bench string, args []string) (string, string, error) {
 			return p.Source, p.Name, nil
 		case "lulesh_best":
 			p := benchprog.LULESH(benchprog.LuleshBest)
+			return p.Source, p.Name, nil
+		case "halo":
+			p := benchprog.Halo()
+			return p.Source, p.Name, nil
+		case "wavefront":
+			p := benchprog.Wavefront()
 			return p.Source, p.Name, nil
 		case "fig1":
 			return benchprog.Fig1Example, "fig1", nil

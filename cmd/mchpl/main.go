@@ -31,22 +31,23 @@ import (
 
 func main() {
 	var (
-		fast     = flag.Bool("fast", false, "enable the --fast optimization pipeline")
-		noChecks = flag.Bool("no-checks", false, "elide bounds checks (--no-checks)")
-		cores    = flag.Int("cores", 12, "simulated cores per locale")
-		locales  = flag.Int("locales", 1, "simulated locales")
-		bench    = flag.String("bench", "", "run a built-in benchmark instead of a file")
-		stats    = flag.Bool("stats", false, "print run statistics")
-		dumpIR   = flag.Bool("dump-ir", false, "print the compiled IR and exit")
-		analyzeF = flag.Bool("analyze", false, "run the static performance diagnostics and exit")
-		maxCyc   = flag.Uint64("max-cycles", 10_000_000_000, "cycle budget (0 = unlimited)")
-		commAgg  = flag.Bool("comm-aggregate", false, "model the communication aggregation runtime (halo prefetch, run coalescing, software cache)")
-		commCap  = flag.Int("comm-cache", comm.DefaultCacheCap, "per-locale software-cache capacity in elements (0 = no cache)")
-		noOwner  = flag.Bool("no-owner-computes", false, "disable owner-computes forall scheduling (chunks inherit the spawner's locale)")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the compile+run to this file")
-		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
-		faultSpc = flag.String("fault-spec", "", "inject deterministic comm faults, e.g. loss=0.01,dup=0.005,delay=0.1:3xCommLatency,locale-slow=2:4x,locale-fail=3@tick500")
-		faultSd  = flag.Uint64("fault-seed", 1, "seed for the fault injector's PRNG")
+		fast        = flag.Bool("fast", false, "enable the --fast optimization pipeline")
+		noChecks    = flag.Bool("no-checks", false, "elide bounds checks (--no-checks)")
+		cores       = flag.Int("cores", 12, "simulated cores per locale")
+		locales     = flag.Int("locales", 1, "simulated locales")
+		bench       = flag.String("bench", "", "run a built-in benchmark instead of a file")
+		stats       = flag.Bool("stats", false, "print run statistics")
+		dumpIR      = flag.Bool("dump-ir", false, "print the compiled IR and exit")
+		analyzeF    = flag.Bool("analyze", false, "run the static performance diagnostics and exit")
+		analyzeJSON = flag.Bool("analyze-json", false, "print the static diagnostics as JSON and exit")
+		maxCyc      = flag.Uint64("max-cycles", 10_000_000_000, "cycle budget (0 = unlimited)")
+		commAgg     = flag.Bool("comm-aggregate", false, "model the communication aggregation runtime (halo prefetch, run coalescing, software cache)")
+		commCap     = flag.Int("comm-cache", comm.DefaultCacheCap, "per-locale software-cache capacity in elements (0 = no cache)")
+		noOwner     = flag.Bool("no-owner-computes", false, "disable owner-computes forall scheduling (chunks inherit the spawner's locale)")
+		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile of the compile+run to this file")
+		memProf     = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		faultSpc    = flag.String("fault-spec", "", "inject deterministic comm faults, e.g. loss=0.01,dup=0.005,delay=0.1:3xCommLatency,locale-slow=2:4x,locale-fail=3@tick500")
+		faultSd     = flag.Uint64("fault-seed", 1, "seed for the fault injector's PRNG")
 	)
 	flag.Parse()
 
@@ -90,6 +91,13 @@ func main() {
 	}
 	if *dumpIR {
 		fmt.Print(res.Prog.Dump())
+		return
+	}
+	if *analyzeJSON {
+		if err := analyze.Run(res.Prog).WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "mchpl:", err)
+			os.Exit(1)
+		}
 		return
 	}
 	if *analyzeF {

@@ -1,0 +1,157 @@
+package absint
+
+import (
+	"repro/internal/cfg"
+	"repro/internal/ir"
+)
+
+// Domain is the lattice + transfer interface a concrete abstract domain
+// implements. States S are treated as immutable by the engine: Transfer
+// and Refine must copy-on-write (Copy is provided for that), and Join /
+// Widen must return a fresh state (or one of their operands unchanged).
+type Domain[S any] interface {
+	// Entry is the state at function entry.
+	Entry(f *ir.Func) S
+	// Copy returns an independent copy of s.
+	Copy(s S) S
+	// Join returns the least upper bound and whether it differs from a.
+	Join(a, b S) (S, bool)
+	// Widen is Join with extrapolation, applied at loop headers to force
+	// termination; it also reports change relative to a.
+	Widen(a, b S) (S, bool)
+	// Transfer applies one instruction.
+	Transfer(s S, in *ir.Instr) S
+	// Refine sharpens s with the knowledge that branch in went the taken
+	// (then) or not-taken (else) way. Return s unchanged when nothing is
+	// known.
+	Refine(s S, in *ir.Instr, taken bool) S
+}
+
+// widenAfter is how many times a loop header is re-joined before the
+// engine switches from Join to Widen there. A couple of plain joins first
+// lets short ascending chains (constant → small interval) stabilize
+// exactly before extrapolation throws bounds away.
+const widenAfter = 3
+
+// maxPasses bounds full RPO sweeps; with widening the fixpoint converges
+// in a handful of passes, this is a hard backstop for hostile CFGs.
+const maxPasses = 64
+
+// Result holds the fixpoint: the abstract state at entry to each block.
+type Result[S any] struct {
+	Fn      *ir.Func
+	In      []S    // indexed by block ID; valid only where Reached
+	Reached []bool // block reachable under the abstraction
+}
+
+// Run computes the forward dataflow fixpoint of d over f: reverse
+// postorder sweeps with Join at merge points and Widen at natural-loop
+// headers once a header has been visited widenAfter times.
+func Run[S any](f *ir.Func, d Domain[S]) *Result[S] {
+	n := len(f.Blocks)
+	res := &Result[S]{
+		Fn:      f,
+		In:      make([]S, n),
+		Reached: make([]bool, n),
+	}
+	if n == 0 {
+		return res
+	}
+	rpo := cfg.ReversePostorder(f)
+	heads := cfg.LoopHeads(f)
+	visits := make([]int, n)
+
+	entry := f.Blocks[0]
+	for pass := 0; pass < maxPasses; pass++ {
+		changed := false
+		for _, b := range rpo {
+			var s S
+			have := false
+			if b == entry {
+				s = d.Entry(f)
+				have = true
+			}
+			for _, p := range b.Preds {
+				if !res.Reached[p.ID] {
+					continue
+				}
+				ps := outState(d, res.In[p.ID], p, b)
+				if !have {
+					s, have = ps, true
+				} else {
+					s, _ = d.Join(s, ps)
+				}
+			}
+			if !have {
+				continue
+			}
+			if !res.Reached[b.ID] {
+				res.In[b.ID] = s
+				res.Reached[b.ID] = true
+				changed = true
+			} else if heads[b.ID] && visits[b.ID] >= widenAfter {
+				var ch bool
+				res.In[b.ID], ch = d.Widen(res.In[b.ID], s)
+				changed = changed || ch
+			} else {
+				var ch bool
+				res.In[b.ID], ch = d.Join(res.In[b.ID], s)
+				changed = changed || ch
+			}
+			visits[b.ID]++
+		}
+		if !changed {
+			break
+		}
+	}
+	return res
+}
+
+// outState transfers p's entry state through its body and refines along
+// the edge p → succ when p ends in a branch.
+func outState[S any](d Domain[S], in S, p, succ *ir.Block) S {
+	s := d.Copy(in)
+	for _, instr := range p.Instrs {
+		s = d.Transfer(s, instr)
+	}
+	if t := p.Terminator(); t != nil && t.Op == ir.OpBr && len(t.Targets) == 2 {
+		if t.Targets[0] == succ && t.Targets[1] != succ {
+			s = d.Refine(s, t, true)
+		} else if t.Targets[1] == succ && t.Targets[0] != succ {
+			s = d.Refine(s, t, false)
+		}
+	}
+	return s
+}
+
+// At replays the block prefix to produce the abstract state immediately
+// before instr. Returns the zero S and false when instr's block was not
+// reached.
+func (r *Result[S]) At(d Domain[S], instr *ir.Instr) (S, bool) {
+	b := instr.Block
+	if b == nil || b.ID >= len(r.Reached) || !r.Reached[b.ID] {
+		var zero S
+		return zero, false
+	}
+	s := d.Copy(r.In[b.ID])
+	for _, in := range b.Instrs {
+		if in == instr {
+			return s, true
+		}
+		s = d.Transfer(s, in)
+	}
+	return s, true
+}
+
+// Out replays the whole block to produce the abstract state at its end.
+func (r *Result[S]) Out(d Domain[S], b *ir.Block) (S, bool) {
+	if b == nil || b.ID >= len(r.Reached) || !r.Reached[b.ID] {
+		var zero S
+		return zero, false
+	}
+	s := d.Copy(r.In[b.ID])
+	for _, in := range b.Instrs {
+		s = d.Transfer(s, in)
+	}
+	return s, true
+}

@@ -1,0 +1,74 @@
+package absint_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/absint"
+)
+
+// FuzzIntervalWiden exercises the widening operator on adversarial loop
+// bounds: the properties fuzzed are exactly what the cost engine's
+// fixpoint termination and soundness rest on.
+//
+//   - Widen is an upper-bound operator: the result contains both the
+//     previous and the next interval.
+//   - Widening stabilizes: once a bound has widened, re-widening with
+//     any contained interval is the identity (the engine's loop-head
+//     chain terminates).
+//   - Saturation: endpoints never escape [-Inf, Inf] even when seeded
+//     with math.MinInt64/MaxInt64, so downstream arithmetic cannot
+//     overflow.
+func FuzzIntervalWiden(f *testing.F) {
+	// Adversarial loop bounds: the saturation bound itself, its
+	// neighborhood, machine-integer extremes, empty intervals, and the
+	// halo/wavefront-style bounds the cost engine actually sees.
+	seeds := [][4]int64{
+		{0, 9, 0, 10},                                             // classic unstable upper bound
+		{0, 1023, -absint.Inf, absint.Inf},                        // widen straight to top
+		{absint.Inf, absint.Inf, 0, 0},                            // saturated constant vs zero
+		{-absint.Inf, -absint.Inf, 1, 0},                          // saturated low vs empty
+		{1, 0, 5, 7},                                              // empty prev adopts next
+		{math.MinInt64, math.MaxInt64, -1, 1},                     // beyond the saturation bound
+		{absint.Inf - 1, absint.Inf, -absint.Inf, absint.Inf - 1}, // fencepost at Inf
+		{0, 255, 256, 1023},                                       // wavefront chunk bounds
+		{-3, 3, -4, 4},                                            // both bounds unstable
+	}
+	for _, s := range seeds {
+		f.Add(s[0], s[1], s[2], s[3])
+	}
+	f.Fuzz(func(t *testing.T, pl, ph, nl, nh int64) {
+		prev := absint.MakeInterval(pl, ph)
+		next := absint.MakeInterval(nl, nh)
+		w := prev.Widen(next)
+
+		inBounds := func(i absint.Interval) bool {
+			return i.Lo >= -absint.Inf && i.Lo <= absint.Inf &&
+				i.Hi >= -absint.Inf && i.Hi <= absint.Inf
+		}
+		if !inBounds(w) {
+			t.Fatalf("widen(%v, %v) = %v escapes saturation bounds", prev, next, w)
+		}
+		contains := func(outer, inner absint.Interval) bool {
+			return inner.IsEmpty() || (!outer.IsEmpty() && outer.Lo <= inner.Lo && outer.Hi >= inner.Hi)
+		}
+		if !contains(w, prev) || !contains(w, next) {
+			t.Fatalf("widen(%v, %v) = %v is not an upper bound", prev, next, w)
+		}
+		// Stabilization: re-widening with anything w already contains is
+		// the identity, so the engine's widening chain terminates.
+		if w2 := w.Widen(w); w2 != w {
+			t.Fatalf("widen not idempotent at fixpoint: %v -> %v", w, w2)
+		}
+		if !next.IsEmpty() {
+			if w2 := w.Widen(next); w2 != w {
+				t.Fatalf("re-widening with contained %v moved %v -> %v", next, w, w2)
+			}
+		}
+		// Join is bounded by widen (widen over-approximates join).
+		j := prev.Join(next)
+		if !contains(w, j) {
+			t.Fatalf("join %v not contained in widen %v", j, w)
+		}
+	})
+}

@@ -1,0 +1,339 @@
+package absint
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/token"
+	"repro/internal/types"
+)
+
+// LocKind classifies a scalar's relationship to the sweep index of the
+// enclosing parallel body — the locality lattice. Under owner-computes
+// scheduling a task's chunk is aligned with ArrayVal.ElemHome's block
+// decomposition, so an access at (Scale·i + Off)/Div lands on:
+//
+//	Scale=1, Div=1, Off=0   the task's own locale (SiteOwner)
+//	Scale=1, Div=1, Off=±k  own locale except a k-wide fringe (SiteHalo)
+//	Scale=s>1, Div=1        every s-th home block (SiteStrided)
+//	Div=d>1                 a compressed image of the chunk (SiteBlocked)
+//	LTop                    statically unknown (fine-grained)
+type LocKind uint8
+
+// Locality lattice points, least to greatest.
+const (
+	LBot       LocKind = iota // unreached
+	LConst                    // compile-time constant (V)
+	LInvariant                // sweep-invariant, value unknown
+	LIndex                    // (Scale·i + Off) / Div of the sweep index i
+	LTop                      // no relation known
+)
+
+// LocVal is one point of the locality lattice.
+type LocVal struct {
+	K          LocKind
+	V          int64 // for LConst
+	Scale, Off int64 // for LIndex: value = (Scale·i + Off) / Div
+	Div        int64
+}
+
+// LocTop is the unknown locality value.
+func LocTop() LocVal { return LocVal{K: LTop} }
+
+// LocConst is a compile-time constant.
+func LocConst(v int64) LocVal { return LocVal{K: LConst, V: v} }
+
+// LocIdx is the sweep index itself.
+func LocIdx() LocVal { return LocVal{K: LIndex, Scale: 1, Div: 1} }
+
+func (l LocVal) String() string {
+	switch l.K {
+	case LBot:
+		return "⊥"
+	case LConst:
+		return fmt.Sprintf("%d", l.V)
+	case LInvariant:
+		return "inv"
+	case LIndex:
+		s := "i"
+		if l.Scale != 1 {
+			s = fmt.Sprintf("%d·i", l.Scale)
+		}
+		if l.Off != 0 {
+			s += fmt.Sprintf("%+d", l.Off)
+		}
+		if l.Div != 1 {
+			s = "(" + s + fmt.Sprintf(")/%d", l.Div)
+		}
+		return s
+	}
+	return "⊤"
+}
+
+func (l LocVal) join(o LocVal) LocVal {
+	if l.K == LBot {
+		return o
+	}
+	if o.K == LBot || l == o {
+		return l
+	}
+	// Two different constants are still sweep-invariant.
+	if (l.K == LConst || l.K == LInvariant) && (o.K == LConst || o.K == LInvariant) {
+		return LocVal{K: LInvariant}
+	}
+	return LocTop()
+}
+
+// SiteClass names the CommPlan class a LocVal implies for an access.
+type SiteClass uint8
+
+// Access classes mirroring analyze's CommPlan site kinds.
+const (
+	ClassUnknown SiteClass = iota // fine-grained remote access
+	ClassLocal                    // sweep-invariant (same element every iter)
+	ClassOwner                    // own chunk, offset 0
+	ClassHalo                     // own chunk ± a constant fringe
+	ClassStrided
+	ClassBlocked
+)
+
+func (c SiteClass) String() string {
+	switch c {
+	case ClassLocal:
+		return "local"
+	case ClassOwner:
+		return "owner"
+	case ClassHalo:
+		return "halo"
+	case ClassStrided:
+		return "strided"
+	case ClassBlocked:
+		return "blocked"
+	}
+	return "fine-grained"
+}
+
+// Classify maps a locality value to its CommPlan site class.
+func (l LocVal) Classify() SiteClass {
+	switch l.K {
+	case LConst, LInvariant:
+		return ClassLocal
+	case LIndex:
+		if l.Div > 1 {
+			return ClassBlocked
+		}
+		if l.Scale > 1 || l.Scale < -1 {
+			return ClassStrided
+		}
+		if l.Off == 0 {
+			return ClassOwner
+		}
+		return ClassHalo
+	}
+	return ClassUnknown
+}
+
+// LocEnv is the locality domain's store.
+type LocEnv struct {
+	Vars map[*ir.Var]LocVal
+	Dead bool
+}
+
+// Get returns the locality of v (LTop when untracked).
+func (e *LocEnv) Get(v *ir.Var) LocVal {
+	if v == nil {
+		return LocTop()
+	}
+	if x, ok := e.Vars[v]; ok {
+		return x
+	}
+	return LocTop()
+}
+
+func (e *LocEnv) set(v *ir.Var, x LocVal) {
+	if v == nil {
+		return
+	}
+	if x.K == LTop {
+		delete(e.Vars, v)
+		return
+	}
+	e.Vars[v] = x
+}
+
+// LocDomain runs the locality lattice over a forall body: Index holds
+// the body's index parameters (seeded LIndex), and every other parameter
+// is sweep-invariant.
+type LocDomain struct {
+	Fn    *ir.Func
+	Index map[*ir.Var]bool
+}
+
+var _ Domain[*LocEnv] = (*LocDomain)(nil)
+
+// Entry seeds index parameters as the sweep index and the remaining
+// parameters (captures) as sweep-invariant.
+func (d *LocDomain) Entry(f *ir.Func) *LocEnv {
+	e := &LocEnv{Vars: make(map[*ir.Var]LocVal)}
+	for _, p := range f.Params {
+		if d.Index[p] {
+			e.set(p, LocIdx())
+		} else {
+			e.set(p, LocVal{K: LInvariant})
+		}
+	}
+	return e
+}
+
+// Copy clones the store.
+func (d *LocDomain) Copy(s *LocEnv) *LocEnv {
+	out := &LocEnv{Vars: make(map[*ir.Var]LocVal, len(s.Vars)), Dead: s.Dead}
+	for v, x := range s.Vars {
+		out.Vars[v] = x
+	}
+	return out
+}
+
+// Join merges b into a.
+func (d *LocDomain) Join(a, b *LocEnv) (*LocEnv, bool) {
+	if b == nil || b.Dead {
+		return a, false
+	}
+	if a == nil || a.Dead {
+		return d.Copy(b), true
+	}
+	changed := false
+	for v, av := range a.Vars {
+		bv, ok := b.Vars[v]
+		if !ok {
+			bv = LocTop()
+		}
+		nv := av.join(bv)
+		if nv != av {
+			changed = true
+			a.set(v, nv)
+		}
+	}
+	return a, changed
+}
+
+// Widen is Join: the lattice is finite in height per variable.
+func (d *LocDomain) Widen(a, b *LocEnv) (*LocEnv, bool) { return d.Join(a, b) }
+
+// Transfer applies one instruction.
+func (d *LocDomain) Transfer(s *LocEnv, in *ir.Instr) *LocEnv {
+	if s.Dead {
+		return s
+	}
+	switch in.Op {
+	case ir.OpConst:
+		if in.Lit != nil && in.Lit.T != nil && in.Lit.T.Kind() == types.Int {
+			s.set(in.Dst, LocConst(in.Lit.I))
+			return s
+		}
+		s.set(in.Dst, LocVal{K: LInvariant})
+
+	case ir.OpMove:
+		s.set(in.Dst, s.Get(in.A))
+
+	case ir.OpBin:
+		s.set(in.Dst, locBin(in.BinOp, s.Get(in.A), s.Get(in.B)))
+
+	case ir.OpUn:
+		a := s.Get(in.A)
+		if in.BinOp == token.MINUS {
+			switch a.K {
+			case LConst:
+				s.set(in.Dst, LocConst(-a.V))
+				return s
+			case LIndex:
+				s.set(in.Dst, LocVal{K: LIndex, Scale: -a.Scale, Off: -a.Off, Div: a.Div})
+				return s
+			case LInvariant:
+				s.set(in.Dst, a)
+				return s
+			}
+		}
+		s.set(in.Dst, LocTop())
+
+	case ir.OpCall:
+		s.set(in.Dst, LocTop())
+		if in.Callee != nil {
+			for i, p := range in.Callee.Params {
+				if p.IsRef && i < len(in.Args) {
+					s.set(in.Args[i], LocTop())
+				}
+			}
+		}
+
+	case ir.OpSpawn:
+		for _, a := range in.Args {
+			s.set(a, LocTop())
+		}
+
+	default:
+		if dst := in.Def(); dst != nil {
+			s.set(dst, LocTop())
+		}
+	}
+	return s
+}
+
+func locBin(op token.Kind, a, b LocVal) LocVal {
+	if a.K == LConst && b.K == LConst {
+		switch op {
+		case token.PLUS:
+			return LocConst(a.V + b.V)
+		case token.MINUS:
+			return LocConst(a.V - b.V)
+		case token.STAR:
+			return LocConst(a.V * b.V)
+		case token.SLASH:
+			if b.V != 0 {
+				return LocConst(a.V / b.V)
+			}
+		}
+		return LocVal{K: LInvariant}
+	}
+	inv := func(v LocVal) bool { return v.K == LConst || v.K == LInvariant }
+	if inv(a) && inv(b) {
+		switch op {
+		case token.PLUS, token.MINUS, token.STAR, token.SLASH, token.PERCENT:
+			return LocVal{K: LInvariant}
+		}
+		return LocTop()
+	}
+	// Index combined with a constant.
+	idx, c, swapped := a, b, false
+	if b.K == LIndex {
+		idx, c, swapped = b, a, true
+	}
+	if idx.K != LIndex || c.K != LConst {
+		return LocTop()
+	}
+	switch op {
+	case token.PLUS:
+		if idx.Div == 1 {
+			return LocVal{K: LIndex, Scale: idx.Scale, Off: idx.Off + c.V, Div: 1}
+		}
+	case token.MINUS:
+		if idx.Div == 1 {
+			if swapped { // c - idx
+				return LocVal{K: LIndex, Scale: -idx.Scale, Off: c.V - idx.Off, Div: 1}
+			}
+			return LocVal{K: LIndex, Scale: idx.Scale, Off: idx.Off - c.V, Div: 1}
+		}
+	case token.STAR:
+		if idx.Div == 1 {
+			return LocVal{K: LIndex, Scale: idx.Scale * c.V, Off: idx.Off * c.V, Div: 1}
+		}
+	case token.SLASH:
+		if !swapped && c.V > 1 && idx.Div == 1 {
+			return LocVal{K: LIndex, Scale: idx.Scale, Off: idx.Off, Div: c.V}
+		}
+	}
+	return LocTop()
+}
+
+// Refine is a no-op: branch conditions carry no locality information.
+func (d *LocDomain) Refine(s *LocEnv, in *ir.Instr, taken bool) *LocEnv { return s }

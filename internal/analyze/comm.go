@@ -323,7 +323,9 @@ func (ctx *Context) classifyAccess(f *ir.Func, ti *taintInfo, args []*ir.Var, sh
 			return accessPat{cls: commCoalesce, kind: comm.SiteStrided, stride: c}
 		}
 		if c, ok := ctx.scaleOf(f, ti, a, token.SLASH); ok && c > 1 {
-			return accessPat{cls: commCoalesce, kind: comm.SiteBlocked}
+			// The block divisor rides along in stride so the static cost
+			// engine can reconstruct the compressed access window.
+			return accessPat{cls: commCoalesce, kind: comm.SiteBlocked, stride: c}
 		}
 		return accessPat{cls: commRemote}
 	}

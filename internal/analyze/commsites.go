@@ -1,0 +1,63 @@
+package analyze
+
+import (
+	"repro/internal/comm"
+	"repro/internal/ir"
+)
+
+// CommSite is the exported view of one classified distributed-array
+// access site — the same classification CommPlan feeds the runtime,
+// plus the fields the static cost engine (internal/analyze/cost) needs
+// to enumerate messages per task chunk: the root array variable, the
+// rank-1 index argument and whether the access is a write.
+type CommSite struct {
+	Instr *ir.Instr
+	Root  *ir.Var // root (de-aliased) array variable
+	Name  string  // display name of the accessed array
+	Dom   *ir.Var // the array's distribution domain
+	Index *ir.Var // rank-1 index argument (nil otherwise)
+
+	Class       comm.SiteClass
+	Off, Stride int64
+	Shift       int64 // iteration-space translation (wavefront)
+
+	Aligned bool // classified within an aligned or sweeping context
+	Sweep   bool // context was a range-driven parallel body
+	Rank1   bool
+	Write   bool
+	Fine    bool // no static pattern: fine-grained remote access
+}
+
+// CommSites classifies every distributed-array access in f — the
+// exported mirror of the commScan the diagnostics and CommPlan use.
+func (ctx *Context) CommSites(f *ir.Func) []CommSite {
+	sites, _, _ := ctx.commScan(f)
+	out := make([]CommSite, 0, len(sites))
+	for _, s := range sites {
+		cs := CommSite{
+			Instr:   s.in,
+			Name:    s.name,
+			Dom:     s.arrDom,
+			Class:   s.pat.kind,
+			Off:     s.pat.off,
+			Stride:  s.pat.stride,
+			Shift:   s.shift,
+			Aligned: s.aligned,
+			Sweep:   s.sweep,
+			Rank1:   s.rank1,
+			Write:   s.in.Op == ir.OpIndexStore,
+			Fine:    s.pat.cls == commRemote,
+		}
+		switch s.in.Op {
+		case ir.OpIndex, ir.OpRefElem:
+			cs.Root = ctx.rootBase(f, s.in.A)
+		case ir.OpIndexStore:
+			cs.Root = ctx.rootBase(f, s.in.Dst)
+		}
+		if s.rank1 && len(s.in.Args) > 0 {
+			cs.Index = s.in.Args[0]
+		}
+		out = append(out, cs)
+	}
+	return out
+}

@@ -1,0 +1,1345 @@
+package cost
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/ir"
+	"repro/internal/token"
+	"repro/internal/types"
+	"repro/internal/vm"
+)
+
+// The comm walker is a restricted concrete interpreter over the IR: it
+// executes the scalar/control skeleton of the program (integer, bool and
+// real arithmetic, ranges, domains, array shapes — but not array
+// contents) and feeds every distributed-array element access into a real
+// comm.Runtime instance. The message counts therefore come from the same
+// cache/aggregation code the dynamic run uses; only the access trace is
+// predicted. Array loads produce unknowns, so the walk stays decidable
+// exactly when control flow and index expressions are data-independent —
+// the affine benchmarks the paper studies. When a branch becomes
+// data-dependent the walk aborts with a note and the prediction falls
+// back to the closed-form comm.Predict* site formulas.
+
+type ckind uint8
+
+const (
+	cUnk ckind = iota
+	cInt
+	cBool
+	cReal
+	cStr
+	cRange
+	cDomain
+	cArray
+	cTuple
+	cLocale
+	cLocalesV
+)
+
+// carr is the walker's array descriptor: allocation identity and layout,
+// no contents.
+type carr struct {
+	addr      uint64
+	owner     *ir.Var
+	layout    vm.DomainVal
+	dom       vm.DomainVal
+	elemBytes int64
+	distBlock bool
+	numLoc    int
+	localeID  int
+}
+
+func (a *carr) elemHome(idx []int64) int {
+	if !a.distBlock || a.numLoc <= 1 {
+		return a.localeID
+	}
+	d := a.layout.Dims[0]
+	n := d.Size()
+	if n <= 0 {
+		return a.localeID
+	}
+	pos := idx[0] - d.Lo
+	if pos < 0 {
+		pos = 0
+	}
+	if pos >= n {
+		pos = n - 1
+	}
+	home := int(pos * int64(a.numLoc) / n)
+	if home >= a.numLoc {
+		home = a.numLoc - 1
+	}
+	return home
+}
+
+type cval struct {
+	k     ckind
+	i     int64
+	f     float64
+	b     bool
+	s     string
+	rng   vm.RangeVal
+	dom   vm.DomainVal
+	arr   *carr
+	elems []cval
+}
+
+func cUnkV() cval        { return cval{k: cUnk} }
+func cIntV(v int64) cval { return cval{k: cInt, i: v} }
+
+func (v cval) asInt() (int64, bool) {
+	switch v.k {
+	case cInt, cLocale:
+		return v.i, true
+	case cReal:
+		return int64(v.f), true
+	case cBool:
+		if v.b {
+			return 1, true
+		}
+		return 0, true
+	}
+	return 0, false
+}
+
+func (v cval) asReal() (float64, bool) {
+	switch v.k {
+	case cInt:
+		return float64(v.i), true
+	case cReal:
+		return v.f, true
+	}
+	return 0, false
+}
+
+// walkErr aborts the walk; reason feeds the prediction's notes.
+type walkErr struct{ reason string }
+
+func (e walkErr) Error() string { return e.reason }
+
+const (
+	walkStepBudget = 50_000_000 // interpreted instructions
+	walkDepthLimit = 256        // call depth
+)
+
+type walker struct {
+	p    *predictor
+	cfg  vm.Config
+	plan *comm.Plan
+	rt   *comm.Runtime // nil when comm aggregation is off
+
+	env   map[*ir.Var]cval
+	alias map[*ir.Var]*ir.Var
+	here  *ir.Var
+
+	loc      int // current locale
+	task     int
+	nextTask int
+	nextAddr uint64
+	steps    int64
+	depth    int
+
+	// sweep is the current rank-1 forall chunk window (nil outside one).
+	sweep *sweepState
+
+	// Direct-path (unaggregated) counters; the aggregated path's live in
+	// rt.Stats().
+	directMsgs  int64
+	directBytes int64
+	perVarMsgs  map[string]int64
+
+	msgsAt   map[*ir.Instr]int64
+	cyclesAt map[*ir.Instr]float64
+}
+
+type sweepState struct {
+	space      vm.DomainVal
+	start, end int64 // linear positions
+}
+
+func newWalker(p *predictor, plan *comm.Plan) *walker {
+	w := &walker{
+		p:          p,
+		cfg:        p.opts.VM,
+		plan:       plan,
+		env:        make(map[*ir.Var]cval),
+		alias:      make(map[*ir.Var]*ir.Var),
+		nextTask:   1,
+		nextAddr:   0x10000,
+		perVarMsgs: make(map[string]int64),
+		msgsAt:     make(map[*ir.Instr]int64),
+		cyclesAt:   make(map[*ir.Instr]float64),
+	}
+	if w.cfg.DataParTasksPerLocale <= 0 {
+		w.cfg.DataParTasksPerLocale = w.cfg.NumCores
+	}
+	if w.cfg.NumLocales <= 0 {
+		w.cfg.NumLocales = 1
+	}
+	if w.cfg.CommAggregate {
+		w.rt = comm.New(comm.Config{
+			Locales:  w.cfg.NumLocales,
+			CacheCap: w.cfg.CommCacheCap,
+		}, plan)
+	}
+	for _, g := range p.prog.Globals {
+		switch g.Name {
+		case "here":
+			w.here = g
+		case "numLocales":
+			w.env[g] = cIntV(int64(w.cfg.NumLocales))
+		case "Locales":
+			w.env[g] = cval{k: cLocalesV}
+		}
+	}
+	return w
+}
+
+// run executes module init and main; on abort the partial counts remain
+// usable (they are a lower bound) and the reason is noted.
+func (w *walker) run() error {
+	defer func() {
+		if w.rt != nil {
+			w.rt.Drain()
+		}
+	}()
+	if mi := w.p.prog.ModuleInit; mi != nil {
+		if _, err := w.call(mi, nil); err != nil {
+			return err
+		}
+	}
+	if mn := w.p.prog.Main; mn != nil {
+		if _, err := w.call(mn, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// stats exposes the walker's message totals merged across both paths.
+func (w *walker) stats() (msgs, bytes int64, perVar map[string]int64, byClass map[string]int64) {
+	perVar = make(map[string]int64, len(w.perVarMsgs))
+	byClass = make(map[string]int64)
+	for k, v := range w.perVarMsgs {
+		perVar[k] = v
+	}
+	msgs, bytes = w.directMsgs, w.directBytes
+	if w.directMsgs > 0 {
+		byClass["fine"] += w.directMsgs
+	}
+	if w.rt != nil {
+		s := w.rt.Stats()
+		msgs += s.Messages
+		bytes += s.Bytes
+		byClass["prefetch"] += s.Prefetches
+		byClass["stream"] += s.Streams
+		byClass["flush"] += s.Flushes
+		byClass["fetch"] += s.Messages - s.Prefetches - s.Streams - s.Flushes
+		for name, vs := range s.PerVar {
+			perVar[name] += vs.Messages
+		}
+	}
+	return msgs, bytes, perVar, byClass
+}
+
+func (w *walker) resolve(v *ir.Var) *ir.Var {
+	for i := 0; i < 16; i++ {
+		nx, ok := w.alias[v]
+		if !ok {
+			return v
+		}
+		v = nx
+	}
+	return v
+}
+
+func (w *walker) get(v *ir.Var) cval {
+	if v == nil {
+		return cUnkV()
+	}
+	r := w.resolve(v)
+	if r == w.here && w.here != nil {
+		return cval{k: cLocale, i: int64(w.loc)}
+	}
+	if x, ok := w.env[r]; ok {
+		return x
+	}
+	return cUnkV()
+}
+
+func (w *walker) set(v *ir.Var, x cval) {
+	if v == nil {
+		return
+	}
+	r := w.resolve(v)
+	if r == w.here {
+		return
+	}
+	// Whole-array assignment copies contents into the destination's
+	// storage (no re-binding), mirroring assignInto: the destination
+	// keeps its own allocation and homes.
+	if old, ok := w.env[r]; ok && old.k == cArray && x.k == cArray {
+		return
+	}
+	w.env[r] = x
+}
+
+func (w *walker) charge() error {
+	w.steps++
+	if w.steps > walkStepBudget {
+		return walkErr{"instruction budget exhausted"}
+	}
+	return nil
+}
+
+// call binds args into f's frame and interprets it. Ref parameters
+// alias the caller's variables.
+func (w *walker) call(f *ir.Func, args []argBind) (cval, error) {
+	if w.depth >= walkDepthLimit {
+		return cUnkV(), walkErr{"call depth limit (recursion?)"}
+	}
+	w.depth++
+	defer func() { w.depth-- }()
+	for _, ab := range args {
+		delete(w.alias, ab.param)
+		if ab.ref && ab.src != nil {
+			w.alias[ab.param] = w.resolve(ab.src)
+		} else {
+			w.env[ab.param] = ab.val
+		}
+	}
+	return w.execBlocks(f)
+}
+
+// argBind is one parameter binding: by value or by reference.
+type argBind struct {
+	param *ir.Var
+	val   cval
+	ref   bool
+	src   *ir.Var
+}
+
+func (w *walker) execBlocks(f *ir.Func) (cval, error) {
+	if len(f.Blocks) == 0 {
+		return cUnkV(), nil
+	}
+	b := f.Blocks[0]
+	for {
+		var next *ir.Block
+		for _, in := range b.Instrs {
+			if err := w.charge(); err != nil {
+				return cUnkV(), err
+			}
+			switch in.Op {
+			case ir.OpRet:
+				if in.A != nil {
+					return w.get(in.A), nil
+				}
+				return cUnkV(), nil
+			case ir.OpJmp:
+				next = in.Targets[0]
+			case ir.OpBr:
+				cv := w.get(in.A)
+				if cv.k != cBool {
+					return cUnkV(), walkErr{fmt.Sprintf("data-dependent branch in %s at %v", f.Name, in.Pos)}
+				}
+				if cv.b {
+					next = in.Targets[0]
+				} else {
+					next = in.Targets[1]
+				}
+			default:
+				if err := w.exec(f, in); err != nil {
+					return cUnkV(), err
+				}
+			}
+			if next != nil {
+				break
+			}
+		}
+		if next == nil {
+			return cUnkV(), nil // fell off the end
+		}
+		b = next
+	}
+}
+
+func (w *walker) exec(f *ir.Func, in *ir.Instr) error {
+	switch in.Op {
+	case ir.OpConst:
+		w.set(in.Dst, litCval(in.Lit))
+
+	case ir.OpMove:
+		w.set(in.Dst, w.get(in.A))
+
+	case ir.OpBin:
+		w.set(in.Dst, evalCBin(in.BinOp, w.get(in.A), w.get(in.B)))
+
+	case ir.OpUn:
+		a := w.get(in.A)
+		switch in.BinOp {
+		case token.MINUS:
+			switch a.k {
+			case cInt:
+				w.set(in.Dst, cIntV(-a.i))
+			case cReal:
+				w.set(in.Dst, cval{k: cReal, f: -a.f})
+			default:
+				w.set(in.Dst, cUnkV())
+			}
+		case token.NOT:
+			if a.k == cBool {
+				w.set(in.Dst, cval{k: cBool, b: !a.b})
+			} else {
+				w.set(in.Dst, cUnkV())
+			}
+		default:
+			w.set(in.Dst, cUnkV())
+		}
+
+	case ir.OpMakeRange:
+		lo, ok1 := w.get(in.A).asInt()
+		hiOrN, ok2 := w.get(in.B).asInt()
+		if !ok1 || !ok2 {
+			w.set(in.Dst, cUnkV())
+			return nil
+		}
+		r := vm.RangeVal{Lo: lo, Hi: hiOrN, Stride: 1}
+		if in.Method == "counted" {
+			r.Hi = lo + hiOrN - 1
+		}
+		if len(in.Args) > 0 {
+			st, ok := w.get(in.Args[0]).asInt()
+			if !ok || st <= 0 {
+				w.set(in.Dst, cUnkV())
+				return nil
+			}
+			r.Stride = st
+		}
+		w.set(in.Dst, cval{k: cRange, rng: r})
+
+	case ir.OpMakeDomain:
+		d := vm.DomainVal{Rank: len(in.Args)}
+		for i, a := range in.Args {
+			rv := w.get(a)
+			if rv.k != cRange || i >= 3 {
+				w.set(in.Dst, cUnkV())
+				return nil
+			}
+			d.Dims[i] = rv.rng
+		}
+		w.set(in.Dst, cval{k: cDomain, dom: d})
+
+	case ir.OpDomMethod:
+		w.set(in.Dst, w.domMethod(in))
+
+	case ir.OpQuery:
+		w.set(in.Dst, w.query(in))
+
+	case ir.OpAllocArray:
+		dv := w.get(in.A)
+		if dv.k != cDomain {
+			w.set(in.Dst, cUnkV())
+			return nil
+		}
+		elemBytes := int64(8)
+		if at, ok := in.Dst.Type.(*types.ArrayType); ok && at.Elem != nil {
+			elemBytes = at.Elem.Size()
+		}
+		arr := &carr{
+			addr:      w.nextAddr,
+			owner:     in.Dst,
+			layout:    dv.dom,
+			dom:       dv.dom,
+			elemBytes: elemBytes,
+			distBlock: dv.dom.Dist,
+			numLoc:    w.cfg.NumLocales,
+			localeID:  w.loc,
+		}
+		w.nextAddr += uint64(dv.dom.Size()*elemBytes) + 64
+		w.set(in.Dst, cval{k: cArray, arr: arr})
+
+	case ir.OpIndex, ir.OpRefElem:
+		base := in.A
+		av := w.get(base)
+		if av.k == cLocalesV {
+			if ix, ok := w.indexArgs(in, 1); ok {
+				w.set(in.Dst, cval{k: cLocale, i: ix[0]})
+				return nil
+			}
+			w.set(in.Dst, cUnkV())
+			return nil
+		}
+		if av.k == cArray {
+			if err := w.arrayAccess(in, av.arr, false); err != nil {
+				return err
+			}
+		}
+		w.set(in.Dst, cUnkV()) // contents not modeled
+
+	case ir.OpIndexStore:
+		av := w.get(in.Dst)
+		if av.k == cArray {
+			if err := w.arrayAccess(in, av.arr, true); err != nil {
+				return err
+			}
+		}
+
+	case ir.OpSlice:
+		base := w.get(in.A)
+		if base.k == cArray {
+			w.set(in.Dst, base) // view shares the owner's layout/identity
+		} else {
+			w.set(in.Dst, cUnkV())
+		}
+
+	case ir.OpMakeTuple:
+		t := cval{k: cTuple, elems: make([]cval, len(in.Args))}
+		for i, a := range in.Args {
+			t.elems[i] = w.get(a)
+		}
+		w.set(in.Dst, t)
+
+	case ir.OpTupleGet:
+		tv := w.get(in.A)
+		ix := int64(in.FieldIx)
+		if in.B != nil {
+			if v, ok := w.get(in.B).asInt(); ok {
+				ix = v
+			} else {
+				w.set(in.Dst, cUnkV())
+				return nil
+			}
+		}
+		if tv.k == cTuple && ix >= 0 && int(ix) < len(tv.elems) {
+			w.set(in.Dst, tv.elems[ix])
+		} else {
+			w.set(in.Dst, cUnkV())
+		}
+
+	case ir.OpTupleSet:
+		tv := w.get(in.Dst)
+		if tv.k == cTuple && in.FieldIx < len(tv.elems) {
+			tv.elems[in.FieldIx] = w.get(in.A)
+			w.env[w.resolve(in.Dst)] = tv
+		}
+
+	case ir.OpField, ir.OpRefField, ir.OpAllocRec:
+		if in.Dst != nil {
+			if _, ok := in.Dst.Type.(*types.ArrayType); ok {
+				w.p.note("array in a record/class field: comm through it is not walked")
+			}
+		}
+		w.set(in.Dst, cUnkV())
+
+	case ir.OpFieldStore:
+		// Record state is not modeled.
+
+	case ir.OpCall:
+		return w.doCall(in)
+
+	case ir.OpBuiltin:
+		return w.doBuiltin(in)
+
+	case ir.OpSpawn:
+		return w.doSpawn(in)
+
+	case ir.OpZipSetup, ir.OpZipAdvance, ir.OpYield, ir.OpNop:
+		// No walker-visible effect.
+
+	default:
+		w.set(in.Def(), cUnkV())
+	}
+	return nil
+}
+
+func litCval(l *ir.Lit) cval {
+	if l == nil || l.T == nil {
+		return cUnkV()
+	}
+	switch l.T.Kind() {
+	case types.Int:
+		return cIntV(l.I)
+	case types.Bool:
+		return cval{k: cBool, b: l.B}
+	case types.Real:
+		return cval{k: cReal, f: l.F}
+	case types.String:
+		return cval{k: cStr, s: l.S}
+	}
+	return cUnkV()
+}
+
+func evalCBin(op token.Kind, a, b cval) cval {
+	// Boolean connectives.
+	if op == token.AND || op == token.OR {
+		if a.k == cBool && b.k == cBool {
+			if op == token.AND {
+				return cval{k: cBool, b: a.b && b.b}
+			}
+			return cval{k: cBool, b: a.b || b.b}
+		}
+		return cUnkV()
+	}
+	// Comparisons.
+	switch op {
+	case token.EQ, token.NEQ, token.LT, token.LE, token.GT, token.GE:
+		af, ok1 := a.asReal()
+		bf, ok2 := b.asReal()
+		if a.k == cLocale {
+			af, ok1 = float64(a.i), true
+		}
+		if b.k == cLocale {
+			bf, ok2 = float64(b.i), true
+		}
+		if !ok1 || !ok2 {
+			return cUnkV()
+		}
+		var r bool
+		switch op {
+		case token.EQ:
+			r = af == bf
+		case token.NEQ:
+			r = af != bf
+		case token.LT:
+			r = af < bf
+		case token.LE:
+			r = af <= bf
+		case token.GT:
+			r = af > bf
+		case token.GE:
+			r = af >= bf
+		}
+		return cval{k: cBool, b: r}
+	}
+	// Arithmetic: integer when both are ints, else real.
+	if a.k == cInt && b.k == cInt {
+		switch op {
+		case token.PLUS:
+			return cIntV(a.i + b.i)
+		case token.MINUS:
+			return cIntV(a.i - b.i)
+		case token.STAR:
+			return cIntV(a.i * b.i)
+		case token.SLASH:
+			if b.i != 0 {
+				return cIntV(a.i / b.i)
+			}
+		case token.PERCENT:
+			if b.i != 0 {
+				return cIntV(a.i % b.i)
+			}
+		case token.POW:
+			out := int64(1)
+			for k := int64(0); k < b.i && k < 63; k++ {
+				out *= a.i
+			}
+			return cIntV(out)
+		}
+		return cUnkV()
+	}
+	af, ok1 := a.asReal()
+	bf, ok2 := b.asReal()
+	if !ok1 || !ok2 {
+		return cUnkV()
+	}
+	switch op {
+	case token.PLUS:
+		return cval{k: cReal, f: af + bf}
+	case token.MINUS:
+		return cval{k: cReal, f: af - bf}
+	case token.STAR:
+		return cval{k: cReal, f: af * bf}
+	case token.SLASH:
+		if bf != 0 {
+			return cval{k: cReal, f: af / bf}
+		}
+	}
+	return cUnkV()
+}
+
+func (w *walker) asDomain(v cval) (vm.DomainVal, bool) {
+	switch v.k {
+	case cDomain:
+		return v.dom, true
+	case cArray:
+		return v.arr.dom, true
+	case cRange:
+		return vm.DomainVal{Rank: 1, Dims: [3]vm.RangeVal{v.rng}}, true
+	}
+	return vm.DomainVal{}, false
+}
+
+func (w *walker) domMethod(in *ir.Instr) cval {
+	v := w.get(in.A)
+	argInt := func(i int) int64 {
+		if i < len(in.Args) {
+			if x, ok := w.get(in.Args[i]).asInt(); ok {
+				return x
+			}
+		}
+		return 0
+	}
+	switch in.Method {
+	case "expand":
+		if v.k == cDomain {
+			return cval{k: cDomain, dom: v.dom.Expand(argInt(0))}
+		}
+	case "translate":
+		if v.k == cDomain {
+			return cval{k: cDomain, dom: v.dom.Translate(argInt(0))}
+		}
+	case "interior", "exterior":
+		if v.k == cDomain {
+			d := v.dom
+			k := argInt(0)
+			if k < 0 {
+				k = -k
+			}
+			for i := 0; i < d.Rank; i++ {
+				d.Dims[i].Hi -= k
+			}
+			return cval{k: cDomain, dom: d}
+		}
+	case "dim":
+		if d, ok := w.asDomain(v); ok {
+			i := argInt(0) - 1
+			if i >= 0 && int(i) < d.Rank {
+				return cval{k: cRange, rng: d.Dims[i]}
+			}
+		}
+	case "size":
+		if d, ok := w.asDomain(v); ok {
+			return cIntV(d.Size())
+		}
+	case "reindex":
+		if v.k == cArray {
+			return v
+		}
+	}
+	return cUnkV()
+}
+
+func (w *walker) query(in *ir.Instr) cval {
+	v := w.get(in.A)
+	switch in.Method {
+	case "size", "length", "numIndices", "numElements":
+		switch v.k {
+		case cRange:
+			return cIntV(v.rng.Size())
+		case cDomain:
+			return cIntV(v.dom.Size())
+		case cArray:
+			return cIntV(v.arr.dom.Size())
+		case cTuple:
+			return cIntV(int64(len(v.elems)))
+		}
+	case "low", "first":
+		switch v.k {
+		case cRange:
+			return cIntV(v.rng.Lo)
+		case cDomain:
+			if v.dom.Rank == 1 {
+				return cIntV(v.dom.Dims[0].Lo)
+			}
+			t := cval{k: cTuple, elems: make([]cval, v.dom.Rank)}
+			for i := 0; i < v.dom.Rank; i++ {
+				t.elems[i] = cIntV(v.dom.Dims[i].Lo)
+			}
+			return t
+		}
+	case "high", "last":
+		switch v.k {
+		case cRange:
+			return cIntV(v.rng.Hi)
+		case cDomain:
+			if v.dom.Rank == 1 {
+				return cIntV(v.dom.Dims[0].Hi)
+			}
+			t := cval{k: cTuple, elems: make([]cval, v.dom.Rank)}
+			for i := 0; i < v.dom.Rank; i++ {
+				t.elems[i] = cIntV(v.dom.Dims[i].Hi)
+			}
+			return t
+		}
+	case "domain":
+		if v.k == cArray {
+			return cval{k: cDomain, dom: v.arr.dom}
+		}
+	case "dimlow":
+		if d, ok := w.asDomain(v); ok && in.FieldIx < d.Rank {
+			return cIntV(d.Dims[in.FieldIx].Lo)
+		}
+	case "dimhigh":
+		if d, ok := w.asDomain(v); ok && in.FieldIx < d.Rank {
+			return cIntV(d.Dims[in.FieldIx].Hi)
+		}
+	case "ziplow":
+		switch v.k {
+		case cRange:
+			return cIntV(v.rng.Lo)
+		case cDomain:
+			return cIntV(v.dom.Dims[0].Lo)
+		case cArray:
+			return cIntV(v.arr.dom.Dims[0].Lo)
+		}
+	case "id":
+		if v.k == cLocale {
+			return cIntV(v.i)
+		}
+	case "name":
+		if v.k == cLocale {
+			return cval{k: cStr, s: fmt.Sprintf("locale%d", v.i)}
+		}
+	case "maxTaskPar", "numCores":
+		if v.k == cLocale {
+			return cIntV(int64(w.cfg.NumCores))
+		}
+	}
+	return cUnkV()
+}
+
+// indexArgs evaluates the index operand list concretely.
+func (w *walker) indexArgs(in *ir.Instr, rank int) ([]int64, bool) {
+	if len(in.Args) < rank {
+		return nil, false
+	}
+	idx := make([]int64, rank)
+	for i := 0; i < rank; i++ {
+		v, ok := w.get(in.Args[i]).asInt()
+		if !ok {
+			return nil, false
+		}
+		idx[i] = v
+	}
+	return idx, true
+}
+
+// arrayAccess mirrors VM.commCost/commAccess for one element access.
+func (w *walker) arrayAccess(in *ir.Instr, arr *carr, write bool) error {
+	if arr == nil {
+		return nil
+	}
+	idx, ok := w.indexArgs(in, arr.layout.Rank)
+	if !ok {
+		if arr.distBlock && arr.numLoc > 1 {
+			return walkErr{fmt.Sprintf("data-dependent index into %s at %v", varName(arr.owner), in.Pos)}
+		}
+		return nil
+	}
+	bytes := arr.elemBytes
+	home := arr.elemHome(idx)
+	if w.rt != nil && arr.distBlock && arr.numLoc > 1 {
+		elem := arr.layout.Linear(idx)
+		if home == w.loc {
+			if write {
+				w.rt.LocalWrite(arr.owner, in.Addr, arr.addr, elem, w.loc)
+			}
+			return nil
+		}
+		a := comm.Access{
+			Arr: arr.addr, Var: arr.owner, Site: in.Addr, Elem: elem,
+			Bytes: bytes, Home: home, Loc: w.loc, Task: w.task, Write: write,
+			LayoutLen: arr.layout.Size(),
+		}
+		if sw := w.sweep; sw != nil && sw.space.Rank == 1 && arr.layout.Rank == 1 {
+			d := sw.space.Dims[0]
+			st := d.Stride
+			if st <= 0 {
+				st = 1
+			}
+			base := arr.layout.Dims[0].Lo
+			a.InSweep = true
+			a.SweepLo = d.Lo + sw.start*st - base
+			a.SweepHi = d.Lo + (sw.end-1)*st - base
+		}
+		layout := arr.layout
+		ca := arr
+		a.HomeOf = func(e int64) int {
+			var buf [3]int64
+			ix := buf[:layout.Rank]
+			layout.Unlinear(e, ix)
+			return ca.elemHome(ix)
+		}
+		for _, ev := range w.rt.Access(a) {
+			if ev.Message() {
+				w.msgsAt[in]++
+				w.cyclesAt[in] += float64(w.scaledCommCycles(uint64(1+ev.ExtraLat), ev.Bytes))
+			}
+		}
+		return nil
+	}
+	// Direct path: one message per remote element.
+	if home == w.loc {
+		return nil
+	}
+	w.directMsgs++
+	w.directBytes += bytes
+	w.perVarMsgs[varName(arr.owner)]++
+	w.msgsAt[in]++
+	w.cyclesAt[in] += float64(w.scaledCommCycles(1, bytes))
+	return nil
+}
+
+func (w *walker) scaledCommCycles(latMult uint64, bytes int64) uint64 {
+	c := w.cfg.Costs.CommLatency*latMult + uint64(bytes)*w.cfg.Costs.CommPerByte
+	return w.cfg.Costs.ScaleCost(w.p.prog.Optimized, c)
+}
+
+func varName(v *ir.Var) string {
+	if v == nil {
+		return "?"
+	}
+	return v.Name
+}
+
+func (w *walker) doCall(in *ir.Instr) error {
+	callee := in.Callee
+	if callee == nil {
+		w.set(in.Dst, cUnkV())
+		return nil
+	}
+	binds := make([]argBind, 0, len(callee.Params))
+	for i, p := range callee.Params {
+		if i >= len(in.Args) {
+			break
+		}
+		if p.IsRef {
+			binds = append(binds, argBind{param: p, ref: true, src: in.Args[i]})
+		} else {
+			binds = append(binds, argBind{param: p, val: w.get(in.Args[i])})
+		}
+	}
+	ret, err := w.call(callee, binds)
+	if err != nil {
+		return err
+	}
+	w.set(in.Dst, ret)
+	return nil
+}
+
+func (w *walker) doBuiltin(in *ir.Instr) error {
+	name := in.Method
+	if cfg, ok := cutPrefix(name, "config:"); ok {
+		def := cUnkV()
+		if len(in.Args) > 0 {
+			def = w.get(in.Args[0])
+		}
+		if raw, have := w.cfg.Configs[cfg]; have {
+			w.set(in.Dst, parseConfig(raw, def))
+		} else {
+			w.set(in.Dst, def)
+		}
+		return nil
+	}
+	if _, ok := cutPrefix(name, "reduce:"); ok {
+		// Reductions iterate locally over the cells: no messages.
+		w.set(in.Dst, cUnkV())
+		return nil
+	}
+	if _, ok := cutPrefix(name, "atomic:"); ok {
+		w.set(in.Dst, cUnkV())
+		return nil
+	}
+	argV := func(i int) cval {
+		if i < len(in.Args) {
+			return w.get(in.Args[i])
+		}
+		return cUnkV()
+	}
+	switch name {
+	case "writeln", "write", "assert", "stride_check", "exit", "halt":
+		// Output and checks don't affect comm; halting early would only
+		// drop messages, and the benchmarks don't halt mid-run.
+	case "distribute:block":
+		v := w.get(in.A)
+		if v.k == cDomain {
+			v.dom.Dist = true
+			w.set(in.Dst, v)
+		} else {
+			w.set(in.Dst, cUnkV())
+		}
+	case "abs":
+		v := argV(0)
+		if v.k == cInt {
+			if v.i < 0 {
+				v.i = -v.i
+			}
+			w.set(in.Dst, v)
+		} else if f, ok := v.asReal(); ok {
+			if f < 0 {
+				f = -f
+			}
+			w.set(in.Dst, cval{k: cReal, f: f})
+		} else {
+			w.set(in.Dst, cUnkV())
+		}
+	case "min", "max":
+		best := argV(0)
+		ok := best.k == cInt || best.k == cReal
+		for i := 1; ok && i < len(in.Args); i++ {
+			v := argV(i)
+			bf, ok1 := best.asReal()
+			vf, ok2 := v.asReal()
+			if !ok1 || !ok2 {
+				ok = false
+				break
+			}
+			if (name == "min" && vf < bf) || (name == "max" && vf > bf) {
+				best = v
+			}
+		}
+		if ok {
+			w.set(in.Dst, best)
+		} else {
+			w.set(in.Dst, cUnkV())
+		}
+	case "sgn":
+		if f, ok := argV(0).asReal(); ok {
+			s := int64(0)
+			if f > 0 {
+				s = 1
+			} else if f < 0 {
+				s = -1
+			}
+			w.set(in.Dst, cIntV(s))
+		} else {
+			w.set(in.Dst, cUnkV())
+		}
+	case "sqrt", "cbrt", "exp", "log", "sin", "cos", "floor", "ceil", "getCurrentTime":
+		w.set(in.Dst, cUnkV())
+	case "definit":
+		w.set(in.Dst, cUnkV())
+	case "sync_begin", "sync_end":
+		// Sequential walk: begin-tasks already ran inline.
+	default:
+		w.set(in.Def(), cUnkV())
+	}
+	return nil
+}
+
+func parseConfig(raw string, def cval) cval {
+	switch def.k {
+	case cInt:
+		var v int64
+		if _, err := fmt.Sscanf(raw, "%d", &v); err == nil {
+			return cIntV(v)
+		}
+	case cBool:
+		if raw == "true" {
+			return cval{k: cBool, b: true}
+		}
+		if raw == "false" {
+			return cval{k: cBool, b: false}
+		}
+	case cReal:
+		var f float64
+		if _, err := fmt.Sscanf(raw, "%g", &f); err == nil {
+			return cval{k: cReal, f: f}
+		}
+	}
+	return def
+}
+
+func cutPrefix(s, pre string) (string, bool) {
+	if len(s) >= len(pre) && s[:len(pre)] == pre {
+		return s[len(pre):], true
+	}
+	return s, false
+}
+
+// ------------------------------------------------------------- spawning
+
+func (w *walker) doSpawn(in *ir.Instr) error {
+	sp := in.Spawn
+	if sp == nil || in.Callee == nil {
+		return nil
+	}
+	switch sp.Kind {
+	case ir.SpawnBegin:
+		return w.runChild(in.Callee, in.Args, w.loc, nil)
+	case ir.SpawnCobegin:
+		if err := w.runChild(in.Callee, in.Args, w.loc, nil); err != nil {
+			return err
+		}
+		for i, bf := range sp.Extra {
+			args := in.Args
+			if i < len(sp.ExtraArgs) {
+				args = sp.ExtraArgs[i]
+			}
+			if err := w.runChild(bf, args, w.loc, nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	case ir.SpawnOn:
+		loc := w.loc
+		if sp.Iter != nil {
+			lv := w.get(sp.Iter)
+			if lv.k == cLocale {
+				loc = int(lv.i)
+			} else {
+				return walkErr{fmt.Sprintf("on-statement with unknown target locale at %v", in.Pos)}
+			}
+		}
+		if loc < 0 || loc >= w.cfg.NumLocales {
+			loc = w.loc
+		}
+		return w.runChild(in.Callee, in.Args, loc, nil)
+	case ir.SpawnForall, ir.SpawnCoforall:
+		return w.spawnLoop(in)
+	}
+	return nil
+}
+
+// runChild executes an outlined task body inline as a fresh task:
+// captures alias the parent's variables (except `here`, captured by
+// value), and the comm runtime sees the task end when the body returns.
+func (w *walker) runChild(body *ir.Func, captures []*ir.Var, loc int, idx []int64) error {
+	w.nextTask++
+	task := w.nextTask
+	if err := w.runIter(body, captures, loc, task, idx); err != nil {
+		return err
+	}
+	if w.rt != nil {
+		w.rt.TaskEnd(task, loc)
+	}
+	return nil
+}
+
+// runIter executes one body invocation under an existing task identity —
+// spawnLoop runs a chunk's iterations under one task so task-end flush
+// coalescing sees the whole chunk, exactly like the VM scheduler.
+func (w *walker) runIter(body *ir.Func, captures []*ir.Var, loc int, task int, idx []int64) error {
+	binds := make([]argBind, 0, len(body.Params))
+	pi := 0
+	for _, v := range idx {
+		if pi >= len(body.Params) {
+			break
+		}
+		binds = append(binds, argBind{param: body.Params[pi], val: cIntV(v)})
+		pi++
+	}
+	for _, av := range captures {
+		if pi >= len(body.Params) {
+			break
+		}
+		p := body.Params[pi]
+		pi++
+		if w.here != nil && w.resolve(av) == w.here {
+			binds = append(binds, argBind{param: p, val: cval{k: cLocale, i: int64(w.loc)}})
+			continue
+		}
+		binds = append(binds, argBind{param: p, ref: true, src: av})
+	}
+	prevLoc, prevTask := w.loc, w.task
+	w.loc, w.task = loc, task
+	_, err := w.call(body, binds)
+	w.loc, w.task = prevLoc, prevTask
+	return err
+}
+
+// spawnLoop mirrors VM.spawnLoop/spawnLoopOwner: the iteration space is
+// chunked exactly as the scheduler chunks it, and each chunk's body runs
+// iteration by iteration with the chunk's sweep window exposed for halo
+// prefetching. Chunks execute sequentially in (locale, task) order — a
+// deterministic linearization of the parallel schedule.
+func (w *walker) spawnLoop(in *ir.Instr) error {
+	sp := in.Spawn
+	space, ok := w.iterSpace(in)
+	if !ok {
+		return walkErr{fmt.Sprintf("forall over unknown iteration space at %v", in.Pos)}
+	}
+	total := space.Size()
+	if total <= 0 {
+		return nil
+	}
+	if total > walkStepBudget/8 {
+		return walkErr{fmt.Sprintf("iteration space too large to walk (%d)", total)}
+	}
+	type chunk struct {
+		loc        int
+		start, end int64
+	}
+	var chunks []chunk
+	if space.Dist && w.cfg.NumLocales > 1 && !w.cfg.NoOwnerComputes {
+		n0 := space.Dims[0].Size()
+		rowSize := total / n0
+		nl := int64(w.cfg.NumLocales)
+		for loc := int64(0); loc < nl; loc++ {
+			lo := (loc*n0 + nl - 1) / nl
+			hi := ((loc+1)*n0 + nl - 1) / nl
+			cnt := (hi - lo) * rowSize
+			if cnt <= 0 {
+				continue
+			}
+			var numTasks int64
+			if sp.Kind == ir.SpawnCoforall {
+				numTasks = cnt
+			} else {
+				numTasks = int64(w.cfg.DataParTasksPerLocale)
+				if numTasks > cnt {
+					numTasks = cnt
+				}
+			}
+			ch := cnt / numTasks
+			rem := cnt % numTasks
+			pos := lo * rowSize
+			for k := int64(0); k < numTasks; k++ {
+				n := ch
+				if k < rem {
+					n++
+				}
+				chunks = append(chunks, chunk{loc: int(loc), start: pos, end: pos + n})
+				pos += n
+			}
+		}
+	} else {
+		var numTasks int64
+		if sp.Kind == ir.SpawnCoforall {
+			numTasks = total
+		} else {
+			numTasks = int64(w.cfg.DataParTasksPerLocale)
+			if numTasks > total {
+				numTasks = total
+			}
+		}
+		ch := total / numTasks
+		rem := total % numTasks
+		var pos int64
+		for k := int64(0); k < numTasks; k++ {
+			n := ch
+			if k < rem {
+				n++
+			}
+			chunks = append(chunks, chunk{loc: w.loc, start: pos, end: pos + n})
+			pos += n
+		}
+	}
+	numIdx := sp.NumIdx
+	if numIdx > space.Rank {
+		numIdx = space.Rank
+	}
+	for _, c := range chunks {
+		prevSweep := w.sweep
+		w.sweep = &sweepState{space: space, start: c.start, end: c.end}
+		w.nextTask++
+		task := w.nextTask
+		var idxBuf [3]int64
+		for pos := c.start; pos < c.end; pos++ {
+			idx := idxBuf[:space.Rank]
+			space.Unlinear(pos, idx)
+			if err := w.runIter(in.Callee, in.Args, c.loc, task, idx[:numIdx]); err != nil {
+				w.sweep = prevSweep
+				return err
+			}
+		}
+		if w.rt != nil {
+			w.rt.TaskEnd(task, c.loc)
+		}
+		w.sweep = prevSweep
+	}
+	return nil
+}
+
+func (w *walker) iterSpace(in *ir.Instr) (vm.DomainVal, bool) {
+	sp := in.Spawn
+	if sp.Iter == nil {
+		return vm.DomainVal{}, false
+	}
+	v := w.get(sp.Iter)
+	switch v.k {
+	case cRange:
+		return vm.DomainVal{Rank: 1, Dims: [3]vm.RangeVal{v.rng}}, true
+	case cDomain:
+		return v.dom, true
+	case cArray:
+		return v.arr.dom, true
+	case cLocalesV:
+		return vm.DomainVal{Rank: 1, Dims: [3]vm.RangeVal{{
+			Lo: 0, Hi: int64(w.cfg.NumLocales) - 1, Stride: 1,
+		}}}, true
+	}
+	return vm.DomainVal{}, false
+}
+
+// fallbackComm estimates comm volume from the classified sites and the
+// closed-form comm.Predict* formulas when the concrete walk aborted. It
+// only covers rank-1 Block-distributed sweeps — the affine patterns the
+// plan classifies — and is deliberately coarse elsewhere.
+func (w *walker) fallbackComm() (msgs int64, perVar map[string]int64) {
+	perVar = make(map[string]int64)
+	nl := w.cfg.NumLocales
+	if nl <= 1 {
+		return 0, perVar
+	}
+	actx := w.p.actx
+	for _, f := range w.p.reach {
+		sp := actx.SpawnSite(f)
+		if sp == nil || sp.Spawn == nil {
+			continue
+		}
+		space := w.p.spawnSpace(sp)
+		dims, ok := space.Space()
+		if !ok || len(dims) == 0 {
+			continue
+		}
+		loV, okL := dims[0].Lo.IsConst()
+		hiV, okH := dims[0].Hi.IsConst()
+		if !okL || !okH || hiV < loV {
+			continue
+		}
+		n := hiV - loV + 1
+		b := comm.Block{N: n, L: nl}
+		inv := w.p.inv[f]
+		sweeps := int64(inv / maxF(1, float64(n))) // body invocations / space
+		if sweeps <= 0 {
+			sweeps = 1
+		}
+		for _, site := range actx.CommSites(f) {
+			var per int64
+			for loc := 0; loc < nl; loc++ {
+				lo, hi := b.Span(loc)
+				if hi <= lo {
+					continue
+				}
+				switch site.Class {
+				case comm.SiteHalo:
+					var res comm.SpanSet
+					m, _ := comm.PredictPrefetch(b, loc, lo+site.Off, hi-1+site.Off, &res)
+					per += m
+				case comm.SiteStrided:
+					var res comm.SpanSet
+					st := site.Stride
+					if st <= 0 {
+						st = 1
+					}
+					m, _ := comm.PredictStream(b, loc, lo*st, (hi-1)*st, st, comm.DefaultRunBlock, &res)
+					per += m
+				case comm.SiteBlocked:
+					div := site.Stride
+					if div <= 0 {
+						div = 1
+					}
+					var res comm.SpanSet
+					m, _ := comm.PredictStream(b, loc, lo/div, (hi-1)/div, 1, comm.DefaultRunBlock, &res)
+					per += m
+				case comm.SiteOwner:
+					// Owner-computes: no remote traffic.
+				default:
+					per += comm.PredictFine(b, loc, lo, hi-1, 1)
+				}
+			}
+			total := per * sweeps
+			if total > 0 {
+				msgs += total
+				perVar[site.Name] += total
+				w.msgsAt[site.Instr] += total
+				w.cyclesAt[site.Instr] += float64(total) * float64(w.scaledCommCycles(1, 8))
+			}
+		}
+	}
+	return msgs, perVar
+}

@@ -1,0 +1,42 @@
+package analyze
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// diagJSON is the stable wire form of one finding. Field order and
+// content are part of the CLI contract (`blame -lint-json`,
+// `mchpl -analyze-json`): tools diff this output across runs, so rows
+// carry rendered positions (file:line:col) rather than token offsets,
+// severities as strings, and arrive in the Report's deterministic
+// dedupe/sort order.
+type diagJSON struct {
+	Pass     string `json:"pass"`
+	Severity string `json:"severity"`
+	Pos      string `json:"pos"`
+	Var      string `json:"var,omitempty"`
+	Message  string `json:"message"`
+	FixHint  string `json:"fixHint,omitempty"`
+}
+
+// WriteJSON emits the report's findings as an indented JSON array in the
+// report's sorted order. Output is byte-stable for a given program: the
+// Report is deduped and sorted before rendering, and every field is a
+// deterministic function of the findings.
+func (r *Report) WriteJSON(w io.Writer) error {
+	rows := make([]diagJSON, 0, len(r.Diags))
+	for _, d := range r.Diags {
+		rows = append(rows, diagJSON{
+			Pass:     d.Pass,
+			Severity: d.Severity.String(),
+			Pos:      r.Prog.FileSet.Position(d.Pos),
+			Var:      d.Var,
+			Message:  d.Message,
+			FixHint:  d.FixHint,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}

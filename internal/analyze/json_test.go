@@ -1,0 +1,78 @@
+package analyze_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analyze"
+	"repro/internal/compile"
+)
+
+// TestJSONGolden locks the `-lint-json` / `-analyze-json` wire format on
+// the multilocale halo example: the emitted bytes are the CLI contract.
+// Regenerate with:
+//
+//	UPDATE_GOLDEN=1 go test ./internal/analyze -run TestJSONGolden
+func TestJSONGolden(t *testing.T) {
+	const source = "../../examples/multilocale/halo.mchpl"
+	const golden = "testdata/multilocale_analyze.json"
+	src, err := os.ReadFile(source)
+	if err != nil {
+		t.Fatalf("read %s: %v", source, err)
+	}
+	res, err := compile.Source(filepath.Base(source), string(src), compile.Options{})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	rep := analyze.Run(res.Prog)
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.Bytes()
+
+	// Structural checks first, so a golden regen can't bake in garbage:
+	// valid JSON, one element per finding, every row carries the
+	// required fields.
+	var rows []map[string]any
+	if err := json.Unmarshal(got, &rows); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, got)
+	}
+	if len(rows) != len(rep.Diags) {
+		t.Fatalf("%d JSON rows for %d findings", len(rows), len(rep.Diags))
+	}
+	for i, row := range rows {
+		for _, key := range []string{"pass", "severity", "pos", "message"} {
+			if v, ok := row[key].(string); !ok || v == "" {
+				t.Errorf("row %d: field %q missing or empty: %v", i, key, row)
+			}
+		}
+	}
+
+	// Byte-stability across encodes.
+	var again bytes.Buffer
+	if err := rep.WriteJSON(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, again.Bytes()) {
+		t.Error("WriteJSON is not byte-stable across calls")
+	}
+
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("JSON output changed.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

@@ -1,0 +1,335 @@
+package analyze
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/ir"
+)
+
+// Internal unit tests for the taint lattice (taint.go) and the
+// interprocedural global-write summaries (interproc.go): the edge cases
+// live below the pass surface — facet propagation, ref-alias rebinding
+// through nested foralls, and recursive call chains in the summary
+// fixpoint.
+
+func ctxFor(t *testing.T, name, src string) *Context {
+	t.Helper()
+	res, err := compile.Source(name+".mchpl", src, compile.Options{})
+	if err != nil {
+		t.Fatalf("compile %s: %v", name, err)
+	}
+	return NewContext(res.Prog)
+}
+
+func funcNamed(ctx *Context, substr string) *ir.Func {
+	for _, f := range ctx.Prog.Funcs {
+		if strings.Contains(f.Name, substr) {
+			return f
+		}
+	}
+	return nil
+}
+
+func localNamed(f *ir.Func, name string) *ir.Var {
+	for _, p := range f.Params {
+		if p.Name == name {
+			return p
+		}
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Dst != nil && in.Dst.Name == name {
+				return in.Dst
+			}
+		}
+	}
+	return nil
+}
+
+// TestTaintFacets pins the three facets of the lattice on one forall
+// body: copies stay direct, arithmetic derivations are tainted but not
+// direct, untouched locals are clean, and a ref alias selected by the
+// index is a partitioned ref — while one selected by a constant is not.
+func TestTaintFacets(t *testing.T) {
+	ctx := ctxFor(t, "facets", `
+config const n = 8;
+var D: domain(1) = {0..#n};
+var A: [D] real;
+var B: [D] real;
+proc main() {
+  forall i in D {
+    var j = i;
+    var k = i * 2;
+    var c = 5;
+    ref r = A[i];
+    ref q = B[0];
+    r = (j + k + c) * 1.0;
+    q += 1.0;
+  }
+  writeln(+ reduce A);
+}
+`)
+	body := funcNamed(ctx, "forall_fn")
+	if body == nil {
+		t.Fatal("no outlined forall body")
+	}
+	ti := ctx.bodyTaint(body)
+	idx := body.Params[0]
+	if !ti.direct[idx] || !ti.tainted[idx] {
+		t.Errorf("index param not direct+tainted")
+	}
+	for name, want := range map[string]struct{ direct, tainted, part bool }{
+		"j": {true, true, false},
+		"k": {false, true, false},
+		"c": {false, false, false},
+		"r": {false, true, true}, // the binding itself depends on i
+		"q": {false, false, false},
+	} {
+		v := localNamed(body, name)
+		if v == nil {
+			t.Errorf("no local %q in body", name)
+			continue
+		}
+		if ti.direct[v] != want.direct || ti.tainted[v] != want.tainted || ti.partRef[v] != want.part {
+			t.Errorf("%s: direct=%v tainted=%v partRef=%v, want %+v",
+				name, ti.direct[v], ti.tainted[v], ti.partRef[v], want)
+		}
+	}
+}
+
+// TestTaintRebindChain checks `ref s = r` rebinding: every facet of the
+// source alias transfers, so a write through a chained ref is still
+// recognized as partitioned.
+func TestTaintRebindChain(t *testing.T) {
+	ctx := ctxFor(t, "rebind", `
+config const n = 8;
+var D: domain(1) = {0..#n};
+var A: [D] real;
+proc main() {
+  forall i in D {
+    ref r = A[i];
+    ref s = r;
+    s = 1.0;
+  }
+  writeln(+ reduce A);
+}
+`)
+	body := funcNamed(ctx, "forall_fn")
+	if body == nil {
+		t.Fatal("no outlined forall body")
+	}
+	ti := ctx.bodyTaint(body)
+	s := localNamed(body, "s")
+	if s == nil {
+		t.Fatal("no local s")
+	}
+	if !ti.partRef[s] {
+		t.Error("partRef did not transfer through `ref s = r` rebinding")
+	}
+	if ds := Run(ctx.Prog).ByPass("forall-race"); len(ds) != 0 {
+		t.Errorf("chained partitioned ref flagged as race: %+v", ds)
+	}
+}
+
+// TestTaintNestedForallCapture is the nested-forall edge case: a ref
+// alias partitioned by the OUTER index is captured into an inner forall
+// body, where it is invariant with respect to the inner index. Writes
+// through it from the inner body are unpartitioned there — a race the
+// analyzer must flag — while writes to an inner-indexed element stay
+// clean.
+func TestTaintNestedForallCapture(t *testing.T) {
+	const racy = `
+config const n = 8;
+var D: domain(1) = {0..#n};
+var A: [D] real;
+proc main() {
+  forall i in D {
+    ref r = A[i];
+    forall j in D {
+      r += j * 1.0;
+    }
+  }
+  writeln(+ reduce A);
+}
+`
+	ctx := ctxFor(t, "nestracy", racy)
+	// The inner body is the parallel body whose spawn site lives inside
+	// another parallel body. Its taint must NOT consider the captured
+	// ref partitioned: the binding chain used the outer index, which is
+	// sweep-invariant inside the inner body.
+	ownerOf := func(site *ir.Instr) *ir.Func {
+		for _, f := range ctx.Prog.Funcs {
+			for _, b := range f.Blocks {
+				for _, in := range b.Instrs {
+					if in == site {
+						return f
+					}
+				}
+			}
+		}
+		return nil
+	}
+	var inner *ir.Func
+	for _, f := range ctx.Prog.Funcs {
+		sp, ok := ctx.ParallelBody(f)
+		if !ok {
+			continue
+		}
+		if owner := ownerOf(sp); owner != nil {
+			if _, ownerIsBody := ctx.ParallelBody(owner); ownerIsBody {
+				inner = f
+			}
+		}
+	}
+	if inner == nil {
+		t.Fatal("no nested forall body found")
+	}
+	ti := ctx.bodyTaint(inner)
+	for _, p := range inner.Params[1:] { // captures
+		if ti.partRef[p] {
+			t.Errorf("captured ref %s counted as partitioned inside the inner body", p.Name)
+		}
+	}
+	if ds := Run(ctx.Prog).ByPass("forall-race"); len(ds) == 0 {
+		t.Error("write through outer-partitioned ref inside inner forall not flagged")
+	}
+
+	const clean = `
+config const n = 8;
+var D: domain(1) = {0..#n};
+var A: [D] real;
+var B: [D] real;
+proc main() {
+  forall i in D {
+    ref r = A[i];
+    forall j in D {
+      B[j] = r;
+    }
+  }
+  writeln(+ reduce B);
+}
+`
+	if ds := ctxFor(t, "nestclean", clean); true {
+		if got := Run(ds.Prog).ByPass("forall-race"); len(got) != 0 {
+			t.Errorf("inner-indexed write flagged: %+v", got)
+		}
+	}
+}
+
+// TestInterprocRecursion: a self-recursive writer must reach the
+// summary fixpoint (the self-edge is skipped) and still expose its
+// direct write to callers.
+func TestInterprocRecursion(t *testing.T) {
+	ctx := ctxFor(t, "selfrec", `
+var g = 0;
+proc bump(x: int) {
+  g = g + x;
+  if x > 0 { bump(x - 1); }
+}
+proc main() {
+  bump(3);
+  writeln(g);
+}
+`)
+	sums := ctx.interprocWrites()
+	bump := funcNamed(ctx, "bump")
+	if bump == nil {
+		t.Fatal("no func bump")
+	}
+	var direct int
+	for _, gw := range sums[bump] {
+		if gw.global.Name == "g" && gw.via == "" {
+			direct++
+		}
+	}
+	if direct != 1 {
+		t.Errorf("bump's own summary: %d direct writes of g, want 1: %+v", direct, sums[bump])
+	}
+	mainF := ctx.Prog.Main
+	found := false
+	for _, gw := range sums[mainF] {
+		if gw.global.Name == "g" && gw.via == "bump" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("main's summary missing g via bump: %+v", sums[mainF])
+	}
+}
+
+// TestInterprocMutualRecursion: an a<->b cycle must terminate (the
+// (global, guards, pos) dedup key bounds the chain) and propagate the
+// write with its call chain to main.
+func TestInterprocMutualRecursion(t *testing.T) {
+	ctx := ctxFor(t, "mutrec", `
+var g = 0;
+proc pa(x: int) {
+  if x > 0 { pb(x - 1); }
+}
+proc pb(x: int) {
+  g = g + 1;
+  if x > 0 { pa(x - 1); }
+}
+proc main() {
+  pa(4);
+  writeln(g);
+}
+`)
+	sums := ctx.interprocWrites()
+	pa := funcNamed(ctx, "pa")
+	if pa == nil {
+		t.Fatal("no func pa")
+	}
+	if len(sums[pa]) == 0 || sums[pa][0].global.Name != "g" {
+		t.Fatalf("pa's summary missing g: %+v", sums[pa])
+	}
+	// Cycle must not multiply entries: one write site, one guard set ->
+	// at most one summary row per function regardless of chain length.
+	if len(sums[pa]) != 1 {
+		t.Errorf("pa has %d summary rows for one write site, want 1: %+v", len(sums[pa]), sums[pa])
+	}
+	var vias []string
+	for _, gw := range sums[ctx.Prog.Main] {
+		if gw.global.Name == "g" {
+			vias = append(vias, gw.via)
+		}
+	}
+	if len(vias) != 1 || !strings.HasPrefix(vias[0], "pa") {
+		t.Errorf("main's chain to g = %v, want one entry starting at pa", vias)
+	}
+}
+
+// TestInterprocGuardMapping: a parameter that selects the written
+// element must survive the caller mapping as a guard bit, so the race
+// pass can prove partitioning through the chain.
+func TestInterprocGuardMapping(t *testing.T) {
+	ctx := ctxFor(t, "guards", `
+config const n = 8;
+var D: domain(1) = {0..#n};
+var A: [D] real;
+proc leafw(j: int) { A[j] = 1.0; }
+proc midw(k: int) { leafw(k); }
+proc main() {
+  forall i in D { midw(i); }
+  writeln(+ reduce A);
+}
+`)
+	sums := ctx.interprocWrites()
+	for _, name := range []string{"leafw", "midw"} {
+		f := funcNamed(ctx, name)
+		if f == nil {
+			t.Fatalf("no func %s", name)
+		}
+		found := false
+		for _, gw := range sums[f] {
+			if gw.global.Name == "A" && gw.guards&1 != 0 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: no summary of A guarded by param 0: %+v", name, sums[f])
+		}
+	}
+}

@@ -6,6 +6,8 @@
 package cfg
 
 import (
+	"sort"
+
 	"repro/internal/ir"
 )
 
@@ -273,4 +275,100 @@ func ReversePostorder(f *ir.Func) []*ir.Block {
 		order[i], order[j] = order[j], order[i]
 	}
 	return order
+}
+
+// Loop is one natural loop: a header block plus the body blocks that can
+// reach a back edge (latch → header) without leaving through the header.
+type Loop struct {
+	Head   *ir.Block
+	Latch  *ir.Block
+	Body   map[int]bool // block IDs, header included
+	Parent *Loop        // innermost enclosing loop, if any
+	Depth  int          // 1 for outermost
+}
+
+// Contains reports whether block b belongs to the loop.
+func (l *Loop) Contains(b *ir.Block) bool { return l.Body[b.ID] }
+
+// NaturalLoops finds the natural loops of f using dominators: an edge
+// latch → head is a back edge when head dominates latch; the loop body is
+// the set of blocks reaching the latch without passing through the head.
+// Loops sharing a header are merged. The result is sorted outermost
+// first, and Parent/Depth link the nesting forest. Both the abstract
+// interpreter (internal/absint) and the static cost engine consume this.
+func NaturalLoops(f *ir.Func) []*Loop {
+	dom := Dominators(f)
+	byHead := make(map[int]*Loop)
+	var heads []int
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs {
+			if !dom.Dominates(s, b) {
+				continue
+			}
+			l := byHead[s.ID]
+			if l == nil {
+				l = &Loop{Head: s, Latch: b, Body: map[int]bool{s.ID: true}}
+				byHead[s.ID] = l
+				heads = append(heads, s.ID)
+			}
+			// Walk predecessors back from the latch, stopping at the head.
+			stack := []*ir.Block{b}
+			for len(stack) > 0 {
+				x := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if l.Body[x.ID] {
+					continue
+				}
+				l.Body[x.ID] = true
+				for _, p := range x.Preds {
+					stack = append(stack, p)
+				}
+			}
+		}
+	}
+	sort.Ints(heads)
+	loops := make([]*Loop, 0, len(heads))
+	for _, h := range heads {
+		loops = append(loops, byHead[h])
+	}
+	// Nesting: the innermost enclosing loop is the smallest strict
+	// superset containing the header.
+	for _, l := range loops {
+		for _, o := range loops {
+			if o == l || !o.Body[l.Head.ID] || len(o.Body) <= len(l.Body) {
+				continue
+			}
+			if l.Parent == nil || len(o.Body) < len(l.Parent.Body) {
+				l.Parent = o
+			}
+		}
+	}
+	for _, l := range loops {
+		for p := l.Parent; p != nil; p = p.Parent {
+			l.Depth++
+		}
+		l.Depth++
+	}
+	sort.Slice(loops, func(i, j int) bool {
+		if loops[i].Depth != loops[j].Depth {
+			return loops[i].Depth < loops[j].Depth
+		}
+		return loops[i].Head.ID < loops[j].Head.ID
+	})
+	return loops
+}
+
+// LoopHeads returns the set of loop-header block IDs of f — the widening
+// points of the abstract interpreter.
+func LoopHeads(f *ir.Func) map[int]bool {
+	heads := make(map[int]bool)
+	dom := Dominators(f)
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs {
+			if dom.Dominates(s, b) {
+				heads[s.ID] = true
+			}
+		}
+	}
+	return heads
 }

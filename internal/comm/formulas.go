@@ -1,0 +1,279 @@
+package comm
+
+// This file exports closed-form per-class message formulas so the static
+// cost engine (internal/analyze/cost) can predict Stats.Messages without
+// element-at-a-time simulation. Each Predict* function mirrors one
+// decision path of the aggregating runtime cache (comm.go/aggregate.go):
+// PredictPrefetch ↔ prefetchHalo, PredictStream ↔ streamFetch,
+// PredictFlush ↔ flushTask's contiguous-run coalescing, PredictFine ↔
+// the per-element EvFetch/EvPut path of the uncached runtime.
+
+// Block is the block decomposition of an N-element rank-1 layout across
+// L locales — the same arithmetic as ArrayVal.ElemHome and the
+// owner-computes scheduler.
+type Block struct {
+	N int64 // layout length (dim-0 size)
+	L int   // locale count
+}
+
+// Home returns the owning locale of element position e (clamped).
+func (b Block) Home(e int64) int {
+	if b.L <= 1 || b.N <= 0 {
+		return 0
+	}
+	if e < 0 {
+		e = 0
+	}
+	if e >= b.N {
+		e = b.N - 1
+	}
+	h := int(e * int64(b.L) / b.N)
+	if h >= b.L {
+		h = b.L - 1
+	}
+	return h
+}
+
+// Span returns the half-open element range [lo, hi) owned by locale loc:
+// exactly the positions where Home(e) == loc.
+func (b Block) Span(loc int) (lo, hi int64) {
+	nl := int64(b.L)
+	if nl <= 1 {
+		return 0, b.N
+	}
+	lo = (int64(loc)*b.N + nl - 1) / nl
+	hi = ((int64(loc)+1)*b.N + nl - 1) / nl
+	return lo, hi
+}
+
+// SpanSet is a sorted set of disjoint inclusive element intervals —
+// the statically-modeled residency of one locale's cache for one array.
+type SpanSet struct {
+	spans [][2]int64
+}
+
+// Add inserts [lo, hi], merging overlapping/adjacent spans.
+func (s *SpanSet) Add(lo, hi int64) {
+	if hi < lo {
+		return
+	}
+	out := s.spans[:0:0]
+	placed := false
+	for _, sp := range s.spans {
+		if sp[1] < lo-1 {
+			out = append(out, sp)
+			continue
+		}
+		if sp[0] > hi+1 {
+			if !placed {
+				out = append(out, [2]int64{lo, hi})
+				placed = true
+			}
+			out = append(out, sp)
+			continue
+		}
+		if sp[0] < lo {
+			lo = sp[0]
+		}
+		if sp[1] > hi {
+			hi = sp[1]
+		}
+	}
+	if !placed {
+		out = append(out, [2]int64{lo, hi})
+	}
+	s.spans = out
+}
+
+// Remove deletes [lo, hi] from the set (a write on another locale
+// invalidating cached copies).
+func (s *SpanSet) Remove(lo, hi int64) {
+	if hi < lo {
+		return
+	}
+	out := s.spans[:0:0]
+	for _, sp := range s.spans {
+		if sp[1] < lo || sp[0] > hi {
+			out = append(out, sp)
+			continue
+		}
+		if sp[0] < lo {
+			out = append(out, [2]int64{sp[0], lo - 1})
+		}
+		if sp[1] > hi {
+			out = append(out, [2]int64{hi + 1, sp[1]})
+		}
+	}
+	s.spans = out
+}
+
+// Contains reports whether e is resident.
+func (s *SpanSet) Contains(e int64) bool {
+	for _, sp := range s.spans {
+		if e >= sp[0] && e <= sp[1] {
+			return true
+		}
+	}
+	return false
+}
+
+// Missing returns the sub-intervals of [lo, hi] not in the set.
+func (s *SpanSet) Missing(lo, hi int64) [][2]int64 {
+	if hi < lo {
+		return nil
+	}
+	var out [][2]int64
+	cur := lo
+	for _, sp := range s.spans {
+		if sp[1] < cur {
+			continue
+		}
+		if sp[0] > hi {
+			break
+		}
+		if sp[0] > cur {
+			out = append(out, [2]int64{cur, sp[0] - 1})
+		}
+		if sp[1]+1 > cur {
+			cur = sp[1] + 1
+		}
+		if cur > hi {
+			return out
+		}
+	}
+	if cur <= hi {
+		out = append(out, [2]int64{cur, hi})
+	}
+	return out
+}
+
+// PredictPrefetch models a halo-class read window [winLo, winHi] issued
+// by a task on locale loc: the window is clamped to the layout, the
+// non-resident remote part is fetched in contiguous same-home runs (one
+// message per run), and fetched runs become resident. Returns the
+// message count and the remote elements moved.
+func PredictPrefetch(b Block, loc int, winLo, winHi int64, res *SpanSet) (msgs, elems int64) {
+	if winLo < 0 {
+		winLo = 0
+	}
+	if winHi > b.N-1 {
+		winHi = b.N - 1
+	}
+	if winHi < winLo {
+		return 0, 0
+	}
+	for _, miss := range res.Missing(winLo, winHi) {
+		// Split the missing interval at ownership boundaries; local
+		// parts break runs and are not fetched.
+		e := miss[0]
+		for e <= miss[1] {
+			h := b.Home(e)
+			_, hi := b.Span(h)
+			runHi := hi - 1
+			if runHi > miss[1] {
+				runHi = miss[1]
+			}
+			if h != loc {
+				msgs++
+				elems += runHi - e + 1
+				res.Add(e, runHi)
+			}
+			e = runHi + 1
+		}
+	}
+	return msgs, elems
+}
+
+// PredictStream models a strided/blocked-class read of elements
+// first..last by step on locale loc: each miss on a remote element
+// fetches up to runBlock same-home elements step apart in one message.
+func PredictStream(b Block, loc int, first, last, step, runBlock int64, res *SpanSet) (msgs, elems int64) {
+	if step <= 0 {
+		step = 1
+	}
+	if runBlock <= 0 {
+		runBlock = 64
+	}
+	for e := first; e <= last; e += step {
+		if e < 0 || e >= b.N {
+			continue
+		}
+		h := b.Home(e)
+		if h == loc || res.Contains(e) {
+			continue
+		}
+		// One message streams up to runBlock elements step apart from e,
+		// stopping at the layout end, a home change or a cached element —
+		// exactly streamFetch's run extent (it reads ahead past the
+		// accessed window).
+		n := int64(0)
+		for x := e; x < b.N && n < runBlock && b.Home(x) == h && !res.Contains(x); x += step {
+			res.Add(x, x)
+			n++
+		}
+		msgs++
+		elems += n
+	}
+	return msgs, elems
+}
+
+// PredictFlush models the task-end write-back of dirty elements
+// first..last by step written from locale loc: remote dirty elements
+// flush in contiguous same-home runs (one message per run); a stride
+// above 1 leaves gaps, so every element is its own run.
+func PredictFlush(b Block, loc int, first, last, step int64) (msgs, elems int64) {
+	if step <= 0 {
+		step = 1
+	}
+	if step > 1 {
+		for e := first; e <= last; e += step {
+			if e < 0 || e >= b.N {
+				continue
+			}
+			if b.Home(e) != loc {
+				msgs++
+				elems++
+			}
+		}
+		return msgs, elems
+	}
+	lo, hi := first, last
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > b.N-1 {
+		hi = b.N - 1
+	}
+	e := lo
+	for e <= hi {
+		h := b.Home(e)
+		_, spanHi := b.Span(h)
+		runHi := spanHi - 1
+		if runHi > hi {
+			runHi = hi
+		}
+		if h != loc {
+			msgs++
+			elems += runHi - e + 1
+		}
+		e = runHi + 1
+	}
+	return msgs, elems
+}
+
+// PredictFine models the uncached per-element path: one message per
+// access that lands remote (reads and writes alike).
+func PredictFine(b Block, loc int, first, last, step int64) (msgs int64) {
+	if step <= 0 {
+		step = 1
+	}
+	for e := first; e <= last; e += step {
+		if e < 0 || e >= b.N {
+			continue
+		}
+		if b.Home(e) != loc {
+			msgs++
+		}
+	}
+	return msgs
+}

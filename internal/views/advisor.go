@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/analyze"
+	"repro/internal/analyze/cost"
 	"repro/internal/postmortem"
 )
 
@@ -13,7 +14,11 @@ import (
 // variable. A variable that both carries high blame and trips a static
 // lint is the place to optimize first — the static finding says *what*
 // to change, the blame rank says *whether it is worth it*.
-func Advisor(p *postmortem.Profile, rep *analyze.Report, limit int) string {
+//
+// When pred is non-nil each ranked row also shows the static cost
+// engine's prediction for the same variable (predicted rank and blame
+// share), so predicted-vs-measured divergence is visible in place.
+func Advisor(p *postmortem.Profile, rep *analyze.Report, pred *cost.Prediction, limit int) string {
 	byVar := make(map[string][]int)
 	for i, d := range rep.Diags {
 		if d.Var != "" {
@@ -21,6 +26,22 @@ func Advisor(p *postmortem.Profile, rep *analyze.Report, limit int) string {
 		}
 	}
 	pos := func(d analyze.Diag) string { return rep.Prog.FileSet.Position(d.Pos) }
+
+	type predRow struct {
+		rank  int
+		blame float64
+	}
+	predOf := make(map[string]predRow)
+	if pred != nil {
+		n := 0
+		for _, v := range pred.Vars {
+			if v.IsPath {
+				continue
+			}
+			n++
+			predOf[v.Name] = predRow{n, v.Blame}
+		}
+	}
 
 	var b strings.Builder
 	b.WriteString("Blame-guided advisor (dynamic rank x static findings)\n")
@@ -39,7 +60,15 @@ func Advisor(p *postmortem.Profile, rep *analyze.Report, limit int) string {
 			break
 		}
 		shown++
-		fmt.Fprintf(&b, "#%d  %-32s %6.1f%% blame  (%s, %s)\n", rank, r.Name, r.Blame*100, r.Type, r.Context)
+		predCell := ""
+		if pred != nil {
+			if pr, ok := predOf[r.Name]; ok {
+				predCell = fmt.Sprintf("  [predicted #%d, %.1f%%]", pr.rank, pr.blame*100)
+			} else {
+				predCell = "  [predicted: -]"
+			}
+		}
+		fmt.Fprintf(&b, "#%d  %-32s %6.1f%% blame  (%s, %s)%s\n", rank, r.Name, r.Blame*100, r.Type, r.Context, predCell)
 		for _, i := range idxs {
 			matched[i] = true
 			d := rep.Diags[i]

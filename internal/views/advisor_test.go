@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/analyze"
+	"repro/internal/analyze/cost"
 	"repro/internal/blame"
 	"repro/internal/compile"
 	"repro/internal/views"
@@ -37,10 +38,16 @@ func TestAdvisorJoinsStaticAndDynamic(t *testing.T) {
 	}
 
 	rep := analyze.Run(res.Prog)
-	out := views.Advisor(r.Profile, rep, 10)
+	opts := cost.DefaultOptions()
+	opts.VM = cfg.VM
+	pred := cost.Predict(res.Prog, opts)
+	out := views.Advisor(r.Profile, rep, pred, 10)
 
 	if !strings.Contains(out, "Grid") {
 		t.Errorf("advisor does not mention Grid:\n%s", out)
+	}
+	if !strings.Contains(out, "[predicted #") {
+		t.Errorf("advisor rows carry no predicted-vs-measured column:\n%s", out)
 	}
 	if !strings.Contains(out, "fine-grained remote") {
 		t.Errorf("advisor does not surface a remote finding:\n%s", out)
@@ -81,7 +88,7 @@ proc main() {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out := views.Advisor(r.Profile, analyze.Run(res.Prog), 10)
+	out := views.Advisor(r.Profile, analyze.Run(res.Prog), nil, 10)
 	if !strings.Contains(out, "no static finding names a profiled variable") {
 		t.Errorf("empty advisor not explicit:\n%s", out)
 	}

@@ -1,0 +1,57 @@
+package views
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/analyze/cost"
+)
+
+// Predicted renders the static cost engine's output in the shape of the
+// flat data-centric view: the predicted blame ranking with cycle mass
+// and per-variable message counts, followed by the comm totals and the
+// engine's notes. Nothing here was measured — the header says so.
+func Predicted(p *cost.Prediction, limit int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Predicted data-centric view (static, zero execution)\n")
+	fmt.Fprintf(&b, "%-42s %-28s %8s %14s %8s  %s\n", "Name", "Type", "Blame", "Cycles", "Msgs", "Context")
+	n := 0
+	for _, r := range p.Vars {
+		if limit > 0 && n >= limit {
+			break
+		}
+		name := r.Name
+		if r.IsPath {
+			name = pathDisplay(r.Name)
+		}
+		msgs := "-"
+		if r.Msgs > 0 {
+			msgs = fmt.Sprint(r.Msgs)
+		}
+		fmt.Fprintf(&b, "%-42s %-28s %7.1f%% %14.0f %8s  %s\n",
+			name, r.Type, r.Blame*100, r.Cycles, msgs, r.Context)
+		n++
+	}
+	fmt.Fprintf(&b, "predicted total: %.0f cycles; comm: %d messages, %d bytes", p.TotalCycles, p.Msgs, p.Bytes)
+	if len(p.MsgsByClass) > 0 {
+		classes := make([]string, 0, len(p.MsgsByClass))
+		for c := range p.MsgsByClass {
+			classes = append(classes, c)
+		}
+		sort.Strings(classes)
+		parts := make([]string, 0, len(classes))
+		for _, c := range classes {
+			parts = append(parts, fmt.Sprintf("%s=%d", c, p.MsgsByClass[c]))
+		}
+		fmt.Fprintf(&b, " (%s)", strings.Join(parts, ", "))
+	}
+	b.WriteByte('\n')
+	if !p.WalkOK {
+		b.WriteString("comm volume from closed-form site formulas (symbolic walk did not complete)\n")
+	}
+	for _, note := range p.Notes {
+		fmt.Fprintf(&b, "note: %s\n", note)
+	}
+	return b.String()
+}

@@ -287,3 +287,18 @@ func (c *CostModel) instrCost(in *ir.Instr, noChecks bool) uint64 {
 	}
 	return 1
 }
+
+// StaticCostTable exposes the per-instruction cost table (indexed by
+// Instr.Addr, --fast scale and i-cache surcharge folded in) to static
+// analyses: the symbolic cost engine (internal/analyze/cost) prices its
+// predicted executions with exactly the cycles the interpreter would
+// charge. The returned slice is shared and must not be mutated.
+func StaticCostTable(prog *ir.Program, c CostModel) []uint64 {
+	return costTable(prog, c)
+}
+
+// ScaleCost applies the --fast codegen factor the same way the executor
+// does for its dynamic extra charges (bulk copies, allocations, comm).
+func (c CostModel) ScaleCost(optimized bool, cycles uint64) uint64 {
+	return c.scale(optimized, cycles)
+}
