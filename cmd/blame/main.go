@@ -7,6 +7,10 @@
 // additionally runs the static diagnostics (internal/analyze) and prints
 // the blame-guided advisor, joining static findings with dynamic ranks.
 //
+// The CLI is a thin shell over internal/serve.Execute — the same code
+// path cmd/blamed serves over HTTP — so a profile fetched from the
+// server is byte-identical to the one this command prints.
+//
 // Usage:
 //
 //	blame [flags] prog.mchpl [--config=value ...]
@@ -16,21 +20,11 @@ package main
 import (
 	"flag"
 	"fmt"
-	"io"
 	"os"
 	"strings"
 
-	"repro/internal/analyze"
-	"repro/internal/analyze/cost"
-	"repro/internal/benchprog"
-	"repro/internal/blame"
 	"repro/internal/comm"
-	"repro/internal/compile"
-	"repro/internal/core"
-	"repro/internal/fault"
-	"repro/internal/hpctk"
-	"repro/internal/views"
-	"repro/internal/vm"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -64,185 +58,65 @@ func main() {
 		fmt.Fprintln(os.Stderr, "blame:", err)
 		os.Exit(1)
 	}
-	res, err := compile.Source(name, src, compile.Options{})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "blame:", err)
-		os.Exit(1)
-	}
 
-	if *lintJSON {
-		if err := analyze.Run(res.Prog).WriteJSON(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "blame:", err)
-			os.Exit(1)
-		}
-		return
+	req := &serve.Request{
+		Source:          src,
+		Name:            name,
+		Configs:         parseConfigs(flag.Args()),
+		Locales:         *locales,
+		Cores:           *cores,
+		View:            *view,
+		Lint:            *lint,
+		Limit:           *limit,
+		Threshold:       *threshold,
+		Skid:            *skid,
+		PerLocale:       *perLocale,
+		SampleBuffer:    *smpBuf,
+		NoImplicit:      *noImpl,
+		NoInterproc:     *noInter,
+		Lines:           *lineGran,
+		NoOwnerComputes: *noOwner,
+		FaultSpec:       *faultSpc,
+		FaultSeed:       *faultSd,
 	}
-
-	cfg := blame.DefaultConfig()
-	cfg.VM.NumCores = *cores
-	cfg.VM.NumLocales = *locales
-	cfg.VM.Stdout = io.Discard
-	cfg.VM.MaxCycles = 10_000_000_000
-	cfg.VM.Configs = parseConfigs(flag.Args())
-	cfg.Skid = *skid
-	cfg.PerLocale = *perLocale
-	cfg.Core = core.Options{
-		ImplicitTransfer: !*noImpl,
-		Interprocedural:  !*noInter,
-		LineGranularity:  *lineGran,
-		TrackPaths:       true,
+	if *limit == 0 {
+		req.Limit = -1 // historical CLI meaning: -limit 0 is unlimited
 	}
-	cfg.VM.NoOwnerComputes = *noOwner
+	switch {
+	case *lintJSON:
+		req.View = "lint-json"
+	case *static:
+		req.View = "static"
+	}
 	if *commAgg {
-		cfg.VM.CommAggregate = true
-		cfg.VM.CommCacheCap = *commCap
+		req.CommAggregate = true
+		req.CommCache = *commCap
 		if *commCap <= 0 {
-			cfg.VM.CommCacheCap = -1 // 0 on the command line means "no cache"
+			req.CommCache = -1 // 0 on the command line means "no cache"
 		}
 	}
-	if *commAgg || *locales > 1 {
-		// The plan also powers the owner-computes violation counter, so
-		// derive it for any multi-locale run, not just aggregated ones.
-		cfg.VM.CommPlan = analyze.CommPlan(res.Prog)
+	if err := req.Normalize(); err != nil {
+		fmt.Fprintln(os.Stderr, "blame:", err)
+		os.Exit(1)
 	}
-	if *static {
-		// Predict without executing anything: no calibration run, no
-		// profiled run.
-		opts := cost.DefaultOptions()
-		opts.VM = cfg.VM
-		opts.Core = cfg.Core
-		pred := cost.Predict(res.Prog, opts)
-		fmt.Print(views.Predicted(pred, *limit))
-		if *lint {
-			fmt.Println()
-			fmt.Print(analyze.Run(res.Prog).Text())
-		}
-		return
-	}
-	if *threshold != 0 {
-		cfg.Threshold = *threshold
-	} else {
-		// Auto-scale: one calibration run, then target a few thousand
-		// samples (the paper's fixed large prime assumes multi-second
-		// wall times).
-		st, err := vm.New(res.Prog, cfg.VM).Run()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "blame:", err)
-			os.Exit(1)
-		}
-		th := st.TotalCycles / 4001
-		if th < 101 {
-			th = 101
-		}
-		cfg.Threshold = th | 1
-	}
-	// The injector is attached after the calibration run: the calibration
-	// must not consume PRNG draws, or the profiled run's fault schedule
-	// would depend on whether -threshold was given explicitly.
-	if *faultSpc != "" {
-		spec, err := fault.ParseSpec(*faultSpc)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "blame:", err)
-			os.Exit(1)
-		}
-		cfg.VM.Fault = fault.NewInjector(spec, *faultSd)
-	}
-	cfg.SampleBuffer = *smpBuf
 
-	r, err := blame.Profile(res.Prog, cfg)
+	out, err := serve.Execute(req, nil)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "blame:", err)
 		os.Exit(1)
 	}
-	prof := r.Profile
-
-	if *lint {
-		rep := analyze.Run(res.Prog)
-		fmt.Print(rep.Text())
-		fmt.Println()
-		opts := cost.DefaultOptions()
-		opts.VM = cfg.VM
-		opts.Core = cfg.Core
-		fmt.Print(views.Advisor(prof, rep, cost.Predict(res.Prog, opts), *limit))
-		return
-	}
-
-	switch *view {
-	case "data":
-		fmt.Print(views.DataCentric(prof, *limit))
-	case "code":
-		fmt.Print(views.CodeCentric(prof, *limit))
-	case "hybrid":
-		fmt.Print(views.Hybrid(prof, *limit))
-	case "baseline":
-		fmt.Print(views.Baseline(hpctk.Attribute(r.Sampler.Samples, r.Sampler.Allocs), *limit))
-	case "comm":
-		fmt.Print(views.CommCentric(r.CommBlame(), *limit))
-	case "all":
-		fmt.Print(views.DataCentric(prof, *limit))
-		fmt.Println()
-		fmt.Print(views.CodeCentric(prof, *limit))
-		fmt.Println()
-		fmt.Print(views.Hybrid(prof, *limit))
-		fmt.Println()
-		fmt.Print(views.Baseline(hpctk.Attribute(r.Sampler.Samples, r.Sampler.Allocs), *limit))
-		fmt.Println()
-		fmt.Print(views.Overhead(prof, r.Sampler.StackWalks, r.Sampler.DataSetBytes(), cfg.VM.ClockHz))
-	default:
-		fmt.Fprintf(os.Stderr, "blame: unknown view %q\n", *view)
-		os.Exit(1)
-	}
-	if *jsonOut != "" {
-		f, err := os.Create(*jsonOut)
-		if err != nil {
+	fmt.Print(out.Text)
+	if *jsonOut != "" && !*lint && out.ProfileJSON != nil {
+		if err := os.WriteFile(*jsonOut, out.ProfileJSON, 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "blame:", err)
 			os.Exit(1)
-		}
-		if err := prof.WriteJSON(f); err != nil {
-			fmt.Fprintln(os.Stderr, "blame:", err)
-			os.Exit(1)
-		}
-		f.Close()
-	}
-	if *perLocale && prof.PerLocale != nil {
-		for loc, p := range prof.PerLocale {
-			fmt.Printf("\n--- locale %d ---\n", loc)
-			fmt.Print(views.DataCentric(p, *limit))
 		}
 	}
 }
 
 func loadSource(bench string, args []string) (string, string, error) {
 	if bench != "" {
-		switch bench {
-		case "minimd":
-			p := benchprog.MiniMD(false)
-			return p.Source, p.Name, nil
-		case "minimd_opt":
-			p := benchprog.MiniMD(true)
-			return p.Source, p.Name, nil
-		case "clomp":
-			p := benchprog.CLOMP(false)
-			return p.Source, p.Name, nil
-		case "clomp_opt":
-			p := benchprog.CLOMP(true)
-			return p.Source, p.Name, nil
-		case "lulesh":
-			p := benchprog.LULESH(benchprog.LuleshOriginal)
-			return p.Source, p.Name, nil
-		case "lulesh_best":
-			p := benchprog.LULESH(benchprog.LuleshBest)
-			return p.Source, p.Name, nil
-		case "halo":
-			p := benchprog.Halo()
-			return p.Source, p.Name, nil
-		case "wavefront":
-			p := benchprog.Wavefront()
-			return p.Source, p.Name, nil
-		case "fig1":
-			return benchprog.Fig1Example, "fig1", nil
-		}
-		return "", "", fmt.Errorf("unknown benchmark %q", bench)
+		return serveBench(bench)
 	}
 	if len(args) == 0 || strings.HasPrefix(args[0], "--") {
 		return "", "", fmt.Errorf("usage: blame [flags] prog.mchpl | -bench name")
@@ -252,6 +126,16 @@ func loadSource(bench string, args []string) (string, string, error) {
 		return "", "", err
 	}
 	return string(b), args[0], nil
+}
+
+// serveBench resolves -bench through the same table the server's
+// request schema uses.
+func serveBench(name string) (string, string, error) {
+	src, progName, err := serve.ResolveBench(name)
+	if err != nil {
+		return "", "", fmt.Errorf("%w (known: %s)", err, strings.Join(serve.Benches(), ", "))
+	}
+	return src, progName, nil
 }
 
 func parseConfigs(args []string) map[string]string {

@@ -1,0 +1,82 @@
+// Command blamed is the blame-as-a-service daemon: a long-running
+// HTTP/JSON server exposing the full compile → analyze → run → sample →
+// postmortem pipeline as concurrent profiling sessions. Identical
+// submissions batch into one pipeline execution, finished outcomes are
+// served from a sharded content-addressed cache, and per-session
+// streams deliver sampler progress plus incremental blame ranks while a
+// run is still going.
+//
+// Usage:
+//
+//	blamed [-addr :8091] [-workers N] [-cache-mb 256] [-shards 16]
+//	       [-deadline 0] [-max-sessions 4096]
+//
+// Endpoints (see README "The blamed server" for the full table):
+//
+//	POST /v1/submit[?wait=1]            submit a profiling request
+//	GET  /v1/sessions                   list sessions
+//	GET  /v1/sessions/{id}              session status
+//	GET  /v1/sessions/{id}/result       full result (?format=text|profile|output)
+//	GET  /v1/sessions/{id}/stream       SSE progress (?format=ndjson)
+//	POST /v1/sessions/{id}/cancel       cancel a session
+//	POST /v1/predict                    static-only cost prediction
+//	POST /v1/diff                       cross-run blame delta
+//	GET  /metrics                       observability (?format=json)
+//	GET  /healthz                       liveness
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8091", "listen address")
+		workers     = flag.Int("workers", 0, "scheduler worker pool size (0 = 4)")
+		cacheMB     = flag.Int("cache-mb", 256, "outcome cache budget in MiB")
+		shards      = flag.Int("shards", 16, "cache shard count (rounded up to a power of two)")
+		deadline    = flag.Duration("deadline", 0, "default per-session deadline for requests that set none (0 = none)")
+		maxSessions = flag.Int("max-sessions", 4096, "retained session metadata bound")
+		rankEvery   = flag.Int("rank-every", 2000, "samples between incremental blame-rank stream events")
+	)
+	flag.Parse()
+
+	srv := serve.New(serve.Options{
+		Workers:         *workers,
+		CacheBytes:      int64(*cacheMB) << 20,
+		CacheShards:     *shards,
+		MaxSessions:     *maxSessions,
+		DefaultDeadline: *deadline,
+		RankEvery:       *rankEvery,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		fmt.Fprintln(os.Stderr, "blamed: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx)
+		srv.Close()
+	}()
+
+	fmt.Fprintf(os.Stderr, "blamed: listening on %s\n", *addr)
+	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "blamed:", err)
+		os.Exit(1)
+	}
+	<-done
+}

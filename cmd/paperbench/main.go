@@ -28,12 +28,15 @@ import (
 )
 
 // BenchEntry is one measured experiment (or the "total" row) in the
-// -bench-json report.
+// -bench-json report. The loadtest entry additionally pins server
+// throughput and tail latency.
 type BenchEntry struct {
-	Name        string  `json:"name"`
-	WallSeconds float64 `json:"wall_seconds"`
-	Mallocs     uint64  `json:"mallocs,omitempty"`
-	AllocBytes  uint64  `json:"alloc_bytes,omitempty"`
+	Name           string  `json:"name"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	Mallocs        uint64  `json:"mallocs,omitempty"`
+	AllocBytes     uint64  `json:"alloc_bytes,omitempty"`
+	RequestsPerSec float64 `json:"requests_per_sec,omitempty"`
+	P99Ms          float64 `json:"p99_ms,omitempty"`
 }
 
 // BenchReport is the -bench-json payload and one side of BENCH_PR4.json.
@@ -60,10 +63,19 @@ func main() {
 		checkSlack = flag.Float64("check-slack", 1.3, "allowed wall-clock factor over the baseline before -check fails")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file")
+		loadtest   = flag.Bool("loadtest", false, "load-test a blamed server instead of running experiments")
+		ltRequests = flag.Int("loadtest-requests", 240, "total loadtest submissions (warm + storm)")
+		ltClients  = flag.Int("loadtest-concurrency", 64, "storm-phase concurrent clients")
+		ltAddr     = flag.String("loadtest-addr", "", "blamed base URL (empty = boot an in-process server)")
 	)
 	flag.Parse()
 	if *serial {
 		*workers = 1
+	}
+
+	if *loadtest {
+		runLoadTest(*ltAddr, *ltRequests, *ltClients, *benchJSON, *checkFile, *checkSlack)
+		return
 	}
 
 	if *cpuProfile != "" {
@@ -170,6 +182,60 @@ func main() {
 	}
 }
 
+// runLoadTest is the -loadtest mode: drive a blamed server (booting an
+// in-process one when no address is given), print the measurements, and
+// optionally record/check them like any other bench entry. Throughput
+// and p99 go into the report so -check pins server performance next to
+// the experiment wall clocks.
+func runLoadTest(addr string, requests, clients int, benchJSON, checkFile string, slack float64) {
+	res, err := exp.LoadTest(exp.LoadTestOptions{
+		Addr: addr, Requests: requests, Concurrency: clients,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadtest:", err)
+		os.Exit(1)
+	}
+	fmt.Print(res.Text())
+
+	failed := false
+	if res.CacheHitRate < 0.9 {
+		fmt.Fprintf(os.Stderr, "loadtest: cache hit rate %.1f%% below the 90%% floor\n", res.CacheHitRate*100)
+		failed = true
+	}
+	if res.Verified != res.Requests {
+		fmt.Fprintf(os.Stderr, "loadtest: only %d/%d responses verified byte-identical\n", res.Verified, res.Requests)
+		failed = true
+	}
+
+	report := BenchReport{Workers: clients, Entries: []BenchEntry{{
+		Name:           "loadtest",
+		WallSeconds:    res.WallSeconds,
+		RequestsPerSec: res.RequestsPerSec,
+		P99Ms:          res.P99Ms,
+	}}}
+	if benchJSON != "" {
+		data, err := json.MarshalIndent(&report, "", "  ")
+		if err == nil {
+			err = os.WriteFile(benchJSON, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench-json:", err)
+			failed = true
+		}
+	}
+	if checkFile != "" && !failed {
+		if err := checkBaseline(checkFile, &report, slack); err != nil {
+			fmt.Fprintln(os.Stderr, "perf regression:", err)
+			failed = true
+		} else {
+			fmt.Fprintf(os.Stderr, "perf check passed against %s (slack %.2fx)\n", checkFile, slack)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
 // checkBaseline compares the current report against the baseline's
 // "after" entries: wall clock may exceed the baseline by the slack
 // factor, total allocations by 1.3x. Entries missing on either side are
@@ -208,6 +274,20 @@ func checkBaseline(path string, cur *BenchReport, slack float64) error {
 			if limit := float64(b.Mallocs) * 1.3; float64(e.Mallocs) > limit {
 				return fmt.Errorf("%s allocated %d objects, baseline %d (limit %.0f)",
 					e.Name, e.Mallocs, b.Mallocs, limit)
+			}
+		}
+		// Server load-test entries: throughput may drop to baseline/slack,
+		// tail latency may grow to baseline*slack.
+		if b.RequestsPerSec > 0 && e.RequestsPerSec > 0 {
+			if floor := b.RequestsPerSec / slack; e.RequestsPerSec < floor {
+				return fmt.Errorf("%s served %.1f req/s, baseline %.1f (floor %.1f)",
+					e.Name, e.RequestsPerSec, b.RequestsPerSec, floor)
+			}
+		}
+		if b.P99Ms > 0 && e.P99Ms > 0 {
+			if limit := b.P99Ms * slack; e.P99Ms > limit {
+				return fmt.Errorf("%s p99 %.1fms, baseline %.1fms (limit %.1fms)",
+					e.Name, e.P99Ms, b.P99Ms, limit)
 			}
 		}
 	}

@@ -39,6 +39,13 @@ type Config struct {
 	// SampleBuffer bounds the monitor's sample ring buffer (0 =
 	// unbounded): overruns drop samples, surfaced as Profile.Dropped.
 	SampleBuffer int
+	// Wrap, when non-nil, wraps the sampling listener before the VM
+	// runs. The serving layer (internal/serve) interposes a progress
+	// monitor here that streams sampler progress and incremental blame
+	// ranks without touching the pipeline itself. The wrapper must
+	// delegate every callback to the sampler or the profile will be
+	// incomplete.
+	Wrap func(smp *sampler.Sampler, analysis *core.Analysis) vm.Listener
 }
 
 // DefaultConfig returns the paper-equivalent configuration with a
@@ -94,6 +101,9 @@ func Profile(prog *ir.Program, cfg Config) (*Result, error) {
 	smp := sampler.New(prog, cfg.Threshold, opts...)
 	vmCfg := cfg.VM
 	vmCfg.Listener = smp
+	if cfg.Wrap != nil {
+		vmCfg.Listener = cfg.Wrap(smp, analysis)
+	}
 	ensureCommPlan(prog, &vmCfg)
 	machine := vm.New(prog, vmCfg)
 	stats, err := machine.Run()

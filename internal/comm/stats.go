@@ -13,6 +13,18 @@ type Pair struct {
 	From, To int
 }
 
+// MarshalText renders the pair as "from->to" so map[Pair]int64 fields
+// survive encoding/json (struct map keys are otherwise unsupported).
+func (p Pair) MarshalText() ([]byte, error) {
+	return []byte(fmt.Sprintf("%d->%d", p.From, p.To)), nil
+}
+
+// UnmarshalText parses the MarshalText form.
+func (p *Pair) UnmarshalText(b []byte) error {
+	_, err := fmt.Sscanf(string(b), "%d->%d", &p.From, &p.To)
+	return err
+}
+
 // Stats accumulates the runtime's counters. Messages/Bytes count only
 // charged network messages (what the VM adds to its CommMessages and
 // CommBytes); the remaining counters describe how the aggregation engine

@@ -116,3 +116,50 @@ func TestSourceCachedConcurrent(t *testing.T) {
 		}
 	}
 }
+
+// TestSourceCachedConcurrentMixedOptions interleaves callers with
+// different Options over the same source (run under -race in CI): every
+// caller must get the pointer for its own option set, and no two option
+// sets may ever alias one entry.
+func TestSourceCachedConcurrentMixedOptions(t *testing.T) {
+	compile.ResetCache()
+	optSets := []compile.Options{
+		{},
+		{Fast: true},
+		{NoChecks: true},
+		{Fast: true, NoChecks: true},
+	}
+	const rounds = 8
+	results := make([][]*compile.Result, len(optSets))
+	for i := range results {
+		results[i] = make([]*compile.Result, rounds)
+	}
+	var wg sync.WaitGroup
+	for i, opts := range optSets {
+		for r := 0; r < rounds; r++ {
+			wg.Add(1)
+			go func(i, r int, opts compile.Options) {
+				defer wg.Done()
+				res, err := compile.SourceCached("cache.mchpl", cacheSrc, opts)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				results[i][r] = res
+			}(i, r, opts)
+		}
+	}
+	wg.Wait()
+	for i := range optSets {
+		for r := 1; r < rounds; r++ {
+			if results[i][r] != results[i][0] {
+				t.Fatalf("option set %d: round %d saw a different *Result", i, r)
+			}
+		}
+		for j := 0; j < i; j++ {
+			if results[i][0] == results[j][0] {
+				t.Fatalf("option sets %d and %d aliased one cache entry", i, j)
+			}
+		}
+	}
+}

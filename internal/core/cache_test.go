@@ -93,3 +93,50 @@ func TestAnalyzeCachedConcurrent(t *testing.T) {
 		}
 	}
 }
+
+// TestAnalyzeCachedConcurrentMixedOptions interleaves callers with
+// different core.Options over the same program (run under -race in CI):
+// pointer stability within an option set, distinctness across sets.
+func TestAnalyzeCachedConcurrentMixedOptions(t *testing.T) {
+	core.ResetCache()
+	res := compileFor(t)
+	mk := func(f func(*core.Options)) core.Options {
+		o := core.DefaultOptions()
+		f(&o)
+		return o
+	}
+	optSets := []core.Options{
+		core.DefaultOptions(),
+		mk(func(o *core.Options) { o.ImplicitTransfer = !o.ImplicitTransfer }),
+		mk(func(o *core.Options) { o.Interprocedural = !o.Interprocedural }),
+		mk(func(o *core.Options) { o.LineGranularity = !o.LineGranularity }),
+	}
+	const rounds = 8
+	results := make([][]*core.Analysis, len(optSets))
+	for i := range results {
+		results[i] = make([]*core.Analysis, rounds)
+	}
+	var wg sync.WaitGroup
+	for i, opts := range optSets {
+		for r := 0; r < rounds; r++ {
+			wg.Add(1)
+			go func(i, r int, opts core.Options) {
+				defer wg.Done()
+				results[i][r] = core.AnalyzeCached(res.Prog, opts)
+			}(i, r, opts)
+		}
+	}
+	wg.Wait()
+	for i := range optSets {
+		for r := 1; r < rounds; r++ {
+			if results[i][r] != results[i][0] {
+				t.Fatalf("option set %d: round %d saw a different *Analysis", i, r)
+			}
+		}
+		for j := 0; j < i; j++ {
+			if results[i][0] == results[j][0] {
+				t.Fatalf("option sets %d and %d aliased one cache entry", i, j)
+			}
+		}
+	}
+}

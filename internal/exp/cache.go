@@ -75,9 +75,29 @@ type timeKey struct {
 	cfgs string
 }
 
+// runShape captures the execution-shape knobs that change a profile
+// beyond (program, config consts): locale count, comm runtime mode and
+// fault injection. It is part of profKey so a shaped run can never
+// alias the default-shape cache entry — the experiment-level analogue
+// of the full-Options keys in compile.SourceCached / core.AnalyzeCached
+// (and of serve.Request.Key, which hashes the same dimensions).
+type runShape struct {
+	locales   int
+	commAgg   bool
+	commCache int
+	noOwner   bool
+	faultSpec string
+	faultSeed uint64
+}
+
+// defaultShape is the single-locale, comm-off, fault-free shape every
+// table experiment uses.
+func defaultShape() runShape { return runShape{locales: 1} }
+
 type profKey struct {
-	name string
-	cfgs string
+	name  string
+	cfgs  string
+	shape runShape
 }
 
 var (
@@ -124,8 +144,14 @@ func timedSeconds(p benchprog.Program, fast bool, cfgs map[string]string) (float
 // profile runs once and feeds Fig4, Table6, Table8, the baseline and the
 // overhead tables.
 func profiled(p benchprog.Program, cfgs map[string]string) (*blame.Result, error) {
-	return profMemo.get(profKey{p.Name, cfgKey(cfgs)}, func() (*blame.Result, error) {
-		return profileUncached(p, cfgs)
+	return profiledShaped(p, cfgs, defaultShape())
+}
+
+// profiledShaped is profiled with an explicit run shape; distinct shapes
+// get distinct cache entries.
+func profiledShaped(p benchprog.Program, cfgs map[string]string, shape runShape) (*blame.Result, error) {
+	return profMemo.get(profKey{p.Name, cfgKey(cfgs), shape}, func() (*blame.Result, error) {
+		return profileUncached(p, cfgs, shape)
 	})
 }
 

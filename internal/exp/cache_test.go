@@ -1,0 +1,93 @@
+package exp
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/benchprog"
+)
+
+// TestProfiledShapeNoAlias pins the profKey audit: a shaped run (multi-
+// locale, comm aggregation, faults) must never alias the default-shape
+// cache entry for the same (program, configs).
+func TestProfiledShapeNoAlias(t *testing.T) {
+	ResetMemos()
+	prog := benchprog.Halo()
+	cfgs := benchprog.HaloConfig{N: 64, Reps: 2}.Configs()
+
+	base, err := profiled(prog, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shaped, err := profiledShaped(prog, cfgs, runShape{locales: 4, commAgg: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base == shaped {
+		t.Fatal("shaped run aliased the default-shape cache entry")
+	}
+	if base.Stats.CommMessages != 0 {
+		t.Fatalf("default shape is single-locale; saw %d comm messages", base.Stats.CommMessages)
+	}
+	if shaped.Stats.CommMessages == 0 {
+		t.Fatal("4-locale shaped run produced no comm messages")
+	}
+
+	faulted, err := profiledShaped(prog, cfgs, runShape{locales: 4, commAgg: true, faultSpec: "loss=0.05", faultSeed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulted == shaped {
+		t.Fatal("faulted run aliased the fault-free shaped entry")
+	}
+	if faulted.Stats.Fault == nil || faulted.Stats.Fault.Sends == 0 {
+		t.Fatal("faulted shape ran without the injector examining any messages")
+	}
+}
+
+// TestProfiledShapeConcurrent interleaves default and shaped lookups
+// (run under -race in CI): each shape computes once and every caller of
+// a shape sees the same pointer.
+func TestProfiledShapeConcurrent(t *testing.T) {
+	ResetMemos()
+	prog := benchprog.Halo()
+	cfgs := benchprog.HaloConfig{N: 64, Reps: 2}.Configs()
+	shapes := []runShape{
+		defaultShape(),
+		{locales: 2},
+		{locales: 2, commAgg: true},
+	}
+	const rounds = 4
+	results := make([][]interface{}, len(shapes))
+	for i := range results {
+		results[i] = make([]interface{}, rounds)
+	}
+	var wg sync.WaitGroup
+	for i, sh := range shapes {
+		for r := 0; r < rounds; r++ {
+			wg.Add(1)
+			go func(i, r int, sh runShape) {
+				defer wg.Done()
+				res, err := profiledShaped(prog, cfgs, sh)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				results[i][r] = res
+			}(i, r, sh)
+		}
+	}
+	wg.Wait()
+	for i := range shapes {
+		for r := 1; r < rounds; r++ {
+			if results[i][r] != results[i][0] {
+				t.Fatalf("shape %d: round %d saw a different *blame.Result", i, r)
+			}
+		}
+		for j := 0; j < i; j++ {
+			if results[i][0] == results[j][0] {
+				t.Fatalf("shapes %d and %d aliased one cache entry", i, j)
+			}
+		}
+	}
+}

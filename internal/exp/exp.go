@@ -13,6 +13,7 @@ import (
 	"repro/internal/benchprog"
 	"repro/internal/blame"
 	"repro/internal/compile"
+	"repro/internal/fault"
 	"repro/internal/postmortem"
 	"repro/internal/vm"
 )
@@ -106,14 +107,28 @@ func profileProgram(p benchprog.Program, cfgs map[string]string) (*blame.Result,
 }
 
 // profileUncached is the memoized body of profileProgram.
-func profileUncached(p benchprog.Program, cfgs map[string]string) (*blame.Result, error) {
+func profileUncached(p benchprog.Program, cfgs map[string]string, shape runShape) (*blame.Result, error) {
 	res, err := p.Compile(compile.Options{})
 	if err != nil {
 		return nil, err
 	}
+	shapeConfig := func() vm.Config {
+		cfg := runConfig(cfgs)
+		if shape.locales > 1 {
+			cfg.NumLocales = shape.locales
+		}
+		if shape.commAgg {
+			cfg.CommAggregate = true
+			cfg.CommCacheCap = shape.commCache
+		}
+		cfg.NoOwnerComputes = shape.noOwner
+		if shape.locales > 1 || shape.commAgg {
+			cfg.CommPlan = commPlanFor(res.Prog)
+		}
+		return cfg
+	}
 	// Calibration run for the threshold.
-	cal := runConfig(cfgs)
-	stats, err := vm.New(res.Prog, cal).Run()
+	stats, err := vm.New(res.Prog, shapeConfig()).Run()
 	if err != nil {
 		return nil, err
 	}
@@ -124,8 +139,17 @@ func profileUncached(p benchprog.Program, cfgs map[string]string) (*blame.Result
 	threshold |= 1 // keep it odd, in the spirit of the paper's prime
 
 	bc := blame.DefaultConfig()
-	bc.VM = runConfig(cfgs)
+	bc.VM = shapeConfig()
 	bc.Threshold = threshold
+	// The injector attaches after calibration so the fault schedule does
+	// not depend on the calibration run's PRNG draws.
+	if shape.faultSpec != "" {
+		spec, err := fault.ParseSpec(shape.faultSpec)
+		if err != nil {
+			return nil, err
+		}
+		bc.VM.Fault = fault.NewInjector(spec, shape.faultSeed)
+	}
 	return blame.Profile(res.Prog, bc)
 }
 

@@ -1,0 +1,245 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// LoadTestOptions shapes one load test against a blamed server.
+type LoadTestOptions struct {
+	// Addr is the server base URL (e.g. "http://127.0.0.1:8091"). Empty
+	// boots an in-process server on a loopback port for the duration of
+	// the test.
+	Addr string
+	// Requests is the total submissions across both phases (0 = 240).
+	Requests int
+	// Concurrency is the storm-phase client count (0 = 64).
+	Concurrency int
+	// Workers sizes the in-process server's scheduler pool when Addr is
+	// empty (0 = 4).
+	Workers int
+}
+
+// LoadTestResult is what one load test measured.
+type LoadTestResult struct {
+	Requests       int     `json:"requests"`
+	Unique         int     `json:"unique"`
+	Concurrency    int     `json:"concurrency"`
+	PeakInFlight   int     `json:"peak_in_flight"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	RequestsPerSec float64 `json:"requests_per_sec"`
+	P50Ms          float64 `json:"p50_ms"`
+	P99Ms          float64 `json:"p99_ms"`
+	CacheHitRate   float64 `json:"cache_hit_rate"`
+	Executed       uint64  `json:"executed"`
+	Verified       int     `json:"verified"`
+}
+
+// Text renders the result for paperbench's report.
+func (r *LoadTestResult) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Load test: %d requests (%d unique), %d clients, peak in-flight %d\n",
+		r.Requests, r.Unique, r.Concurrency, r.PeakInFlight)
+	fmt.Fprintf(&b, "  throughput: %.1f req/s over %.2fs\n", r.RequestsPerSec, r.WallSeconds)
+	fmt.Fprintf(&b, "  latency: p50 %.1fms, p99 %.1fms\n", r.P50Ms, r.P99Ms)
+	fmt.Fprintf(&b, "  cache: %.1f%% hit rate, %d pipeline executions\n", r.CacheHitRate*100, r.Executed)
+	fmt.Fprintf(&b, "  verified: %d responses byte-identical to the CLI path\n", r.Verified)
+	return b.String()
+}
+
+// loadMix is the unique request set a load test cycles through: cheap
+// programs across views, locales, comm modes and fault injection, so the
+// storm exercises every cache-key dimension.
+func loadMix() []*serve.Request {
+	return []*serve.Request{
+		{Bench: "fig1", View: "data"},
+		{Bench: "fig1", View: "code"},
+		{Bench: "fig1", View: "hybrid"},
+		{Bench: "fig1", View: "static"},
+		{Bench: "wavefront", View: "data"},
+		{Bench: "halo", View: "data", Locales: 2},
+		{Bench: "halo", View: "comm", Locales: 2, CommAggregate: true},
+		{Bench: "fig1", View: "data", FaultSpec: "delay=0.05:2xCommLatency", FaultSeed: 7},
+	}
+}
+
+// LoadTest drives a blamed server with a warm phase (every unique
+// request once, sequentially — these are the cache misses) and a storm
+// phase (the rest of the budget over Concurrency concurrent clients —
+// nearly all cache hits), verifying each unique request's text against a
+// direct in-process serve.Execute, then reads the server's /metrics. It
+// is both paperbench's -loadtest mode and the CI serve job's workload.
+func LoadTest(opts LoadTestOptions) (*LoadTestResult, error) {
+	if opts.Requests <= 0 {
+		opts.Requests = 240
+	}
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = 64
+	}
+
+	base := opts.Addr
+	if base == "" {
+		srv := serve.New(serve.Options{Workers: opts.Workers})
+		defer srv.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(ln)
+		defer hs.Close()
+		base = "http://" + ln.Addr().String()
+	}
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        opts.Concurrency * 2,
+		MaxIdleConnsPerHost: opts.Concurrency * 2,
+	}}
+
+	mix := loadMix()
+	if opts.Requests < len(mix) {
+		mix = mix[:opts.Requests]
+	}
+
+	// Expected bytes for each unique request, computed through the same
+	// code path the CLI uses (Execute with no control hooks).
+	expected := make([]string, len(mix))
+	for i, m := range mix {
+		req := *m // Normalize mutates; keep the mix JSON-clean for resubmission
+		if err := req.Normalize(); err != nil {
+			return nil, fmt.Errorf("load mix %d: %w", i, err)
+		}
+		out, err := serve.Execute(&req, nil)
+		if err != nil {
+			return nil, fmt.Errorf("load mix %d: %w", i, err)
+		}
+		expected[i] = out.Text
+	}
+
+	res := &LoadTestResult{
+		Requests:    opts.Requests,
+		Unique:      len(mix),
+		Concurrency: opts.Concurrency,
+	}
+	var verified atomic.Int64
+	submit := func(i int) (time.Duration, error) {
+		body, err := json.Marshal(mix[i%len(mix)])
+		if err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		resp, err := client.Post(base+"/v1/submit?wait=1&format=text", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		text, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		d := time.Since(start)
+		if err != nil {
+			return 0, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("submit %d: HTTP %d: %s", i, resp.StatusCode, text)
+		}
+		if want := expected[i%len(mix)]; string(text) != want {
+			return 0, fmt.Errorf("submit %d: response differs from the CLI path (%d vs %d bytes)", i, len(text), len(want))
+		}
+		verified.Add(1)
+		return d, nil
+	}
+
+	// Warm phase: each unique request once, sequentially. These populate
+	// the outcome cache (the only pipeline executions of the test).
+	lats := make([]time.Duration, 0, opts.Requests)
+	wallStart := time.Now()
+	for i := range mix {
+		d, err := submit(i)
+		if err != nil {
+			return nil, err
+		}
+		lats = append(lats, d)
+	}
+
+	// Storm phase: the remaining budget over Concurrency clients, all
+	// started through one gate so the server really sees that many
+	// concurrent sessions.
+	storm := opts.Requests - len(mix)
+	var (
+		next     atomic.Int64
+		inFlight atomic.Int64
+		peak     atomic.Int64
+		firstErr atomic.Value
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+	)
+	start := make(chan struct{})
+	for c := 0; c < opts.Concurrency; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(storm) || firstErr.Load() != nil {
+					return
+				}
+				cur := inFlight.Add(1)
+				for {
+					p := peak.Load()
+					if cur <= p || peak.CompareAndSwap(p, cur) {
+						break
+					}
+				}
+				d, err := submit(len(mix) + int(i))
+				inFlight.Add(-1)
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				mu.Lock()
+				lats = append(lats, d)
+				mu.Unlock()
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if err, _ := firstErr.Load().(error); err != nil {
+		return nil, err
+	}
+	wall := time.Since(wallStart)
+
+	res.WallSeconds = wall.Seconds()
+	res.RequestsPerSec = float64(len(lats)) / wall.Seconds()
+	res.PeakInFlight = int(peak.Load())
+	res.Verified = int(verified.Load())
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	if n := len(lats); n > 0 {
+		res.P50Ms = lats[n/2].Seconds() * 1000
+		res.P99Ms = lats[n*99/100].Seconds() * 1000
+	}
+
+	// Read the server's own view of the test.
+	resp, err := client.Get(base + "/metrics?format=json")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var snap serve.MetricsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("metrics: %w", err)
+	}
+	res.CacheHitRate = snap.Cache.HitRate()
+	res.Executed = snap.Executed
+	return res, nil
+}

@@ -1,0 +1,73 @@
+package postmortem
+
+import (
+	"math"
+	"sort"
+)
+
+// DiffRow is one variable's blame delta between two profiles — the
+// cross-run comparison of "Automated Programmatic Performance Analysis"
+// (PAPERS.md): which data structures gained or lost blame share between
+// run A and run B.
+type DiffRow struct {
+	Name    string `json:"name"`
+	Type    string `json:"type"`
+	Context string `json:"context"`
+	// BlameA/BlameB are the blame shares in each run (0 when absent).
+	BlameA float64 `json:"blame_a"`
+	BlameB float64 `json:"blame_b"`
+	// Delta is BlameB - BlameA.
+	Delta    float64 `json:"delta"`
+	SamplesA int     `json:"samples_a"`
+	SamplesB int     `json:"samples_b"`
+	// Status is "both", "only-a" or "only-b".
+	Status string `json:"status"`
+}
+
+// Diff matches the data-centric rows of two profiles by name and
+// returns the per-variable blame deltas, largest absolute delta first
+// (name as the deterministic tiebreak). Rows present in only one run
+// keep their full blame as the delta magnitude — a variable that
+// disappeared is exactly as interesting as one that doubled.
+func Diff(a, b *Profile) []DiffRow {
+	index := make(map[string]*DiffRow)
+	order := make([]string, 0, len(a.DataCentric)+len(b.DataCentric))
+	for _, r := range a.DataCentric {
+		if _, ok := index[r.Name]; ok {
+			continue
+		}
+		index[r.Name] = &DiffRow{
+			Name: r.Name, Type: r.Type, Context: r.Context,
+			BlameA: r.Blame, SamplesA: r.Samples, Status: "only-a",
+		}
+		order = append(order, r.Name)
+	}
+	for _, r := range b.DataCentric {
+		d, ok := index[r.Name]
+		if !ok {
+			index[r.Name] = &DiffRow{
+				Name: r.Name, Type: r.Type, Context: r.Context,
+				BlameB: r.Blame, SamplesB: r.Samples, Status: "only-b",
+			}
+			order = append(order, r.Name)
+			continue
+		}
+		d.BlameB = r.Blame
+		d.SamplesB = r.Samples
+		d.Status = "both"
+	}
+	out := make([]DiffRow, 0, len(order))
+	for _, name := range order {
+		d := index[name]
+		d.Delta = d.BlameB - d.BlameA
+		out = append(out, *d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ai, aj := math.Abs(out[i].Delta), math.Abs(out[j].Delta)
+		if ai != aj {
+			return ai > aj
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}

@@ -1,0 +1,53 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/benchprog"
+)
+
+// ResolveBench maps a built-in benchmark name to its embedded source.
+// Shared by cmd/blame (-bench) and the server's request schema, so both
+// paths profile the identical program text.
+func ResolveBench(name string) (src, progName string, err error) {
+	switch name {
+	case "minimd":
+		p := benchprog.MiniMD(false)
+		return p.Source, p.Name, nil
+	case "minimd_opt":
+		p := benchprog.MiniMD(true)
+		return p.Source, p.Name, nil
+	case "clomp":
+		p := benchprog.CLOMP(false)
+		return p.Source, p.Name, nil
+	case "clomp_opt":
+		p := benchprog.CLOMP(true)
+		return p.Source, p.Name, nil
+	case "lulesh":
+		p := benchprog.LULESH(benchprog.LuleshOriginal)
+		return p.Source, p.Name, nil
+	case "lulesh_best":
+		p := benchprog.LULESH(benchprog.LuleshBest)
+		return p.Source, p.Name, nil
+	case "halo":
+		p := benchprog.Halo()
+		return p.Source, p.Name, nil
+	case "wavefront":
+		p := benchprog.Wavefront()
+		return p.Source, p.Name, nil
+	case "fig1":
+		return benchprog.Fig1Example, "fig1", nil
+	}
+	return "", "", fmt.Errorf("unknown benchmark %q", name)
+}
+
+// Benches lists the accepted -bench / "bench" names.
+func Benches() []string {
+	names := []string{
+		"minimd", "minimd_opt", "clomp", "clomp_opt",
+		"lulesh", "lulesh_best", "halo", "wavefront", "fig1",
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,263 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds (a decade
+// ladder from 1 ms to 60 s; +Inf is implicit).
+var latencyBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// Histogram is a fixed-bucket latency histogram with quantile
+// estimation by linear interpolation inside the hit bucket.
+type Histogram struct {
+	mu     sync.Mutex
+	counts []uint64
+	inf    uint64
+	sum    float64
+	n      uint64
+}
+
+// NewHistogram builds a histogram over latencyBuckets.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make([]uint64, len(latencyBuckets))}
+}
+
+// Observe records one latency.
+func (h *Histogram) Observe(d time.Duration) {
+	s := d.Seconds()
+	h.mu.Lock()
+	h.sum += s
+	h.n++
+	placed := false
+	for i, ub := range latencyBuckets {
+		if s <= ub {
+			h.counts[i]++
+			placed = true
+			break
+		}
+	}
+	if !placed {
+		h.inf++
+	}
+	h.mu.Unlock()
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) in seconds; 0 when
+// empty. Samples beyond the last bucket report the last upper bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	rank := q * float64(h.n)
+	var cum uint64
+	lower := 0.0
+	for i, c := range h.counts {
+		if c == 0 {
+			lower = latencyBuckets[i]
+			continue
+		}
+		next := cum + c
+		if float64(next) >= rank {
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lower + frac*(latencyBuckets[i]-lower)
+		}
+		cum = next
+		lower = latencyBuckets[i]
+	}
+	return latencyBuckets[len(latencyBuckets)-1]
+}
+
+// snapshot returns (bucket counts, inf count, sum, n) under the lock.
+func (h *Histogram) snapshot() ([]uint64, uint64, float64, uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]uint64(nil), h.counts...), h.inf, h.sum, h.n
+}
+
+// Metrics is the server's observability state: per-endpoint request
+// counters, request latency histograms (end-to-end and pipeline
+// execution), and running totals of the work served per session
+// (cycles, comm messages, samples).
+type Metrics struct {
+	mu        sync.Mutex
+	requests  map[string]uint64 // by endpoint
+	errors    map[string]uint64
+	Latency   *Histogram // end-to-end submit→done
+	RunTime   *Histogram // pipeline execution only (cache misses)
+	cycles    uint64     // total simulated cycles served (incl. cached replays)
+	commMsgs  uint64
+	samples   uint64
+	executed  uint64
+	served    uint64
+	byState   map[State]uint64
+	startedAt time.Time
+}
+
+// NewMetrics builds an empty metrics registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		requests:  make(map[string]uint64),
+		errors:    make(map[string]uint64),
+		Latency:   NewHistogram(),
+		RunTime:   NewHistogram(),
+		byState:   make(map[State]uint64),
+		startedAt: time.Now(),
+	}
+}
+
+// IncRequest counts one HTTP request against an endpoint label.
+func (m *Metrics) IncRequest(endpoint string) {
+	m.mu.Lock()
+	m.requests[endpoint]++
+	m.mu.Unlock()
+}
+
+// IncError counts one failed HTTP request.
+func (m *Metrics) IncError(endpoint string) {
+	m.mu.Lock()
+	m.errors[endpoint]++
+	m.mu.Unlock()
+}
+
+// SessionDone records a finished session and the outcome it was served
+// (cached replays count toward the served totals too: the point is how
+// much simulated work clients received).
+func (m *Metrics) SessionDone(state State, out *Outcome, e2e time.Duration) {
+	m.mu.Lock()
+	m.byState[state]++
+	m.served++
+	if out != nil {
+		m.cycles += out.Stats.TotalCycles
+		m.commMsgs += out.Stats.CommMessages
+		m.samples += uint64(out.Samples)
+	}
+	m.mu.Unlock()
+	m.Latency.Observe(e2e)
+}
+
+// Executed records one pipeline execution (a cache miss that ran).
+func (m *Metrics) Executed(wall time.Duration) {
+	m.mu.Lock()
+	m.executed++
+	m.mu.Unlock()
+	m.RunTime.Observe(wall)
+}
+
+// MetricsSnapshot is the JSON form of /metrics.
+type MetricsSnapshot struct {
+	UptimeSeconds float64           `json:"uptime_seconds"`
+	Requests      map[string]uint64 `json:"requests"`
+	Errors        map[string]uint64 `json:"errors,omitempty"`
+	Sessions      map[string]uint64 `json:"sessions"`
+	Served        uint64            `json:"served"`
+	Executed      uint64            `json:"executed"`
+	LatencyP50Ms  float64           `json:"latency_p50_ms"`
+	LatencyP95Ms  float64           `json:"latency_p95_ms"`
+	LatencyP99Ms  float64           `json:"latency_p99_ms"`
+	RunP99Ms      float64           `json:"run_p99_ms"`
+	Cycles        uint64            `json:"cycles_total"`
+	CommMessages  uint64            `json:"comm_messages_total"`
+	Samples       uint64            `json:"samples_total"`
+	Cache         CacheStats        `json:"cache"`
+	CacheHitRate  float64           `json:"cache_hit_rate"`
+	Sched         SchedStats        `json:"scheduler"`
+}
+
+// Snapshot assembles the JSON metrics view.
+func (m *Metrics) Snapshot(cache CacheStats, sched SchedStats) MetricsSnapshot {
+	m.mu.Lock()
+	snap := MetricsSnapshot{
+		UptimeSeconds: time.Since(m.startedAt).Seconds(),
+		Requests:      make(map[string]uint64, len(m.requests)),
+		Errors:        make(map[string]uint64, len(m.errors)),
+		Sessions:      make(map[string]uint64, len(m.byState)),
+		Served:        m.served,
+		Executed:      m.executed,
+		Cycles:        m.cycles,
+		CommMessages:  m.commMsgs,
+		Samples:       m.samples,
+	}
+	for k, v := range m.requests {
+		snap.Requests[k] = v
+	}
+	for k, v := range m.errors {
+		snap.Errors[k] = v
+	}
+	for k, v := range m.byState {
+		snap.Sessions[string(k)] = v
+	}
+	m.mu.Unlock()
+	snap.LatencyP50Ms = m.Latency.Quantile(0.50) * 1000
+	snap.LatencyP95Ms = m.Latency.Quantile(0.95) * 1000
+	snap.LatencyP99Ms = m.Latency.Quantile(0.99) * 1000
+	snap.RunP99Ms = m.RunTime.Quantile(0.99) * 1000
+	snap.Cache = cache
+	snap.CacheHitRate = cache.HitRate()
+	snap.Sched = sched
+	return snap
+}
+
+// Render writes the Prometheus-style text exposition of /metrics.
+func (m *Metrics) Render(cache CacheStats, sched SchedStats) string {
+	snap := m.Snapshot(cache, sched)
+	var b strings.Builder
+	fmt.Fprintf(&b, "blamed_uptime_seconds %.3f\n", snap.UptimeSeconds)
+	writeLabeled(&b, "blamed_requests_total", "endpoint", snap.Requests)
+	writeLabeled(&b, "blamed_request_errors_total", "endpoint", snap.Errors)
+	writeLabeled(&b, "blamed_sessions_total", "state", snap.Sessions)
+	fmt.Fprintf(&b, "blamed_sessions_served_total %d\n", snap.Served)
+	fmt.Fprintf(&b, "blamed_pipeline_executions_total %d\n", snap.Executed)
+	fmt.Fprintf(&b, "blamed_queue_depth %d\n", sched.QueueDepth)
+	fmt.Fprintf(&b, "blamed_jobs_running %d\n", sched.Running)
+	fmt.Fprintf(&b, "blamed_workers %d\n", sched.Workers)
+	fmt.Fprintf(&b, "blamed_jobs_coalesced_total %d\n", sched.Coalesced)
+	fmt.Fprintf(&b, "blamed_sessions_expired_total %d\n", sched.Expired)
+	fmt.Fprintf(&b, "blamed_cache_entries %d\n", cache.Entries)
+	fmt.Fprintf(&b, "blamed_cache_bytes %d\n", cache.Bytes)
+	fmt.Fprintf(&b, "blamed_cache_hits_total %d\n", cache.Hits)
+	fmt.Fprintf(&b, "blamed_cache_misses_total %d\n", cache.Misses)
+	fmt.Fprintf(&b, "blamed_cache_evictions_total %d\n", cache.Evictions)
+	fmt.Fprintf(&b, "blamed_cache_hit_rate %.4f\n", snap.CacheHitRate)
+	fmt.Fprintf(&b, "blamed_session_cycles_total %d\n", snap.Cycles)
+	fmt.Fprintf(&b, "blamed_session_comm_messages_total %d\n", snap.CommMessages)
+	fmt.Fprintf(&b, "blamed_session_samples_total %d\n", snap.Samples)
+	renderHist(&b, "blamed_request_seconds", m.Latency)
+	renderHist(&b, "blamed_run_seconds", m.RunTime)
+	return b.String()
+}
+
+func writeLabeled(b *strings.Builder, name, label string, vals map[string]uint64) {
+	keys := make([]string, 0, len(vals))
+	for k := range vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(b, "%s{%s=%q} %d\n", name, label, k, vals[k])
+	}
+}
+
+func renderHist(b *strings.Builder, name string, h *Histogram) {
+	counts, inf, sum, n := h.snapshot()
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		fmt.Fprintf(b, "%s_bucket{le=\"%g\"} %d\n", name, latencyBuckets[i], cum)
+	}
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, cum+inf)
+	fmt.Fprintf(b, "%s_sum %.6f\n", name, sum)
+	fmt.Fprintf(b, "%s_count %d\n", name, n)
+}

@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"testing"
+)
+
+func normalized(t *testing.T, mutate func(*Request)) *Request {
+	t.Helper()
+	r := &Request{Bench: "fig1"}
+	if mutate != nil {
+		mutate(r)
+	}
+	if err := r.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestRequestKeyCoversSemantics is the cache-key audit as a test: every
+// knob that changes the outcome must change the key, so no two requests
+// with different semantics can alias one cache entry.
+func TestRequestKeyCoversSemantics(t *testing.T) {
+	base := normalized(t, nil).Key()
+	variants := map[string]func(*Request){
+		"locales":        func(r *Request) { r.Locales = 4 },
+		"cores":          func(r *Request) { r.Cores = 2 },
+		"view":           func(r *Request) { r.View = "code" },
+		"lint":           func(r *Request) { r.Lint = true },
+		"limit":          func(r *Request) { r.Limit = 5 },
+		"threshold":      func(r *Request) { r.Threshold = 1001 },
+		"skid":           func(r *Request) { r.Skid = 3 },
+		"per-locale":     func(r *Request) { r.PerLocale = true },
+		"sample-buffer":  func(r *Request) { r.SampleBuffer = 64 },
+		"no-implicit":    func(r *Request) { r.NoImplicit = true },
+		"no-interproc":   func(r *Request) { r.NoInterproc = true },
+		"lines":          func(r *Request) { r.Lines = true },
+		"comm-aggregate": func(r *Request) { r.CommAggregate = true },
+		"comm-cache":     func(r *Request) { r.CommAggregate = true; r.CommCache = 7 },
+		"no-owner":       func(r *Request) { r.NoOwnerComputes = true },
+		"fault-spec":     func(r *Request) { r.FaultSpec = "loss=0.01" },
+		"fault-seed":     func(r *Request) { r.FaultSpec = "loss=0.01"; r.FaultSeed = 42 },
+		"configs":        func(r *Request) { r.Configs = map[string]string{"n": "8"} },
+		"bench":          func(r *Request) { r.Bench = "wavefront" },
+	}
+	seen := map[string]string{base: "base"}
+	for name, mutate := range variants {
+		k := normalized(t, mutate).Key()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("variant %q aliased %q", name, prev)
+		}
+		seen[k] = name
+	}
+}
+
+// TestRequestKeyIgnoresScheduling: priority, deadline and no-cache steer
+// scheduling only — they must NOT change the content-addressed key, or
+// identical work would stop coalescing.
+func TestRequestKeyIgnoresScheduling(t *testing.T) {
+	base := normalized(t, nil).Key()
+	sched := normalized(t, func(r *Request) {
+		r.Priority = 9
+		r.DeadlineMs = 5000
+		r.NoCache = true
+	}).Key()
+	if base != sched {
+		t.Fatal("scheduling-only fields changed the cache key")
+	}
+}
+
+// TestRequestKeyConfigOrder: config maps are canonicalized, so insertion
+// order cannot split the cache.
+func TestRequestKeyConfigOrder(t *testing.T) {
+	a := normalized(t, func(r *Request) { r.Configs = map[string]string{"a": "1", "b": "2", "c": "3"} })
+	b := normalized(t, func(r *Request) { r.Configs = map[string]string{"c": "3", "b": "2", "a": "1"} })
+	if a.Key() != b.Key() {
+		t.Fatal("config insertion order changed the key")
+	}
+}
+
+// TestNormalizeValidation pins the request guards.
+func TestNormalizeValidation(t *testing.T) {
+	bad := []Request{
+		{},                                  // neither bench nor source
+		{Bench: "fig1", Source: "var x;"},   // both
+		{Bench: "no-such-bench"},            // unknown bench
+		{Bench: "fig1", Locales: 1000},      // locales over the cap
+		{Bench: "fig1", Cores: -1},          // negative cores
+		{Bench: "fig1", View: "bogus"},      // unknown view
+		{Bench: "fig1", Limit: -2},          // only -1 is the unlimited form
+		{Bench: "fig1", Skid: -1},           // negative skid
+		{Bench: "fig1", FaultSpec: "nope="}, // unparsable fault spec
+		{Bench: "fig1", DeadlineMs: -5},     // negative deadline
+	}
+	for i, r := range bad {
+		if err := r.Normalize(); err == nil {
+			t.Errorf("bad request %d normalized without error: %+v", i, r)
+		}
+	}
+
+	r := Request{Bench: "fig1"}
+	if err := r.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Source == "" || r.Name == "" {
+		t.Fatal("bench was not resolved to source")
+	}
+	if r.Locales != 1 || r.Cores != 12 || r.View != "data" || r.Limit != 20 {
+		t.Fatalf("defaults not applied: %+v", r)
+	}
+}

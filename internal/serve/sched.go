@@ -1,0 +1,282 @@
+package serve
+
+import (
+	"container/heap"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+var (
+	errDeadline = errors.New("deadline exceeded")
+	errClosed   = errors.New("scheduler is shut down")
+)
+
+// job is one pipeline execution. Several sessions that submitted the
+// identical request (same content-addressed key) share one job — the
+// batching layer: N identical submissions coalesce into 1 run whose
+// outcome fans out to every attached session.
+type job struct {
+	key    string
+	req    *Request
+	prio   int
+	seq    uint64
+	cancel atomic.Bool
+
+	// Guarded by the scheduler mutex.
+	sessions []*Session
+	running  bool
+	index    int // heap index; -1 once popped
+}
+
+// Scheduler is the server-wide promotion of exp.RunSuite's bounded
+// worker pool: a fixed pool of workers draining a priority queue of
+// jobs, with per-session deadlines and cancellation layered on top.
+// Higher Priority runs first; within a priority class jobs run in
+// submission order.
+type Scheduler struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	pq     jobQueue
+	byKey  map[string]*job
+	seq    uint64
+	closed bool
+
+	workers int
+	run     func(*Request, *RunControl) (*Outcome, error)
+	// onDone observes every completed execution (cache insertion,
+	// latency metrics); may be nil.
+	onDone func(j *job, out *Outcome, err error, wall time.Duration)
+
+	running   int
+	executed  uint64
+	coalesced uint64
+	expired   uint64
+	wg        sync.WaitGroup
+}
+
+// SchedStats is the scheduler's observable state.
+type SchedStats struct {
+	QueueDepth int    `json:"queue_depth"`
+	Running    int    `json:"running"`
+	Workers    int    `json:"workers"`
+	Executed   uint64 `json:"executed"`
+	Coalesced  uint64 `json:"coalesced"`
+	Expired    uint64 `json:"expired"`
+}
+
+// NewScheduler builds a scheduler over run with the given pool size.
+// Start launches the workers; keeping construction separate lets tests
+// (and a draining server) preload the queue deterministically.
+func NewScheduler(workers int, run func(*Request, *RunControl) (*Outcome, error)) *Scheduler {
+	if workers < 1 {
+		workers = 1
+	}
+	s := &Scheduler{
+		byKey:   make(map[string]*job),
+		workers: workers,
+		run:     run,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Start launches the worker pool.
+func (s *Scheduler) Start() {
+	for i := 0; i < s.workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+// Close drains the queue and stops the workers. Queued jobs still run;
+// new submissions fail.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Stats snapshots the scheduler counters.
+func (s *Scheduler) Stats() SchedStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SchedStats{
+		QueueDepth: len(s.pq),
+		Running:    s.running,
+		Workers:    s.workers,
+		Executed:   s.executed,
+		Coalesced:  s.coalesced,
+		Expired:    s.expired,
+	}
+}
+
+// Submit enqueues a session. If an identical cacheable request is
+// already queued or running, the session attaches to that job instead
+// of spawning a second execution; the job inherits the highest attached
+// priority. The session's deadline timer is armed here.
+func (s *Scheduler) Submit(sess *Session) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		sess.finish(StateFailed, nil, errClosed, false)
+		return
+	}
+	j, ok := s.byKey[sess.Key]
+	if ok && !sess.Req.NoCache {
+		j.sessions = append(j.sessions, sess)
+		s.coalesced++
+		sess.markShared()
+		if sess.Req.Priority > j.prio && j.index >= 0 {
+			j.prio = sess.Req.Priority
+			heap.Fix(&s.pq, j.index)
+		}
+	} else {
+		j = &job{key: sess.Key, req: sess.Req, prio: sess.Req.Priority, seq: s.seq}
+		s.seq++
+		j.sessions = []*Session{sess}
+		if !sess.Req.NoCache {
+			s.byKey[sess.Key] = j
+		}
+		heap.Push(&s.pq, j)
+		s.cond.Signal()
+	}
+	sess.detach = func(x *Session) { s.detach(j, x) }
+	s.mu.Unlock()
+
+	sess.mu.Lock()
+	if !sess.deadline.IsZero() && sess.state == StateQueued {
+		d := time.Until(sess.deadline)
+		sess.timer = time.AfterFunc(d, sess.expire)
+	}
+	sess.mu.Unlock()
+}
+
+// detach removes a cancelled/expired session from its job. A queued job
+// with no sessions left is dropped from the queue; a running one is
+// cancelled through the VM hook — nobody is waiting for it anymore.
+func (s *Scheduler) detach(j *job, sess *Session) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, x := range j.sessions {
+		if x == sess {
+			j.sessions = append(j.sessions[:i], j.sessions[i+1:]...)
+			break
+		}
+	}
+	if sess.State() == StateExpired {
+		s.expired++
+	}
+	if len(j.sessions) > 0 {
+		return
+	}
+	if j.index >= 0 { // still queued: drop it
+		heap.Remove(&s.pq, j.index)
+		if s.byKey[j.key] == j {
+			delete(s.byKey, j.key)
+		}
+	} else if j.running {
+		j.cancel.Store(true)
+	}
+}
+
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(s.pq) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if len(s.pq) == 0 && s.closed {
+			s.mu.Unlock()
+			return
+		}
+		j := heap.Pop(&s.pq).(*job)
+		if len(j.sessions) == 0 {
+			// Everyone detached between queueing and dispatch.
+			if s.byKey[j.key] == j {
+				delete(s.byKey, j.key)
+			}
+			s.mu.Unlock()
+			continue
+		}
+		j.running = true
+		s.running++
+		waiters := append([]*Session(nil), j.sessions...)
+		s.mu.Unlock()
+
+		for _, x := range waiters {
+			x.markRunning()
+		}
+		ctl := &RunControl{Cancel: &j.cancel, Emit: func(ev Event) { s.broadcast(j, ev) }}
+		start := time.Now()
+		out, err := s.run(j.req, ctl)
+		wall := time.Since(start)
+
+		s.mu.Lock()
+		j.running = false
+		s.running--
+		s.executed++
+		if s.byKey[j.key] == j {
+			delete(s.byKey, j.key)
+		}
+		final := j.sessions
+		j.sessions = nil
+		s.mu.Unlock()
+
+		if s.onDone != nil {
+			s.onDone(j, out, err, wall)
+		}
+		for _, x := range final {
+			if err != nil {
+				x.finish(StateFailed, nil, err, false)
+			} else {
+				x.finish(StateDone, out, nil, false)
+			}
+		}
+	}
+}
+
+// broadcast fans a pipeline event to every session attached to j at the
+// moment of the event.
+func (s *Scheduler) broadcast(j *job, ev Event) {
+	s.mu.Lock()
+	targets := append([]*Session(nil), j.sessions...)
+	s.mu.Unlock()
+	for _, x := range targets {
+		x.publish(ev)
+	}
+}
+
+// jobQueue is a max-heap by (priority, FIFO within a priority class).
+type jobQueue []*job
+
+func (q jobQueue) Len() int { return len(q) }
+func (q jobQueue) Less(i, j int) bool {
+	if q[i].prio != q[j].prio {
+		return q[i].prio > q[j].prio
+	}
+	return q[i].seq < q[j].seq
+}
+func (q jobQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *jobQueue) Push(x any) {
+	j := x.(*job)
+	j.index = len(*q)
+	*q = append(*q, j)
+}
+func (q *jobQueue) Pop() any {
+	old := *q
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	j.index = -1
+	*q = old[:n-1]
+	return j
+}

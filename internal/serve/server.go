@@ -1,0 +1,521 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/postmortem"
+	"repro/internal/views"
+	"repro/internal/vm"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers sizes the scheduler pool (0 = 4).
+	Workers int
+	// CacheBytes bounds the outcome cache (0 = 256 MiB).
+	CacheBytes int64
+	// CacheShards is the shard count (0 = 16, rounded up to a power of
+	// two).
+	CacheShards int
+	// MaxSessions bounds retained session metadata; the oldest finished
+	// sessions are forgotten beyond it (0 = 4096).
+	MaxSessions int
+	// DefaultDeadline applies to submissions that set no deadline_ms
+	// (0 = none).
+	DefaultDeadline time.Duration
+	// RankEvery is the sample interval for incremental blame-rank
+	// streaming (0 = 2000).
+	RankEvery int
+}
+
+// Server is the blame-as-a-service front end: sessions, scheduler,
+// cache, metrics, and the HTTP handlers tying them together.
+type Server struct {
+	opts    Options
+	cache   *Cache
+	sched   *Scheduler
+	metrics *Metrics
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	order    []string // insertion order, for bounded retention
+	nextID   uint64
+}
+
+// New builds a Server and starts its scheduler workers.
+func New(opts Options) *Server {
+	if opts.Workers <= 0 {
+		opts.Workers = 4
+	}
+	if opts.MaxSessions <= 0 {
+		opts.MaxSessions = 4096
+	}
+	s := &Server{
+		opts:     opts,
+		cache:    NewCache(opts.CacheBytes, opts.CacheShards),
+		metrics:  NewMetrics(),
+		sessions: make(map[string]*Session),
+	}
+	s.sched = NewScheduler(opts.Workers, func(req *Request, ctl *RunControl) (*Outcome, error) {
+		ctl.RankEvery = opts.RankEvery
+		return Execute(req, ctl)
+	})
+	s.sched.onDone = func(j *job, out *Outcome, err error, wall time.Duration) {
+		s.metrics.Executed(wall)
+		if err == nil && out != nil && !j.req.NoCache {
+			s.cache.Put(j.key, out)
+		}
+	}
+	s.sched.Start()
+	return s
+}
+
+// Close drains the scheduler.
+func (s *Server) Close() { s.sched.Close() }
+
+// Cache exposes the outcome cache (loadtest reporting).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// Handler returns the HTTP routing table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/submit", s.handleSubmit)
+	mux.HandleFunc("GET /v1/sessions", s.handleSessions)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/sessions/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/sessions/{id}/stream", s.handleStream)
+	mux.HandleFunc("POST /v1/sessions/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	mux.HandleFunc("POST /v1/diff", s.handleDiff)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+// register adds a session under a fresh ID and prunes old finished
+// sessions beyond the retention bound.
+func (s *Server) register(sess *Session) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	sess.ID = fmt.Sprintf("s-%06d", s.nextID)
+	s.sessions[sess.ID] = sess
+	s.order = append(s.order, sess.ID)
+	for len(s.sessions) > s.opts.MaxSessions {
+		pruned := false
+		for i, id := range s.order {
+			old := s.sessions[id]
+			if old == nil {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				pruned = true
+				break
+			}
+			if old.State().Terminal() {
+				delete(s.sessions, id)
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				pruned = true
+				break
+			}
+		}
+		if !pruned {
+			break // everything is still live; let it grow
+		}
+	}
+}
+
+func (s *Server) session(id string) *Session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sessions[id]
+}
+
+// submitResponse is the POST /v1/submit reply.
+type submitResponse struct {
+	ID     string `json:"id"`
+	State  State  `json:"state"`
+	Cached bool   `json:"cached"`
+	Shared bool   `json:"shared,omitempty"`
+}
+
+// resultResponse is the full result payload.
+type resultResponse struct {
+	ID        string          `json:"id"`
+	State     State           `json:"state"`
+	Cached    bool            `json:"cached"`
+	Text      string          `json:"text,omitempty"`
+	Output    string          `json:"output,omitempty"`
+	Profile   json.RawMessage `json:"profile,omitempty"`
+	Stats     *vm.Stats       `json:"stats,omitempty"`
+	Threshold uint64          `json:"threshold,omitempty"`
+	Samples   int             `json:"samples,omitempty"`
+	Error     string          `json:"error,omitempty"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	s.metrics.IncRequest("submit")
+	req, ok := s.decodeRequest(w, r, "submit")
+	if !ok {
+		return
+	}
+	if req.DeadlineMs == 0 && s.opts.DefaultDeadline > 0 {
+		req.DeadlineMs = s.opts.DefaultDeadline.Milliseconds()
+	}
+	sess := newSession("", req)
+	s.register(sess)
+	go s.watchDone(sess)
+
+	if !req.NoCache {
+		if out, hit := s.cache.Get(sess.Key); hit {
+			sess.finish(StateDone, out, nil, true)
+			s.respondSubmit(w, r, sess)
+			return
+		}
+	}
+	s.sched.Submit(sess)
+	s.respondSubmit(w, r, sess)
+}
+
+// watchDone feeds the per-session end-to-end latency and state counters
+// once the session terminates.
+func (s *Server) watchDone(sess *Session) {
+	<-sess.Done()
+	out, _ := sess.Result()
+	sess.mu.Lock()
+	e2e := sess.finished.Sub(sess.created)
+	sess.mu.Unlock()
+	s.metrics.SessionDone(sess.State(), out, e2e)
+}
+
+func (s *Server) respondSubmit(w http.ResponseWriter, r *http.Request, sess *Session) {
+	if r.URL.Query().Get("wait") != "" {
+		select {
+		case <-sess.Done():
+			s.writeResult(w, r, sess)
+		case <-r.Context().Done():
+			// Client went away: the session keeps running (it may be
+			// shared); nothing to write.
+		}
+		return
+	}
+	st := sess.Status()
+	writeJSON(w, http.StatusAccepted, submitResponse{
+		ID: sess.ID, State: st.State, Cached: st.Cached, Shared: st.Shared,
+	})
+}
+
+// decodeRequest parses and normalizes the JSON request body shared by
+// submit and predict.
+func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request, endpoint string) (*Request, bool) {
+	var req Request
+	body := http.MaxBytesReader(w, r.Body, MaxSourceBytes+(64<<10))
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.metrics.IncError(endpoint)
+		writeError(w, http.StatusBadRequest, fmt.Errorf("request body: %w", err))
+		return nil, false
+	}
+	if err := req.Normalize(); err != nil {
+		s.metrics.IncError(endpoint)
+		writeError(w, http.StatusBadRequest, err)
+		return nil, false
+	}
+	return &req, true
+}
+
+func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
+	s.metrics.IncRequest("sessions")
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	s.mu.Unlock()
+	sort.Strings(ids)
+	out := make([]Status, 0, len(ids))
+	for _, id := range ids {
+		if sess := s.session(id); sess != nil {
+			out = append(out, sess.Status())
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	s.metrics.IncRequest("status")
+	sess := s.session(r.PathValue("id"))
+	if sess == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such session"))
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.Status())
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	s.metrics.IncRequest("result")
+	sess := s.session(r.PathValue("id"))
+	if sess == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such session"))
+		return
+	}
+	if r.URL.Query().Get("wait") != "" {
+		select {
+		case <-sess.Done():
+		case <-r.Context().Done():
+			return
+		}
+	}
+	if !sess.State().Terminal() {
+		writeError(w, http.StatusConflict, fmt.Errorf("session %s is %s", sess.ID, sess.State()))
+		return
+	}
+	s.writeResult(w, r, sess)
+}
+
+func (s *Server) writeResult(w http.ResponseWriter, r *http.Request, sess *Session) {
+	out, err := sess.Result()
+	switch r.URL.Query().Get("format") {
+	case "text":
+		if out == nil {
+			writeError(w, http.StatusUnprocessableEntity, resultErr(sess, err))
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte(out.Text))
+		return
+	case "profile":
+		if out == nil || out.ProfileJSON == nil {
+			writeError(w, http.StatusUnprocessableEntity, resultErr(sess, err))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(out.ProfileJSON)
+		return
+	case "output":
+		if out == nil {
+			writeError(w, http.StatusUnprocessableEntity, resultErr(sess, err))
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte(out.Output))
+		return
+	}
+	resp := resultResponse{ID: sess.ID, State: sess.State()}
+	sess.mu.Lock()
+	resp.Cached = sess.cached
+	sess.mu.Unlock()
+	if err != nil {
+		resp.Error = err.Error()
+	}
+	if out != nil {
+		resp.Text = out.Text
+		resp.Output = out.Output
+		resp.Profile = json.RawMessage(out.ProfileJSON)
+		resp.Stats = &out.Stats
+		resp.Threshold = out.Threshold
+		resp.Samples = out.Samples
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func resultErr(sess *Session, err error) error {
+	if err != nil {
+		return err
+	}
+	return fmt.Errorf("session %s (%s) has no result payload", sess.ID, sess.State())
+}
+
+// handleStream streams session events as SSE (default) or NDJSON
+// (?format=ndjson): phase transitions, sampler progress, incremental
+// blame ranks, and a final done event.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	s.metrics.IncRequest("stream")
+	sess := s.session(r.PathValue("id"))
+	if sess == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such session"))
+		return
+	}
+	ndjson := r.URL.Query().Get("format") == "ndjson"
+	fl, canFlush := w.(http.Flusher)
+	if ndjson {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	} else {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	}
+	w.WriteHeader(http.StatusOK)
+
+	ch, cancel := sess.Subscribe()
+	defer cancel()
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				return
+			}
+			if ndjson {
+				if enc.Encode(ev) != nil {
+					return
+				}
+			} else {
+				data, err := json.Marshal(ev)
+				if err != nil {
+					return
+				}
+				if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data); err != nil {
+					return
+				}
+			}
+			if canFlush {
+				fl.Flush()
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	s.metrics.IncRequest("cancel")
+	sess := s.session(r.PathValue("id"))
+	if sess == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such session"))
+		return
+	}
+	cancelled := sess.Cancel()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id": sess.ID, "state": sess.State(), "cancelled": cancelled,
+	})
+}
+
+// handlePredict runs the static cost engine only — no calibration run,
+// no profiled run — so it executes inline (no queue) and still goes
+// through the outcome cache.
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	s.metrics.IncRequest("predict")
+	req, ok := s.decodeRequest(w, r, "predict")
+	if !ok {
+		return
+	}
+	if req.View != "static" && req.View != "lint-json" {
+		// Submit decoded a default view; predict is execution-free by
+		// definition.
+		req.View = "static"
+	}
+	key := req.Key()
+	start := time.Now()
+	out, hit := (*Outcome)(nil), false
+	if !req.NoCache {
+		out, hit = s.cache.Get(key)
+	}
+	if !hit {
+		var err error
+		out, err = Execute(req, nil)
+		if err != nil {
+			s.metrics.IncError("predict")
+			writeError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		if !req.NoCache {
+			s.cache.Put(key, out)
+		}
+		s.metrics.Executed(time.Since(start))
+	}
+	s.metrics.SessionDone(StateDone, out, time.Since(start))
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte(out.Text))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"text": out.Text, "cached": hit, "view": req.View,
+	})
+}
+
+// diffRequest points at two finished sessions.
+type diffRequest struct {
+	A string `json:"a"`
+	B string `json:"b"`
+	// Limit bounds the rendered rows (0 = 20).
+	Limit int `json:"limit,omitempty"`
+}
+
+// handleDiff renders the cross-run blame delta between two finished
+// sessions' profiles.
+func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	s.metrics.IncRequest("diff")
+	var dreq diffRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&dreq); err != nil {
+		s.metrics.IncError("diff")
+		writeError(w, http.StatusBadRequest, fmt.Errorf("request body: %w", err))
+		return
+	}
+	if dreq.Limit <= 0 {
+		dreq.Limit = 20
+	}
+	load := func(id string) (*postmortem.Profile, error) {
+		sess := s.session(id)
+		if sess == nil {
+			return nil, fmt.Errorf("no such session %q", id)
+		}
+		out, err := sess.Result()
+		if err != nil {
+			return nil, fmt.Errorf("session %s failed: %w", id, err)
+		}
+		if out == nil || out.ProfileJSON == nil {
+			return nil, fmt.Errorf("session %s (%s) has no profile", id, sess.State())
+		}
+		return postmortem.ReadJSON(bytes.NewReader(out.ProfileJSON))
+	}
+	pa, err := load(dreq.A)
+	if err != nil {
+		s.metrics.IncError("diff")
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	pb, err := load(dreq.B)
+	if err != nil {
+		s.metrics.IncError("diff")
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	rows := postmortem.Diff(pa, pb)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"a": dreq.A, "b": dreq.B,
+		"text": views.Diff(rows, dreq.Limit),
+		"rows": rows,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	cache, sched := s.cache.Stats(), s.sched.Stats()
+	if r.URL.Query().Get("format") == "json" {
+		writeJSON(w, http.StatusOK, s.metrics.Snapshot(cache, sched))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write([]byte(s.metrics.Render(cache, sched)))
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	n := len(s.sessions)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "sessions": n})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,32 @@
+package views
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/postmortem"
+)
+
+// Diff renders the cross-run blame-delta view: the data-centric rows of
+// two profiles matched by name, ranked by absolute blame-share change.
+// This is the root-cause companion to a wall-clock regression — it
+// answers "which data structure's share grew".
+func Diff(rows []postmortem.DiffRow, limit int) string {
+	var b strings.Builder
+	b.WriteString("Cross-run blame delta (run A -> run B)\n")
+	fmt.Fprintf(&b, "%-42s %8s %8s %8s  %-7s %s\n", "Name", "A", "B", "Delta", "Status", "Context")
+	n := 0
+	for _, r := range rows {
+		if limit > 0 && n >= limit {
+			break
+		}
+		name := r.Name
+		fmt.Fprintf(&b, "%-42s %7.1f%% %7.1f%% %+7.1f%%  %-7s %s\n",
+			name, r.BlameA*100, r.BlameB*100, r.Delta*100, r.Status, r.Context)
+		n++
+	}
+	if len(rows) == 0 {
+		b.WriteString("(no data-centric rows in either run)\n")
+	}
+	return b.String()
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/comm"
 	"repro/internal/fault"
@@ -99,7 +100,18 @@ type Config struct {
 	// CommRetry overrides the fault injector's retry policy when any
 	// field is non-zero.
 	CommRetry fault.RetryPolicy
+	// Cancel, when non-nil, aborts the run at the next scheduling quantum
+	// once set. The check sits in the scheduler loop, outside the
+	// instruction hot path, so long-running programs become
+	// interruptible (profiling sessions with deadlines, server-side
+	// cancellation) without perturbing determinism: a run that is never
+	// cancelled executes exactly as if the knob were nil.
+	Cancel *atomic.Bool
 }
+
+// ErrCancelled is the message carried by the RuntimeError a cancelled
+// run returns.
+const ErrCancelled = "run cancelled"
 
 // DefaultConfig mirrors the paper's testbed: a single locale with 12
 // cores at 2.53 GHz.
@@ -595,6 +607,9 @@ func (m *VM) schedule() error {
 		m.runQuantum(&m.cores[ci])
 		if m.Cfg.MaxCycles > 0 && m.totalCycles > m.Cfg.MaxCycles {
 			return &RuntimeError{Msg: fmt.Sprintf("cycle budget exceeded (%d)", m.Cfg.MaxCycles)}
+		}
+		if m.Cfg.Cancel != nil && m.Cfg.Cancel.Load() {
+			return &RuntimeError{Msg: ErrCancelled}
 		}
 	}
 }
