@@ -18,12 +18,15 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"repro/internal/comm"
+	"repro/internal/compile"
+	"repro/internal/gobe"
 	"repro/internal/serve"
 )
 
@@ -50,6 +53,7 @@ func main() {
 		faultSpc  = flag.String("fault-spec", "", "inject deterministic comm faults, e.g. loss=0.01,dup=0.005,delay=0.1:3xCommLatency")
 		faultSd   = flag.Uint64("fault-seed", 1, "seed for the fault injector's PRNG")
 		smpBuf    = flag.Int("sample-buffer", 0, "bound the monitor's sample ring buffer (0 = unbounded); overruns drop samples")
+		backend   = flag.String("backend", "interp", "execution backend: interp (in-process VM) or go (native-compiled runner, needs the Go toolchain)")
 	)
 	flag.Parse()
 
@@ -100,7 +104,20 @@ func main() {
 		os.Exit(1)
 	}
 
-	out, err := serve.Execute(req, nil)
+	var out *serve.Outcome
+	switch *backend {
+	case "interp":
+		out, err = serve.Execute(req, nil)
+	case "go":
+		// The full serve pipeline runs inside the native-compiled runner
+		// (sampling listeners cannot cross the process boundary); the
+		// outcome comes back as the same envelope serve would produce. A
+		// missing Go toolchain is a clean nonzero exit (ErrNoGoToolchain).
+		out, err = execGoBackend(req)
+	default:
+		fmt.Fprintf(os.Stderr, "blame: unknown backend %q (have [go interp])\n", *backend)
+		os.Exit(1)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "blame:", err)
 		os.Exit(1)
@@ -112,6 +129,29 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// execGoBackend runs the request through the compiled-backend runner:
+// gobe.Build (content-hash cached) then the runner's outcome mode, which
+// embeds the identical serve.Execute pipeline.
+func execGoBackend(req *serve.Request) (*serve.Outcome, error) {
+	r, err := gobe.Build(req.Name, req.Source, compile.Options{})
+	if err != nil {
+		return nil, err
+	}
+	reply, err := r.Outcome(req)
+	if err != nil {
+		return nil, err
+	}
+	if reply.RunErr != "" {
+		return nil, fmt.Errorf("%s", reply.RunErr)
+	}
+	var out serve.Outcome
+	if err := json.Unmarshal(reply.Outcome, &out); err != nil {
+		return nil, fmt.Errorf("decoding runner outcome: %v", err)
+	}
+	out.ProfileJSON = reply.Profile
+	return &out, nil
 }
 
 func loadSource(bench string, args []string) (string, string, error) {

@@ -11,9 +11,13 @@
 // -no-checks (--no-checks), -cores (the testbed's core count),
 // -locales (PGAS node count). -analyze runs the static performance
 // diagnostics (internal/analyze) instead of executing the program.
+// -backend selects the execution engine: interp (default) or go, the
+// native-compiled runner (differential-tested bit-identical, needs the
+// Go toolchain on PATH).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,11 +25,13 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"repro/gobert"
 	"repro/internal/analyze"
 	"repro/internal/benchprog"
 	"repro/internal/comm"
 	"repro/internal/compile"
 	"repro/internal/fault"
+	"repro/internal/gobe"
 	"repro/internal/vm"
 )
 
@@ -48,6 +54,7 @@ func main() {
 		memProf     = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		faultSpc    = flag.String("fault-spec", "", "inject deterministic comm faults, e.g. loss=0.01,dup=0.005,delay=0.1:3xCommLatency,locale-slow=2:4x,locale-fail=3@tick500")
 		faultSd     = flag.Uint64("fault-seed", 1, "seed for the fault injector's PRNG")
+		backend     = flag.String("backend", "interp", "execution backend: interp (tree-walking VM) or go (native-compiled runner, needs the Go toolchain)")
 	)
 	flag.Parse()
 
@@ -105,6 +112,39 @@ func main() {
 		return
 	}
 
+	if *backend != "interp" {
+		if _, err := vm.LookupBackend(*backend); err != nil {
+			fmt.Fprintln(os.Stderr, "mchpl:", err)
+			os.Exit(1)
+		}
+	}
+	if *backend == "go" {
+		spec := &gobert.RunSpec{
+			Mode:            "run",
+			Cores:           *cores,
+			Locales:         *locales,
+			Configs:         parseConfigs(flag.Args()),
+			MaxCycles:       *maxCyc,
+			NoOwnerComputes: *noOwner,
+			FaultSpec:       *faultSpc,
+			FaultSeed:       *faultSd,
+		}
+		if *commAgg {
+			spec.CommAggregate = true
+			spec.CommCacheCap = *commCap
+			if *commCap <= 0 {
+				spec.CommCacheCap = -1
+			}
+		}
+		st, err := runGoBackend(name, src, compile.Options{Fast: *fast, NoChecks: *noChecks}, spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mchpl:", err)
+			os.Exit(1)
+		}
+		finishRun(st, *stats, *locales)
+		return
+	}
+
 	cfg := vm.DefaultConfig()
 	cfg.NumCores = *cores
 	cfg.NumLocales = *locales
@@ -138,12 +178,43 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mchpl:", err)
 		os.Exit(1)
 	}
-	if *stats {
+	finishRun(st, *stats, cfg.NumLocales)
+}
+
+// runGoBackend executes the program through the native-compiled runner
+// (internal/gobe): build (content-hash cached), run the subprocess, echo
+// its program output, and decode its stats. A missing Go toolchain
+// surfaces as gobe.ErrNoGoToolchain — a clean nonzero exit, not a panic.
+func runGoBackend(name, src string, opts compile.Options, spec *gobert.RunSpec) (vm.Stats, error) {
+	var st vm.Stats
+	r, err := gobe.Build(name, src, opts)
+	if err != nil {
+		return st, err
+	}
+	reply, err := r.Exec(spec)
+	if err != nil {
+		return st, err
+	}
+	fmt.Print(reply.Output)
+	if reply.RunErr != "" {
+		return st, fmt.Errorf("%s", reply.RunErr)
+	}
+	if err := json.Unmarshal(reply.Stats, &st); err != nil {
+		return st, fmt.Errorf("decoding runner stats: %v", err)
+	}
+	return st, nil
+}
+
+// finishRun prints the optional -stats block and any recovered task
+// panics; shared by both backends so their reporting is identical.
+func finishRun(st vm.Stats, showStats bool, locales int) {
+	if showStats {
+		clockHz := vm.DefaultConfig().ClockHz
 		fmt.Fprintf(os.Stderr, "elapsed (simulated): %.6f s  wall cycles: %d  total cycles: %d  spin: %.1f%%  tasks: %d  allocs: %d\n",
-			st.Seconds(cfg.ClockHz), st.WallCycles, st.TotalCycles,
+			st.Seconds(clockHz), st.WallCycles, st.TotalCycles,
 			100*float64(st.SpinCycles)/float64(max64(1, st.TotalCycles)), st.TasksSpawned, st.Allocations)
 		fmt.Fprintf(os.Stderr, "comm: %d messages  %d bytes\n", st.CommMessages, st.CommBytes)
-		if cfg.NumLocales > 1 {
+		if locales > 1 {
 			fmt.Fprintf(os.Stderr, "scheduling: %d owner-computes chunks  %d remote spawns  %d owner-site violations\n",
 				st.OwnerChunks, st.RemoteSpawns, st.OwnerSiteRemote)
 		}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestGoBackendNoToolchainCLI is the CLI-level regression test for the
+// satellite fix: `mchpl -backend=go` on a machine without the Go
+// toolchain must exit nonzero with a clear message, never panic. The
+// test builds this command, then runs it with a PATH that has no `go`.
+func TestGoBackendNoToolchainCLI(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("needs the go toolchain to build the CLI under test")
+	}
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "mchpl")
+	build := exec.Command(goBin, "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building mchpl: %v\n%s", err, out)
+	}
+
+	src := filepath.Join(tmp, "p.mchpl")
+	if err := os.WriteFile(src, []byte("writeln(1);\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(bin, "-backend=go", src)
+	cmd.Env = []string{
+		"PATH=" + tmp, // no `go` here
+		"MCHPL_GOBE_CACHE=" + tmp,
+		"HOME=" + tmp,
+	}
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("want a clean nonzero exit, got err=%v\n%s", err, out)
+	}
+	if ee.ExitCode() != 1 {
+		t.Fatalf("want exit code 1, got %d\n%s", ee.ExitCode(), out)
+	}
+	msg := string(out)
+	if !strings.Contains(msg, "go backend requires the Go toolchain") {
+		t.Fatalf("missing toolchain explanation in output:\n%s", msg)
+	}
+	if strings.Contains(msg, "panic") {
+		t.Fatalf("CLI panicked:\n%s", msg)
+	}
+
+	// The unknown-backend path must also exit cleanly, listing engines.
+	cmd = exec.Command(bin, "-backend=llvm", src)
+	out, err = cmd.CombinedOutput()
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
+		t.Fatalf("unknown backend: want exit 1, got %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "unknown backend") {
+		t.Fatalf("unknown-backend message missing:\n%s", out)
+	}
+}

@@ -37,6 +37,9 @@ type BenchEntry struct {
 	AllocBytes     uint64  `json:"alloc_bytes,omitempty"`
 	RequestsPerSec float64 `json:"requests_per_sec,omitempty"`
 	P99Ms          float64 `json:"p99_ms,omitempty"`
+	// SpeedupX records, for -diffbe speedup entries, the wall-clock
+	// ratio interpreter/compiled on the same workload.
+	SpeedupX float64 `json:"speedup_x,omitempty"`
 }
 
 // BenchReport is the -bench-json payload and one side of BENCH_PR4.json.
@@ -67,6 +70,7 @@ func main() {
 		ltRequests = flag.Int("loadtest-requests", 240, "total loadtest submissions (warm + storm)")
 		ltClients  = flag.Int("loadtest-concurrency", 64, "storm-phase concurrent clients")
 		ltAddr     = flag.String("loadtest-addr", "", "blamed base URL (empty = boot an in-process server)")
+		diffbe     = flag.Bool("diffbe", false, "run the backend differential harness (interpreter vs native-compiled Go backend) instead of the experiment suite")
 	)
 	flag.Parse()
 	if *serial {
@@ -75,6 +79,10 @@ func main() {
 
 	if *loadtest {
 		runLoadTest(*ltAddr, *ltRequests, *ltClients, *benchJSON, *checkFile, *checkSlack)
+		return
+	}
+	if *diffbe {
+		runDiffBE(*benchJSON)
 		return
 	}
 
@@ -177,6 +185,65 @@ func main() {
 		}
 	}
 
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// runDiffBE is the -diffbe mode: run the full backend differential
+// matrix (every benchmark × 1/2/4 locales × 3 comm modes × fault
+// injection, run+blame), then time the Table VII hourglass-kernel
+// variants on both backends. Any divergence or a missing toolchain is a
+// nonzero exit; the speedup entries (and the wall clock of the matrix)
+// can be recorded with -bench-json (BENCH_PR8.json).
+func runDiffBE(benchJSON string) {
+	start := time.Now()
+	tbl, err := exp.TableBackendDiff()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "diffbe:", err)
+		os.Exit(1)
+	}
+	fmt.Println(tbl.String())
+
+	speedups, err := exp.BackendSpeedups()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "diffbe speedups:", err)
+		os.Exit(1)
+	}
+	report := BenchReport{Workers: 1, Entries: []BenchEntry{{
+		Name: "diffbe-matrix", WallSeconds: time.Since(start).Seconds(),
+	}}}
+	fmt.Println("Table VII hourglass kernel — backend wall clock (bit-identical results)")
+	best := 0.0
+	failed := false
+	for _, s := range speedups {
+		fmt.Printf("  %-24s interp %8.1f ms   go %8.1f ms   speedup %.2fx   identical=%t\n",
+			s.Name, s.InterpMs, s.GoMs, s.SpeedupX, s.Identical)
+		if !s.Identical {
+			fmt.Fprintf(os.Stderr, "diffbe: %s results diverged between backends\n", s.Name)
+			failed = true
+		}
+		if s.SpeedupX > best {
+			best = s.SpeedupX
+		}
+		report.Entries = append(report.Entries, BenchEntry{
+			Name:        "speedup-" + s.Name,
+			WallSeconds: s.GoMs / 1e3,
+			SpeedupX:    s.SpeedupX,
+		})
+	}
+	fmt.Printf("best backend speedup: %.2fx\n", best)
+
+	if benchJSON != "" {
+		data, err := json.MarshalIndent(&report, "", "  ")
+		if err == nil {
+			err = os.WriteFile(benchJSON, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench-json:", err)
+			failed = true
+		}
+	}
 	if failed {
 		os.Exit(1)
 	}

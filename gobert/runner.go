@@ -1,0 +1,218 @@
+package gobert
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime/pprof"
+	"time"
+
+	"repro/internal/analyze"
+	"repro/internal/compile"
+	"repro/internal/fault"
+	"repro/internal/serve"
+	"repro/internal/vm"
+)
+
+// ProgramSpec is what a generated runner knows about itself: the exact
+// source and compile options it was generated from, the IR fingerprint
+// the generated code assumes, and the installer that wires compiled
+// functions to the recompiled program.
+type ProgramSpec struct {
+	Name     string
+	Source   string
+	Fast     bool
+	NoChecks bool
+	// Fingerprint is gobert.Fingerprint of the program the code was
+	// generated from; Main refuses to run if the recompile disagrees.
+	Fingerprint string
+	// Install resolves block tables against the recompiled program and
+	// returns the slice hook.
+	Install func(p *Program) SliceFn
+}
+
+// RunSpec is the host-to-runner request, one JSON object on stdin.
+type RunSpec struct {
+	// Mode selects what to execute: "run" (plain execution, mirrors
+	// cmd/mchpl) or "outcome" (the full serve.Execute pipeline, mirrors
+	// cmd/blame and the HTTP daemon).
+	Mode string `json:"mode"`
+
+	// Plain-run knobs (mirrors cmd/mchpl's config building).
+	Cores           int               `json:"cores,omitempty"`
+	Locales         int               `json:"locales,omitempty"`
+	Configs         map[string]string `json:"configs,omitempty"`
+	MaxCycles       uint64            `json:"max_cycles,omitempty"`
+	CommAggregate   bool              `json:"comm_aggregate,omitempty"`
+	CommCacheCap    int               `json:"comm_cache_cap,omitempty"`
+	NoOwnerComputes bool              `json:"no_owner_computes,omitempty"`
+	FaultSpec       string            `json:"fault_spec,omitempty"`
+	FaultSeed       uint64            `json:"fault_seed,omitempty"`
+
+	// Outcome-mode request (must reference the runner's own program).
+	Request *serve.Request `json:"request,omitempty"`
+}
+
+// Reply is the runner-to-host response, one JSON object on stdout.
+type Reply struct {
+	// Output and Stats carry "run" mode results. Stats is the runner's
+	// own json.Marshal of vm.Stats: the host compares it byte-for-byte
+	// against its interpreter run instead of re-encoding through a lossy
+	// unmarshal.
+	Output string          `json:"output,omitempty"`
+	Stats  json.RawMessage `json:"stats,omitempty"`
+	// Outcome and Profile carry "outcome" mode results (serve.Outcome
+	// and the profile JSON, which serve excludes from the envelope).
+	Outcome json.RawMessage `json:"outcome,omitempty"`
+	Profile json.RawMessage `json:"profile,omitempty"`
+	// WallNs is the wall-clock time of execution only (compile and
+	// process startup excluded) — the honest backend speed measure.
+	WallNs int64 `json:"wall_ns"`
+	// Compiled confirms the compiled dispatch loop ran.
+	Compiled bool `json:"compiled"`
+	// RunErr is a program-level runtime error (the interpreter would
+	// report the same one); Err is a runner-internal failure.
+	RunErr string `json:"run_err,omitempty"`
+	Err    string `json:"err,omitempty"`
+}
+
+// BuildConfig translates a RunSpec into the vm.Config cmd/mchpl would
+// build for the same flags. The host's interpreter reference runs use
+// the same translation, so both backends execute under identical
+// configurations by construction.
+func BuildConfig(spec *RunSpec, prog *Program) (vm.Config, error) {
+	cfg := vm.DefaultConfig()
+	if spec.Cores > 0 {
+		cfg.NumCores = spec.Cores
+	}
+	if spec.Locales > 0 {
+		cfg.NumLocales = spec.Locales
+	}
+	cfg.MaxCycles = spec.MaxCycles
+	cfg.Configs = spec.Configs
+	cfg.NoOwnerComputes = spec.NoOwnerComputes
+	if spec.CommAggregate {
+		cfg.CommAggregate = true
+		cfg.CommCacheCap = spec.CommCacheCap
+	}
+	if spec.CommAggregate || cfg.NumLocales > 1 {
+		cfg.CommPlan = analyze.CommPlan(prog)
+	}
+	if spec.FaultSpec != "" {
+		fs, err := fault.ParseSpec(spec.FaultSpec)
+		if err != nil {
+			return cfg, err
+		}
+		seed := spec.FaultSeed
+		if seed == 0 {
+			seed = 1
+		}
+		cfg.Fault = fault.NewInjector(fs, seed)
+	}
+	return cfg, nil
+}
+
+// Main is the generated runner's entry point: read one RunSpec from
+// stdin, recompile the embedded source (deterministic, so the IR matches
+// what the code was generated from), install the compiled backend, run,
+// and write one Reply to stdout. Never panics across the protocol
+// boundary: internal failures become Reply.Err with exit status 1.
+func Main(spec ProgramSpec) {
+	if path := os.Getenv("MCHPL_RUNNER_CPUPROFILE"); path != "" {
+		if f, err := os.Create(path); err == nil {
+			_ = pprof.StartCPUProfile(f)
+			defer func() {
+				pprof.StopCPUProfile()
+				_ = f.Close()
+			}()
+		}
+	}
+	reply := run(spec, os.Stdin)
+	enc := json.NewEncoder(os.Stdout)
+	if err := enc.Encode(reply); err != nil {
+		fmt.Fprintln(os.Stderr, "gobert:", err)
+		os.Exit(1)
+	}
+	if reply.Err != "" {
+		os.Exit(1)
+	}
+}
+
+func run(spec ProgramSpec, in io.Reader) *Reply {
+	var rs RunSpec
+	if err := json.NewDecoder(in).Decode(&rs); err != nil {
+		return &Reply{Err: "decoding run spec: " + err.Error()}
+	}
+
+	opts := compile.Options{Fast: spec.Fast, NoChecks: spec.NoChecks}
+	res, err := compile.SourceCached(spec.Name, spec.Source, opts)
+	if err != nil {
+		return &Reply{Err: "recompiling embedded source: " + err.Error()}
+	}
+	if fp := Fingerprint(res.Prog); fp != spec.Fingerprint {
+		return &Reply{Err: fmt.Sprintf("IR fingerprint mismatch: generated for %s, recompiled to %s (stale runner?)", spec.Fingerprint, fp)}
+	}
+	vm.RegisterCompiled(res.Prog, spec.Install(res.Prog))
+
+	switch rs.Mode {
+	case "run":
+		cfg, err := BuildConfig(&rs, res.Prog)
+		if err != nil {
+			return &Reply{Err: err.Error()}
+		}
+		var out bytes.Buffer
+		cfg.Stdout = &out
+		start := time.Now()
+		stats, err := vm.New(res.Prog, cfg).Run()
+		wall := time.Since(start)
+		r := &Reply{Output: out.String(), WallNs: wall.Nanoseconds(), Compiled: CompiledUsed()}
+		if err != nil {
+			r.RunErr = err.Error()
+			return r
+		}
+		sj, err := json.Marshal(stats)
+		if err != nil {
+			return &Reply{Err: "encoding stats: " + err.Error()}
+		}
+		r.Stats = sj
+		if !r.Compiled {
+			r.Err = "compiled backend was never dispatched (registry miss)"
+		}
+		return r
+
+	case "outcome":
+		if rs.Request == nil {
+			return &Reply{Err: "outcome mode needs a request"}
+		}
+		if spec.Fast || spec.NoChecks {
+			return &Reply{Err: "outcome mode requires a runner generated with default compile options (serve compiles with defaults)"}
+		}
+		if rs.Request.Source != spec.Source || rs.Request.Name != spec.Name {
+			return &Reply{Err: "outcome request does not match the runner's embedded program"}
+		}
+		if err := rs.Request.Normalize(); err != nil {
+			return &Reply{Err: err.Error()}
+		}
+		start := time.Now()
+		out, err := serve.Execute(rs.Request, nil)
+		wall := time.Since(start)
+		r := &Reply{WallNs: wall.Nanoseconds(), Compiled: CompiledUsed()}
+		if err != nil {
+			r.RunErr = err.Error()
+			return r
+		}
+		oj, err := json.Marshal(out)
+		if err != nil {
+			return &Reply{Err: "encoding outcome: " + err.Error()}
+		}
+		r.Outcome = oj
+		r.Profile = out.ProfileJSON
+		if !r.Compiled {
+			r.Err = "compiled backend was never dispatched (registry miss)"
+		}
+		return r
+	}
+	return &Reply{Err: fmt.Sprintf("unknown mode %q", rs.Mode)}
+}

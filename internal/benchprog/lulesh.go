@@ -273,6 +273,145 @@ proc CalcFBHourglassForceForElems(determ0: [Elems] real,
 	return b.String()
 }
 
+// LuleshKernelSource generates the Table VII workload in isolation: the
+// Fig. 5 hourglass loop nest from CalcFBHourglassForceForElems, run
+// serially over the element space so that the measured work is the loop
+// nest itself (the quantity Table VII's param/unroll study varies)
+// rather than tasking overhead. The same LuleshVariant P/U switches
+// select the loop forms.
+//
+// The data layout is the original C LULESH one — flat rank-1 real
+// arrays indexed x8n[8*e + k] (CalcFBHourglassForceForElems uses
+// x8n[i3+k]) — rather than the Chapel port's arrays-of-8-tuples. The
+// per-element body lives in its own proc so the unrolled variants
+// inflate that function, not main.
+func LuleshKernelSource(v LuleshVariant) string {
+	var b strings.Builder
+	b.WriteString(`// LULESH hourglass kernel — the Fig. 5 loop nest in isolation (Table VII).
+config const numElems = 64;
+config const nSteps = 2;
+
+var Elems: domain(1) = {0..#numElems};
+var EIdx: domain(1) = {0..#(8 * numElems)};
+var GIdx: domain(1) = {0..#32};
+var gamma: [GIdx] real;
+var determ0: [Elems] real;
+var x8n0: [EIdx] real;
+var y8n0: [EIdx] real;
+var z8n0: [EIdx] real;
+var dvdx0: [EIdx] real;
+var dvdy0: [EIdx] real;
+var dvdz0: [EIdx] real;
+var hourgam: [GIdx] real;
+var hgsum: [Elems] real;
+
+proc hgElem(e: int) {
+  var base = 8 * e;
+  var volinv = 1.0 / (determ0[e] + 0.5);
+`)
+	b.WriteString(fig5FlatLoop(v))
+	b.WriteString(`  var s = 0.0;
+  for i in 1..4 {
+    for j in 1..8 {
+      s += hourgam[8 * (i - 1) + j - 1];
+    }
+  }
+  hgsum[e] = hgsum[e] * 0.5 + s;
+}
+
+proc main() {
+  for i in 1..4 {
+    for j in 1..8 {
+      gamma[8 * (i - 1) + j - 1] = (i * 2 - 5) * 0.125 * (j - 4.5) * 0.25;
+    }
+  }
+  for e in Elems {
+    determ0[e] = 1.0 + e * 0.001;
+    for k in 1..8 {
+      x8n0[8 * e + k - 1] = e * 0.1 + k * 0.01;
+      y8n0[8 * e + k - 1] = e * 0.1 + k * 0.02;
+      z8n0[8 * e + k - 1] = e * 0.1 + k * 0.03;
+      dvdx0[8 * e + k - 1] = x8n0[8 * e + k - 1] * 0.25 + 0.05;
+      dvdy0[8 * e + k - 1] = y8n0[8 * e + k - 1] * 0.25 + 0.05;
+      dvdz0[8 * e + k - 1] = z8n0[8 * e + k - 1] * 0.25 + 0.05;
+    }
+  }
+  for step in 1..nSteps {
+    for e in Elems {
+      hgElem(e);
+    }
+  }
+  var tot = 0.0;
+  for e in Elems {
+    tot += hgsum[e];
+  }
+  writeln("hg kernel checksum ", tot);
+}
+`)
+	return b.String()
+}
+
+// fig5FlatLoop renders the Fig. 5 nest over the flat kernel layout with
+// the requested param/serial/manually-unrolled form at each position
+// (indent matches the proc body of LuleshKernelSource).
+func fig5FlatLoop(v LuleshVariant) string {
+	var b strings.Builder
+	loop1 := "for i in 1..4 {"
+	if v.P1 {
+		loop1 = "for param i in 1..4 {"
+	}
+	fmt.Fprintf(&b, "  %s\n", loop1)
+	b.WriteString("    var gbase = 8 * (i - 1);\n")
+	b.WriteString("    var hourmodx = 0.0;\n")
+	b.WriteString("    var hourmody = 0.0;\n")
+	b.WriteString("    var hourmodz = 0.0;\n")
+
+	// jx renders the flat offsets for iteration j: runtime loops index
+	// with the loop variable, unrolled bodies get the literal offset.
+	body2 := func(ej, gj string) []string {
+		return []string{
+			fmt.Sprintf("hourmodx += x8n0[%s] * gamma[%s];", ej, gj),
+			fmt.Sprintf("hourmody += y8n0[%s] * gamma[%s];", ej, gj),
+			fmt.Sprintf("hourmodz += z8n0[%s] * gamma[%s];", ej, gj),
+		}
+	}
+	body3 := func(ej, gj string) []string {
+		return []string{
+			fmt.Sprintf("hourgam[%s] = gamma[%s] - volinv * (dvdx0[%s] * hourmodx + dvdy0[%s] * hourmody + dvdz0[%s] * hourmodz);", gj, gj, ej, ej, ej),
+		}
+	}
+	emitLoop := func(param, unroll bool, body func(ej, gj string) []string) {
+		if unroll {
+			for j := 1; j <= 8; j++ {
+				ej := fmt.Sprintf("base + %d", j-1)
+				gj := fmt.Sprintf("gbase + %d", j-1)
+				for _, line := range body(ej, gj) {
+					fmt.Fprintf(&b, "    %s\n", line)
+				}
+			}
+			return
+		}
+		kw := "for j in 1..8 {"
+		if param {
+			kw = "for param j in 1..8 {"
+		}
+		fmt.Fprintf(&b, "    %s\n", kw)
+		for _, line := range body("base + j - 1", "gbase + j - 1") {
+			fmt.Fprintf(&b, "      %s\n", line)
+		}
+		b.WriteString("    }\n")
+	}
+	emitLoop(v.P2, v.U2, body2)
+	emitLoop(v.P3, v.U3, body3)
+	b.WriteString("  }\n")
+	return b.String()
+}
+
+// LULESHKernel wraps LuleshKernelSource as a runnable Program.
+func LULESHKernel(v LuleshVariant) Program {
+	return Program{Name: "lulesh_hg_" + sanitize(v.Tag()), Source: LuleshKernelSource(v), Optimized: v != LuleshOriginal}
+}
+
 // fig5Loop renders the paper's Fig. 5 loop nest with the requested
 // param/serial/manually-unrolled form at each position.
 func fig5Loop(v LuleshVariant) string {

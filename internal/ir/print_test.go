@@ -1,0 +1,262 @@
+package ir_test
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/ir"
+	"repro/internal/parser"
+	"repro/internal/source"
+	"repro/internal/token"
+	"repro/internal/types"
+)
+
+// TestInstrStringEveryOp is the table-driven node-kind coverage test:
+// one synthetic instruction per Op, checking the rendered mnemonic and
+// every operand position the renderer can emit. Several of these kinds
+// (zipsetup, yield, nop, slice, dmethod) are only reachable indirectly
+// through full compiles, so they get explicit rows here.
+func TestInstrStringEveryOp(t *testing.T) {
+	v := func(name string) *ir.Var { return &ir.Var{Name: name} }
+	blk0 := &ir.Block{ID: 0}
+	blk1 := &ir.Block{ID: 1}
+	callee := &ir.Func{Name: "body"}
+
+	cases := []struct {
+		op   ir.Op
+		in   ir.Instr
+		want string
+	}{
+		{ir.OpConst, ir.Instr{Dst: v("x"), Lit: &ir.Lit{T: types.IntType, I: 7}}, "x = const 7"},
+		{ir.OpMove, ir.Instr{Dst: v("x"), A: v("y")}, "x = move y"},
+		{ir.OpBin, ir.Instr{Dst: v("x"), A: v("a"), B: v("b"), BinOp: token.PLUS}, "x = bin + a b"},
+		{ir.OpUn, ir.Instr{Dst: v("x"), A: v("a"), BinOp: token.MINUS}, "x = un - a"},
+		{ir.OpMakeTuple, ir.Instr{Dst: v("t"), Args: []*ir.Var{v("a"), v("b")}}, "t = mktuple a b"},
+		{ir.OpTupleGet, ir.Instr{Dst: v("x"), A: v("t")}, "x = tget t"},
+		{ir.OpTupleSet, ir.Instr{Dst: v("t"), A: v("x")}, "t = tset x"},
+		{ir.OpField, ir.Instr{Dst: v("x"), A: v("r")}, "x = field r"},
+		{ir.OpFieldStore, ir.Instr{Dst: v("r"), A: v("x")}, "r = fstore x"},
+		{ir.OpIndex, ir.Instr{Dst: v("x"), A: v("arr"), Args: []*ir.Var{v("i")}}, "x = index arr i"},
+		{ir.OpIndexStore, ir.Instr{Dst: v("arr"), A: v("x"), Args: []*ir.Var{v("i")}}, "arr = istore x i"},
+		{ir.OpSlice, ir.Instr{Dst: v("s"), A: v("arr"), B: v("d")}, "s = slice arr d"},
+		{ir.OpRefElem, ir.Instr{Dst: v("r"), A: v("arr"), Args: []*ir.Var{v("i")}}, "r = refelem arr i"},
+		{ir.OpRefField, ir.Instr{Dst: v("r"), A: v("obj")}, "r = reffield obj"},
+		{ir.OpMakeRange, ir.Instr{Dst: v("rg"), A: v("lo"), B: v("hi")}, "rg = mkrange lo hi"},
+		{ir.OpMakeDomain, ir.Instr{Dst: v("d"), Args: []*ir.Var{v("rg")}}, "d = mkdom rg"},
+		{ir.OpDomMethod, ir.Instr{Dst: v("d2"), A: v("d"), Method: "expand", Args: []*ir.Var{v("k")}}, "d2 = dmethod d k .expand"},
+		{ir.OpQuery, ir.Instr{Dst: v("n"), A: v("d"), Method: "size"}, "n = query d .size"},
+		{ir.OpAllocArray, ir.Instr{Dst: v("arr"), A: v("d")}, "arr = allocarr d"},
+		{ir.OpAllocRec, ir.Instr{Dst: v("obj")}, "obj = allocrec"},
+		{ir.OpCall, ir.Instr{Dst: v("x"), Callee: callee, Args: []*ir.Var{v("a")}}, "x = call a @body"},
+		{ir.OpBuiltin, ir.Instr{Dst: v("x"), Method: "sqrt", Args: []*ir.Var{v("a")}}, "x = builtin a .sqrt"},
+		{ir.OpRet, ir.Instr{A: v("x")}, "ret x"},
+		{ir.OpJmp, ir.Instr{Targets: [2]*ir.Block{blk0, nil}}, "jmp b0"},
+		{ir.OpBr, ir.Instr{A: v("c"), Targets: [2]*ir.Block{blk0, blk1}}, "br c b0 b1"},
+		{ir.OpSpawn, ir.Instr{Callee: callee, Args: []*ir.Var{v("cap")}}, "spawn cap @body"},
+		{ir.OpZipSetup, ir.Instr{Dst: v("f"), A: v("arr")}, "f = zipsetup arr"},
+		{ir.OpZipAdvance, ir.Instr{Dst: v("f")}, "f = zipadv"},
+		{ir.OpYield, ir.Instr{}, "yield"},
+		{ir.OpNop, ir.Instr{}, "nop"},
+	}
+	covered := map[ir.Op]bool{}
+	for _, c := range cases {
+		c.in.Op = c.op
+		if got := c.in.String(); got != c.want {
+			t.Errorf("%v: String() = %q, want %q", c.op, got, c.want)
+		}
+		covered[c.op] = true
+	}
+	// The table must stay exhaustive as ops are added: every named op
+	// between OpInvalid and OpNop needs a row.
+	for op := ir.OpConst; op <= ir.OpNop; op++ {
+		if !covered[op] {
+			t.Errorf("no String test row for op %v", op)
+		}
+	}
+	if ir.OpInvalid.String() != "op(0)" {
+		t.Errorf("unnamed op renders %q, want op(0)", ir.OpInvalid.String())
+	}
+}
+
+// TestLitString covers every literal type plus the unknown fallback.
+func TestLitString(t *testing.T) {
+	cases := []struct {
+		lit  ir.Lit
+		want string
+	}{
+		{ir.Lit{T: types.IntType, I: -3}, "-3"},
+		{ir.Lit{T: types.RealType, F: 2.5}, "2.5"},
+		{ir.Lit{T: types.BoolType, B: true}, "true"},
+		{ir.Lit{T: types.StringType, S: "hi\n"}, `"hi\n"`},
+		{ir.Lit{T: types.VoidType}, "?"},
+	}
+	for _, c := range cases {
+		if got := c.lit.String(); got != c.want {
+			t.Errorf("Lit{%v}.String() = %q, want %q", c.lit.T, got, c.want)
+		}
+	}
+}
+
+// TestDumpStructure checks the function-level renderer: params (with the
+// ref marker), return type, the outlined/runtime attribute block, block
+// predecessor comments, and source-line comments.
+func TestDumpStructure(t *testing.T) {
+	p := build(t, `
+proc inc(ref x: int, delta: int): int {
+  x = x + delta;
+  return x;
+}
+proc main() {
+  var v = 1;
+  if v > 0 {
+    v = inc(v, 2);
+  }
+  forall i in 1..4 {
+    v = v;
+  }
+}
+`)
+	out := p.Dump()
+	for _, want := range []string{
+		"func inc(ref x: int, delta: int): int {",
+		"[outlined]", // the forall body function
+		"[runtime]",  // the scheduler's synthetic functions
+		"; preds [",  // CFG comment on joined blocks
+		"; line ",    // source-position comments
+		"br ",        // the if lowers to a branch
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q\n%s", want, out)
+		}
+	}
+	// Every non-runtime function appears with its header.
+	for _, f := range p.Funcs {
+		if f.IsRuntime && len(f.Blocks) == 0 {
+			continue
+		}
+		if !strings.Contains(out, "func "+f.Name+"(") {
+			t.Errorf("dump missing function %s", f.Name)
+		}
+	}
+}
+
+// TestValidateTable drives every Validate error path with minimal
+// hand-built programs.
+func TestValidateTable(t *testing.T) {
+	mk := func(mutate func(f *ir.Func)) *ir.Program {
+		p := ir.NewProgram(source.NewFileSet(), "v.mchpl")
+		f := p.NewFunc("f", nil, source.Pos{})
+		b := f.NewBlock()
+		b.Instrs = append(b.Instrs, &ir.Instr{Op: ir.OpRet})
+		mutate(f)
+		return p
+	}
+	cases := []struct {
+		name   string
+		mutate func(f *ir.Func)
+		want   string
+	}{
+		{"ok", func(f *ir.Func) {}, ""},
+		{"no blocks", func(f *ir.Func) { f.Blocks = nil }, "no blocks"},
+		{"wrong owner", func(f *ir.Func) { f.Blocks[0].Func = nil }, "wrong owner"},
+		{"empty block", func(f *ir.Func) { f.Blocks[0].Instrs = nil }, "is empty"},
+		{"no terminator", func(f *ir.Func) {
+			f.Blocks[0].Instrs = []*ir.Instr{{Op: ir.OpNop}}
+		}, "does not end in a terminator"},
+		{"mid-block terminator", func(f *ir.Func) {
+			f.Blocks[0].Instrs = []*ir.Instr{{Op: ir.OpRet}, {Op: ir.OpRet}}
+		}, "mid-block"},
+		{"malformed br", func(f *ir.Func) {
+			f.Blocks[0].Instrs = []*ir.Instr{{Op: ir.OpBr}}
+		}, "malformed br"},
+		{"malformed jmp", func(f *ir.Func) {
+			f.Blocks[0].Instrs = []*ir.Instr{{Op: ir.OpJmp}}
+		}, "malformed jmp"},
+		{"call without callee", func(f *ir.Func) {
+			f.Blocks[0].Instrs = []*ir.Instr{{Op: ir.OpCall}, {Op: ir.OpRet}}
+		}, "without callee"},
+		{"malformed const", func(f *ir.Func) {
+			f.Blocks[0].Instrs = []*ir.Instr{{Op: ir.OpConst}, {Op: ir.OpRet}}
+		}, "malformed const"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := mk(c.mutate).Validate()
+			if c.want == "" {
+				if err != nil {
+					t.Fatalf("valid program rejected: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, c.want)
+			}
+		})
+	}
+	// Runtime funcs are allowed to be bodiless.
+	p := ir.NewProgram(source.NewFileSet(), "v.mchpl")
+	f := p.NewFunc("sched", nil, source.Pos{})
+	f.IsRuntime = true
+	if err := p.Validate(); err != nil {
+		t.Errorf("bodiless runtime func rejected: %v", err)
+	}
+}
+
+// TestIRRoundTripInvariant is the round-trip invariant: compiling a
+// program, printing its AST with ast.Print, and compiling the printed
+// form must produce identical IR modulo source positions (ast.Print
+// reformats, so line numbers may shift — everything else must be byte
+// identical: instructions, operands, addresses, CFG). This is the
+// property the backend-diff fuzzer builds on — the printed program is
+// the same program.
+// stripLines removes the `; line N` position comments from a dump.
+func stripLines(dump string) string {
+	return lineComment.ReplaceAllString(dump, "")
+}
+
+var lineComment = regexp.MustCompile(`  ; line \d+`)
+
+func TestIRRoundTripInvariant(t *testing.T) {
+	srcs := map[string]string{
+		"scalar": `
+config const n = 10;
+proc main() {
+  var s = 0.0;
+  for i in 1..n {
+    s += i * 0.5;
+  }
+  writeln(s);
+}
+`,
+		"aggregate": `
+var D: domain(1) = {0..#8};
+var A: [D] real;
+record pt { var x: real; var y: real; }
+proc main() {
+  var p: pt;
+  p.x = 1.5;
+  var t = (1.0, 2.0, 3.0);
+  forall i in D {
+    A[i] = p.x + t(2);
+  }
+  writeln(A[3]);
+}
+`,
+	}
+	for name, src := range srcs {
+		t.Run(name, func(t *testing.T) {
+			prog, err := parser.ParseFile(source.NewFileSet(), name+".mchpl", src)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			printed := ast.Print(prog)
+			d1 := stripLines(build(t, src).Dump())
+			d2 := stripLines(build(t, printed).Dump())
+			if d1 != d2 {
+				t.Errorf("IR changed across ast.Print round-trip:\n--- direct ---\n%s\n--- round-tripped ---\n%s", d1, d2)
+			}
+		})
+	}
+}

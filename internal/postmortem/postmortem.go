@@ -240,7 +240,17 @@ func (p *Processor) Process(samples []sampler.RawSample, threshold uint64, stats
 		if a.Samples != b.Samples {
 			return a.Samples > b.Samples
 		}
-		return a.Name < b.Name
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		// Same-named variables in different scopes (loop indices, ...)
+		// must order deterministically too: rows come off map iteration,
+		// so any tie left to the unstable sort varies across processes —
+		// which the backend differential harness flags as a divergence.
+		if a.Context != b.Context {
+			return a.Context < b.Context
+		}
+		return !a.IsPath && b.IsPath
 	})
 
 	for name, n := range cum {

@@ -121,11 +121,7 @@ func (m *VM) step(t *Task) bool {
 			return false
 		}
 		src := m.readPtr(t, in.A)
-		if src.K == KTuple || src.K == KRecord {
-			base.Elems[ix] = src.Copy()
-		} else {
-			base.Elems[ix] = *src
-		}
+		copyValueInto(&base.Elems[ix], src)
 
 	case ir.OpField:
 		cycles += m.classDerefCost(t, in.A)
@@ -1353,11 +1349,7 @@ func (m *VM) doCall(t *Task, in *ir.Instr) {
 			if n := v.FlatSize(); n > 1 {
 				extra += uint64(n-1) * m.cost(m.Cfg.Costs.PerElem)
 			}
-			if v.K == KTuple || v.K == KRecord {
-				na.Slots[p.Slot] = v.Copy()
-			} else {
-				na.Slots[p.Slot] = *v
-			}
+			copyValueInto(&na.Slots[p.Slot], v)
 		}
 	}
 	if extra > 0 {
@@ -1366,7 +1358,9 @@ func (m *VM) doCall(t *Task, in *ir.Instr) {
 			m.lis.Exec(extra, t, in, nil)
 		}
 	}
-	for _, d := range m.defaultsFor(callee) {
+	defs := m.defaultsFor(callee)
+	for i := range defs {
+		d := &defs[i]
 		if na.Slots[d.slot].K != KNil {
 			continue
 		}
@@ -1374,7 +1368,7 @@ func (m *VM) doCall(t *Task, in *ir.Instr) {
 		case defDirect:
 			na.Slots[d.slot] = d.v
 		case defCopy:
-			na.Slots[d.slot] = d.v.Copy()
+			copyValueInto(&na.Slots[d.slot], &d.v)
 		default:
 			na.Slots[d.slot] = m.defaultValue(d.typ)
 		}

@@ -62,10 +62,7 @@ func (v Value) Copy() Value {
 	switch v.K {
 	case KTuple, KRecord:
 		out := v
-		out.Elems = make([]Value, len(v.Elems))
-		for i := range v.Elems {
-			out.Elems[i] = v.Elems[i].Copy()
-		}
+		out.Elems = cloneTree(v.Elems)
 		return out
 	}
 	return v
@@ -81,13 +78,46 @@ func copyValueInto(dst, src *Value) {
 	if src.K == KTuple || src.K == KRecord {
 		elems := src.Elems
 		*dst = *src
-		dst.Elems = make([]Value, len(elems))
-		for i := range elems {
-			copyValueInto(&dst.Elems[i], &elems[i])
-		}
+		dst.Elems = cloneTree(elems)
 		return
 	}
 	*dst = *src
+}
+
+// cloneTree deep-copies a tuple/record element tree into one backing
+// allocation (instead of one per nesting level): countTree sizes it
+// exactly, so the appends in cloneInto never reallocate and every
+// interior slice stays valid.
+func cloneTree(elems []Value) []Value {
+	buf := make([]Value, 0, countTree(elems))
+	out, _ := cloneInto(elems, buf)
+	return out
+}
+
+// countTree returns the total element count across all nesting levels.
+func countTree(elems []Value) int {
+	n := len(elems)
+	for i := range elems {
+		if k := elems[i].K; k == KTuple || k == KRecord {
+			n += countTree(elems[i].Elems)
+		}
+	}
+	return n
+}
+
+// cloneInto appends a deep copy of src to buf and returns the copied
+// level (capped so it cannot grow over its successors) plus the
+// extended buffer.
+func cloneInto(src, buf []Value) ([]Value, []Value) {
+	off := len(buf)
+	buf = append(buf, src...)
+	out := buf[off : off+len(src) : off+len(src)]
+	for i := range out {
+		if k := out[i].K; k == KTuple || k == KRecord {
+			out[i].Elems, buf = cloneInto(out[i].Elems, buf)
+		}
+	}
+	return out, buf
 }
 
 // FlatSize returns the number of scalar elements copied when assigning v

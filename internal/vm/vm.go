@@ -297,6 +297,10 @@ type VM struct {
 	// idxScratch backs elemCell's resolved index (rank <= 3).
 	hereTmp    Value
 	idxScratch [3]int64
+	// sliceFn, when non-nil, replaces the interpreter's slice loop with a
+	// compiled backend's dispatch (see backend.go). Resolved once at VM
+	// construction from the per-program registry.
+	sliceFn SliceFn
 
 	// Stats accumulates run statistics.
 	Stats Stats
@@ -417,6 +421,7 @@ func New(prog *ir.Program, cfg Config) *VM {
 		}
 	}
 	m.initPredeclared()
+	m.sliceFn = CompiledFor(prog)
 	return m
 }
 
@@ -555,8 +560,12 @@ func (m *VM) pushFrame(t *Task, fn *ir.Func, args []Value, retDst *Value) *Activ
 	}
 	// Default-initialize locals by declared type (globals are zeroed the
 	// same way at startup). The per-function defSlot list skips locals
-	// whose default is the zero Value and precomputes the rest.
-	for _, d := range m.defaultsFor(fn) {
+	// whose default is the zero Value and precomputes the rest. Indexed
+	// iteration: a defSlot embeds a 216-byte Value, so a range copy per
+	// default would dominate this loop.
+	defs := m.defaultsFor(fn)
+	for i := range defs {
+		d := &defs[i]
 		if act.Slots[d.slot].K != KNil {
 			continue // parameter-aliased slot already bound
 		}
@@ -564,7 +573,7 @@ func (m *VM) pushFrame(t *Task, fn *ir.Func, args []Value, retDst *Value) *Activ
 		case defDirect:
 			act.Slots[d.slot] = d.v
 		case defCopy:
-			act.Slots[d.slot] = d.v.Copy()
+			copyValueInto(&act.Slots[d.slot], &d.v)
 		default:
 			act.Slots[d.slot] = m.defaultValue(d.typ)
 		}
@@ -669,6 +678,10 @@ func (m *VM) runSlice(t *Task) {
 			m.taskFinished(t)
 		}
 	}()
+	if m.sliceFn != nil {
+		m.sliceFn(m, t, m.Cfg.Quantum)
+		return
+	}
 	for i := 0; i < m.Cfg.Quantum; i++ {
 		if m.err != nil || m.halted || !t.runnable() {
 			break
