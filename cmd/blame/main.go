@@ -48,6 +48,7 @@ func main() {
 		lintJSON  = flag.Bool("lint-json", false, "print the static diagnostics as JSON and exit (no execution)")
 		static    = flag.Bool("static", false, "print the static cost engine's predicted blame and comm volume and exit (no execution)")
 		commAgg   = flag.Bool("comm-aggregate", false, "model the communication aggregation runtime (halo prefetch, run coalescing, software cache)")
+		commInsp  = flag.Bool("comm-inspector", false, "model the inspector-executor path for irregular accesses (implies -comm-aggregate)")
 		commCap   = flag.Int("comm-cache", comm.DefaultCacheCap, "per-locale software-cache capacity in elements (0 = no cache)")
 		noOwner   = flag.Bool("no-owner-computes", false, "disable owner-computes forall scheduling (chunks inherit the spawner's locale)")
 		faultSpc  = flag.String("fault-spec", "", "inject deterministic comm faults, e.g. loss=0.01,dup=0.005,delay=0.1:3xCommLatency")
@@ -92,12 +93,13 @@ func main() {
 	case *static:
 		req.View = "static"
 	}
-	if *commAgg {
+	if *commAgg || *commInsp {
 		req.CommAggregate = true
 		req.CommCache = *commCap
 		if *commCap <= 0 {
 			req.CommCache = -1 // 0 on the command line means "no cache"
 		}
+		req.CommInspector = *commInsp
 	}
 	if err := req.Normalize(); err != nil {
 		fmt.Fprintln(os.Stderr, "blame:", err)

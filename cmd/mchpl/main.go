@@ -5,7 +5,7 @@
 // Usage:
 //
 //	mchpl [flags] prog.mchpl [--config name=value ...]
-//	mchpl [flags] -bench minimd|minimd_opt|clomp|clomp_opt|lulesh|lulesh_best
+//	mchpl [flags] -bench minimd|minimd_opt|clomp|clomp_opt|lulesh|lulesh_best|halo|wavefront|gather|spmv
 //
 // Flags mirror the paper's compiler/runtime options: -fast (--fast),
 // -no-checks (--no-checks), -cores (the testbed's core count),
@@ -48,6 +48,7 @@ func main() {
 		analyzeJSON = flag.Bool("analyze-json", false, "print the static diagnostics as JSON and exit")
 		maxCyc      = flag.Uint64("max-cycles", 10_000_000_000, "cycle budget (0 = unlimited)")
 		commAgg     = flag.Bool("comm-aggregate", false, "model the communication aggregation runtime (halo prefetch, run coalescing, software cache)")
+		commInsp    = flag.Bool("comm-inspector", false, "model the inspector-executor path for irregular accesses (implies -comm-aggregate): coalesced gathers/scatters, memoized schedules, selective replication")
 		commCap     = flag.Int("comm-cache", comm.DefaultCacheCap, "per-locale software-cache capacity in elements (0 = no cache)")
 		noOwner     = flag.Bool("no-owner-computes", false, "disable owner-computes forall scheduling (chunks inherit the spawner's locale)")
 		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile of the compile+run to this file")
@@ -129,12 +130,13 @@ func main() {
 			FaultSpec:       *faultSpc,
 			FaultSeed:       *faultSd,
 		}
-		if *commAgg {
+		if *commAgg || *commInsp {
 			spec.CommAggregate = true
 			spec.CommCacheCap = *commCap
 			if *commCap <= 0 {
 				spec.CommCacheCap = -1
 			}
+			spec.CommInspector = *commInsp
 		}
 		st, err := runGoBackend(name, src, compile.Options{Fast: *fast, NoChecks: *noChecks}, spec)
 		if err != nil {
@@ -152,14 +154,15 @@ func main() {
 	cfg.MaxCycles = *maxCyc
 	cfg.Configs = parseConfigs(flag.Args())
 	cfg.NoOwnerComputes = *noOwner
-	if *commAgg {
+	if *commAgg || *commInsp {
 		cfg.CommAggregate = true
 		cfg.CommCacheCap = *commCap
 		if *commCap <= 0 {
 			cfg.CommCacheCap = -1 // 0 on the command line means "no cache"
 		}
+		cfg.CommInspector = *commInsp
 	}
-	if *commAgg || cfg.NumLocales > 1 {
+	if *commAgg || *commInsp || cfg.NumLocales > 1 {
 		// The plan also powers the owner-computes violation counter, so
 		// derive it for any multi-locale run, not just aggregated ones.
 		cfg.CommPlan = analyze.CommPlan(res.Prog)
@@ -222,6 +225,11 @@ func finishRun(st vm.Stats, showStats bool, locales int) {
 			fmt.Fprintf(os.Stderr, "comm aggregation: %.1f%% cache hit rate  %d prefetches (%d elems)  %d streams (%d elems)  %d flushes (%d elems)  %d invalidations  %d evictions\n",
 				100*a.HitRate(), a.Prefetches, a.PrefetchedElems, a.Streams, a.StreamedElems,
 				a.Flushes, a.FlushedElems, a.Invalidations, a.Evictions)
+			if a.InspectorBuilds != 0 || a.ScheduleHits != 0 || a.ReplicatedVars != 0 {
+				fmt.Fprintf(os.Stderr, "comm inspector: %d builds  %d schedule hits  %d gathers (%d elems)  %d replications (%d elems)  %d replicated vars\n",
+					a.InspectorBuilds, a.ScheduleHits, a.Gathers, a.GatheredElems,
+					a.Replications, a.ReplicatedElems, a.ReplicatedVars)
+			}
 		}
 		if f := st.Fault; f != nil {
 			fmt.Fprintln(os.Stderr, f.Render())
@@ -266,6 +274,14 @@ func benchByName(name string) (benchprog.Program, error) {
 		return benchprog.LULESH(benchprog.LuleshOriginal), nil
 	case "lulesh_best":
 		return benchprog.LULESH(benchprog.LuleshBest), nil
+	case "halo":
+		return benchprog.Halo(), nil
+	case "wavefront":
+		return benchprog.Wavefront(), nil
+	case "gather":
+		return benchprog.Gather(), nil
+	case "spmv":
+		return benchprog.SpMV(), nil
 	case "fig1":
 		return benchprog.Program{Name: "fig1", Source: benchprog.Fig1Example}, nil
 	}

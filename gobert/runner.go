@@ -47,6 +47,7 @@ type RunSpec struct {
 	MaxCycles       uint64            `json:"max_cycles,omitempty"`
 	CommAggregate   bool              `json:"comm_aggregate,omitempty"`
 	CommCacheCap    int               `json:"comm_cache_cap,omitempty"`
+	CommInspector   bool              `json:"comm_inspector,omitempty"`
 	NoOwnerComputes bool              `json:"no_owner_computes,omitempty"`
 	FaultSpec       string            `json:"fault_spec,omitempty"`
 	FaultSeed       uint64            `json:"fault_seed,omitempty"`
@@ -97,7 +98,12 @@ func BuildConfig(spec *RunSpec, prog *Program) (vm.Config, error) {
 		cfg.CommAggregate = true
 		cfg.CommCacheCap = spec.CommCacheCap
 	}
-	if spec.CommAggregate || cfg.NumLocales > 1 {
+	if spec.CommInspector {
+		// The inspector rides on the aggregation runtime.
+		cfg.CommAggregate = true
+		cfg.CommInspector = true
+	}
+	if cfg.CommAggregate || cfg.NumLocales > 1 {
 		cfg.CommPlan = analyze.CommPlan(prog)
 	}
 	if spec.FaultSpec != "" {

@@ -40,6 +40,7 @@ const (
 	commHalo
 	commCoalesce
 	commRemote
+	commIrregular
 )
 
 // accessPat is the detailed result of classifying one access: the
@@ -164,6 +165,13 @@ func (ctx *Context) commScan(f *ir.Func) (sites []commSite, where string, summar
 					site.pat = ctx.classifyAccess(f, best.ti, args, best.shift, false)
 					site.shift = best.shift
 					site.aligned = true
+				} else if isBody && len(args) == 1 && ctx.indirectIndex(f, bodyTi, args[0]) {
+					// Data-dependent subscript inside a parallel body whose
+					// immediate loop context aligns with no distribution
+					// (e.g. a CSR inner loop over rowptr-bounded ranges):
+					// the irregular class still applies — the inspector
+					// keys on the index set, not on alignment.
+					site.pat = accessPat{cls: commIrregular, kind: comm.SiteIrregular}
 				} else if !ctx.HotAt(f, in) {
 					continue
 				}
@@ -184,7 +192,7 @@ func (CommPass) RunFunc(ctx *Context, f *ir.Func) []Diag {
 	sites, where, summaryPos := ctx.commScan(f)
 
 	var out []Diag
-	counts := [4]int{}
+	counts := [5]int{}
 	for _, s := range sites {
 		counts[s.pat.cls]++
 		in, name := s.in, s.name
@@ -243,14 +251,29 @@ func (CommPass) RunFunc(ctx *Context, f *ir.Func) []Diag {
 				FixHint: fmt.Sprintf("iterate the distributed domain itself (forall i in %s) so owner-computes applies, "+
 					"or aggregate the remote elements into one bulk transfer", domDisplayName(ctx, s.arrDom)),
 			})
+		case commIrregular:
+			out = append(out, Diag{
+				Pass: CommPass{}.Name(), Severity: Warning, Pos: in.Pos, Fn: f, Var: name,
+				Message: fmt.Sprintf("irregular access to Block-distributed '%s': the index is loaded from another array "+
+					"(data-dependent subscript), so the element's owner is unknowable statically — but the index set "+
+					"per sweep is not", name),
+				FixHint: "inspect the remote index set once and gather it in one bulk transfer per owner (-comm-inspector models this)",
+			})
 		}
 	}
 	if len(sites) > 0 {
+		// The irregular clause renders only when present so runs without
+		// data-dependent subscripts keep the historical (golden-pinned)
+		// summary text.
+		irr := ""
+		if counts[commIrregular] > 0 {
+			irr = fmt.Sprintf(", %d irregular (data-dependent)", counts[commIrregular])
+		}
 		out = append(out, Diag{
 			Pass: CommPass{}.Name(), Severity: Note, Pos: summaryPos, Fn: f,
 			Message: fmt.Sprintf("communication summary for this %s: %d local (owner-computes), %d halo, %d coalescable "+
-				"(sweep/strided/blocked), %d fine-grained remote distributed-array accesses", where,
-				counts[commLocal], counts[commHalo], counts[commCoalesce], counts[commRemote]),
+				"(sweep/strided/blocked), %d fine-grained remote distributed-array accesses%s", where,
+				counts[commLocal], counts[commHalo], counts[commCoalesce], counts[commRemote], irr),
 		})
 	}
 	return out
@@ -274,7 +297,11 @@ func (ctx *Context) CommPlan() *comm.Plan {
 		}
 		sites, _, _ := ctx.commScan(f)
 		for _, s := range sites {
-			if !s.rank1 || !s.aligned || s.pat.kind == comm.SiteNone {
+			// Irregular sites are plan-eligible without an aligned context:
+			// the inspector keys on the recorded index set, not on any
+			// static alignment between loop and distribution.
+			if !s.rank1 || s.pat.kind == comm.SiteNone ||
+				(!s.aligned && s.pat.kind != comm.SiteIrregular) {
 				continue
 			}
 			// Owner-local accesses enter the plan as SiteOwner: the VM's
@@ -326,6 +353,9 @@ func (ctx *Context) classifyAccess(f *ir.Func, ti *taintInfo, args []*ir.Var, sh
 			// The block divisor rides along in stride so the static cost
 			// engine can reconstruct the compressed access window.
 			return accessPat{cls: commCoalesce, kind: comm.SiteBlocked, stride: c}
+		}
+		if ctx.indirectIndex(f, ti, a) {
+			return accessPat{cls: commIrregular, kind: comm.SiteIrregular}
 		}
 		return accessPat{cls: commRemote}
 	}

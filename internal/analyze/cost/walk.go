@@ -38,8 +38,13 @@ const (
 	cLocalesV
 )
 
-// carr is the walker's array descriptor: allocation identity and layout,
-// no contents.
+// carr is the walker's array descriptor: allocation identity and
+// layout. Contents are not modeled — except for integer-element arrays,
+// whose elements are tracked in ints (missing key = 0, Chapel's
+// zero-init) so data-dependent subscripts like A[B[i]] walk concretely
+// through the inspector. A store of an unknown value, an element alias,
+// or a whole-array copy poisons the tracking (ints = nil) and any later
+// indirect index through the array aborts the walk as before.
 type carr struct {
 	addr      uint64
 	owner     *ir.Var
@@ -49,6 +54,7 @@ type carr struct {
 	distBlock bool
 	numLoc    int
 	localeID  int
+	ints      map[int64]int64
 }
 
 func (a *carr) elemHome(idx []int64) int {
@@ -180,8 +186,9 @@ func newWalker(p *predictor, plan *comm.Plan) *walker {
 	}
 	if w.cfg.CommAggregate {
 		w.rt = comm.New(comm.Config{
-			Locales:  w.cfg.NumLocales,
-			CacheCap: w.cfg.CommCacheCap,
+			Locales:   w.cfg.NumLocales,
+			CacheCap:  w.cfg.CommCacheCap,
+			Inspector: w.cfg.CommInspector,
 		}, plan)
 	}
 	for _, g := range p.prog.Globals {
@@ -236,7 +243,14 @@ func (w *walker) stats() (msgs, bytes int64, perVar map[string]int64, byClass ma
 		byClass["prefetch"] += s.Prefetches
 		byClass["stream"] += s.Streams
 		byClass["flush"] += s.Flushes
-		byClass["fetch"] += s.Messages - s.Prefetches - s.Streams - s.Flushes
+		if s.Gathers > 0 {
+			byClass["gather"] += s.Gathers
+		}
+		if s.Replications > 0 {
+			byClass["replicate"] += s.Replications
+		}
+		byClass["fetch"] += s.Messages - s.Prefetches - s.Streams - s.Flushes -
+			s.Gathers - s.Replications
 		for name, vs := range s.PerVar {
 			perVar[name] += vs.Messages
 		}
@@ -279,8 +293,12 @@ func (w *walker) set(v *ir.Var, x cval) {
 	}
 	// Whole-array assignment copies contents into the destination's
 	// storage (no re-binding), mirroring assignInto: the destination
-	// keeps its own allocation and homes.
+	// keeps its own allocation and homes. Its tracked integer contents
+	// are no longer those it was given element by element, so poison.
 	if old, ok := w.env[r]; ok && old.k == cArray && x.k == cArray {
+		if old.arr != nil {
+			old.arr.ints = nil
+		}
 		return
 	}
 	w.env[r] = x
@@ -458,6 +476,11 @@ func (w *walker) exec(f *ir.Func, in *ir.Instr) error {
 			numLoc:    w.cfg.NumLocales,
 			localeID:  w.loc,
 		}
+		if at, ok := in.Dst.Type.(*types.ArrayType); ok {
+			if b, ok := at.Elem.(*types.Basic); ok && b.K == types.Int {
+				arr.ints = make(map[int64]int64)
+			}
+		}
 		w.nextAddr += uint64(dv.dom.Size()*elemBytes) + 64
 		w.set(in.Dst, cval{k: cArray, arr: arr})
 
@@ -476,6 +499,16 @@ func (w *walker) exec(f *ir.Func, in *ir.Instr) error {
 			if err := w.arrayAccess(in, av.arr, false); err != nil {
 				return err
 			}
+			if arr := av.arr; arr != nil && arr.ints != nil {
+				if in.Op == ir.OpRefElem {
+					// An element alias can be written through behind the
+					// walker's back: stop trusting the contents.
+					arr.ints = nil
+				} else if idx, ok := w.indexArgs(in, arr.layout.Rank); ok {
+					w.set(in.Dst, cIntV(arr.ints[arr.layout.Linear(idx)]))
+					return nil
+				}
+			}
 		}
 		w.set(in.Dst, cUnkV()) // contents not modeled
 
@@ -484,6 +517,15 @@ func (w *walker) exec(f *ir.Func, in *ir.Instr) error {
 		if av.k == cArray {
 			if err := w.arrayAccess(in, av.arr, true); err != nil {
 				return err
+			}
+			if arr := av.arr; arr != nil && arr.ints != nil {
+				idx, iok := w.indexArgs(in, arr.layout.Rank)
+				v, vok := w.get(in.A).asInt()
+				if iok && vok {
+					arr.ints[arr.layout.Linear(idx)] = v
+				} else {
+					arr.ints = nil
+				}
 			}
 		}
 
@@ -1241,6 +1283,11 @@ func (w *walker) spawnLoop(in *ir.Instr) error {
 		}
 		w.sweep = prevSweep
 	}
+	if w.rt != nil {
+		// The forall barrier: replication decisions land here in the VM,
+		// so the walker evaluates them at the same point.
+		w.rt.SweepEnd()
+	}
 	return nil
 }
 
@@ -1328,6 +1375,15 @@ func (w *walker) fallbackComm() (msgs int64, perVar map[string]int64) {
 					per += m
 				case comm.SiteOwner:
 					// Owner-computes: no remote traffic.
+				case comm.SiteIrregular:
+					// Inspector–executor: the index set is unknowable
+					// statically, but the schedule shape is not — at worst
+					// one bulk gather per remote home whose block overlaps
+					// the sweep's index window (first sweep builds, later
+					// sweeps replay the memoized schedule at the same
+					// per-task message cost).
+					m, _ := comm.PredictInspector(b, loc, 0, n-1)
+					per += m
 				default:
 					per += comm.PredictFine(b, loc, lo, hi-1, 1)
 				}

@@ -139,6 +139,32 @@ func (ctx *Context) scaleOf(f *ir.Func, ti *taintInfo, v *ir.Var, op token.Kind)
 	return 0, false
 }
 
+// indirectIndex recognizes a data-dependent subscript: v's definition
+// chain (through copies) reaches an array element load whose own index
+// derives from the loop index — the A[B[i]] subscript-of-subscript
+// shape, including sparse-domain iteration (x[colidx[j]] with j bounded
+// by rowptr values). The accessed element's owner is unknowable
+// statically, but the index set a sweep touches is fixed per window —
+// exactly what the runtime inspector–executor path exploits.
+func (ctx *Context) indirectIndex(f *ir.Func, ti *taintInfo, v *ir.Var) bool {
+	defs := ctx.defs(f)
+	for depth := 0; depth < 8; depth++ {
+		in := singleDef(defs, v)
+		if in == nil {
+			return false
+		}
+		switch in.Op {
+		case ir.OpMove:
+			v = in.A
+		case ir.OpIndex, ir.OpRefElem:
+			return ti.anyTainted(in.Args)
+		default:
+			return false
+		}
+	}
+	return false
+}
+
 // offsetOf recognizes `idx ± c`: v's unique definition is an add/subtract
 // of a direct index copy and a compile-time constant. Returns the signed
 // offset.

@@ -102,6 +102,7 @@ func All() []Program {
 		MiniMD(false), MiniMD(true),
 		CLOMP(false), CLOMP(true),
 		LULESH(LuleshOriginal), LULESH(LuleshBest),
+		Gather(), SpMV(),
 		{Name: "fig1", Source: Fig1Example},
 	}
 }

@@ -74,6 +74,8 @@ func TestChaosDifferential(t *testing.T) {
 		{benchprog.CLOMP(false), benchprog.CLOMPConfig{NumParts: 8, ZonesPerPart: 16, FlopScale: 1, TimeScale: 1}.Configs()},
 		{benchprog.MiniMD(false), benchprog.MiniMDConfig{NBins: 12, AtomsPerBin: 2, NSteps: 2}.Configs()},
 		{benchprog.LULESH(benchprog.LuleshOriginal), benchprog.LuleshConfig{NumElems: 24, NSteps: 2}.Configs()},
+		{benchprog.Gather(), benchprog.GatherConfig{N: 256, Reps: 3}.Configs()},
+		{benchprog.SpMV(), benchprog.SpMVConfig{N: 64, NnzPerRow: 4, Reps: 3}.Configs()},
 	}
 	locales := []int{1, 2, 4}
 
@@ -183,6 +185,66 @@ func TestHaloLocaleFailure(t *testing.T) {
 			}
 			if f.Timeouts == 0 {
 				t.Error("no send to the dead locale timed out")
+			}
+		})
+	}
+}
+
+// TestSparseInspectorLocaleFailure pins graceful degradation of the
+// inspector–executor path: a locale that dies mid-run (including during
+// inspection) may only move the fault counters and the modeled clock.
+// The surviving locales' chunks re-inspect under the fallback
+// scheduling, schedules still build, and the printed output is exactly
+// the fault-free run's.
+func TestSparseInspectorLocaleFailure(t *testing.T) {
+	for _, c := range sparseCases() {
+		c := c
+		t.Run(c.prog.Name, func(t *testing.T) {
+			res, err := c.prog.Compile(compile.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			plan := analyze.CommPlan(res.Prog)
+			run := func(spec string) (string, vm.Stats) {
+				var out strings.Builder
+				cfg := vm.DefaultConfig()
+				cfg.Stdout = &out
+				cfg.Configs = c.cfgs
+				cfg.NumLocales = 4
+				cfg.MaxCycles = 3_000_000_000
+				cfg.CommAggregate = true
+				cfg.CommInspector = true
+				cfg.CommPlan = plan
+				if spec != "" {
+					cfg.Fault = mustInjector(t, spec)
+				}
+				stats, err := vm.New(res.Prog, cfg).Run()
+				if err != nil {
+					t.Fatalf("spec %q: %v", spec, err)
+				}
+				return out.String(), stats
+			}
+			ref, base := run("")
+			out, stats := run("locale-fail=3@tick5")
+			if out != ref {
+				t.Errorf("output diverged under locale failure:\n fault-free: %q\n failed:     %q", ref, out)
+			}
+			f := stats.Fault
+			if f == nil {
+				t.Fatal("run carried an injector but no fault stats")
+			}
+			if f.FailedLocaleFallbacks == 0 {
+				t.Error("no chunk fell back off the dead locale")
+			}
+			if stats.Agg == nil || stats.Agg.InspectorBuilds == 0 {
+				t.Error("faulty run built no inspector schedules")
+			}
+			if base.Agg == nil || base.Agg.InspectorBuilds == 0 {
+				t.Error("fault-free run built no inspector schedules")
+			}
+			if stats.WallCycles < base.WallCycles {
+				t.Errorf("faulty run modeled fewer cycles (%d) than fault-free (%d)",
+					stats.WallCycles, base.WallCycles)
 			}
 		})
 	}

@@ -16,12 +16,14 @@ type commMode struct {
 	name      string
 	aggregate bool
 	cacheCap  int // 0 = default, -1 = cache disabled
+	inspector bool
 }
 
 var commModes = []commMode{
 	{name: "direct"},
 	{name: "comm-aggregate", aggregate: true},
 	{name: "comm-aggregate/no-cache", aggregate: true, cacheCap: -1},
+	{name: "comm-inspector", aggregate: true, inspector: true},
 }
 
 // TestHaloDeterminism runs the halo benchmark twice with an identical
@@ -85,6 +87,8 @@ func TestCrossLocaleDifferential(t *testing.T) {
 		{benchprog.CLOMP(false), benchprog.CLOMPConfig{NumParts: 8, ZonesPerPart: 16, FlopScale: 1, TimeScale: 1}.Configs()},
 		{benchprog.MiniMD(false), benchprog.MiniMDConfig{NBins: 12, AtomsPerBin: 2, NSteps: 2}.Configs()},
 		{benchprog.LULESH(benchprog.LuleshOriginal), benchprog.LuleshConfig{NumElems: 24, NSteps: 2}.Configs()},
+		{benchprog.Gather(), benchprog.GatherConfig{N: 256, Reps: 3}.Configs()},
+		{benchprog.SpMV(), benchprog.SpMVConfig{N: 64, NnzPerRow: 4, Reps: 3}.Configs()},
 	}
 	locales := []int{1, 2, 4}
 
@@ -110,6 +114,7 @@ func TestCrossLocaleDifferential(t *testing.T) {
 					cfg.MaxCycles = 3_000_000_000
 					cfg.CommAggregate = mode.aggregate
 					cfg.CommCacheCap = mode.cacheCap
+					cfg.CommInspector = mode.inspector
 					cfg.CommPlan = plan
 					stats, err := vm.New(res.Prog, cfg).Run()
 					if err != nil {

@@ -1,0 +1,142 @@
+package benchprog
+
+import "fmt"
+
+// This file holds the two irregular-access workloads behind the
+// inspector–executor study (README / EXPERIMENTS "sparse" table): a
+// gather/scatter kernel driven by a permutation index array, and a
+// CSR-style sparse matrix–vector product. Both subscript one
+// distributed array with elements loaded from another (A[B[i]],
+// x[colidx[j]]), the pattern the analyzer classifies SiteIrregular and
+// the comm runtime's inspector coalesces.
+
+// GatherSource is the A[B[i]] gather/scatter kernel. B is a fixed
+// permutation (7 is coprime to the power-of-two n), so every sweep
+// touches each element of A exactly once, scattered across all
+// locales; B[i] itself is affine and owner-local, so A carries all the
+// remote traffic. Each rep gathers through B into Y, then scatters
+// back into A. A still replicates: because B is a bijection, element
+// A[B[i]] is read and written only by the locale owning i, so a
+// scatter write invalidates that element only in replicas that never
+// read it — each locale's own copy stays whole and the steady state is
+// schedule replays plus write-back flushes.
+const GatherSource = `config const n = 2048;
+config const reps = 8;
+var D: domain(1) dmapped Block = {0..#n};
+var A: [D] real;
+var B: [D] int;
+var Y: [D] real;
+
+proc main() {
+  forall i in D {
+    A[i] = 1.0 + i * 0.5;
+    B[i] = (i * 7 + 3) % n;
+    Y[i] = 0.0;
+  }
+  for r in 1..reps {
+    forall i in D {
+      Y[i] = Y[i] + A[B[i]];
+    }
+    forall i in D {
+      A[B[i]] = A[B[i]] + Y[i] * 0.001;
+    }
+  }
+  writeln("checksum positive: ", + reduce Y > 0.0);
+}
+`
+
+// Gather returns the gather/scatter kernel.
+func Gather() Program {
+	return Program{Name: "gather", Source: GatherSource}
+}
+
+// GatherConfig sizes the gather/scatter kernel.
+type GatherConfig struct {
+	N    int // index space (power of two; 7 must stay coprime)
+	Reps int // gather+scatter sweeps
+}
+
+// DefaultGather is the experiment/CI configuration: at 4 locales the
+// permutation makes ~3/4 of the accesses remote, so per-element
+// fetching pays thousands of messages per sweep while the inspector
+// pays a handful of bulk gathers and flushes. N is sized so each
+// locale's own remote reads per sweep (~3N/16) cross the per-locale
+// replication threshold (comm.DefaultReplicaMinReads) in the first
+// repetition.
+var DefaultGather = GatherConfig{N: 2048, Reps: 8}
+
+// Configs renders the config-const overrides for the VM.
+func (c GatherConfig) Configs() map[string]string {
+	return map[string]string{
+		"n":    fmt.Sprint(c.N),
+		"reps": fmt.Sprint(c.Reps),
+	}
+}
+
+// SpMVSource is a CSR-style sparse matrix–vector product y += M*x. The
+// matrix is synthetic fixed-degree CSR: row i owns nnzPerRow entries at
+// rowptr[i] = i*nnzPerRow, with column indices striding 13 mod n. The
+// row sweep is owner-aligned (rowptr, vals and colidx blocks land on
+// the row's locale), so the only remote traffic is the x[colidx[j]]
+// gather — the canonical inspector–executor workload. x is never
+// written inside the rep loop, so it is read-mostly and replicates.
+const SpMVSource = `config const n = 512;
+config const nnzPerRow = 4;
+config const reps = 8;
+var D: domain(1) dmapped Block = {0..#n};
+var NZ: domain(1) dmapped Block = {0..#(n * nnzPerRow)};
+var X: [D] real;
+var Yv: [D] real;
+var Rowptr: [D] int;
+var Colidx: [NZ] int;
+var Vals: [NZ] real;
+
+proc main() {
+  forall i in D {
+    X[i] = 1.0 + i * 0.001;
+    Yv[i] = 0.0;
+    Rowptr[i] = i * nnzPerRow;
+  }
+  forall k in NZ {
+    Colidx[k] = (k * 13 + 5) % n;
+    Vals[k] = 0.5 + (k % 7) * 0.125;
+  }
+  for r in 1..reps {
+    forall i in D {
+      var sum = 0.0;
+      for j in Rowptr[i]..Rowptr[i] + nnzPerRow - 1 {
+        sum = sum + Vals[j] * X[Colidx[j]];
+      }
+      Yv[i] = Yv[i] + sum;
+    }
+  }
+  writeln("checksum positive: ", + reduce Yv > 0.0);
+}
+`
+
+// SpMV returns the CSR sparse matrix–vector product.
+func SpMV() Program {
+	return Program{Name: "spmv", Source: SpMVSource}
+}
+
+// SpMVConfig sizes the SpMV benchmark.
+type SpMVConfig struct {
+	N         int // rows (and columns)
+	NnzPerRow int // fixed row degree
+	Reps      int // y += M*x sweeps
+}
+
+// DefaultSpMV is the experiment/CI configuration. N is sized so each
+// locale's remote reads of X per sweep (~3·N·nnzPerRow/16) cross the
+// per-locale replication threshold (comm.DefaultReplicaMinReads) in
+// the first repetition.
+var DefaultSpMV = SpMVConfig{N: 512, NnzPerRow: 4, Reps: 8}
+
+// Configs renders the config-const overrides for the VM.
+func (c SpMVConfig) Configs() map[string]string {
+	return map[string]string{
+		"n":         fmt.Sprint(c.N),
+		"nnzPerRow": fmt.Sprint(c.NnzPerRow),
+		"reps":      fmt.Sprint(c.Reps),
+	}
+}

@@ -1,0 +1,100 @@
+package benchprog_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analyze"
+	"repro/internal/benchprog"
+	"repro/internal/comm"
+	"repro/internal/compile"
+	"repro/internal/vm"
+)
+
+// sparseCases are the irregular-access workloads (issue: inspector–
+// executor study).
+func sparseCases() []struct {
+	prog benchprog.Program
+	cfgs map[string]string
+} {
+	return []struct {
+		prog benchprog.Program
+		cfgs map[string]string
+	}{
+		{benchprog.Gather(), benchprog.DefaultGather.Configs()},
+		{benchprog.SpMV(), benchprog.DefaultSpMV.Configs()},
+	}
+}
+
+// TestSparseIrregularClassification pins that the analyzer actually
+// classifies the data-dependent subscripts (A[B[i]], X[Colidx[j]]) as
+// irregular plan sites — the inspector only engages on SiteIrregular,
+// so without this the smoke below would "pass" by never inspecting.
+func TestSparseIrregularClassification(t *testing.T) {
+	for _, c := range sparseCases() {
+		res, err := c.prog.Compile(compile.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan := analyze.CommPlan(res.Prog)
+		irregular := 0
+		for _, site := range plan.Sites {
+			if site.Class == comm.SiteIrregular {
+				irregular++
+			}
+		}
+		if irregular == 0 {
+			t.Errorf("%s: comm plan has no irregular sites", c.prog.Name)
+		}
+	}
+}
+
+// TestSparseInspectorSmoke is the headline acceptance gate: on both
+// sparse benchmarks at 4 locales the inspector–executor path must cut
+// total comm messages by >=5x against the per-element aggregated
+// baseline while printing bit-identical output.
+func TestSparseInspectorSmoke(t *testing.T) {
+	for _, c := range sparseCases() {
+		c := c
+		t.Run(c.prog.Name, func(t *testing.T) {
+			res, err := c.prog.Compile(compile.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			plan := analyze.CommPlan(res.Prog)
+			run := func(inspector bool) (string, vm.Stats) {
+				var out strings.Builder
+				cfg := vm.DefaultConfig()
+				cfg.Stdout = &out
+				cfg.Configs = c.cfgs
+				cfg.NumLocales = 4
+				cfg.MaxCycles = 3_000_000_000
+				cfg.CommAggregate = true
+				cfg.CommInspector = inspector
+				cfg.CommPlan = plan
+				stats, err := vm.New(res.Prog, cfg).Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return out.String(), stats
+			}
+			outBase, base := run(false)
+			outInsp, insp := run(true)
+			if outBase != outInsp {
+				t.Errorf("output diverged:\n baseline:  %q\n inspector: %q", outBase, outInsp)
+			}
+			if insp.CommMessages == 0 {
+				t.Fatal("inspector run sent no messages at 4 locales")
+			}
+			ratio := float64(base.CommMessages) / float64(insp.CommMessages)
+			t.Logf("messages: baseline %d, inspector %d (%.1fx)", base.CommMessages, insp.CommMessages, ratio)
+			if ratio < 5 {
+				t.Errorf("message reduction %.2fx, want >= 5x (baseline %d, inspector %d)",
+					ratio, base.CommMessages, insp.CommMessages)
+			}
+			if insp.Agg == nil || insp.Agg.InspectorBuilds == 0 {
+				t.Error("inspector run built no schedules (classification or plumbing broken)")
+			}
+		})
+	}
+}

@@ -51,12 +51,31 @@ type Config struct {
 	// Retry overrides the injector's retry policy when any field is
 	// non-zero (zero fields keep their defaults).
 	Retry fault.RetryPolicy
+	// Inspector enables the inspector–executor path for sites the plan
+	// classifies SiteIrregular: a one-pass inspector records the remote
+	// index set per (task, site, array), coalesces it into one bulk
+	// gather per remote home at task end, memoizes the schedule by
+	// (site, array, sweep window, layout) for replay, and selectively
+	// replicates read-mostly arrays at forall barriers (SweepEnd) once
+	// a locale's remote-read count since the array's last write crosses
+	// ReplicaMinReads.
+	Inspector bool
+	// ReplicaMinReads is the per-locale remote-read threshold (since
+	// the last write to the array) that marks an irregular-site array
+	// read-mostly; the next forall barrier (SweepEnd) then replicates
+	// it onto that locale. The count is per (locale, array) and the
+	// decision is taken only at barriers — never mid-sweep — so it is
+	// independent of how tasks interleave, which keeps the static cost
+	// walker (which visits chunks sequentially) in exact agreement with
+	// the VM. Values <= 0 select DefaultReplicaMinReads.
+	ReplicaMinReads int64
 }
 
 // Defaults for Config.
 const (
-	DefaultCacheCap = 4096
-	DefaultRunBlock = 64
+	DefaultCacheCap        = 4096
+	DefaultRunBlock        = 64
+	DefaultReplicaMinReads = 256
 )
 
 // Access describes one remote element access the VM delegates.
@@ -93,6 +112,14 @@ const (
 	EvFlush
 	EvHit
 	EvInvalidate
+	// EvGather is one bulk inspector–executor message: all the distinct
+	// remote elements a task's irregular site touched on one home locale,
+	// fetched together (charged; deferred to task end on a schedule
+	// build, immediate on a memoized replay).
+	EvGather
+	// EvReplicate is one bulk selective-replication message: a remote
+	// home's whole span of a read-mostly array copied to the reader.
+	EvReplicate
 )
 
 func (k EventKind) String() string {
@@ -109,6 +136,10 @@ func (k EventKind) String() string {
 		return "hit"
 	case EvInvalidate:
 		return "invalidate"
+	case EvGather:
+		return "gather"
+	case EvReplicate:
+		return "replicate"
 	}
 	return "?"
 }
@@ -132,7 +163,7 @@ type Event struct {
 // Message reports whether the event is a charged network message.
 func (e Event) Message() bool {
 	switch e.Kind {
-	case EvFetch, EvPrefetch, EvStream, EvFlush:
+	case EvFetch, EvPrefetch, EvStream, EvFlush, EvGather, EvReplicate:
 		return true
 	}
 	return false
@@ -145,6 +176,7 @@ type Runtime struct {
 	stats  Stats
 	caches []*cache
 	fault  *fault.Injector
+	insp   *inspector
 	// seq tracks the last element read per (task, array) for sequential
 	// run detection.
 	seq map[seqKey]int64
@@ -168,6 +200,9 @@ func New(cfg Config, plan *Plan) *Runtime {
 	if cfg.RunBlock <= 0 {
 		cfg.RunBlock = DefaultRunBlock
 	}
+	if cfg.ReplicaMinReads <= 0 {
+		cfg.ReplicaMinReads = DefaultReplicaMinReads
+	}
 	r := &Runtime{
 		cfg:    cfg,
 		plan:   plan,
@@ -180,6 +215,9 @@ func New(cfg Config, plan *Plan) *Runtime {
 	}
 	for i := range r.caches {
 		r.caches[i] = newCache(cfg.CacheCap)
+	}
+	if cfg.Inspector {
+		r.insp = newInspector()
 	}
 	r.stats.PerVar = make(map[string]*VarStats)
 	r.stats.Fault = r.fault.Stats()
@@ -206,11 +244,21 @@ func (r *Runtime) read(a Access) []Event {
 		r.varStats(a.Var).Hits++
 		return []Event{{Kind: EvHit, Var: a.Var, Site: a.Site, From: a.Home, To: a.Loc, Elems: 1}}
 	}
+	if r.insp != nil && r.insp.resident(a) {
+		// Served by a replica or by this task's gathered buffer — no
+		// message, same as a cache hit.
+		r.stats.Hits++
+		r.varStats(a.Var).Hits++
+		return []Event{{Kind: EvHit, Var: a.Var, Site: a.Site, From: a.Home, To: a.Loc, Elems: 1}}
+	}
 	r.stats.Misses++
 
 	var site Site
 	if r.plan != nil {
 		site = r.plan.Sites[a.Site]
+	}
+	if site.Class == SiteIrregular && r.insp != nil {
+		return r.insp.access(r, a)
 	}
 	if site.Class == SiteOwner {
 		// Statically owner-computes, yet the access went remote: the
@@ -258,6 +306,11 @@ func (r *Runtime) read(a Access) []Event {
 func (r *Runtime) write(a Access) []Event {
 	// Keep the other locales coherent first.
 	out := r.invalidateOthers(a.Var, a.Site, a.Arr, a.Elem, a.Loc)
+	if r.insp != nil && r.plan != nil && r.plan.Sites[a.Site].Class == SiteIrregular {
+		// Irregular scatter: record for the task-end coalesced
+		// write-back instead of dirtying the cache per element.
+		return append(out, r.insp.accessWrite(r, a)...)
+	}
 	c := r.caches[a.Loc]
 	if c.cap <= 0 {
 		// Uncached: immediate write-through, one message.
@@ -287,10 +340,17 @@ func (r *Runtime) invalidateOthers(v *ir.Var, site uint64, arr uint64, elem int6
 		if li == loc {
 			continue
 		}
-		if c.drop(arr, elem) {
+		dropped := c.drop(arr, elem)
+		if r.insp != nil && r.insp.invalidate(arr, elem, li) {
+			dropped = true
+		}
+		if dropped {
 			r.stats.Invalidations++
 			out = append(out, Event{Kind: EvInvalidate, Var: v, Site: site, From: loc, To: li, Elems: 1})
 		}
+	}
+	if r.insp != nil {
+		r.insp.noteWrite(arr, loc)
 	}
 	return out
 }
@@ -302,7 +362,24 @@ func (r *Runtime) TaskEnd(task, loc int) []Event {
 	if loc < 0 || loc >= len(r.caches) {
 		return nil
 	}
-	return r.caches[loc].flushTask(task, loc, r)
+	out := r.caches[loc].flushTask(task, loc, r)
+	if r.insp != nil {
+		out = append(out, r.insp.taskEnd(r, task)...)
+	}
+	return out
+}
+
+// SweepEnd marks a forall barrier: the inspector evaluates its
+// per-(locale, array) read-mostly counters and replicates every array
+// that crossed ReplicaMinReads, charging one bulk message per remote
+// home. Replication is decided only here — never mid-sweep — so the
+// modeled messages do not depend on how the sweep's tasks interleaved.
+// No-op without the inspector.
+func (r *Runtime) SweepEnd() []Event {
+	if r.insp == nil {
+		return nil
+	}
+	return r.insp.sweepEnd(r)
 }
 
 // Drain flushes every remaining dirty entry (program end); the messages
@@ -313,6 +390,9 @@ func (r *Runtime) Drain() {
 		for _, ev := range c.flushTask(-1, loc, r) {
 			_ = ev
 		}
+	}
+	if r.insp != nil {
+		r.insp.taskEnd(r, -1)
 	}
 }
 
@@ -350,6 +430,12 @@ func (r *Runtime) countMessage(ev *Event) {
 	case EvFlush:
 		r.stats.Flushes++
 		r.stats.FlushedElems += ev.Elems
+	case EvGather:
+		r.stats.Gathers++
+		r.stats.GatheredElems += ev.Elems
+	case EvReplicate:
+		r.stats.Replications++
+		r.stats.ReplicatedElems += ev.Elems
 	}
 	vs := r.varStats(ev.Var)
 	vs.Messages++

@@ -261,6 +261,42 @@ func PredictFlush(b Block, loc int, first, last, step int64) (msgs, elems int64)
 	return msgs, elems
 }
 
+// PredictInspector models the inspector–executor gather for an
+// irregular site read from locale loc whose data-dependent indices can
+// land anywhere in [lo, hi]: the inspector deduplicates and coalesces
+// them, so the schedule costs one bulk message per remote home whose
+// span intersects the window, moving at most that span's overlap.
+func PredictInspector(b Block, loc int, lo, hi int64) (msgs, elems int64) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > b.N-1 {
+		hi = b.N - 1
+	}
+	if hi < lo {
+		return 0, 0
+	}
+	for h := 0; h < b.L; h++ {
+		if h == loc {
+			continue
+		}
+		sLo, sHi := b.Span(h)
+		if sHi-1 < lo || sLo > hi {
+			continue
+		}
+		oLo, oHi := sLo, sHi-1
+		if oLo < lo {
+			oLo = lo
+		}
+		if oHi > hi {
+			oHi = hi
+		}
+		msgs++
+		elems += oHi - oLo + 1
+	}
+	return msgs, elems
+}
+
 // PredictFine models the uncached per-element path: one message per
 // access that lands remote (reads and writes alike).
 func PredictFine(b Block, loc int, first, last, step int64) (msgs int64) {

@@ -26,6 +26,12 @@ const (
 	// range-based forall from one locale), the runtime falls back to
 	// treating it as a halo sweep with offset 0.
 	SiteOwner
+	// SiteIrregular: index is data-dependent (subscript-of-subscript like
+	// A[B[i]], or sparse-domain iteration). No affine window exists, so
+	// the runtime switches to the inspector–executor path: record the
+	// remote index set, gather it in one bulk message per remote home,
+	// and selectively replicate read-mostly arrays.
+	SiteIrregular
 )
 
 func (c SiteClass) String() string {
@@ -38,6 +44,8 @@ func (c SiteClass) String() string {
 		return "blocked"
 	case SiteOwner:
 		return "owner-computes"
+	case SiteIrregular:
+		return "irregular"
 	}
 	return "none"
 }

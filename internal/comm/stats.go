@@ -46,6 +46,15 @@ type Stats struct {
 	Invalidations int64
 	Evictions     int64
 
+	// Inspector–executor counters (all zero unless Config.Inspector).
+	InspectorBuilds int64 // schedules built from a fresh inspection pass
+	ScheduleHits    int64 // memoized schedules replayed without re-inspecting
+	ReplicatedVars  int64 // distinct variables selectively replicated
+	Gathers         int64 // bulk gather messages (one per remote home)
+	GatheredElems   int64
+	Replications    int64 // bulk replication messages (one per remote home)
+	ReplicatedElems int64
+
 	// Fault points at the injector's counters when fault injection is
 	// active (nil otherwise); it is shared, not a snapshot.
 	Fault *fault.Stats
@@ -72,7 +81,16 @@ func (s *Stats) HitRate() float64 {
 
 // CoalescedElems returns the elements moved by multi-element messages.
 func (s *Stats) CoalescedElems() int64 {
-	return s.PrefetchedElems + s.StreamedElems + s.FlushedElems
+	return s.PrefetchedElems + s.StreamedElems + s.FlushedElems +
+		s.GatheredElems + s.ReplicatedElems
+}
+
+// inspectorActive reports whether any inspector–executor counter is
+// nonzero; Render only emits the inspector line then, so runs without
+// the inspector keep their historical (golden-pinned) rendering.
+func (s *Stats) inspectorActive() bool {
+	return s.InspectorBuilds != 0 || s.ScheduleHits != 0 || s.ReplicatedVars != 0 ||
+		s.Gathers != 0 || s.Replications != 0
 }
 
 // VarNames returns the per-variable keys sorted by descending message
@@ -104,6 +122,11 @@ func (s *Stats) Render() string {
 	fmt.Fprintf(&b, "prefetches %d (%d elems) streams %d (%d elems) flushes %d (%d elems)\n",
 		s.Prefetches, s.PrefetchedElems, s.Streams, s.StreamedElems, s.Flushes, s.FlushedElems)
 	fmt.Fprintf(&b, "invalidations %d evictions %d\n", s.Invalidations, s.Evictions)
+	if s.inspectorActive() {
+		fmt.Fprintf(&b, "inspector builds %d schedule hits %d gathers %d (%d elems) replications %d (%d elems) replicated vars %d\n",
+			s.InspectorBuilds, s.ScheduleHits, s.Gathers, s.GatheredElems,
+			s.Replications, s.ReplicatedElems, s.ReplicatedVars)
+	}
 	if s.Fault != nil {
 		b.WriteString(s.Fault.Render())
 	}

@@ -14,7 +14,7 @@ import (
 )
 
 // This file is the backend-differential harness behind `paperbench
-// -diffbe`: every benchmark × 1/2/4 locales × the three comm modes ×
+// -diffbe`: every benchmark × 1/2/4 locales × the four comm modes ×
 // fault injection, each run on the interpreter and the native-compiled
 // Go backend, pinning bit-identical program output, identical stats
 // (including comm message counts) and identical blame profiles. Any
@@ -35,23 +35,28 @@ func diffWorkloads() []diffWorkload {
 		{benchprog.CLOMP(false), benchprog.CLOMPConfig{NumParts: 8, ZonesPerPart: 16, FlopScale: 1, TimeScale: 1}.Configs()},
 		{benchprog.MiniMD(false), benchprog.DefaultMiniMD.Configs()},
 		{benchprog.LULESH(benchprog.LuleshOriginal), benchprog.LuleshConfig{NumElems: 24, NSteps: 2}.Configs()},
+		{benchprog.Gather(), benchprog.GatherConfig{N: 256, Reps: 3}.Configs()},
+		{benchprog.SpMV(), benchprog.SpMVConfig{N: 64, NnzPerRow: 4, Reps: 3}.Configs()},
 	}
 }
 
-// commModes are the three communication configurations of the harness:
+// commModes are the four communication configurations of the harness:
 // the direct runtime, the aggregation runtime with its software cache,
-// and the aggregation runtime with the cache disabled.
+// the aggregation runtime with the cache disabled, and the aggregation
+// runtime with the inspector–executor path on top.
 type commMode struct {
-	name     string
-	agg      bool
-	cacheCap int
+	name      string
+	agg       bool
+	cacheCap  int
+	inspector bool
 }
 
-func commModes3() []commMode {
+func commModes4() []commMode {
 	return []commMode{
-		{"direct", false, 0},
-		{"agg", true, comm.DefaultCacheCap},
-		{"agg/nocache", true, -1},
+		{"direct", false, 0, false},
+		{"agg", true, comm.DefaultCacheCap, false},
+		{"agg/nocache", true, -1, false},
+		{"agg/inspector", true, comm.DefaultCacheCap, true},
 	}
 }
 
@@ -70,10 +75,11 @@ func TableBackendDiff() (*Table, error) {
 	}
 	for _, w := range diffWorkloads() {
 		for _, locales := range []int{1, 2, 4} {
-			for _, m := range commModes3() {
+			for _, m := range commModes4() {
 				spec := &gobert.RunSpec{
 					Mode: "run", Cores: 4, Locales: locales, Configs: w.cfgs,
 					MaxCycles: 20_000_000_000, CommAggregate: m.agg, CommCacheCap: m.cacheCap,
+					CommInspector: m.inspector,
 				}
 				row, err := diffRunRow(w, spec, m.name, "none")
 				if err != nil {

@@ -84,6 +84,7 @@ type timeKey struct {
 type runShape struct {
 	locales   int
 	commAgg   bool
+	commInsp  bool
 	commCache int
 	noOwner   bool
 	faultSpec string

@@ -121,6 +121,7 @@ func profileUncached(p benchprog.Program, cfgs map[string]string, shape runShape
 			cfg.CommAggregate = true
 			cfg.CommCacheCap = shape.commCache
 		}
+		cfg.CommInspector = shape.commInsp
 		cfg.NoOwnerComputes = shape.noOwner
 		if shape.locales > 1 || shape.commAgg {
 			cfg.CommPlan = commPlanFor(res.Prog)

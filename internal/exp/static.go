@@ -21,19 +21,23 @@ type staticCase struct {
 	Cfgs map[string]string
 	NL   int
 	Agg  bool
+	Insp bool
 }
 
-// StaticCases returns the five benchmarks the static cost engine is
-// scored on: the two affine comm benchmarks at 4 locales (where message
-// prediction is checked against comm.Stats) and the three §V ports at 1
-// locale (where only the blame ranking is checked).
+// StaticCases returns the benchmarks the static cost engine is scored
+// on: the comm benchmarks at 4 locales (where message prediction is
+// checked against comm.Stats) — the two affine ones plus the two
+// irregular sparse ones under the inspector — and the three §V ports at
+// 1 locale (where only the blame ranking is checked).
 func StaticCases() []staticCase {
 	return []staticCase{
-		{benchprog.Halo(), benchprog.DefaultHalo.Configs(), 4, true},
-		{benchprog.Wavefront(), benchprog.DefaultWavefront.Configs(), 4, true},
-		{benchprog.MiniMD(false), nil, 1, false},
-		{benchprog.CLOMP(false), nil, 1, false},
-		{benchprog.LULESH(benchprog.LuleshOriginal), nil, 1, false},
+		{benchprog.Halo(), benchprog.DefaultHalo.Configs(), 4, true, false},
+		{benchprog.Wavefront(), benchprog.DefaultWavefront.Configs(), 4, true, false},
+		{benchprog.MiniMD(false), nil, 1, false, false},
+		{benchprog.CLOMP(false), nil, 1, false, false},
+		{benchprog.LULESH(benchprog.LuleshOriginal), nil, 1, false, false},
+		{benchprog.Gather(), benchprog.DefaultGather.Configs(), 4, true, true},
+		{benchprog.SpMV(), benchprog.DefaultSpMV.Configs(), 4, true, true},
 	}
 }
 
@@ -48,6 +52,7 @@ func staticRun(c staticCase) (*blame.Result, *cost.Prediction, error) {
 	bc.VM = runConfig(c.Cfgs)
 	bc.VM.NumLocales = c.NL
 	bc.VM.CommAggregate = c.Agg
+	bc.VM.CommInspector = c.Insp
 	bc.VM.Stdout = io.Discard
 	r, err := blame.Profile(res.Prog, bc)
 	if err != nil {

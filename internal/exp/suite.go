@@ -47,6 +47,7 @@ func Experiments() []Experiment {
 		tableExp("agg", TableAgg),
 		tableExp("locales", TableLocales),
 		tableExp("chaos", TableChaos),
+		tableExp("sparse", TableSparse),
 		tableExp("static", TableStaticAccuracy),
 		tableExp("baseline", UnknownData),
 		tableExp("overhead", Overhead),

@@ -62,6 +62,26 @@ for i in D {
 }
 writeln(s);
 `,
+		// Indirect indexing (A[B[i]]): the access pattern the analyzer
+		// classifies SiteIrregular and the comm inspector coalesces.
+		`
+config const n = 8;
+var D: domain(1) dmapped Block = {0..#n};
+var A: [D] real;
+var B: [D] int;
+var Y: [D] real;
+forall i in D {
+  A[i] = 1.0 + i;
+  B[i] = (i * 3 + 1) % n;
+}
+forall i in D {
+  Y[i] = A[B[i]];
+}
+forall i in D {
+  A[B[i]] = A[B[i]] + Y[i];
+}
+writeln(+ reduce Y);
+`,
 	}
 	if root, err := moduleRoot(); err == nil {
 		paths, _ := filepath.Glob(filepath.Join(root, "examples", "*", "*.mchpl"))

@@ -231,6 +231,7 @@ func (Backend) Run(prog *ir.Program, cfg vm.Config) (vm.Stats, error) {
 		MaxCycles:       cfg.MaxCycles,
 		CommAggregate:   cfg.CommAggregate,
 		CommCacheCap:    cfg.CommCacheCap,
+		CommInspector:   cfg.CommInspector,
 		NoOwnerComputes: cfg.NoOwnerComputes,
 	}
 	reply, err := r.Exec(spec)

@@ -33,6 +33,8 @@ func corpusSeeds(t testing.TB) []string {
 	seeds = append(seeds,
 		benchprog.HaloSource,
 		benchprog.WavefrontSource,
+		benchprog.GatherSource,
+		benchprog.SpMVSource,
 		benchprog.Fig1Example,
 	)
 	for _, p := range []benchprog.Program{

@@ -36,6 +36,12 @@ func ResolveBench(name string) (src, progName string, err error) {
 	case "wavefront":
 		p := benchprog.Wavefront()
 		return p.Source, p.Name, nil
+	case "gather":
+		p := benchprog.Gather()
+		return p.Source, p.Name, nil
+	case "spmv":
+		p := benchprog.SpMV()
+		return p.Source, p.Name, nil
 	case "fig1":
 		return benchprog.Fig1Example, "fig1", nil
 	}
@@ -47,6 +53,7 @@ func Benches() []string {
 	names := []string{
 		"minimd", "minimd_opt", "clomp", "clomp_opt",
 		"lulesh", "lulesh_best", "halo", "wavefront", "fig1",
+		"gather", "spmv",
 	}
 	sort.Strings(names)
 	return names

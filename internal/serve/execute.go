@@ -149,6 +149,7 @@ func Execute(req *Request, ctl *RunControl) (*Outcome, error) {
 	if req.CommAggregate {
 		cfg.VM.CommAggregate = true
 		cfg.VM.CommCacheCap = req.CommCache
+		cfg.VM.CommInspector = req.CommInspector
 	}
 	if req.CommAggregate || req.Locales > 1 {
 		// The plan also powers the owner-computes violation counter, so

@@ -104,6 +104,12 @@ type Metrics struct {
 	served    uint64
 	byState   map[State]uint64
 	startedAt time.Time
+
+	// Inspector–executor totals (comm.Stats counters, summed over served
+	// sessions that ran with the inspector enabled).
+	inspBuilds   uint64
+	schedHits    uint64
+	replicatedVs uint64
 }
 
 // NewMetrics builds an empty metrics registry.
@@ -143,6 +149,11 @@ func (m *Metrics) SessionDone(state State, out *Outcome, e2e time.Duration) {
 		m.cycles += out.Stats.TotalCycles
 		m.commMsgs += out.Stats.CommMessages
 		m.samples += uint64(out.Samples)
+		if agg := out.Stats.Agg; agg != nil {
+			m.inspBuilds += uint64(agg.InspectorBuilds)
+			m.schedHits += uint64(agg.ScheduleHits)
+			m.replicatedVs += uint64(agg.ReplicatedVars)
+		}
 	}
 	m.mu.Unlock()
 	m.Latency.Observe(e2e)
@@ -171,6 +182,9 @@ type MetricsSnapshot struct {
 	Cycles        uint64            `json:"cycles_total"`
 	CommMessages  uint64            `json:"comm_messages_total"`
 	Samples       uint64            `json:"samples_total"`
+	InspBuilds    uint64            `json:"inspector_builds_total"`
+	SchedHits     uint64            `json:"schedule_hits_total"`
+	ReplicatedVs  uint64            `json:"replicated_vars_total"`
 	Cache         CacheStats        `json:"cache"`
 	CacheHitRate  float64           `json:"cache_hit_rate"`
 	Sched         SchedStats        `json:"scheduler"`
@@ -189,6 +203,9 @@ func (m *Metrics) Snapshot(cache CacheStats, sched SchedStats) MetricsSnapshot {
 		Cycles:        m.cycles,
 		CommMessages:  m.commMsgs,
 		Samples:       m.samples,
+		InspBuilds:    m.inspBuilds,
+		SchedHits:     m.schedHits,
+		ReplicatedVs:  m.replicatedVs,
 	}
 	for k, v := range m.requests {
 		snap.Requests[k] = v
@@ -234,6 +251,9 @@ func (m *Metrics) Render(cache CacheStats, sched SchedStats) string {
 	fmt.Fprintf(&b, "blamed_session_cycles_total %d\n", snap.Cycles)
 	fmt.Fprintf(&b, "blamed_session_comm_messages_total %d\n", snap.CommMessages)
 	fmt.Fprintf(&b, "blamed_session_samples_total %d\n", snap.Samples)
+	fmt.Fprintf(&b, "blamed_session_inspector_builds_total %d\n", snap.InspBuilds)
+	fmt.Fprintf(&b, "blamed_session_schedule_hits_total %d\n", snap.SchedHits)
+	fmt.Fprintf(&b, "blamed_session_replicated_vars_total %d\n", snap.ReplicatedVs)
 	renderHist(&b, "blamed_request_seconds", m.Latency)
 	renderHist(&b, "blamed_run_seconds", m.RunTime)
 	return b.String()

@@ -86,7 +86,10 @@ type Request struct {
 	// CommCache is the per-locale software-cache capacity in elements:
 	// 0 selects comm.DefaultCacheCap, negative disables caching. Only
 	// meaningful with CommAggregate.
-	CommCache       int  `json:"comm_cache,omitempty"`
+	CommCache int `json:"comm_cache,omitempty"`
+	// CommInspector enables the inspector–executor path for irregular
+	// (data-dependent subscript) sites; implies CommAggregate.
+	CommInspector   bool `json:"comm_inspector,omitempty"`
 	NoOwnerComputes bool `json:"no_owner_computes,omitempty"`
 
 	// Per-session fault injection (CLI -fault-spec / -fault-seed).
@@ -155,6 +158,9 @@ func (r *Request) Normalize() error {
 	if r.Skid < 0 || r.SampleBuffer < 0 {
 		return fmt.Errorf("skid and sample_buffer must be non-negative")
 	}
+	if r.CommInspector {
+		r.CommAggregate = true
+	}
 	if r.CommAggregate && r.CommCache == 0 {
 		r.CommCache = comm.DefaultCacheCap
 	}
@@ -192,9 +198,10 @@ func (r *Request) Key() string {
 	put(fmt.Sprintf("%d|%d|%d|%d|%d|%d|%d|%d",
 		r.Locales, r.Cores, r.Limit, r.Threshold, r.Skid,
 		r.SampleBuffer, r.CommCache, r.FaultSeed))
-	put(fmt.Sprintf("%t|%t|%t|%t|%t|%t|%t|%t",
+	put(fmt.Sprintf("%t|%t|%t|%t|%t|%t|%t|%t|%t",
 		r.Lint, r.PerLocale, r.NoImplicit, r.NoInterproc, r.Lines,
-		r.CommAggregate, r.NoOwnerComputes, r.FaultSpec != ""))
+		r.CommAggregate, r.NoOwnerComputes, r.FaultSpec != "",
+		r.CommInspector))
 	// Canonical config order: maps iterate randomly.
 	keys := make([]string, 0, len(r.Configs))
 	for k := range r.Configs {
@@ -221,6 +228,9 @@ func (r *Request) Summary() string {
 	}
 	if r.CommAggregate {
 		b.WriteString(" comm-aggregate")
+	}
+	if r.CommInspector {
+		b.WriteString(" comm-inspector")
 	}
 	if r.FaultSpec != "" {
 		fmt.Fprintf(&b, " fault=%s", r.FaultSpec)

@@ -82,6 +82,13 @@ type Config struct {
 	// (0 selects comm.DefaultCacheCap, negative disables caching). Only
 	// meaningful with CommAggregate.
 	CommCacheCap int
+	// CommInspector enables the inspector–executor path for irregular
+	// (data-dependent subscript) sites: remote index sets are recorded
+	// once per task, gathered in bulk per owner, memoized per sweep
+	// window, and read-mostly arrays are selectively replicated. Only
+	// meaningful with CommAggregate and a CommPlan that classifies
+	// SiteIrregular sites.
+	CommInspector bool
 	// CommPlan is the static comm-pattern plan (analyze.CommPlan) the
 	// aggregation runtime keys halo prefetches on. Optional.
 	CommPlan *comm.Plan
@@ -378,10 +385,11 @@ func New(prog *ir.Program, cfg Config) *VM {
 	}
 	if cfg.CommAggregate {
 		m.comm = comm.New(comm.Config{
-			Locales:  cfg.NumLocales,
-			CacheCap: cfg.CommCacheCap,
-			Fault:    cfg.Fault,
-			Retry:    cfg.CommRetry,
+			Locales:   cfg.NumLocales,
+			CacheCap:  cfg.CommCacheCap,
+			Fault:     cfg.Fault,
+			Retry:     cfg.CommRetry,
+			Inspector: cfg.CommInspector,
 		}, cfg.CommPlan)
 	} else if cfg.Fault != nil && cfg.CommRetry != (fault.RetryPolicy{}) {
 		// Direct (unaggregated) path: apply the retry override here since
@@ -778,6 +786,20 @@ func (m *VM) taskFinished(t *Task) {
 			// The waiter spun at the barrier until the last child arrived.
 			m.spinTo(w, g.completeClock)
 			m.rtCharge(w, m.cost(m.Cfg.Costs.Barrier), "chpl_task_barrier")
+			if m.comm != nil {
+				// Barrier-time inspector work: selective replication of
+				// arrays that turned read-mostly during the sweep, charged
+				// to the waiter.
+				for _, ev := range m.comm.SweepEnd() {
+					if ev.Message() {
+						m.Stats.CommMessages++
+						m.Stats.CommBytes += ev.Bytes
+						m.lis.Comm(ev.Bytes, ev.From, ev.To, ev.Var, w, nil)
+						m.charge(w, m.cost(m.Cfg.Costs.CommLatency*uint64(1+ev.ExtraLat)+uint64(ev.Bytes)*m.Cfg.Costs.CommPerByte))
+					}
+					m.lis.CommAgg(ev, w)
+				}
+			}
 			// Step past the spawn instruction the waiter blocked on.
 			if a := w.Top(); a != nil && a.Block != nil && a.Idx < len(a.Block.Instrs) {
 				if a.Block.Instrs[a.Idx].Op == ir.OpSpawn {
