@@ -28,6 +28,7 @@ import (
 	"repro/internal/compile"
 	"repro/internal/gobe"
 	"repro/internal/serve"
+	"repro/internal/super"
 )
 
 func main() {
@@ -135,13 +136,16 @@ func main() {
 
 // execGoBackend runs the request through the compiled-backend runner:
 // gobe.Build (content-hash cached) then the runner's outcome mode, which
-// embeds the identical serve.Execute pipeline.
+// embeds the identical serve.Execute pipeline. The runner executes
+// under host-level supervision (internal/super) so a crashed or hung
+// runner process restarts with backoff instead of failing the CLI; a
+// persistent crasher falls back to the bit-identical interpreter.
 func execGoBackend(req *serve.Request) (*serve.Outcome, error) {
 	r, err := gobe.Build(req.Name, req.Source, compile.Options{})
 	if err != nil {
 		return nil, err
 	}
-	reply, err := r.Outcome(req)
+	reply, err := super.New(super.Options{}).Outcome(r, req)
 	if err != nil {
 		return nil, err
 	}

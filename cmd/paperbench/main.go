@@ -71,6 +71,9 @@ func main() {
 		ltClients  = flag.Int("loadtest-concurrency", 64, "storm-phase concurrent clients")
 		ltAddr     = flag.String("loadtest-addr", "", "blamed base URL (empty = boot an in-process server)")
 		diffbe     = flag.Bool("diffbe", false, "run the backend differential harness (interpreter vs native-compiled Go backend) instead of the experiment suite")
+		crashtest  = flag.Bool("crashtest", false, "run the crash-chaos harness (runner SIGKILLs, breaker fallback, journal reboot, graceful drain) instead of the experiment suite")
+		crashSeed  = flag.Uint64("crash-seed", 1, "crash-chaos PRNG seed (kill decisions and delays replay exactly)")
+		crashRuns  = flag.Int("crash-runs", 6, "crash-chaos phase-A supervised execution count")
 	)
 	flag.Parse()
 	if *serial {
@@ -83,6 +86,10 @@ func main() {
 	}
 	if *diffbe {
 		runDiffBE(*benchJSON)
+		return
+	}
+	if *crashtest {
+		runCrashTest(*crashSeed, *crashRuns, *benchJSON)
 		return
 	}
 
@@ -299,6 +306,37 @@ func runLoadTest(addr string, requests, clients int, benchJSON, checkFile string
 		}
 	}
 	if failed {
+		os.Exit(1)
+	}
+}
+
+// runCrashTest is the -crashtest mode: the process-level chaos harness
+// (seeded runner SIGKILLs, circuit-breaker fallback, journal reboot,
+// graceful drain under load). Any gate failure is a nonzero exit; with
+// no Go toolchain the supervised phases report SKIPPED while the
+// journal and drain phases still gate.
+func runCrashTest(seed uint64, runs int, benchJSON string) {
+	start := time.Now()
+	res, err := exp.CrashTest(exp.CrashTestOptions{Seed: seed, ChaosRuns: runs})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crashtest:", err)
+		os.Exit(1)
+	}
+	fmt.Print(res.Text())
+	if benchJSON != "" {
+		report := BenchReport{Workers: 1, Entries: []BenchEntry{{
+			Name: "crashtest", WallSeconds: time.Since(start).Seconds(),
+		}}}
+		data, err := json.MarshalIndent(&report, "", "  ")
+		if err == nil {
+			err = os.WriteFile(benchJSON, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench-json:", err)
+			os.Exit(1)
+		}
+	}
+	if len(res.Failures) > 0 {
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,41 @@
+//go:build unix
+
+package gobert
+
+import (
+	"os"
+	"strconv"
+	"syscall"
+	"time"
+)
+
+// armCrashTimer arms the crash-chaos hook: when the supervisor sets
+// MCHPL_RUNNER_CRASH_AFTER_US=<microseconds> in the runner's
+// environment, the process SIGKILLs itself after that delay — an
+// uncatchable, mid-quantum death indistinguishable from an OOM kill or
+// a node reboot. The delay is chosen by the harness's seeded PRNG, so a
+// failing crash-chaos run replays exactly. Production never sets the
+// variable; the hook costs one getenv.
+//
+// A delay of exactly 0 kills synchronously, before Main does any work:
+// a fast runner can otherwise finish its whole reply before the killer
+// goroutine is ever scheduled, so 0 is the deterministic "this launch
+// MUST die" setting the harness's breaker phase relies on.
+func armCrashTimer() {
+	v := os.Getenv("MCHPL_RUNNER_CRASH_AFTER_US")
+	if v == "" {
+		return
+	}
+	us, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || us < 0 {
+		return
+	}
+	if us == 0 {
+		_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+		select {} // unreachable: SIGKILL cannot be outrun
+	}
+	go func() {
+		time.Sleep(time.Duration(us) * time.Microsecond)
+		_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+	}()
+}

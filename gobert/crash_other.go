@@ -1,0 +1,7 @@
+//go:build !unix
+
+package gobert
+
+// armCrashTimer is a no-op where self-SIGKILL is unavailable; the
+// crash-chaos harness only runs on unix hosts.
+func armCrashTimer() {}

@@ -126,6 +126,7 @@ func BuildConfig(spec *RunSpec, prog *Program) (vm.Config, error) {
 // and write one Reply to stdout. Never panics across the protocol
 // boundary: internal failures become Reply.Err with exit status 1.
 func Main(spec ProgramSpec) {
+	armCrashTimer()
 	if path := os.Getenv("MCHPL_RUNNER_CPUPROFILE"); path != "" {
 		if f, err := os.Create(path); err == nil {
 			_ = pprof.StartCPUProfile(f)

@@ -1,0 +1,38 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// The toolchain-free crash phases (journal reboot, graceful drain) run
+// in the regular test suite; the supervised phases A/B need the Go
+// toolchain and run in the crash-chaos CI job via paperbench -crashtest.
+
+func TestCrashPhaseCJournalReboot(t *testing.T) {
+	res := &CrashResult{}
+	p, err := crashPhaseC(res, CrashTestOptions{Seed: 1, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failures) > 0 {
+		t.Fatalf("phase C gates failed:\n%s", strings.Join(res.Failures, "\n"))
+	}
+	if p.Runs == 0 {
+		t.Fatal("phase C ran nothing")
+	}
+}
+
+func TestCrashPhaseDDrain(t *testing.T) {
+	res := &CrashResult{}
+	p, err := crashPhaseD(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failures) > 0 {
+		t.Fatalf("phase D gates failed:\n%s", strings.Join(res.Failures, "\n"))
+	}
+	if p.Runs == 0 {
+		t.Fatal("phase D observed no submissions")
+	}
+}

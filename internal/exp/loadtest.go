@@ -58,6 +58,32 @@ func (r *LoadTestResult) Text() string {
 	return b.String()
 }
 
+// WaitReady polls the server's /readyz until it answers 200 — the
+// replacement for sleep-and-hope startup loops: readiness is an explicit
+// server-side predicate (not draining, scheduler accepting), so the
+// verifier starts the instant the server can actually take work.
+func WaitReady(client *http.Client, base string, timeout time.Duration) error {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	deadline := time.Now().Add(timeout)
+	var last error
+	for time.Now().Before(deadline) {
+		resp, err := client.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+			last = fmt.Errorf("/readyz: HTTP %d", resp.StatusCode)
+		} else {
+			last = err
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	return fmt.Errorf("server not ready after %s: %w", timeout, last)
+}
+
 // loadMix is the unique request set a load test cycles through: cheap
 // programs across views, locales, comm modes and fault injection, so the
 // storm exercises every cache-key dimension.
@@ -105,6 +131,9 @@ func LoadTest(opts LoadTestOptions) (*LoadTestResult, error) {
 		MaxIdleConns:        opts.Concurrency * 2,
 		MaxIdleConnsPerHost: opts.Concurrency * 2,
 	}}
+	if err := WaitReady(client, base, 15*time.Second); err != nil {
+		return nil, err
+	}
 
 	mix := loadMix()
 	if opts.Requests < len(mix) {

@@ -259,8 +259,11 @@ func DefaultRetry() RetryPolicy {
 	return RetryPolicy{MaxRetries: 6, BackoffBase: 1, BackoffCap: 16, TimeoutUnits: 32}
 }
 
-// normalize fills zero fields from the defaults.
-func (p RetryPolicy) normalize() RetryPolicy {
+// Normalized fills zero (or negative) fields from the defaults and
+// returns the completed policy. Exported so process-level supervisors
+// (internal/super) can reuse the same bounded-exponential-backoff
+// semantics the modeled network applies per message.
+func (p RetryPolicy) Normalized() RetryPolicy {
 	d := DefaultRetry()
 	if p.MaxRetries <= 0 {
 		p.MaxRetries = d.MaxRetries
@@ -357,7 +360,7 @@ func (i *Injector) SetRetry(p RetryPolicy) {
 	if i == nil {
 		return
 	}
-	i.pol = p.normalize()
+	i.pol = p.Normalized()
 }
 
 // Spec returns the injector's fault specification.

@@ -1,0 +1,178 @@
+package fault
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestNormalizedPartialZero: every zero (or negative) field is filled
+// from DefaultRetry while explicitly-set fields survive, one field at a
+// time and in combinations.
+func TestNormalizedPartialZero(t *testing.T) {
+	d := DefaultRetry()
+	cases := []struct {
+		name string
+		in   RetryPolicy
+		want RetryPolicy
+	}{
+		{"all-zero", RetryPolicy{}, d},
+		{"all-set", RetryPolicy{MaxRetries: 2, BackoffBase: 3, BackoffCap: 7, TimeoutUnits: 11},
+			RetryPolicy{MaxRetries: 2, BackoffBase: 3, BackoffCap: 7, TimeoutUnits: 11}},
+		{"only-retries", RetryPolicy{MaxRetries: 9},
+			RetryPolicy{MaxRetries: 9, BackoffBase: d.BackoffBase, BackoffCap: d.BackoffCap, TimeoutUnits: d.TimeoutUnits}},
+		{"only-base", RetryPolicy{BackoffBase: 5},
+			RetryPolicy{MaxRetries: d.MaxRetries, BackoffBase: 5, BackoffCap: d.BackoffCap, TimeoutUnits: d.TimeoutUnits}},
+		{"only-cap", RetryPolicy{BackoffCap: 64},
+			RetryPolicy{MaxRetries: d.MaxRetries, BackoffBase: d.BackoffBase, BackoffCap: 64, TimeoutUnits: d.TimeoutUnits}},
+		{"only-timeout", RetryPolicy{TimeoutUnits: 100},
+			RetryPolicy{MaxRetries: d.MaxRetries, BackoffBase: d.BackoffBase, BackoffCap: d.BackoffCap, TimeoutUnits: 100}},
+		{"negative-fields", RetryPolicy{MaxRetries: -1, BackoffBase: -2, BackoffCap: -3, TimeoutUnits: -4}, d},
+		{"mixed", RetryPolicy{MaxRetries: 1, BackoffCap: 2},
+			RetryPolicy{MaxRetries: 1, BackoffBase: d.BackoffBase, BackoffCap: 2, TimeoutUnits: d.TimeoutUnits}},
+	}
+	for _, tc := range cases {
+		if got := tc.in.Normalized(); got != tc.want {
+			t.Errorf("%s: Normalized() = %+v, want %+v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestNormalizedIdempotent: normalizing a normalized policy is a no-op.
+func TestNormalizedIdempotent(t *testing.T) {
+	p := RetryPolicy{MaxRetries: 3}.Normalized()
+	if again := p.Normalized(); again != p {
+		t.Fatalf("Normalized not idempotent: %+v -> %+v", p, again)
+	}
+}
+
+// TestTimeoutExhaustionCharging pins the cost accounting on the
+// retry-exhaustion path: with loss=1 every transmission drops, so the
+// injector retries MaxRetries times (charging backoff+1 each, backoff
+// doubling up to the cap) and then declares a timeout charging exactly
+// TimeoutUnits more.
+func TestTimeoutExhaustionCharging(t *testing.T) {
+	spec, err := ParseSpec("loss=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := NewInjector(spec, 7)
+	pol := RetryPolicy{MaxRetries: 3, BackoffBase: 2, BackoffCap: 5, TimeoutUnits: 40}
+	inj.SetRetry(pol)
+
+	out := inj.Send(0, 1)
+	if !out.Timeout {
+		t.Fatal("loss=1 send did not time out")
+	}
+	if out.Retries != int64(pol.MaxRetries) {
+		t.Fatalf("retries = %d, want %d", out.Retries, pol.MaxRetries)
+	}
+	// Backoff waits: 2, 4, 5 (doubled then capped), +1 retransmission
+	// latency each, then the timeout cost.
+	wantLat := int64((2 + 1) + (4 + 1) + (5 + 1) + 40)
+	if out.ExtraLat != wantLat {
+		t.Fatalf("ExtraLat = %d, want %d", out.ExtraLat, wantLat)
+	}
+
+	st := inj.Stats()
+	if st.Timeouts != 1 {
+		t.Fatalf("Timeouts = %d, want 1", st.Timeouts)
+	}
+	if st.Retries != int64(pol.MaxRetries) {
+		t.Fatalf("stats retries = %d, want %d", st.Retries, pol.MaxRetries)
+	}
+	// MaxRetries retransmissions dropped plus the final drop that
+	// exhausted the budget.
+	if st.DroppedMsgs != int64(pol.MaxRetries)+1 {
+		t.Fatalf("DroppedMsgs = %d, want %d", st.DroppedMsgs, pol.MaxRetries+1)
+	}
+	if st.ExtraLatUnits != wantLat {
+		t.Fatalf("ExtraLatUnits = %d, want %d", st.ExtraLatUnits, wantLat)
+	}
+}
+
+// TestDeadEndpointChargesTimeoutUnits: a send touching a dead locale
+// charges exactly TimeoutUnits (no backoff loop — the failure detector
+// already knows) and counts one drop and one timeout.
+func TestDeadEndpointChargesTimeoutUnits(t *testing.T) {
+	spec, err := ParseSpec("locale-fail=1@tick0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := NewInjector(spec, 1)
+	inj.SetRetry(RetryPolicy{TimeoutUnits: 17})
+
+	out := inj.Send(0, 1)
+	if !out.Timeout {
+		t.Fatal("send to dead locale did not time out")
+	}
+	if out.ExtraLat != 17 {
+		t.Fatalf("ExtraLat = %d, want 17", out.ExtraLat)
+	}
+	if out.Retries != 0 {
+		t.Fatalf("dead-endpoint path retried %d times, want 0", out.Retries)
+	}
+	st := inj.Stats()
+	if st.DroppedMsgs != 1 || st.Timeouts != 1 {
+		t.Fatalf("dropped=%d timeouts=%d, want 1/1", st.DroppedMsgs, st.Timeouts)
+	}
+}
+
+// TestSetRetryConcurrentInjectors: distinct injectors with their own
+// policies running on separate goroutines must not interfere (each
+// injector is single-goroutine by contract, but injectors are created
+// and configured concurrently across sessions in the serving path).
+// Run under -race.
+func TestSetRetryConcurrentInjectors(t *testing.T) {
+	spec, err := ParseSpec("loss=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 16
+	var wg sync.WaitGroup
+	results := make([]int64, n)
+	for g := 0; g < n; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			inj := NewInjector(spec, uint64(g+1))
+			inj.SetRetry(RetryPolicy{MaxRetries: g%4 + 1, TimeoutUnits: int64(g + 1)})
+			for k := 0; k < 200; k++ {
+				inj.Send(0, 1)
+			}
+			results[g] = inj.Stats().Sends
+		}(g)
+	}
+	wg.Wait()
+	for g, sends := range results {
+		if sends != 200 {
+			t.Fatalf("injector %d examined %d sends, want 200", g, sends)
+		}
+	}
+
+	// Same-seed injectors configured concurrently must stay
+	// deterministic: identical policy + seed => identical stats.
+	var wg2 sync.WaitGroup
+	stats := make([]Stats, 4)
+	for g := range stats {
+		wg2.Add(1)
+		go func(g int) {
+			defer wg2.Done()
+			inj := NewInjector(spec, 42)
+			inj.SetRetry(RetryPolicy{MaxRetries: 2})
+			for k := 0; k < 100; k++ {
+				inj.Send(0, 1)
+			}
+			stats[g] = *inj.Stats()
+		}(g)
+	}
+	wg2.Wait()
+	for g := 1; g < len(stats); g++ {
+		if stats[g] != stats[0] {
+			t.Fatalf("same-seed injector %d diverged: %+v vs %+v", g, stats[g], stats[0])
+		}
+	}
+
+	// SetRetry on a nil injector must stay a safe no-op.
+	var nilInj *Injector
+	nilInj.SetRetry(RetryPolicy{MaxRetries: 1})
+}

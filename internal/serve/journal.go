@@ -1,0 +1,204 @@
+package serve
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// The outcome journal is an append-only on-disk log of every outcome
+// the server caches, so a restarted daemon starts warm instead of cold.
+// Each record is one CRC-framed JSON payload:
+//
+//	[4B magic "BJL1"] [4B payload length, LE] [4B CRC-32 (IEEE) of payload] [payload]
+//
+// Appends are unbuffered — one write syscall per record — so at SIGKILL
+// granularity the file holds some prefix of complete frames plus at
+// most one torn tail. Replay stops at the first bad frame (bad magic,
+// implausible length, short payload, CRC mismatch) and truncates the
+// file there, so subsequent appends never land after garbage. Records
+// are content-keyed by Request.Key(): replaying a record restores
+// exactly the cache entry the original execution produced, byte for
+// byte, which is what the crash harness pins.
+
+const (
+	journalMagic     = 0x314c4a42 // "BJL1" little-endian
+	journalHeaderLen = 12
+	// maxJournalRecord bounds a frame's claimed payload length; anything
+	// larger is corruption (outcomes are cache-bounded well below this).
+	maxJournalRecord = 1 << 30
+)
+
+// journalRecord is the persisted form of one cache insertion. Profile
+// is carried separately because Outcome.ProfileJSON is excluded from
+// the envelope (json:"-") everywhere else in the protocol.
+type journalRecord struct {
+	Key     string          `json:"key"`
+	Outcome *Outcome        `json:"outcome"`
+	Profile json.RawMessage `json:"profile,omitempty"`
+}
+
+// JournalStats is the journal's observable state.
+type JournalStats struct {
+	Enabled   bool   `json:"enabled"`
+	Path      string `json:"path,omitempty"`
+	Appended  uint64 `json:"appended,omitempty"`
+	Replayed  uint64 `json:"replayed,omitempty"`
+	Truncated uint64 `json:"truncated_bytes,omitempty"`
+	Bytes     int64  `json:"bytes,omitempty"`
+}
+
+// Journal is the append-only outcome log. Safe for concurrent use.
+type Journal struct {
+	mu        sync.Mutex
+	f         *os.File
+	path      string
+	appended  uint64
+	replayed  uint64
+	truncated uint64
+	bytes     int64
+}
+
+// OpenJournal opens (creating if needed) the journal at path, replays
+// every intact record into restore, truncates any torn tail, and leaves
+// the file positioned for appends.
+func OpenJournal(path string, restore func(key string, out *Outcome)) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	j := &Journal{f: f, path: path}
+	if err := j.replay(restore); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// replay scans frames from the start, feeding intact records to restore
+// and truncating the file at the first damaged frame.
+func (j *Journal) replay(restore func(string, *Outcome)) error {
+	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	fi, err := j.f.Stat()
+	if err != nil {
+		return err
+	}
+	size := fi.Size()
+	var off int64
+	hdr := make([]byte, journalHeaderLen)
+	for {
+		if size-off < journalHeaderLen {
+			break
+		}
+		if _, err := io.ReadFull(j.f, hdr); err != nil {
+			break
+		}
+		if binary.LittleEndian.Uint32(hdr[0:4]) != journalMagic {
+			break
+		}
+		n := binary.LittleEndian.Uint32(hdr[4:8])
+		if int64(n) > maxJournalRecord || size-off-journalHeaderLen < int64(n) {
+			break
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(j.f, payload); err != nil {
+			break
+		}
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(hdr[8:12]) {
+			break
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			break
+		}
+		off += journalHeaderLen + int64(n)
+		if rec.Outcome != nil && rec.Key != "" {
+			rec.Outcome.ProfileJSON = rec.Profile
+			j.replayed++
+			if restore != nil {
+				restore(rec.Key, rec.Outcome)
+			}
+		}
+	}
+	if off < size {
+		j.truncated = uint64(size - off)
+		if err := j.f.Truncate(off); err != nil {
+			return fmt.Errorf("truncating damaged journal tail: %w", err)
+		}
+	}
+	if _, err := j.f.Seek(off, io.SeekStart); err != nil {
+		return err
+	}
+	j.bytes = off
+	return nil
+}
+
+// Append persists one cache insertion: a single unbuffered write, so a
+// crash can tear at most the final record (which replay drops).
+func (j *Journal) Append(key string, out *Outcome) error {
+	if j == nil {
+		return nil
+	}
+	payload, err := json.Marshal(&journalRecord{Key: key, Outcome: out, Profile: out.ProfileJSON})
+	if err != nil {
+		return err
+	}
+	frame := make([]byte, journalHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], journalMagic)
+	binary.LittleEndian.PutUint32(frame[4:8], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[8:12], crc32.ChecksumIEEE(payload))
+	copy(frame[journalHeaderLen:], payload)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil // closed: drop silently (shutdown race)
+	}
+	if _, err := j.f.Write(frame); err != nil {
+		return err
+	}
+	j.appended++
+	j.bytes += int64(len(frame))
+	return nil
+}
+
+// Stats snapshots the journal counters; safe on a nil journal (reports
+// Enabled: false).
+func (j *Journal) Stats() JournalStats {
+	if j == nil {
+		return JournalStats{}
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JournalStats{
+		Enabled:   true,
+		Path:      j.path,
+		Appended:  j.appended,
+		Replayed:  j.replayed,
+		Truncated: j.truncated,
+		Bytes:     j.bytes,
+	}
+}
+
+// Close syncs and closes the file; later Appends become no-ops.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Sync()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	return err
+}

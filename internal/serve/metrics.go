@@ -95,9 +95,10 @@ type Metrics struct {
 	mu        sync.Mutex
 	requests  map[string]uint64 // by endpoint
 	errors    map[string]uint64
-	Latency   *Histogram // end-to-end submit→done
-	RunTime   *Histogram // pipeline execution only (cache misses)
-	cycles    uint64     // total simulated cycles served (incl. cached replays)
+	sheds     map[string]uint64 // load-shedding, by reason (draining | queue_full | closed)
+	Latency   *Histogram        // end-to-end submit→done
+	RunTime   *Histogram        // pipeline execution only (cache misses)
+	cycles    uint64            // total simulated cycles served (incl. cached replays)
 	commMsgs  uint64
 	samples   uint64
 	executed  uint64
@@ -117,6 +118,7 @@ func NewMetrics() *Metrics {
 	return &Metrics{
 		requests:  make(map[string]uint64),
 		errors:    make(map[string]uint64),
+		sheds:     make(map[string]uint64),
 		Latency:   NewHistogram(),
 		RunTime:   NewHistogram(),
 		byState:   make(map[State]uint64),
@@ -135,6 +137,13 @@ func (m *Metrics) IncRequest(endpoint string) {
 func (m *Metrics) IncError(endpoint string) {
 	m.mu.Lock()
 	m.errors[endpoint]++
+	m.mu.Unlock()
+}
+
+// Shed counts one load-shed submission by reason.
+func (m *Metrics) Shed(reason string) {
+	m.mu.Lock()
+	m.sheds[reason]++
 	m.mu.Unlock()
 }
 
@@ -169,34 +178,48 @@ func (m *Metrics) Executed(wall time.Duration) {
 
 // MetricsSnapshot is the JSON form of /metrics.
 type MetricsSnapshot struct {
-	UptimeSeconds float64           `json:"uptime_seconds"`
-	Requests      map[string]uint64 `json:"requests"`
-	Errors        map[string]uint64 `json:"errors,omitempty"`
-	Sessions      map[string]uint64 `json:"sessions"`
-	Served        uint64            `json:"served"`
-	Executed      uint64            `json:"executed"`
-	LatencyP50Ms  float64           `json:"latency_p50_ms"`
-	LatencyP95Ms  float64           `json:"latency_p95_ms"`
-	LatencyP99Ms  float64           `json:"latency_p99_ms"`
-	RunP99Ms      float64           `json:"run_p99_ms"`
-	Cycles        uint64            `json:"cycles_total"`
-	CommMessages  uint64            `json:"comm_messages_total"`
-	Samples       uint64            `json:"samples_total"`
-	InspBuilds    uint64            `json:"inspector_builds_total"`
-	SchedHits     uint64            `json:"schedule_hits_total"`
-	ReplicatedVs  uint64            `json:"replicated_vars_total"`
-	Cache         CacheStats        `json:"cache"`
-	CacheHitRate  float64           `json:"cache_hit_rate"`
-	Sched         SchedStats        `json:"scheduler"`
+	UptimeSeconds float64            `json:"uptime_seconds"`
+	Requests      map[string]uint64  `json:"requests"`
+	Errors        map[string]uint64  `json:"errors,omitempty"`
+	Sessions      map[string]uint64  `json:"sessions"`
+	Served        uint64             `json:"served"`
+	Executed      uint64             `json:"executed"`
+	LatencyP50Ms  float64            `json:"latency_p50_ms"`
+	LatencyP95Ms  float64            `json:"latency_p95_ms"`
+	LatencyP99Ms  float64            `json:"latency_p99_ms"`
+	RunP99Ms      float64            `json:"run_p99_ms"`
+	Cycles        uint64             `json:"cycles_total"`
+	CommMessages  uint64             `json:"comm_messages_total"`
+	Samples       uint64             `json:"samples_total"`
+	InspBuilds    uint64             `json:"inspector_builds_total"`
+	SchedHits     uint64             `json:"schedule_hits_total"`
+	ReplicatedVs  uint64             `json:"replicated_vars_total"`
+	Cache         CacheStats         `json:"cache"`
+	CacheHitRate  float64            `json:"cache_hit_rate"`
+	Sched         SchedStats         `json:"scheduler"`
+	Shed          map[string]uint64  `json:"shed,omitempty"`
+	Draining      bool               `json:"draining"`
+	Journal       JournalStats       `json:"journal"`
+	Aux           map[string]float64 `json:"aux,omitempty"`
+}
+
+// MetricsAux carries server-level resilience state into the rendering:
+// the drain flag, the journal counters, and any extra gauges the host
+// process registers (the runner supervisor's counters in cmd/blamed).
+type MetricsAux struct {
+	Draining bool
+	Journal  JournalStats
+	Extra    map[string]float64
 }
 
 // Snapshot assembles the JSON metrics view.
-func (m *Metrics) Snapshot(cache CacheStats, sched SchedStats) MetricsSnapshot {
+func (m *Metrics) Snapshot(cache CacheStats, sched SchedStats, aux MetricsAux) MetricsSnapshot {
 	m.mu.Lock()
 	snap := MetricsSnapshot{
 		UptimeSeconds: time.Since(m.startedAt).Seconds(),
 		Requests:      make(map[string]uint64, len(m.requests)),
 		Errors:        make(map[string]uint64, len(m.errors)),
+		Shed:          make(map[string]uint64, len(m.sheds)),
 		Sessions:      make(map[string]uint64, len(m.byState)),
 		Served:        m.served,
 		Executed:      m.executed,
@@ -213,6 +236,9 @@ func (m *Metrics) Snapshot(cache CacheStats, sched SchedStats) MetricsSnapshot {
 	for k, v := range m.errors {
 		snap.Errors[k] = v
 	}
+	for k, v := range m.sheds {
+		snap.Shed[k] = v
+	}
 	for k, v := range m.byState {
 		snap.Sessions[string(k)] = v
 	}
@@ -224,12 +250,15 @@ func (m *Metrics) Snapshot(cache CacheStats, sched SchedStats) MetricsSnapshot {
 	snap.Cache = cache
 	snap.CacheHitRate = cache.HitRate()
 	snap.Sched = sched
+	snap.Draining = aux.Draining
+	snap.Journal = aux.Journal
+	snap.Aux = aux.Extra
 	return snap
 }
 
 // Render writes the Prometheus-style text exposition of /metrics.
-func (m *Metrics) Render(cache CacheStats, sched SchedStats) string {
-	snap := m.Snapshot(cache, sched)
+func (m *Metrics) Render(cache CacheStats, sched SchedStats, aux MetricsAux) string {
+	snap := m.Snapshot(cache, sched, aux)
 	var b strings.Builder
 	fmt.Fprintf(&b, "blamed_uptime_seconds %.3f\n", snap.UptimeSeconds)
 	writeLabeled(&b, "blamed_requests_total", "endpoint", snap.Requests)
@@ -242,6 +271,22 @@ func (m *Metrics) Render(cache CacheStats, sched SchedStats) string {
 	fmt.Fprintf(&b, "blamed_workers %d\n", sched.Workers)
 	fmt.Fprintf(&b, "blamed_jobs_coalesced_total %d\n", sched.Coalesced)
 	fmt.Fprintf(&b, "blamed_sessions_expired_total %d\n", sched.Expired)
+	fmt.Fprintf(&b, "blamed_queue_cap %d\n", sched.QueueCap)
+	writeLabeled(&b, "blamed_shed_total", "reason", snap.Shed)
+	draining := 0
+	if snap.Draining {
+		draining = 1
+	}
+	fmt.Fprintf(&b, "blamed_draining %d\n", draining)
+	journalOn := 0
+	if snap.Journal.Enabled {
+		journalOn = 1
+	}
+	fmt.Fprintf(&b, "blamed_journal_enabled %d\n", journalOn)
+	fmt.Fprintf(&b, "blamed_journal_appended_total %d\n", snap.Journal.Appended)
+	fmt.Fprintf(&b, "blamed_journal_replayed_total %d\n", snap.Journal.Replayed)
+	fmt.Fprintf(&b, "blamed_journal_truncated_bytes %d\n", snap.Journal.Truncated)
+	fmt.Fprintf(&b, "blamed_journal_bytes %d\n", snap.Journal.Bytes)
 	fmt.Fprintf(&b, "blamed_cache_entries %d\n", cache.Entries)
 	fmt.Fprintf(&b, "blamed_cache_bytes %d\n", cache.Bytes)
 	fmt.Fprintf(&b, "blamed_cache_hits_total %d\n", cache.Hits)
@@ -254,6 +299,14 @@ func (m *Metrics) Render(cache CacheStats, sched SchedStats) string {
 	fmt.Fprintf(&b, "blamed_session_inspector_builds_total %d\n", snap.InspBuilds)
 	fmt.Fprintf(&b, "blamed_session_schedule_hits_total %d\n", snap.SchedHits)
 	fmt.Fprintf(&b, "blamed_session_replicated_vars_total %d\n", snap.ReplicatedVs)
+	auxKeys := make([]string, 0, len(snap.Aux))
+	for k := range snap.Aux {
+		auxKeys = append(auxKeys, k)
+	}
+	sort.Strings(auxKeys)
+	for _, k := range auxKeys {
+		fmt.Fprintf(&b, "blamed_%s %g\n", k, snap.Aux[k])
+	}
 	renderHist(&b, "blamed_request_seconds", m.Latency)
 	renderHist(&b, "blamed_run_seconds", m.RunTime)
 	return b.String()

@@ -9,8 +9,9 @@ import (
 )
 
 var (
-	errDeadline = errors.New("deadline exceeded")
-	errClosed   = errors.New("scheduler is shut down")
+	errDeadline  = errors.New("deadline exceeded")
+	errClosed    = errors.New("scheduler is shut down")
+	errQueueFull = errors.New("scheduler queue is full")
 )
 
 // job is one pipeline execution. Several sessions that submitted the
@@ -44,7 +45,11 @@ type Scheduler struct {
 	closed bool
 
 	workers int
-	run     func(*Request, *RunControl) (*Outcome, error)
+	// maxQueue bounds distinct queued jobs; submissions beyond it are
+	// shed with errQueueFull (0 = unbounded). Coalesced attaches never
+	// shed — they add no work.
+	maxQueue int
+	run      func(*Request, *RunControl) (*Outcome, error)
 	// onDone observes every completed execution (cache insertion,
 	// latency metrics); may be nil.
 	onDone func(j *job, out *Outcome, err error, wall time.Duration)
@@ -53,17 +58,20 @@ type Scheduler struct {
 	executed  uint64
 	coalesced uint64
 	expired   uint64
+	shed      uint64
 	wg        sync.WaitGroup
 }
 
 // SchedStats is the scheduler's observable state.
 type SchedStats struct {
 	QueueDepth int    `json:"queue_depth"`
+	QueueCap   int    `json:"queue_cap,omitempty"`
 	Running    int    `json:"running"`
 	Workers    int    `json:"workers"`
 	Executed   uint64 `json:"executed"`
 	Coalesced  uint64 `json:"coalesced"`
 	Expired    uint64 `json:"expired"`
+	Shed       uint64 `json:"shed,omitempty"`
 }
 
 // NewScheduler builds a scheduler over run with the given pool size.
@@ -80,6 +88,22 @@ func NewScheduler(workers int, run func(*Request, *RunControl) (*Outcome, error)
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
+}
+
+// SetMaxQueue bounds the number of distinct queued jobs (explicit
+// load-shedding); call before Start. n <= 0 means unbounded.
+func (s *Scheduler) SetMaxQueue(n int) {
+	s.mu.Lock()
+	s.maxQueue = n
+	s.mu.Unlock()
+}
+
+// Accepting reports whether new submissions can still be enqueued (the
+// readiness half of /readyz).
+func (s *Scheduler) Accepting() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.closed
 }
 
 // Start launches the worker pool.
@@ -106,11 +130,13 @@ func (s *Scheduler) Stats() SchedStats {
 	defer s.mu.Unlock()
 	return SchedStats{
 		QueueDepth: len(s.pq),
+		QueueCap:   s.maxQueue,
 		Running:    s.running,
 		Workers:    s.workers,
 		Executed:   s.executed,
 		Coalesced:  s.coalesced,
 		Expired:    s.expired,
+		Shed:       s.shed,
 	}
 }
 
@@ -118,12 +144,16 @@ func (s *Scheduler) Stats() SchedStats {
 // already queued or running, the session attaches to that job instead
 // of spawning a second execution; the job inherits the highest attached
 // priority. The session's deadline timer is armed here.
-func (s *Scheduler) Submit(sess *Session) {
+//
+// A non-nil return (errClosed, errQueueFull) means the session was NOT
+// enqueued and has already been finished with that error — the caller
+// only decides how to report it (the server turns both into 503s).
+func (s *Scheduler) Submit(sess *Session) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		sess.finish(StateFailed, nil, errClosed, false)
-		return
+		return errClosed
 	}
 	j, ok := s.byKey[sess.Key]
 	if ok && !sess.Req.NoCache {
@@ -135,6 +165,12 @@ func (s *Scheduler) Submit(sess *Session) {
 			heap.Fix(&s.pq, j.index)
 		}
 	} else {
+		if s.maxQueue > 0 && len(s.pq) >= s.maxQueue {
+			s.shed++
+			s.mu.Unlock()
+			sess.finish(StateFailed, nil, errQueueFull, false)
+			return errQueueFull
+		}
 		j = &job{key: sess.Key, req: sess.Req, prio: sess.Req.Priority, seq: s.seq}
 		s.seq++
 		j.sessions = []*Session{sess}
@@ -153,6 +189,7 @@ func (s *Scheduler) Submit(sess *Session) {
 		sess.timer = time.AfterFunc(d, sess.expire)
 	}
 	sess.mu.Unlock()
+	return nil
 }
 
 // detach removes a cancelled/expired session from its job. A queued job

@@ -2,17 +2,26 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/postmortem"
 	"repro/internal/views"
 	"repro/internal/vm"
 )
+
+// RunFunc executes one normalized request (the scheduler's work
+// function). The default is Execute; cmd/blamed substitutes the runner
+// supervisor's ServeRun for the compiled backend.
+type RunFunc func(*Request, *RunControl) (*Outcome, error)
 
 // Options configures a Server.
 type Options struct {
@@ -32,6 +41,18 @@ type Options struct {
 	// RankEvery is the sample interval for incremental blame-rank
 	// streaming (0 = 2000).
 	RankEvery int
+	// Run substitutes the pipeline execution function (nil = Execute).
+	Run RunFunc
+	// MaxQueue bounds distinct queued jobs; beyond it new submissions
+	// are shed with a 503 (0 = unbounded).
+	MaxQueue int
+	// Journal is the path of the append-only outcome journal; outcomes
+	// are replayed into the cache at boot and appended as they are
+	// produced ("" = disabled).
+	Journal string
+	// AuxMetrics supplies extra gauges for /metrics (rendered as
+	// blamed_<key>, sorted); nil = none.
+	AuxMetrics func() map[string]float64
 }
 
 // Server is the blame-as-a-service front end: sessions, scheduler,
@@ -41,6 +62,11 @@ type Server struct {
 	cache   *Cache
 	sched   *Scheduler
 	metrics *Metrics
+	journal *Journal
+
+	// draining rejects new submissions (503 + Retry-After) while
+	// in-flight sessions finish; set by BeginDrain/Shutdown.
+	draining atomic.Bool
 
 	mu       sync.Mutex
 	sessions map[string]*Session
@@ -48,7 +74,10 @@ type Server struct {
 	nextID   uint64
 }
 
-// New builds a Server and starts its scheduler workers.
+// New builds a Server and starts its scheduler workers. If a journal is
+// configured, every intact record is replayed into the outcome cache
+// first, so the server boots warm; a journal that cannot be opened is
+// reported on stderr and disabled rather than failing the boot.
 func New(opts Options) *Server {
 	if opts.Workers <= 0 {
 		opts.Workers = 4
@@ -56,28 +85,93 @@ func New(opts Options) *Server {
 	if opts.MaxSessions <= 0 {
 		opts.MaxSessions = 4096
 	}
+	run := opts.Run
+	if run == nil {
+		run = Execute
+	}
 	s := &Server{
 		opts:     opts,
 		cache:    NewCache(opts.CacheBytes, opts.CacheShards),
 		metrics:  NewMetrics(),
 		sessions: make(map[string]*Session),
 	}
+	if opts.Journal != "" {
+		j, err := OpenJournal(opts.Journal, func(key string, out *Outcome) {
+			s.cache.Put(key, out)
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serve: outcome journal disabled: %v\n", err)
+		} else {
+			s.journal = j
+		}
+	}
 	s.sched = NewScheduler(opts.Workers, func(req *Request, ctl *RunControl) (*Outcome, error) {
 		ctl.RankEvery = opts.RankEvery
-		return Execute(req, ctl)
+		return run(req, ctl)
 	})
+	s.sched.SetMaxQueue(opts.MaxQueue)
 	s.sched.onDone = func(j *job, out *Outcome, err error, wall time.Duration) {
 		s.metrics.Executed(wall)
 		if err == nil && out != nil && !j.req.NoCache {
-			s.cache.Put(j.key, out)
+			s.putOutcome(j.key, out)
 		}
 	}
 	s.sched.Start()
 	return s
 }
 
-// Close drains the scheduler.
-func (s *Server) Close() { s.sched.Close() }
+// putOutcome inserts into the cache and appends to the journal (the
+// journal is the cache's durable shadow: same key, same bytes).
+func (s *Server) putOutcome(key string, out *Outcome) {
+	s.cache.Put(key, out)
+	if err := s.journal.Append(key, out); err != nil {
+		fmt.Fprintf(os.Stderr, "serve: journal append: %v\n", err)
+	}
+}
+
+// BeginDrain flips the server into drain mode: new submissions get 503
+// + Retry-After while everything already admitted keeps running.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether the server is refusing new submissions.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Shutdown is the ordered graceful stop: (1) drain — refuse new
+// submissions, (2) close the scheduler — queued and running jobs finish
+// and their sessions terminate, (3) flush and close the outcome
+// journal. The context bounds the scheduler drain; on expiry the
+// journal is still flushed before returning the context's error.
+//
+// The caller sequences the HTTP listener around this: stop accepting
+// connections and let in-flight handlers (which may be streaming
+// sessions the scheduler is still executing) complete between (1) and
+// (2) — see cmd/blamed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.BeginDrain()
+	done := make(chan struct{})
+	go func() {
+		s.sched.Close()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	if jerr := s.journal.Close(); err == nil {
+		err = jerr
+	}
+	return err
+}
+
+// Close drains the scheduler and closes the journal (Shutdown without
+// a deadline).
+func (s *Server) Close() {
+	s.BeginDrain()
+	s.sched.Close()
+	s.journal.Close()
+}
 
 // Cache exposes the outcome cache (loadtest reporting).
 func (s *Server) Cache() *Cache { return s.cache }
@@ -95,6 +189,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/diff", s.handleDiff)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	return mux
 }
 
@@ -166,6 +261,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if req.DeadlineMs == 0 && s.opts.DefaultDeadline > 0 {
 		req.DeadlineMs = s.opts.DefaultDeadline.Milliseconds()
 	}
+	if s.draining.Load() {
+		s.metrics.Shed("draining")
+		s.metrics.IncError("submit")
+		w.Header().Set("Retry-After", "5")
+		writeAPIError(w, http.StatusServiceUnavailable, "draining",
+			"server is draining; retry against a fresh instance")
+		return
+	}
 	sess := newSession("", req)
 	s.register(sess)
 	go s.watchDone(sess)
@@ -177,7 +280,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	s.sched.Submit(sess)
+	if err := s.sched.Submit(sess); err != nil {
+		// The session is already finished with err; report why it was
+		// refused. Both causes are transient capacity conditions → 503.
+		s.metrics.IncError("submit")
+		w.Header().Set("Retry-After", "1")
+		if errors.Is(err, errQueueFull) {
+			s.metrics.Shed("queue_full")
+			writeAPIError(w, http.StatusServiceUnavailable, "overloaded", err.Error())
+		} else {
+			s.metrics.Shed("closed")
+			writeAPIError(w, http.StatusServiceUnavailable, "draining", err.Error())
+		}
+		return
+	}
 	s.respondSubmit(w, r, sess)
 }
 
@@ -421,7 +537,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if !req.NoCache {
-			s.cache.Put(key, out)
+			s.putOutcome(key, out)
 		}
 		s.metrics.Executed(time.Since(start))
 	}
@@ -493,19 +609,41 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	cache, sched := s.cache.Stats(), s.sched.Stats()
+	aux := MetricsAux{Draining: s.draining.Load(), Journal: s.journal.Stats()}
+	if s.opts.AuxMetrics != nil {
+		aux.Extra = s.opts.AuxMetrics()
+	}
 	if r.URL.Query().Get("format") == "json" {
-		writeJSON(w, http.StatusOK, s.metrics.Snapshot(cache, sched))
+		writeJSON(w, http.StatusOK, s.metrics.Snapshot(cache, sched, aux))
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	w.Write([]byte(s.metrics.Render(cache, sched)))
+	w.Write([]byte(s.metrics.Render(cache, sched, aux)))
 }
 
+// handleHealth is liveness: the process is up and serving HTTP. It
+// stays 200 through a drain — a draining server is alive, just not
+// accepting new work (that distinction is /readyz's job).
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	n := len(s.sessions)
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "sessions": n})
+}
+
+// handleReady is readiness: 200 only while the server accepts new
+// submissions (not draining, scheduler open). Load balancers and the
+// loadtest harness poll this before sending traffic.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	draining := s.draining.Load()
+	accepting := s.sched.Accepting()
+	if draining || !accepting {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"ready": false, "draining": draining, "accepting": accepting,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ready": true})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -516,6 +654,44 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v)
 }
 
+// apiError is the uniform error envelope every endpoint returns:
+//
+//	{"error": {"code": "<machine-readable>", "message": "<human-readable>"}}
+type apiError struct {
+	Error apiErrorBody `json:"error"`
+}
+
+type apiErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// codeForStatus maps an HTTP status to the default machine-readable
+// error code; handlers that need a more specific code (drain/shed) use
+// writeAPIError directly.
+func codeForStatus(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusConflict:
+		return "conflict"
+	case http.StatusRequestEntityTooLarge:
+		return "too_large"
+	case http.StatusUnprocessableEntity:
+		return "unprocessable"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	default:
+		return "internal"
+	}
+}
+
 func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+	writeAPIError(w, code, codeForStatus(code), err.Error())
+}
+
+func writeAPIError(w http.ResponseWriter, status int, code, message string) {
+	writeJSON(w, status, apiError{Error: apiErrorBody{Code: code, Message: message}})
 }

@@ -1,0 +1,7 @@
+//go:build !unix
+
+package super
+
+// killedBySignal has no portable detection off unix; crashes still
+// classify as crashes, just without the signal name.
+func killedBySignal(err error) (string, bool) { return "", false }

@@ -1,0 +1,27 @@
+//go:build unix
+
+package super
+
+import (
+	"os/exec"
+	"syscall"
+)
+
+// killedBySignal reports the signal name when the process exit error
+// says the runner died to an uncaught signal (SIGKILL from the OOM
+// killer, the supervisor's own timeout kill, the chaos harness).
+func killedBySignal(err error) (string, bool) {
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		return "", false
+	}
+	ws, ok := ee.Sys().(syscall.WaitStatus)
+	if !ok || !ws.Signaled() {
+		return "", false
+	}
+	sig := ws.Signal()
+	if sig == syscall.SIGKILL {
+		return "SIGKILL", true
+	}
+	return sig.String(), true
+}
